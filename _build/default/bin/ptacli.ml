@@ -1,0 +1,326 @@
+(* ptacli: command-line driver for the whalelam analyses.
+
+   Subcommands:
+     stats         program statistics (Figure 3-style row)
+     analyze       run one of the paper's algorithms on a .jir program
+     query         run a §5 query on top of the context-sensitive analysis
+     order-search  empirical BDD domain-order search (§2.4.2)
+     datalog       standalone bddbddb: solve a Datalog file over .tuples
+     gen           generate a synthetic benchmark program *)
+
+module Ir = Jir.Ir
+module Factgen = Jir.Factgen
+module Analyses = Pta.Analyses
+module Context = Pta.Context
+open Cmdliner
+
+let read_program path =
+  try Ok (Jir.Jparser.parse_file path) with
+  | Jir.Jparser.Parse_error e -> Error (Printf.sprintf "%s:%d: %s" path e.Jir.Jparser.line e.Jir.Jparser.message)
+  | Sys_error m -> Error m
+
+let or_die = function
+  | Ok v -> v
+  | Error m ->
+    prerr_endline m;
+    exit 1
+
+let program_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"PROGRAM.jir" ~doc:"Program in the textual IR format.")
+
+(* --- stats --- *)
+
+let stats_cmd =
+  let run path =
+    let p = or_die (read_program path) in
+    let fg = Factgen.extract p in
+    let ci = Analyses.run_basic ~algo:Analyses.Algo3 fg in
+    let ctx = Analyses.make_context fg ~ie:(Analyses.ie_tuples ci) in
+    Printf.printf "classes      %d\n" (Ir.num_classes p);
+    Printf.printf "methods      %d\n" (Ir.num_methods p);
+    Printf.printf "statements   %d\n" (Ir.stmt_count p);
+    Printf.printf "variables    %d\n" (Ir.num_vars p);
+    Printf.printf "alloc sites  %d\n" (Ir.num_heaps p);
+    Printf.printf "invokes      %d\n" (Ir.num_invokes p);
+    Printf.printf "c.s. paths   %s\n" (Bignat.to_scientific (Context.total_paths ctx));
+    Printf.printf "max contexts %s\n" (Bignat.to_scientific (Context.max_contexts ctx));
+    if Context.merged ctx then print_endline "note: context counts were merged at the bit cap"
+  in
+  Cmd.v (Cmd.info "stats" ~doc:"Print program statistics (the Figure 3 columns).") Term.(const run $ program_arg)
+
+(* --- analyze --- *)
+
+type algo_choice = Cha_nofilter | Cha | Otf | Cs | Cs_otf | One_cfa | Cs_types | Escape | Handcoded | Steens
+
+let algo_conv =
+  Arg.enum
+    [
+      ("cha-nofilter", Cha_nofilter);
+      ("cha", Cha);
+      ("otf", Otf);
+      ("cs", Cs);
+      ("cstypes", Cs_types);
+      ("cs-otf", Cs_otf);
+      ("1cfa", One_cfa);
+      ("escape", Escape);
+      ("handcoded", Handcoded);
+      ("steensgaard", Steens);
+    ]
+
+let print_stats (s : Datalog.Engine.stats) =
+  Printf.printf "solve time        %.3fs\n" s.Datalog.Engine.solve_seconds;
+  Printf.printf "rule applications %d\n" s.Datalog.Engine.rule_applications;
+  Printf.printf "fixpoint rounds   %d\n" s.Datalog.Engine.iterations;
+  Printf.printf "strata            %d\n" s.Datalog.Engine.strata;
+  Printf.printf "peak BDD nodes    %d\n" s.Datalog.Engine.peak_live_nodes
+
+let dump_relation fg result name =
+  let rel = Analyses.relation result name in
+  Printf.printf "%s (%.0f tuples):\n" name (Relation.count rel);
+  let attrs = Relation.attrs rel in
+  List.iter
+    (fun t ->
+      let parts =
+        List.mapi
+          (fun i (a : Relation.attr) ->
+            let dom = Domain.name a.Relation.block.Space.dom in
+            match Factgen.element_names fg dom with
+            | Some names when t.(i) < Array.length names -> names.(t.(i))
+            | Some _ | None -> string_of_int t.(i))
+          attrs
+      in
+      Printf.printf "  %s\n" (String.concat "  " parts))
+    (Analyses.tuples result name)
+
+let analyze_cmd =
+  let run path algo dump =
+    let p = or_die (read_program path) in
+    let fg = Factgen.extract p in
+    let finish result =
+      print_stats result.Analyses.stats;
+      List.iter
+        (fun name ->
+          print_newline ();
+          dump_relation fg result name)
+        dump
+    in
+    let with_context k =
+      let ci = Analyses.run_basic ~algo:Analyses.Algo3 fg in
+      let ctx = Analyses.make_context fg ~ie:(Analyses.ie_tuples ci) in
+      Printf.printf "contexts: %s reduced call paths, C domain size %d%s\n"
+        (Bignat.to_scientific (Context.total_paths ctx))
+        (Context.csize ctx)
+        (if Context.merged ctx then " (merged at cap)" else "");
+      k ctx
+    in
+    match algo with
+    | Cha_nofilter -> finish (Analyses.run_basic ~algo:Analyses.Algo1 fg)
+    | Cha -> finish (Analyses.run_basic ~algo:Analyses.Algo2 fg)
+    | Otf -> finish (Analyses.run_basic ~algo:Analyses.Algo3 fg)
+    | Cs -> with_context (fun ctx -> finish (Analyses.run_cs fg ctx))
+    | Cs_otf ->
+      let result, _ctx = Analyses.run_cs_otf fg in
+      finish result
+    | One_cfa ->
+      let result, _k = Analyses.run_1cfa fg in
+      finish result
+    | Cs_types -> with_context (fun ctx -> finish (Analyses.run_cs_types fg ctx))
+    | Escape ->
+      let result, info = Analyses.run_thread_escape fg in
+      Printf.printf "thread contexts   %d\n" info.Analyses.n_contexts;
+      let c = Analyses.escape_counts fg result in
+      Printf.printf "captured sites    %d\n" c.Analyses.captured_sites;
+      Printf.printf "escaped sites     %d\n" c.Analyses.escaped_sites;
+      Printf.printf "needed syncs      %d\n" c.Analyses.needed_syncs;
+      Printf.printf "unneeded syncs    %d\n" c.Analyses.unneeded_syncs;
+      finish result
+    | Handcoded ->
+      let r = Pta.Handcoded.run fg in
+      let st = Pta.Handcoded.stats r in
+      Printf.printf "solve time        %.3fs\n" st.Pta.Handcoded.seconds;
+      Printf.printf "iterations        %d\n" st.Pta.Handcoded.iterations;
+      Printf.printf "peak BDD nodes    %d\n" st.Pta.Handcoded.peak_live_nodes;
+      Printf.printf "vP tuples         %.0f\n" st.Pta.Handcoded.vp_count;
+      Printf.printf "hP tuples         %.0f\n" st.Pta.Handcoded.hp_count
+    | Steens ->
+      let r = Pta.Steensgaard.run fg in
+      let st = Pta.Steensgaard.stats r in
+      Printf.printf "solve time        %.3fs\n" st.Pta.Steensgaard.seconds;
+      Printf.printf "classes           %d\n" st.Pta.Steensgaard.classes;
+      Printf.printf "unifications      %d\n" st.Pta.Steensgaard.unifications;
+      Printf.printf "vP pairs          %d\n" (List.length (Pta.Steensgaard.vp_tuples r));
+      Printf.printf "avg points-to     %.2f\n" (Pta.Steensgaard.avg_points_to r)
+  in
+  let algo =
+    Arg.(
+      value
+      & opt algo_conv Otf
+      & info [ "algo"; "a" ] ~docv:"ALGO"
+          ~doc:
+            "Algorithm: cha-nofilter (Algorithm 1), cha (Algorithm 2), otf (Algorithm 3), cs (Algorithm 5), \
+             cs-otf (§4.2 variant), 1cfa (k-CFA baseline), cstypes (Algorithm 6), escape (Algorithm 7), \
+             handcoded (manual BDD Algorithm 2), steensgaard (unification baseline).")
+  in
+  let dump =
+    Arg.(value & opt_all string [] & info [ "dump" ] ~docv:"REL" ~doc:"Print the tuples of an output relation.")
+  in
+  Cmd.v (Cmd.info "analyze" ~doc:"Run one of the paper's analyses.") Term.(const run $ program_arg $ algo $ dump)
+
+(* --- query --- *)
+
+let query_cmd =
+  let run path leak vuln refine modref =
+    let p = or_die (read_program path) in
+    let fg = Factgen.extract p in
+    let ci = Analyses.run_basic ~algo:Analyses.Algo3 fg in
+    let ctx = Analyses.make_context fg ~ie:(Analyses.ie_tuples ci) in
+    let ran = ref false in
+    (match leak with
+    | Some label ->
+      ran := true;
+      let cs = Analyses.run_cs fg ctx ~query:(Pta.Queries.who_points_to ~heap_label:label) in
+      dump_relation fg cs "whoPointsTo";
+      dump_relation fg cs "whoDunnit"
+    | None -> ());
+    (match vuln with
+    | Some meth ->
+      ran := true;
+      let cs = Analyses.run_cs fg ctx ~query:(Pta.Queries.jce_vuln ~init_method:meth) in
+      dump_relation fg cs "fromString";
+      dump_relation fg cs "vuln"
+    | None -> ());
+    if refine then begin
+      ran := true;
+      let cs = Analyses.run_cs fg ctx ~query:Pta.Queries.refinement_projected_cs in
+      let r = Analyses.refinement_ratios cs ~per_clone:false in
+      Printf.printf "population %.0f, multi-typed %.2f%%, refinable %.2f%%\n" r.Analyses.population
+        r.Analyses.multi_pct r.Analyses.refinable_pct
+    end;
+    if modref then begin
+      ran := true;
+      let cs = Analyses.run_cs fg ctx ~query:Pta.Queries.mod_ref in
+      dump_relation fg cs "modset";
+      dump_relation fg cs "refset"
+    end;
+    if not !ran then prerr_endline "nothing to do: pass --leak, --vuln, --refine or --modref"
+  in
+  let leak = Arg.(value & opt (some string) None & info [ "leak" ] ~docv:"LABEL" ~doc:"§5.1 leak query for a heap label.") in
+  let vuln =
+    Arg.(value & opt (some string) None & info [ "vuln" ] ~docv:"METHOD" ~doc:"§5.2 String-key audit (e.g. PBEKeySpec.init).")
+  in
+  let refine = Arg.(value & flag & info [ "refine" ] ~doc:"§5.3 type refinement percentages.") in
+  let modref = Arg.(value & flag & info [ "modref" ] ~doc:"§5.4 context-sensitive mod-ref sets.") in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Run the §5 queries over the context-sensitive results.")
+    Term.(const run $ program_arg $ leak $ vuln $ refine $ modref)
+
+(* --- order-search --- *)
+
+let order_search_cmd =
+  let run path budget cs =
+    let p = or_die (read_program path) in
+    let fg = Factgen.extract p in
+    let job =
+      if cs then begin
+        let ci = Analyses.run_basic ~algo:Analyses.Algo3 fg in
+        Pta.Order_search.Context_sensitive (Analyses.make_context fg ~ie:(Analyses.ie_tuples ci))
+      end
+      else Pta.Order_search.Basic Analyses.Algo2
+    in
+    let candidates = Pta.Order_search.search ~budget fg job in
+    Printf.printf "%-40s %10s %9s\n" "domain order" "peak nodes" "seconds";
+    List.iter
+      (fun c ->
+        Printf.printf "%-40s %10d %8.3fs\n"
+          (String.concat " " c.Pta.Order_search.order)
+          c.Pta.Order_search.peak_nodes c.Pta.Order_search.seconds)
+      candidates
+  in
+  let budget = Arg.(value & opt int 6 & info [ "budget" ] ~docv:"N" ~doc:"Number of random orders to try.") in
+  let cs = Arg.(value & flag & info [ "cs" ] ~doc:"Search for Algorithm 5 instead of Algorithm 2.") in
+  Cmd.v
+    (Cmd.info "order-search" ~doc:"Empirically search BDD domain orders (§2.4.2), best first.")
+    Term.(const run $ program_arg $ budget $ cs)
+
+(* --- datalog --- *)
+
+let datalog_cmd =
+  let run path dir =
+    let src =
+      let ic = open_in_bin path in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      s
+    in
+    match Datalog.Parser.parse src with
+    | exception Datalog.Parser.Parse_error e ->
+      prerr_endline (Printf.sprintf "%s:%d: %s" path e.Datalog.Parser.line e.Datalog.Parser.message);
+      exit 1
+    | program -> (
+      match Datalog.Engine.create program with
+      | exception Datalog.Resolve.Check_error m ->
+        prerr_endline m;
+        exit 1
+      | eng ->
+        List.iter
+          (fun (name, tuples) -> Datalog.Engine.set_tuples eng name (List.map Array.of_list tuples))
+          (Datalog.Tuples_io.load_inputs ~dir program);
+        let s = Datalog.Engine.run eng in
+        Datalog.Tuples_io.save_outputs ~dir program (fun name ->
+            Relation.tuples (Datalog.Engine.relation eng name));
+        Printf.printf "solved in %.3fs (%d rule applications, %d rounds, %d peak nodes)\n"
+          s.Datalog.Engine.solve_seconds s.Datalog.Engine.rule_applications s.Datalog.Engine.iterations
+          s.Datalog.Engine.peak_live_nodes;
+        List.iter
+          (fun (r : Datalog.Ast.rel_decl) ->
+            match r.Datalog.Ast.rel_kind with
+            | Datalog.Ast.Output ->
+              Printf.printf "  %s: %.0f tuples\n" r.Datalog.Ast.rel_name
+                (Relation.count (Datalog.Engine.relation eng r.Datalog.Ast.rel_name))
+            | Datalog.Ast.Input | Datalog.Ast.Internal -> ())
+          program.Datalog.Ast.relations)
+  in
+  let dl = Arg.(required & pos 0 (some file) None & info [] ~docv:"PROGRAM.dl" ~doc:"Datalog program.") in
+  let dir =
+    Arg.(value & opt dir "." & info [ "facts" ] ~docv:"DIR" ~doc:"Directory of <relation>.tuples files.")
+  in
+  Cmd.v
+    (Cmd.info "datalog" ~doc:"Standalone bddbddb: solve a Datalog program over .tuples files.")
+    Term.(const run $ dl $ dir)
+
+(* --- gen --- *)
+
+let gen_cmd =
+  let run profile scale seed out =
+    match Synth.Profiles.find profile with
+    | None ->
+      prerr_endline
+        (Printf.sprintf "unknown profile %s; available: %s" profile
+           (String.concat ", " (List.map (fun p -> p.Synth.Profiles.name) Synth.Profiles.all)));
+      exit 1
+    | Some prof ->
+      let params = Synth.Profiles.params ~scale prof in
+      let params = { params with Synth.Generator.seed = Option.value seed ~default:params.Synth.Generator.seed } in
+      let p = Synth.Generator.generate params in
+      let text = Jir.Jprinter.to_string p in
+      (match out with
+      | Some path ->
+        let oc = open_out path in
+        output_string oc text;
+        close_out oc;
+        Printf.printf "wrote %s: %d classes, %d methods, %d statements\n" path (Ir.num_classes p) (Ir.num_methods p)
+          (Ir.stmt_count p)
+      | None -> print_string text)
+  in
+  let profile = Arg.(required & pos 0 (some string) None & info [] ~docv:"PROFILE" ~doc:"Benchmark profile name.") in
+  let scale = Arg.(value & opt float 0.04 & info [ "scale" ] ~docv:"S" ~doc:"Size scale factor.") in
+  let seed = Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"N" ~doc:"Override the profile seed.") in
+  let out = Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file.") in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a synthetic benchmark program in the textual IR format.")
+    Term.(const run $ profile $ scale $ seed $ out)
+
+let () =
+  let doc = "cloning-based context-sensitive pointer alias analysis using BDDs" in
+  let info = Cmd.info "ptacli" ~version:"1.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ stats_cmd; analyze_cmd; query_cmd; order_search_cmd; datalog_cmd; gen_cmd ]))

@@ -1,0 +1,1 @@
+examples/bddbddb_direct.ml: Array Bdd Datalog List Printf Relation Space String

@@ -1,0 +1,1 @@
+examples/bddbddb_direct.mli:

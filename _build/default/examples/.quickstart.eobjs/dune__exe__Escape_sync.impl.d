@@ -1,0 +1,1 @@
+examples/escape_sync.ml: Array Jir List Option Printf Pta

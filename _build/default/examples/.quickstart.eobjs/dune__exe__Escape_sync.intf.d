@@ -1,0 +1,1 @@
+examples/escape_sync.mli:

@@ -1,0 +1,1 @@
+examples/memory_leak.ml: Array Jir List Option Printf Pta

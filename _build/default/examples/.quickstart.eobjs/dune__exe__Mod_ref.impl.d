@@ -1,0 +1,1 @@
+examples/mod_ref.ml: Array Jir List Option Printf Pta

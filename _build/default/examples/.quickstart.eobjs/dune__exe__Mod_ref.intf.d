@@ -1,0 +1,1 @@
+examples/mod_ref.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Bignat Datalog Jir List Option Printf Pta String

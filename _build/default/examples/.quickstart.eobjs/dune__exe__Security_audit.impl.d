@@ -1,0 +1,1 @@
+examples/security_audit.ml: Array Jir List Option Printf Pta

@@ -1,0 +1,1 @@
+examples/security_audit.mli:

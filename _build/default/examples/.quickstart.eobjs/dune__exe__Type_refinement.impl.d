@@ -1,0 +1,1 @@
+examples/type_refinement.ml: Jir Option Printf Pta Synth

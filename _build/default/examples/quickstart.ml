@@ -1,0 +1,90 @@
+(* Quickstart: parse a small program, run the context-insensitive and
+   context-sensitive points-to analyses, and show where cloning wins.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Factgen = Jir.Factgen
+module Analyses = Pta.Analyses
+module Context = Pta.Context
+
+(* Two containers, each holding a different object.  A context-
+   insensitive analysis merges the two [set] calls and concludes either
+   container may hold either object; cloning keeps them apart. *)
+let source =
+  {|
+class Box extends Object {
+  field item : Object
+  method put(v : Object) : void {
+    this.item = v
+  }
+  method take() : Object {
+    var r : Object
+    r = this.item
+    return r
+  }
+}
+class Main extends Object {
+  static method main() : void {
+    var red_box : Box
+    var blue_box : Box
+    var red : Object
+    var blue : Object
+    var from_red : Object
+    var from_blue : Object
+    red_box = new Box() @ "RedBox"
+    blue_box = new Box() @ "BlueBox"
+    red = new Object() @ "RedItem"
+    blue = new Object() @ "BlueItem"
+    red_box.put(red)
+    blue_box.put(blue)
+    from_red = red_box.take()
+    from_blue = blue_box.take()
+  }
+}
+entry Main.main
+|}
+
+let () =
+  let program = Jir.Jparser.parse source in
+  let fg = Factgen.extract program in
+  let heap_name =
+    let names = Option.get (Factgen.element_names fg "H") in
+    fun h -> names.(h)
+  in
+  let var_id name =
+    let names = Option.get (Factgen.element_names fg "V") in
+    let found = ref (-1) in
+    Array.iteri (fun i n -> if n = name then found := i) names;
+    !found
+  in
+  (* 1. Context-insensitive points-to with on-the-fly call graph
+        discovery (Algorithm 3). *)
+  let ci = Analyses.run_basic ~algo:Analyses.Algo3 fg in
+  let show_ci v =
+    let hs =
+      List.filter_map (fun t -> if t.(0) = var_id v then Some (heap_name t.(1)) else None) (Analyses.tuples ci "vP")
+    in
+    Printf.printf "  %-20s -> { %s }\n" v (String.concat ", " (List.sort_uniq compare hs))
+  in
+  print_endline "Context-insensitive (Algorithm 3): the two put() calls merge:";
+  show_ci "Main.main.from_red";
+  show_ci "Main.main.from_blue";
+  (* 2. Number the contexts (Algorithm 4) and rerun context-sensitively
+        (Algorithm 5). *)
+  let ctx = Analyses.make_context fg ~ie:(Analyses.ie_tuples ci) in
+  Printf.printf "\nAlgorithm 4 numbered %s reduced call paths (C domain size %d).\n"
+    (Bignat.to_string (Context.total_paths ctx))
+    (Context.csize ctx);
+  let cs = Analyses.run_cs fg ctx in
+  let show_cs v =
+    let hs =
+      List.filter_map (fun t -> if t.(1) = var_id v then Some (heap_name t.(2)) else None) (Analyses.tuples cs "vPC")
+    in
+    Printf.printf "  %-20s -> { %s }\n" v (String.concat ", " (List.sort_uniq compare hs))
+  in
+  print_endline "\nContext-sensitive (Algorithm 5): each call chain is a clone:";
+  show_cs "Main.main.from_red";
+  show_cs "Main.main.from_blue";
+  Printf.printf "\nSolved in %d rule applications, %d fixpoint rounds, %d peak BDD nodes.\n"
+    cs.Analyses.stats.Datalog.Engine.rule_applications cs.Analyses.stats.Datalog.Engine.iterations
+    cs.Analyses.stats.Datalog.Engine.peak_live_nodes

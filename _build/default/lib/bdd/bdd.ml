@@ -1,0 +1,625 @@
+(* Hash-consed OBDD manager.
+
+   Nodes live in parallel int arrays indexed by handle; slot 0 and 1 are
+   the terminals.  The unique table is a chained hash whose bucket array
+   always has the same length as the node arrays (load factor <= 1).
+   Freed slots are threaded through [next] as a free list and marked
+   with [var = -1].
+
+   The operation cache is a single direct-mapped array with stride-5
+   entries [op; a; b; c; result]; all memoized operations (apply, not,
+   ite, exist, relprod, replace) share it, distinguished by [op].  It is
+   cleared on GC because freed handles may be reused.
+
+   GC is mark-sweep from registered roots and is only ever invoked
+   explicitly, so in-flight intermediate results cannot be collected. *)
+
+type t = int
+
+type varmap = {
+  map_id : int;
+  map : int array; (* indexed by variable; identity beyond its length *)
+}
+
+type man = {
+  mutable var : int array;
+  mutable low : int array;
+  mutable high : int array;
+  mutable next : int array; (* hash chain or free list *)
+  mutable buckets : int array; (* heads, -1 = empty *)
+  mutable free_head : int;
+  mutable num_slots : int; (* slots ever allocated, including freed *)
+  mutable num_free : int;
+  mutable peak_live : int;
+  mutable nvars : int;
+  cache : int array;
+  cache_mask : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable map_counter : int;
+  mutable roots : t ref list;
+  mutable root_fns : (unit -> t list) list;
+  mutable gcs : int;
+}
+
+let bdd_false = 0
+let bdd_true = 1
+let terminal_var = max_int
+
+let is_const n = n < 2
+let is_true n = n = 1
+let is_false n = n = 0
+
+let var m n =
+  if is_const n then invalid_arg "Bdd.var: terminal";
+  m.var.(n)
+
+let low m n =
+  if is_const n then invalid_arg "Bdd.low: terminal";
+  m.low.(n)
+
+let high m n =
+  if is_const n then invalid_arg "Bdd.high: terminal";
+  m.high.(n)
+
+(* Level of a node with terminals at the bottom of the order. *)
+let level m n = if is_const n then terminal_var else m.var.(n)
+
+let live_nodes m = m.num_slots - 2 - m.num_free
+let peak_live_nodes m = m.peak_live
+let reset_peak m = m.peak_live <- live_nodes m
+let gc_count m = m.gcs
+let cache_stats m = (m.cache_hits, m.cache_misses)
+let nvars m = m.nvars
+let extend_vars m n = if n > m.nvars then m.nvars <- n
+
+let hash3 a b c = (a * 12582917) lxor (b * 4256249) lxor (c * 741457)
+
+let create ?(node_hint = 1 lsl 16) ?(cache_bits = 16) ~nvars () =
+  let cap =
+    let rec up c = if c >= node_hint then c else up (c * 2) in
+    up 1024
+  in
+  let m =
+    {
+      var = Array.make cap 0;
+      low = Array.make cap 0;
+      high = Array.make cap 0;
+      next = Array.make cap (-1);
+      buckets = Array.make cap (-1);
+      free_head = -1;
+      num_slots = 2;
+      num_free = 0;
+      peak_live = 0;
+      nvars;
+      cache = Array.make ((1 lsl cache_bits) * 5) (-1);
+      cache_mask = (1 lsl cache_bits) - 1;
+      cache_hits = 0;
+      cache_misses = 0;
+      map_counter = 0;
+      roots = [];
+      root_fns = [];
+      gcs = 0;
+    }
+  in
+  (* Terminals: self-looping pseudo-nodes never reached by recursion. *)
+  m.var.(0) <- terminal_var;
+  m.var.(1) <- terminal_var;
+  m.low.(0) <- 0;
+  m.high.(0) <- 0;
+  m.low.(1) <- 1;
+  m.high.(1) <- 1;
+  m
+
+let rehash m =
+  Array.fill m.buckets 0 (Array.length m.buckets) (-1);
+  let mask = Array.length m.buckets - 1 in
+  for n = 2 to m.num_slots - 1 do
+    if m.var.(n) >= 0 then begin
+      let b = hash3 m.var.(n) m.low.(n) m.high.(n) land mask in
+      m.next.(n) <- m.buckets.(b);
+      m.buckets.(b) <- n
+    end
+  done
+
+let grow m =
+  let cap = Array.length m.var in
+  let cap' = cap * 2 in
+  let copy a = Array.append a (Array.make cap 0) in
+  m.var <- copy m.var;
+  m.low <- copy m.low;
+  m.high <- copy m.high;
+  m.next <- copy m.next;
+  m.buckets <- Array.make cap' (-1);
+  rehash m
+
+let mk m v l h =
+  if l = h then l
+  else begin
+    let mask = Array.length m.buckets - 1 in
+    let b = hash3 v l h land mask in
+    let rec find n = if n = -1 then -1 else if m.var.(n) = v && m.low.(n) = l && m.high.(n) = h then n else find m.next.(n) in
+    let found = find m.buckets.(b) in
+    if found >= 0 then found
+    else begin
+      let slot =
+        if m.free_head >= 0 then begin
+          let s = m.free_head in
+          m.free_head <- m.next.(s);
+          m.num_free <- m.num_free - 1;
+          s
+        end else begin
+          if m.num_slots = Array.length m.var then grow m;
+          let s = m.num_slots in
+          m.num_slots <- m.num_slots + 1;
+          s
+        end
+      in
+      m.var.(slot) <- v;
+      m.low.(slot) <- l;
+      m.high.(slot) <- h;
+      (* Recompute the bucket: [grow] may have changed the mask. *)
+      let b = hash3 v l h land (Array.length m.buckets - 1) in
+      m.next.(slot) <- m.buckets.(b);
+      m.buckets.(b) <- slot;
+      let live = live_nodes m in
+      if live > m.peak_live then m.peak_live <- live;
+      slot
+    end
+  end
+
+let ithvar m i =
+  if i < 0 || i >= m.nvars then invalid_arg "Bdd.ithvar";
+  mk m i bdd_false bdd_true
+
+let nithvar m i =
+  if i < 0 || i >= m.nvars then invalid_arg "Bdd.nithvar";
+  mk m i bdd_true bdd_false
+
+(* Operation codes for the shared cache. *)
+let op_and = 1
+let op_or = 2
+let op_xor = 3
+let op_diff = 4
+let op_imp = 5
+let op_biimp = 6
+let op_not = 7
+let op_ite = 8
+let op_exist = 9
+let op_relprod = 10
+let op_replace = 11
+
+let cache_lookup m op a b c =
+  let slot = hash3 (op + (a * 31)) b c land m.cache_mask in
+  let i = slot * 5 in
+  let cache = m.cache in
+  if cache.(i) = op && cache.(i + 1) = a && cache.(i + 2) = b && cache.(i + 3) = c then begin
+    m.cache_hits <- m.cache_hits + 1;
+    cache.(i + 4)
+  end else begin
+    m.cache_misses <- m.cache_misses + 1;
+    -1
+  end
+
+let cache_store m op a b c r =
+  let slot = hash3 (op + (a * 31)) b c land m.cache_mask in
+  let i = slot * 5 in
+  let cache = m.cache in
+  cache.(i) <- op;
+  cache.(i + 1) <- a;
+  cache.(i + 2) <- b;
+  cache.(i + 3) <- c;
+  cache.(i + 4) <- r
+
+let rec mk_not m f =
+  if f = bdd_false then bdd_true
+  else if f = bdd_true then bdd_false
+  else begin
+    let cached = cache_lookup m op_not f 0 0 in
+    if cached >= 0 then cached
+    else begin
+      let r = mk m m.var.(f) (mk_not m m.low.(f)) (mk_not m m.high.(f)) in
+      cache_store m op_not f 0 0 r;
+      r
+    end
+  end
+
+(* Terminal rules for the binary connectives; returns -1 when no rule
+   applies and the recursion must proceed. *)
+let apply_terminal m op f g =
+  if op = op_and then
+    if f = bdd_false || g = bdd_false then bdd_false
+    else if f = bdd_true then g
+    else if g = bdd_true then f
+    else if f = g then f
+    else -1
+  else if op = op_or then
+    if f = bdd_true || g = bdd_true then bdd_true
+    else if f = bdd_false then g
+    else if g = bdd_false then f
+    else if f = g then f
+    else -1
+  else if op = op_xor then
+    if f = g then bdd_false
+    else if f = bdd_false then g
+    else if g = bdd_false then f
+    else if f = bdd_true then mk_not m g
+    else if g = bdd_true then mk_not m f
+    else -1
+  else if op = op_diff then
+    if f = bdd_false || g = bdd_true then bdd_false
+    else if f = g then bdd_false
+    else if g = bdd_false then f
+    else if f = bdd_true then mk_not m g
+    else -1
+  else if op = op_imp then
+    if f = bdd_false || g = bdd_true then bdd_true
+    else if f = g then bdd_true
+    else if f = bdd_true then g
+    else if g = bdd_false then mk_not m f
+    else -1
+  else if op = op_biimp then
+    if f = g then bdd_true
+    else if f = bdd_true then g
+    else if g = bdd_true then f
+    else if f = bdd_false then mk_not m g
+    else if g = bdd_false then mk_not m f
+    else -1
+  else invalid_arg "Bdd.apply_terminal: bad op"
+
+let commutative op = op = op_and || op = op_or || op = op_xor || op = op_biimp
+
+let rec apply m op f g =
+  let t = apply_terminal m op f g in
+  if t >= 0 then t
+  else begin
+    (* Canonicalize commutative operands for better cache hits. *)
+    let f, g = if commutative op && f > g then (g, f) else (f, g) in
+    let cached = cache_lookup m op f g 0 in
+    if cached >= 0 then cached
+    else begin
+      let vf = level m f and vg = level m g in
+      let v = if vf < vg then vf else vg in
+      let f0, f1 = if vf = v then (m.low.(f), m.high.(f)) else (f, f) in
+      let g0, g1 = if vg = v then (m.low.(g), m.high.(g)) else (g, g) in
+      let r = mk m v (apply m op f0 g0) (apply m op f1 g1) in
+      cache_store m op f g 0 r;
+      r
+    end
+  end
+
+let mk_and m f g = apply m op_and f g
+let mk_or m f g = apply m op_or f g
+let mk_xor m f g = apply m op_xor f g
+let mk_diff m f g = apply m op_diff f g
+let mk_imp m f g = apply m op_imp f g
+let mk_biimp m f g = apply m op_biimp f g
+
+let rec mk_ite m f g h =
+  if f = bdd_true then g
+  else if f = bdd_false then h
+  else if g = h then g
+  else if g = bdd_true && h = bdd_false then f
+  else if g = bdd_false && h = bdd_true then mk_not m f
+  else begin
+    let cached = cache_lookup m op_ite f g h in
+    if cached >= 0 then cached
+    else begin
+      let vf = level m f and vg = level m g and vh = level m h in
+      let v = min vf (min vg vh) in
+      let f0, f1 = if vf = v then (m.low.(f), m.high.(f)) else (f, f) in
+      let g0, g1 = if vg = v then (m.low.(g), m.high.(g)) else (g, g) in
+      let h0, h1 = if vh = v then (m.low.(h), m.high.(h)) else (h, h) in
+      let r = mk m v (mk_ite m f0 g0 h0) (mk_ite m f1 g1 h1) in
+      cache_store m op_ite f g h r;
+      r
+    end
+  end
+
+let cube_of_vars m vs =
+  let sorted = List.sort_uniq compare vs in
+  List.fold_right (fun v acc -> mk m v bdd_false acc) sorted bdd_true
+
+(* Drop leading cube variables above (i.e. at smaller levels than) [v];
+   they cannot occur in the function being quantified below [v]. *)
+let rec skip_cube m cube v =
+  if is_const cube then cube
+  else if m.var.(cube) < v then skip_cube m m.high.(cube) v
+  else cube
+
+let rec exist_rec m cube f =
+  if is_const f then f
+  else begin
+    let cube = skip_cube m cube m.var.(f) in
+    if cube = bdd_true then f
+    else begin
+      let cached = cache_lookup m op_exist f cube 0 in
+      if cached >= 0 then cached
+      else begin
+        let v = m.var.(f) in
+        let r =
+          if m.var.(cube) = v then mk_or m (exist_rec m m.high.(cube) m.low.(f)) (exist_rec m m.high.(cube) m.high.(f))
+          else mk m v (exist_rec m cube m.low.(f)) (exist_rec m cube m.high.(f))
+        in
+        cache_store m op_exist f cube 0 r;
+        r
+      end
+    end
+  end
+
+let exist m ~cube f = exist_rec m cube f
+let forall m ~cube f = mk_not m (exist_rec m cube (mk_not m f))
+
+let rec relprod_rec m cube f g =
+  if f = bdd_false || g = bdd_false then bdd_false
+  else if cube = bdd_true then apply m op_and f g
+  else if f = bdd_true && g = bdd_true then bdd_true
+  else begin
+    let vf = level m f and vg = level m g in
+    let v = if vf < vg then vf else vg in
+    let cube = skip_cube m cube v in
+    if cube = bdd_true then apply m op_and f g
+    else begin
+      let f, g = if f > g then (g, f) else (f, g) in
+      let cached = cache_lookup m op_relprod f g cube in
+      if cached >= 0 then cached
+      else begin
+        let vf = level m f and vg = level m g in
+        let v = if vf < vg then vf else vg in
+        let f0, f1 = if vf = v then (m.low.(f), m.high.(f)) else (f, f) in
+        let g0, g1 = if vg = v then (m.low.(g), m.high.(g)) else (g, g) in
+        let r =
+          if m.var.(cube) = v then mk_or m (relprod_rec m m.high.(cube) f0 g0) (relprod_rec m m.high.(cube) f1 g1)
+          else mk m v (relprod_rec m cube f0 g0) (relprod_rec m cube f1 g1)
+        in
+        cache_store m op_relprod f g cube r;
+        r
+      end
+    end
+  end
+
+let relprod m ~cube f g = relprod_rec m cube f g
+
+let make_map m pairs =
+  let map = Array.init m.nvars (fun i -> i) in
+  List.iter
+    (fun (a, b) ->
+      if a < 0 || a >= m.nvars || b < 0 || b >= m.nvars then invalid_arg "Bdd.make_map: variable out of range";
+      map.(a) <- b)
+    pairs;
+  m.map_counter <- m.map_counter + 1;
+  { map_id = m.map_counter; map }
+
+let rec replace_rec m vm f =
+  if is_const f then f
+  else begin
+    let cached = cache_lookup m op_replace f vm.map_id 0 in
+    if cached >= 0 then cached
+    else begin
+      let v = m.var.(f) in
+      let v' = if v < Array.length vm.map then vm.map.(v) else v in
+      let l = replace_rec m vm m.low.(f) in
+      let h = replace_rec m vm m.high.(f) in
+      (* [mk_ite] rather than [mk]: correct even when the renaming does
+         not preserve the variable order. *)
+      let r = mk_ite m (ithvar m v') h l in
+      cache_store m op_replace f vm.map_id 0 r;
+      r
+    end
+  end
+
+let replace m vm f = replace_rec m vm f
+
+let support m f =
+  let seen = Hashtbl.create 64 in
+  let vars = Hashtbl.create 16 in
+  let rec go n =
+    if not (is_const n) && not (Hashtbl.mem seen n) then begin
+      Hashtbl.add seen n ();
+      Hashtbl.replace vars m.var.(n) ();
+      go m.low.(n);
+      go m.high.(n)
+    end
+  in
+  go f;
+  List.sort compare (Hashtbl.fold (fun v () acc -> v :: acc) vars [])
+
+let node_count m f =
+  let seen = Hashtbl.create 64 in
+  let rec go n =
+    if not (is_const n) && not (Hashtbl.mem seen n) then begin
+      Hashtbl.add seen n ();
+      go m.low.(n);
+      go m.high.(n)
+    end
+  in
+  go f;
+  Hashtbl.length seen
+
+(* Generic satcount parameterized by a small semiring. *)
+let satcount_gen m ~vars f ~zero ~two_pow ~add ~scale =
+  let len = Array.length vars in
+  let pos = Hashtbl.create len in
+  Array.iteri (fun i v -> Hashtbl.add pos v i) vars;
+  let memo = Hashtbl.create 64 in
+  (* [count n i] = assignments of vars.(i..) satisfying n, where n's top
+     variable has position >= i. *)
+  let rec count n i =
+    if n = bdd_false then zero
+    else if n = bdd_true then two_pow (len - i)
+    else begin
+      let j =
+        match Hashtbl.find_opt pos m.var.(n) with
+        | Some j -> j
+        | None -> invalid_arg "Bdd.satcount: support not included in vars"
+      in
+      let c =
+        match Hashtbl.find_opt memo n with
+        | Some c -> c
+        | None ->
+          let c = add (count m.low.(n) (j + 1)) (count m.high.(n) (j + 1)) in
+          Hashtbl.add memo n c;
+          c
+      in
+      scale c (j - i)
+    end
+  in
+  count f 0
+
+let satcount m ~vars f =
+  satcount_gen m ~vars f ~zero:0.0 ~two_pow:(fun k -> Float.pow 2.0 (float_of_int k)) ~add:( +. )
+    ~scale:(fun c k -> c *. Float.pow 2.0 (float_of_int k))
+
+let satcount_big m ~vars f =
+  satcount_gen m ~vars f ~zero:Bignat.zero ~two_pow:Bignat.pow2 ~add:Bignat.add ~scale:(fun c k -> Bignat.shift_left c k)
+
+let iter_sat m ~vars yield f =
+  let len = Array.length vars in
+  let assignment = Array.make len false in
+  let rec go i n =
+    if n <> bdd_false then
+      if i = len then begin
+        if n = bdd_true then yield assignment
+        else invalid_arg "Bdd.iter_sat: support not included in vars"
+      end
+      else begin
+        let vn = level m n in
+        if vn = vars.(i) then begin
+          assignment.(i) <- false;
+          go (i + 1) m.low.(n);
+          assignment.(i) <- true;
+          go (i + 1) m.high.(n)
+        end
+        else if vn > vars.(i) then begin
+          (* n does not depend on vars.(i): both values satisfy. *)
+          assignment.(i) <- false;
+          go (i + 1) n;
+          assignment.(i) <- true;
+          go (i + 1) n
+        end
+        else invalid_arg "Bdd.iter_sat: vars must be sorted and include the support"
+      end
+  in
+  go 0 f
+
+(* --- Arithmetic primitives (LSB-first bit blocks) --- *)
+
+let const_value m ~bits value =
+  let w = Array.length bits in
+  if w < Sys.int_size - 1 && value lsr w <> 0 then invalid_arg "Bdd.const_value: value too wide";
+  let acc = ref bdd_true in
+  for i = w - 1 downto 0 do
+    let lit = if (value lsr i) land 1 = 1 then ithvar m bits.(i) else nithvar m bits.(i) in
+    acc := mk_and m lit !acc
+  done;
+  !acc
+
+let range m ~bits ~lo ~hi =
+  if lo > hi then bdd_false
+  else begin
+    let w = Array.length bits in
+    (* x <= hi, built LSB to MSB. *)
+    let le = ref bdd_true in
+    for i = 0 to w - 1 do
+      let x = ithvar m bits.(i) in
+      le := if (hi lsr i) land 1 = 1 then mk_ite m x !le bdd_true else mk_ite m x bdd_false !le
+    done;
+    (* x >= lo. *)
+    let ge = ref bdd_true in
+    for i = 0 to w - 1 do
+      let x = ithvar m bits.(i) in
+      ge := if (lo lsr i) land 1 = 1 then mk_ite m x !ge bdd_false else mk_ite m x bdd_true !ge
+    done;
+    mk_and m !le !ge
+  end
+
+let add_const m ~src ~dst ~delta =
+  if Array.length src <> Array.length dst then invalid_arg "Bdd.add_const: width mismatch";
+  if delta < 0 then invalid_arg "Bdd.add_const: negative delta";
+  let w = Array.length src in
+  let acc = ref bdd_true in
+  let carry = ref bdd_false in
+  for i = 0 to w - 1 do
+    let s = ithvar m src.(i) and d = ithvar m dst.(i) in
+    let di = (delta lsr i) land 1 = 1 in
+    (* sum bit = s xor delta_i xor carry *)
+    let s_xor_c = mk_xor m s !carry in
+    let sum = if di then mk_not m s_xor_c else s_xor_c in
+    acc := mk_and m !acc (mk_biimp m d sum);
+    (* carry' = delta_i ? (s or carry) : (s and carry) *)
+    carry := if di then mk_or m s !carry else mk_and m s !carry
+  done;
+  (* Exclude overflowing assignments: the final carry must be 0, and the
+     part of delta beyond the width must be 0. *)
+  if w < Sys.int_size - 1 && delta lsr w <> 0 then bdd_false else mk_and m !acc (mk_not m !carry)
+
+let equal_blocks m ~src ~dst =
+  if Array.length src <> Array.length dst then invalid_arg "Bdd.equal_blocks: width mismatch";
+  let acc = ref bdd_true in
+  for i = Array.length src - 1 downto 0 do
+    acc := mk_and m (mk_biimp m (ithvar m src.(i)) (ithvar m dst.(i))) !acc
+  done;
+  !acc
+
+let to_dot ?(var_name = fun i -> Printf.sprintf "x%d" i) m f =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "digraph bdd {\n";
+  Buffer.add_string buf "  node0 [shape=box, label=\"0\"];\n";
+  Buffer.add_string buf "  node1 [shape=box, label=\"1\"];\n";
+  let seen = Hashtbl.create 64 in
+  let rec go n =
+    if not (is_const n) && not (Hashtbl.mem seen n) then begin
+      Hashtbl.add seen n ();
+      Buffer.add_string buf (Printf.sprintf "  node%d [label=%S];\n" n (var_name m.var.(n)));
+      Buffer.add_string buf (Printf.sprintf "  node%d -> node%d [style=dashed];\n" n m.low.(n));
+      Buffer.add_string buf (Printf.sprintf "  node%d -> node%d;\n" n m.high.(n));
+      go m.low.(n);
+      go m.high.(n)
+    end
+  in
+  go f;
+  (match f with
+  | 0 | 1 -> ()
+  | root -> Buffer.add_string buf (Printf.sprintf "  root [shape=none, label=\"\"];\n  root -> node%d;\n" root));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+(* --- Garbage collection --- *)
+
+let add_root m r = m.roots <- r :: m.roots
+let remove_root m r = m.roots <- List.filter (fun r' -> r' != r) m.roots
+let add_root_fn m f = m.root_fns <- f :: m.root_fns
+
+let gc m =
+  let marked = Bytes.make m.num_slots '\000' in
+  let rec mark n =
+    if n >= 2 && Bytes.get marked n = '\000' then begin
+      Bytes.set marked n '\001';
+      mark m.low.(n);
+      mark m.high.(n)
+    end
+  in
+  List.iter (fun r -> mark !r) m.roots;
+  List.iter (fun f -> List.iter mark (f ())) m.root_fns;
+  (* Sweep: free unmarked live slots. *)
+  for n = 2 to m.num_slots - 1 do
+    if m.var.(n) >= 0 && Bytes.get marked n = '\000' then begin
+      m.var.(n) <- -1;
+      m.next.(n) <- m.free_head;
+      m.free_head <- n;
+      m.num_free <- m.num_free + 1
+    end
+  done;
+  rehash m;
+  (* Rebuilding the buckets clobbered the free list threading: restore it. *)
+  m.free_head <- -1;
+  m.num_free <- 0;
+  for n = m.num_slots - 1 downto 2 do
+    if m.var.(n) = -1 then begin
+      m.next.(n) <- m.free_head;
+      m.free_head <- n;
+      m.num_free <- m.num_free + 1
+    end
+  done;
+  Array.fill m.cache 0 (Array.length m.cache) (-1);
+  m.gcs <- m.gcs + 1

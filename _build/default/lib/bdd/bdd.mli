@@ -1,0 +1,163 @@
+(** Ordered, reduced binary decision diagrams.
+
+    This is the substrate the paper builds on (it used BuDDy via the
+    JavaBDD wrapper): a hash-consed node table, memoizing operation
+    cache, mark-sweep garbage collection with registered roots, the
+    relational-product ([relprod]) and variable-renaming ([replace])
+    operations that implement relational algebra, and satisfying-
+    assignment counting/enumeration used to read results back out.
+
+    Variables are identified by their position in the (fixed) variable
+    order: variable [i] is at level [i].  Variable ordering choices are
+    therefore made when allocating variables (see {!Space} in the
+    [relation] library), matching the paper's static-order-with-search
+    approach; there is no dynamic reordering.
+
+    Node handles ([t]) are only meaningful together with the manager
+    that created them.  A handle is kept alive across {!gc} only if it
+    is reachable from a registered root. *)
+
+type man
+(** A BDD manager: node table, caches, roots. *)
+
+type t = private int
+(** A BDD node handle.  The terminals are {!bdd_false} and
+    {!bdd_true}. *)
+
+type varmap
+(** A variable renaming, created with {!make_map}. *)
+
+val create : ?node_hint:int -> ?cache_bits:int -> nvars:int -> unit -> man
+(** [create ~nvars ()] makes a manager with variables [0 .. nvars-1].
+    [node_hint] is the initial node-table capacity (default 64K);
+    the table grows by doubling.  [cache_bits] sizes the operation
+    cache at [2^cache_bits] entries (default 16). *)
+
+val nvars : man -> int
+
+val extend_vars : man -> int -> unit
+(** [extend_vars man n] ensures variables [0 .. n-1] exist.  New
+    variables are appended at the bottom of the order. *)
+
+val bdd_false : t
+val bdd_true : t
+
+val is_const : t -> bool
+val is_true : t -> bool
+val is_false : t -> bool
+
+val ithvar : man -> int -> t
+(** The function [fun x -> x_i]. *)
+
+val nithvar : man -> int -> t
+(** The function [fun x -> not x_i]. *)
+
+val var : man -> t -> int
+(** Top variable of a non-terminal node. Raises [Invalid_argument] on
+    terminals. *)
+
+val low : man -> t -> t
+val high : man -> t -> t
+
+val mk_not : man -> t -> t
+val mk_and : man -> t -> t -> t
+val mk_or : man -> t -> t -> t
+val mk_xor : man -> t -> t -> t
+val mk_diff : man -> t -> t -> t
+(** [mk_diff m f g] is [f AND NOT g]. *)
+
+val mk_imp : man -> t -> t -> t
+val mk_biimp : man -> t -> t -> t
+val mk_ite : man -> t -> t -> t -> t
+
+val cube_of_vars : man -> int list -> t
+(** Conjunction of the given variables (a positive cube), the shape
+    expected by [exist]/[forall]/[relprod]. *)
+
+val exist : man -> cube:t -> t -> t
+(** Existential quantification over the variables of [cube]. *)
+
+val forall : man -> cube:t -> t -> t
+
+val relprod : man -> cube:t -> t -> t -> t
+(** [relprod m ~cube f g] is [exist cube (f AND g)] computed in one
+    pass — the workhorse of relational join in the paper (§2.4.2). *)
+
+val make_map : man -> (int * int) list -> varmap
+(** [make_map m pairs] renames variable [a] to [b] for each [(a, b)];
+    unlisted variables are unchanged.  The combined mapping must be
+    injective on the support of the BDDs it is applied to. *)
+
+val replace : man -> varmap -> t -> t
+(** Apply a renaming.  Correct for arbitrary (order-changing) maps. *)
+
+val support : man -> t -> int list
+(** Variables the function depends on, ascending. *)
+
+val node_count : man -> t -> int
+(** Number of DAG nodes reachable from the handle (terminals excluded). *)
+
+val satcount : man -> vars:int array -> t -> float
+(** Number of satisfying assignments over exactly the variables in
+    [vars] (sorted ascending; must include the support). *)
+
+val satcount_big : man -> vars:int array -> t -> Bignat.t
+(** Exact version of {!satcount}. *)
+
+val iter_sat : man -> vars:int array -> (bool array -> unit) -> t -> unit
+(** Enumerate satisfying assignments over [vars] (sorted ascending,
+    including the support); the callback receives the values of
+    [vars] positionally.  The array is reused between calls. *)
+
+(** {2 Arithmetic primitives}
+
+    The paper's context-numbering scheme depends on two O(bits)
+    constructions (§4.1): the BDD of a contiguous range of numbers, and
+    "adding a constant to the contexts of the callers". Bit arrays are
+    least-significant first. *)
+
+val range : man -> bits:int array -> lo:int -> hi:int -> t
+(** Numbers [x] with [lo <= x <= hi] over the bit-vector [bits]. *)
+
+val const_value : man -> bits:int array -> int -> t
+(** The minterm encoding one value over [bits]. *)
+
+val add_const : man -> src:int array -> dst:int array -> delta:int -> t
+(** The relation [dst = src + delta] (no overflow: assignments whose
+    sum does not fit in [dst]'s width are excluded). *)
+
+val equal_blocks : man -> src:int array -> dst:int array -> t
+(** The relation [dst = src] between two equal-width bit blocks. *)
+
+(** {2 Memory management} *)
+
+val add_root : man -> t ref -> unit
+(** Register a location whose content must survive {!gc}. *)
+
+val remove_root : man -> t ref -> unit
+
+val add_root_fn : man -> (unit -> t list) -> unit
+(** Register a function producing additional roots at collection time;
+    useful for rooting caches whose contents change. *)
+
+val gc : man -> unit
+(** Mark-sweep collection from the registered roots.  Never called
+    implicitly during an operation; callers (e.g. the Datalog engine)
+    invoke it between rule applications. *)
+
+val live_nodes : man -> int
+(** Currently allocated (live) nodes, terminals excluded. *)
+
+val peak_live_nodes : man -> int
+(** High-water mark of {!live_nodes} — the paper's Figure 4 memory
+    metric is the peak number of live BDD nodes. *)
+
+val reset_peak : man -> unit
+val gc_count : man -> int
+val cache_stats : man -> int * int
+(** (hits, misses) of the operation cache since creation. *)
+
+val to_dot : ?var_name:(int -> string) -> man -> t -> string
+(** Graphviz rendering of the DAG: solid edges for high (1) branches,
+    dashed for low (0); terminals as boxes.  [var_name] labels the
+    decision nodes (default ["x<i>"]). *)

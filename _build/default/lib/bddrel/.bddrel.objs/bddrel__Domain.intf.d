@@ -1,0 +1,1 @@
+lib/bddrel/domain.mli: Format

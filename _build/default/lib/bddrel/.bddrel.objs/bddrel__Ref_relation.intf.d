@@ -1,0 +1,1 @@
+lib/bddrel/ref_relation.mli:

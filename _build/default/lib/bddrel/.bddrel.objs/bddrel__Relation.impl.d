@@ -1,0 +1,1 @@
+lib/bddrel/relation.ml: Array Bdd Domain Hashtbl List Option Printf Space

@@ -1,0 +1,1 @@
+lib/bddrel/relation.mli: Bdd Bignat Space

@@ -1,0 +1,1 @@
+lib/bddrel/space.ml: Array Bdd Domain Hashtbl List Printf

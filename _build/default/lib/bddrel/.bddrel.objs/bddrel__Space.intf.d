@@ -1,0 +1,1 @@
+lib/bddrel/space.mli: Bdd Domain

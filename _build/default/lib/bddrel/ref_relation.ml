@@ -1,0 +1,85 @@
+module Tuples = Set.Make (struct
+  type t = int list
+
+  let compare = compare
+end)
+
+type t = { names : string list; set : Tuples.t }
+
+let make names tuples =
+  List.iter (fun tu -> if List.length tu <> List.length names then invalid_arg "Ref_relation.make: arity") tuples;
+  { names; set = Tuples.of_list tuples }
+
+let attrs r = r.names
+let tuples r = Tuples.elements r.set
+let mem r tu = Tuples.mem tu r.set
+let cardinal r = Tuples.cardinal r.set
+
+let check_same a b = if a.names <> b.names then invalid_arg "Ref_relation: schema mismatch"
+
+let union a b =
+  check_same a b;
+  { a with set = Tuples.union a.set b.set }
+
+let diff a b =
+  check_same a b;
+  { a with set = Tuples.diff a.set b.set }
+
+let inter a b =
+  check_same a b;
+  { a with set = Tuples.inter a.set b.set }
+
+let equal a b =
+  check_same a b;
+  Tuples.equal a.set b.set
+
+let index_of r n =
+  let rec go i = function
+    | [] -> invalid_arg (Printf.sprintf "Ref_relation: unknown attribute %s" n)
+    | x :: _ when x = n -> i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 r.names
+
+let select r n v =
+  let i = index_of r n in
+  { r with set = Tuples.filter (fun tu -> List.nth tu i = v) r.set }
+
+let project r keep =
+  let idxs = List.map (index_of r) keep in
+  let set = Tuples.fold (fun tu acc -> Tuples.add (List.map (fun i -> List.nth tu i) idxs) acc) r.set Tuples.empty in
+  { names = keep; set }
+
+let rename r moves =
+  let names =
+    List.map
+      (fun n ->
+        match List.assoc_opt n moves with
+        | Some n' -> n'
+        | None -> n)
+      r.names
+  in
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun n ->
+      if Hashtbl.mem seen n then invalid_arg "Ref_relation.rename: duplicate result attribute";
+      Hashtbl.add seen n ())
+    names;
+  { names; set = r.set }
+
+let join a b =
+  let shared = List.filter (fun n -> List.mem n a.names) b.names in
+  let b_only = List.filter (fun n -> not (List.mem n a.names)) b.names in
+  let names = a.names @ b_only in
+  let a_idx n = index_of a n and b_idx n = index_of b n in
+  let set =
+    Tuples.fold
+      (fun ta acc ->
+        Tuples.fold
+          (fun tb acc ->
+            let matches = List.for_all (fun n -> List.nth ta (a_idx n) = List.nth tb (b_idx n)) shared in
+            if matches then Tuples.add (ta @ List.map (fun n -> List.nth tb (b_idx n)) b_only) acc else acc)
+          b.set acc)
+      a.set Tuples.empty
+  in
+  { names; set }

@@ -1,0 +1,29 @@
+(** Pure tuple-set relations: the executable specification of
+    {!Relation}, used by the test suite for differential testing.
+    No BDDs involved; everything is explicit sets of tuples. *)
+
+type t
+
+val make : string list -> int list list -> t
+(** [make attrs tuples]: attribute names and tuples (values in
+    attribute order). Duplicate tuples are collapsed. *)
+
+val attrs : t -> string list
+val tuples : t -> int list list
+(** Sorted, deduplicated. *)
+
+val mem : t -> int list -> bool
+val cardinal : t -> int
+val union : t -> t -> t
+val diff : t -> t -> t
+val inter : t -> t -> t
+val equal : t -> t -> bool
+val select : t -> string -> int -> t
+val project : t -> string list -> t
+(** Keep the named attributes, in the given order. *)
+
+val rename : t -> (string * string) list -> t
+val join : t -> t -> t
+(** Natural join on shared attribute names; result attributes are the
+    left relation's followed by the right-only ones, matching
+    {!Relation.join}. *)

@@ -1,0 +1,231 @@
+type attr = { attr_name : string; block : Space.block }
+
+type t = {
+  rel_name : string;
+  sp : Space.t;
+  attributes : attr array;
+  root : Bdd.t ref;
+  mutable ver : int;
+  mutable disposed : bool;
+}
+
+let blocks_disjoint (a : Space.block) (b : Space.block) = a.Space.bits != b.Space.bits && a.Space.bits <> b.Space.bits
+
+let make sp ~name attrs =
+  let arr = Array.of_list attrs in
+  Array.iteri
+    (fun i a ->
+      Array.iteri
+        (fun j b ->
+          if i < j then begin
+            if a.attr_name = b.attr_name then invalid_arg (Printf.sprintf "Relation.make %s: duplicate attribute %s" name a.attr_name);
+            if not (blocks_disjoint a.block b.block) then
+              invalid_arg (Printf.sprintf "Relation.make %s: attributes %s and %s share a block" name a.attr_name b.attr_name)
+          end)
+        arr)
+    arr;
+  let root = ref Bdd.bdd_false in
+  Bdd.add_root (Space.man sp) root;
+  { rel_name = name; sp; attributes = arr; root; ver = 0; disposed = false }
+
+let name r = r.rel_name
+let space r = r.sp
+let attrs r = Array.to_list r.attributes
+let arity r = Array.length r.attributes
+
+let find_attr r n =
+  match Array.find_opt (fun a -> a.attr_name = n) r.attributes with
+  | Some a -> a
+  | None -> raise Not_found
+
+let bdd r = !(r.root)
+
+let set_bdd r b =
+  if b <> !(r.root) then begin
+    r.root := b;
+    r.ver <- r.ver + 1
+  end
+
+let version r = r.ver
+
+let dispose r =
+  if not r.disposed then begin
+    Bdd.remove_root (Space.man r.sp) r.root;
+    r.root := Bdd.bdd_false;
+    r.disposed <- true
+  end
+
+let man r = Space.man r.sp
+
+let tuple_bdd r values =
+  if Array.length values <> Array.length r.attributes then invalid_arg "Relation: tuple arity mismatch";
+  let acc = ref Bdd.bdd_true in
+  Array.iteri (fun i a -> acc := Bdd.mk_and (man r) !acc (Space.const r.sp a.block values.(i))) r.attributes;
+  !acc
+
+let add_tuple r values = set_bdd r (Bdd.mk_or (man r) !(r.root) (tuple_bdd r values))
+let mem_tuple r values = Bdd.mk_and (man r) !(r.root) (tuple_bdd r values) <> Bdd.bdd_false
+
+let of_tuples sp ~name attrs tuples =
+  let r = make sp ~name attrs in
+  List.iter (add_tuple r) tuples;
+  r
+
+(* Sorted variable array covering all attributes, plus for each
+   attribute and bit the index of that variable in the sorted array. *)
+let var_layout r =
+  let all = Array.concat (Array.to_list (Array.map (fun a -> a.block.Space.bits) r.attributes)) in
+  let sorted = Array.copy all in
+  Array.sort compare sorted;
+  let pos = Hashtbl.create (Array.length sorted) in
+  Array.iteri (fun i v -> Hashtbl.replace pos v i) sorted;
+  let index = Array.map (fun a -> Array.map (fun v -> Hashtbl.find pos v) a.block.Space.bits) r.attributes in
+  (sorted, index)
+
+let iter_tuples r yield =
+  let sorted, index = var_layout r in
+  let n_attrs = Array.length r.attributes in
+  Bdd.iter_sat (man r) ~vars:sorted
+    (fun assignment ->
+      let tuple = Array.make n_attrs 0 in
+      let in_range = ref true in
+      for i = 0 to n_attrs - 1 do
+        let bits = index.(i) in
+        let v = ref 0 in
+        for b = Array.length bits - 1 downto 0 do
+          v := (!v * 2) lor if assignment.(bits.(b)) then 1 else 0
+        done;
+        tuple.(i) <- !v;
+        (* Assignments encoding values beyond the domain size are
+           unreachable if writers respect Space.const's range check,
+           but guard anyway. *)
+        if !v >= Domain.size r.attributes.(i).block.Space.dom then in_range := false
+      done;
+      if !in_range then yield tuple)
+    !(r.root)
+
+let fold_tuples r ~init ~f =
+  let acc = ref init in
+  iter_tuples r (fun t -> acc := f !acc t);
+  !acc
+
+let tuples r = List.rev (fold_tuples r ~init:[] ~f:(fun acc t -> t :: acc))
+
+let count r =
+  let sorted, _ = var_layout r in
+  Bdd.satcount (man r) ~vars:sorted !(r.root)
+
+let count_big r =
+  let sorted, _ = var_layout r in
+  Bdd.satcount_big (man r) ~vars:sorted !(r.root)
+
+let is_empty r = !(r.root) = Bdd.bdd_false
+
+let same_schema a b =
+  Array.length a.attributes = Array.length b.attributes
+  && Array.for_all2 (fun x y -> x.attr_name = y.attr_name && x.block == y.block) a.attributes b.attributes
+
+let with_bdd ?name src b =
+  let r = make src.sp ~name:(Option.value name ~default:src.rel_name) (attrs src) in
+  set_bdd r b;
+  r
+
+let copy ?name r = with_bdd ?name r !(r.root)
+
+let union a b =
+  if not (same_schema a b) then invalid_arg "Relation.union: schema mismatch";
+  with_bdd a (Bdd.mk_or (man a) !(a.root) !(b.root))
+
+let union_in_place dst src =
+  if not (same_schema dst src) then invalid_arg "Relation.union_in_place: schema mismatch";
+  set_bdd dst (Bdd.mk_or (man dst) !(dst.root) !(src.root))
+
+let diff a b =
+  if not (same_schema a b) then invalid_arg "Relation.diff: schema mismatch";
+  with_bdd a (Bdd.mk_diff (man a) !(a.root) !(b.root))
+
+let inter a b =
+  if not (same_schema a b) then invalid_arg "Relation.inter: schema mismatch";
+  with_bdd a (Bdd.mk_and (man a) !(a.root) !(b.root))
+
+let equal a b =
+  if not (same_schema a b) then invalid_arg "Relation.equal: schema mismatch";
+  !(a.root) = !(b.root)
+
+let select r attr_name v =
+  let a = find_attr r attr_name in
+  with_bdd r (Bdd.mk_and (man r) !(r.root) (Space.const r.sp a.block v))
+
+let project r keep =
+  let kept = List.map (fun n -> find_attr r n) keep in
+  let away = List.filter (fun a -> not (List.exists (fun k -> k.attr_name = a.attr_name) kept)) (attrs r) in
+  let cube = Space.cube_of_blocks r.sp (List.map (fun a -> a.block) away) in
+  let b = Bdd.exist (man r) ~cube !(r.root) in
+  let r' = make r.sp ~name:r.rel_name kept in
+  set_bdd r' b;
+  r'
+
+let project_away r names =
+  List.iter (fun n -> ignore (find_attr r n)) names;
+  let keep = List.filter (fun a -> not (List.mem a.attr_name names)) (attrs r) in
+  project r (List.map (fun a -> a.attr_name) keep)
+
+let rename ?name r moves =
+  let moved_old = List.map (fun (o, _, _) -> o) moves in
+  List.iter (fun o -> ignore (find_attr r o)) moved_old;
+  let new_attrs =
+    Array.to_list
+      (Array.map
+         (fun a ->
+           match List.find_opt (fun (o, _, _) -> o = a.attr_name) moves with
+           | Some (_, n, blk) -> { attr_name = n; block = blk }
+           | None -> a)
+         r.attributes)
+  in
+  let pairs =
+    List.filter_map
+      (fun (o, _, blk) ->
+        let old_attr = find_attr r o in
+        if old_attr.block == blk then None else Some (old_attr.block, blk))
+      moves
+  in
+  let b = if pairs = [] then !(r.root) else Bdd.replace (man r) (Space.renaming r.sp pairs) !(r.root) in
+  let r' = make r.sp ~name:(Option.value name ~default:r.rel_name) new_attrs in
+  set_bdd r' b;
+  r'
+
+let join_attrs a b =
+  (* Shared attributes must agree on blocks; all blocks in the result
+     must be pairwise distinct. *)
+  let out = ref (attrs a) in
+  List.iter
+    (fun battr ->
+      match List.find_opt (fun x -> x.attr_name = battr.attr_name) !out with
+      | Some shared ->
+        if shared.block != battr.block then
+          invalid_arg (Printf.sprintf "Relation.join: attribute %s stored in different blocks" battr.attr_name)
+      | None -> out := !out @ [ battr ])
+    (attrs b);
+  !out
+
+let join a b =
+  let out_attrs = join_attrs a b in
+  let r = make a.sp ~name:(a.rel_name ^ "*" ^ b.rel_name) out_attrs in
+  set_bdd r (Bdd.mk_and (man a) !(a.root) !(b.root));
+  r
+
+let compose a b away =
+  let out_attrs = join_attrs a b in
+  let away_attrs =
+    List.map
+      (fun n ->
+        match List.find_opt (fun x -> x.attr_name = n) out_attrs with
+        | Some x -> x
+        | None -> invalid_arg (Printf.sprintf "Relation.compose: unknown attribute %s" n))
+      away
+  in
+  let keep = List.filter (fun x -> not (List.mem x.attr_name away)) out_attrs in
+  let cube = Space.cube_of_blocks a.sp (List.map (fun x -> x.block) away_attrs) in
+  let r = make a.sp ~name:(a.rel_name ^ "*" ^ b.rel_name) keep in
+  set_bdd r (Bdd.relprod (man a) ~cube !(a.root) !(b.root));
+  r

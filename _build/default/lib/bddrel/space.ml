@@ -1,0 +1,113 @@
+type block = { dom : Domain.t; instance : int; bits : int array }
+
+type t = {
+  man : Bdd.man;
+  by_domain : (string, block list ref) Hashtbl.t; (* instance order *)
+  mutable next_var : int;
+}
+
+let create ?node_hint ?cache_bits () =
+  { man = Bdd.create ?node_hint ?cache_bits ~nvars:0 (); by_domain = Hashtbl.create 16; next_var = 0 }
+
+let man s = s.man
+let num_vars s = s.next_var
+
+let domain_slot s (d : Domain.t) =
+  match Hashtbl.find_opt s.by_domain (Domain.name d) with
+  | Some r ->
+    (match !r with
+    | b :: _ when not (Domain.equal b.dom d) -> invalid_arg "Space: two distinct domains share a name"
+    | _ -> r)
+  | None ->
+    let r = ref [] in
+    Hashtbl.add s.by_domain (Domain.name d) r;
+    r
+
+let fresh_vars s n =
+  let base = s.next_var in
+  s.next_var <- base + n;
+  Bdd.extend_vars s.man s.next_var;
+  base
+
+let alloc s d =
+  let slot = domain_slot s d in
+  let w = Domain.bits d in
+  let base = fresh_vars s w in
+  (* Most-significant bit first in the order tends to keep value-ordered
+     data compact; bits array is LSB-first, so bit i sits at
+     [base + w - 1 - i]. *)
+  let bits = Array.init w (fun i -> base + w - 1 - i) in
+  let b = { dom = d; instance = List.length !slot; bits } in
+  slot := !slot @ [ b ];
+  b
+
+let alloc_interleaved s d k =
+  if k < 1 then invalid_arg "Space.alloc_interleaved";
+  let slot = domain_slot s d in
+  let w = Domain.bits d in
+  let base = fresh_vars s (w * k) in
+  let first_instance = List.length !slot in
+  (* Bit position b of instance j lives at [base + (w-1-b)*k + j]: all
+     instances' most-significant bits adjacent, then the next bit, ... *)
+  let blocks =
+    Array.init k (fun j ->
+        let bits = Array.init w (fun i -> base + ((w - 1 - i) * k) + j) in
+        { dom = d; instance = first_instance + j; bits })
+  in
+  slot := !slot @ Array.to_list blocks;
+  blocks
+
+let instances s d =
+  match Hashtbl.find_opt s.by_domain (Domain.name d) with
+  | Some r -> !r
+  | None -> []
+
+let instance s d i =
+  let rec ensure () =
+    let existing = instances s d in
+    if List.length existing > i then List.nth existing i
+    else begin
+      ignore (alloc s d);
+      ensure ()
+    end
+  in
+  if i < 0 then invalid_arg "Space.instance";
+  ensure ()
+
+let cube s b = Bdd.cube_of_vars s.man (Array.to_list b.bits)
+let cube_of_blocks s bs = Bdd.cube_of_vars s.man (List.concat_map (fun b -> Array.to_list b.bits) bs)
+
+let const s b v =
+  if v < 0 || v >= Domain.size b.dom then
+    invalid_arg (Printf.sprintf "Space.const: %d out of range for %s" v (Domain.name b.dom));
+  Bdd.const_value s.man ~bits:b.bits v
+
+let check_same_domain a b =
+  if not (Domain.equal a.dom b.dom) then invalid_arg "Space: blocks of different domains"
+
+let equal_blocks s a b =
+  check_same_domain a b;
+  Bdd.equal_blocks s.man ~src:a.bits ~dst:b.bits
+
+let range s b ~lo ~hi = Bdd.range s.man ~bits:b.bits ~lo ~hi
+
+let add_const s ~src ~dst ~delta =
+  check_same_domain src dst;
+  Bdd.add_const s.man ~src:src.bits ~dst:dst.bits ~delta
+
+let renaming s pairs =
+  let var_pairs =
+    List.concat_map
+      (fun (src, dst) ->
+        check_same_domain src dst;
+        Array.to_list (Array.map2 (fun a b -> (a, b)) src.bits dst.bits))
+      pairs
+  in
+  Bdd.make_map s.man var_pairs
+
+let value_of_bits assignment ~offset ~width =
+  let v = ref 0 in
+  for i = width - 1 downto 0 do
+    v := (!v * 2) lor if assignment.(offset + i) then 1 else 0
+  done;
+  !v

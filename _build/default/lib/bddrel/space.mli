@@ -1,0 +1,67 @@
+(** Physical BDD variable allocation.
+
+    A [Space] owns a {!Bdd.man} and hands out {e blocks}: contiguous or
+    interleaved groups of BDD variables encoding one attribute of one
+    logical domain.  This is bddbddb's notion of {e physical domains}
+    (V0, V1, C0, ... in the paper's §2.4.1 "attributes naming"
+    optimization): a relation attribute is stored in a block, and join/
+    rename costs depend on which blocks coincide.
+
+    Variable ordering is fixed at allocation time.  Two layout policies
+    are provided, because ordering is the paper's headline scalability
+    lever (§2.4.2, §4.1):
+
+    - {!alloc} appends a block after all existing variables;
+    - {!alloc_interleaved} allocates several blocks of the same domain
+      with their bits interleaved (bit i of every block adjacent).
+      Interleaving instances of the same domain makes [equal_blocks],
+      [replace] between them, and the context [add_const] relation
+      linear-size. *)
+
+type t
+
+type block = {
+  dom : Domain.t;
+  instance : int; (** 0 for V0, 1 for V1, ... *)
+  bits : int array; (** BDD variable ids, least-significant first *)
+}
+
+val create : ?node_hint:int -> ?cache_bits:int -> unit -> t
+val man : t -> Bdd.man
+
+val alloc : t -> Domain.t -> block
+(** Allocate the next instance of the domain after all existing
+    variables (sequential layout). *)
+
+val alloc_interleaved : t -> Domain.t -> int -> block array
+(** [alloc_interleaved s d k] allocates instances of [d] (numbered from
+    the next free instance index) with interleaved bits. *)
+
+val instances : t -> Domain.t -> block list
+(** Blocks allocated so far for this domain, in instance order. *)
+
+val instance : t -> Domain.t -> int -> block
+(** [instance s d i] returns instance [i], allocating sequentially up
+    to it if needed. *)
+
+val num_vars : t -> int
+
+(** {2 Block-level conveniences} *)
+
+val cube : t -> block -> Bdd.t
+(** Conjunction of the block's variables, for quantification. *)
+
+val cube_of_blocks : t -> block list -> Bdd.t
+
+val const : t -> block -> int -> Bdd.t
+(** Minterm of one element value in the block. *)
+
+val equal_blocks : t -> block -> block -> Bdd.t
+val range : t -> block -> lo:int -> hi:int -> Bdd.t
+val add_const : t -> src:block -> dst:block -> delta:int -> Bdd.t
+
+val renaming : t -> (block * block) list -> Bdd.varmap
+(** A variable map renaming each [(src, dst)] block pair, bitwise. *)
+
+val value_of_bits : bool array -> offset:int -> width:int -> int
+(** Decode an assignment slice (LSB first) into an element value. *)

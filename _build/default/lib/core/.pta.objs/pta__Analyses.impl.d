@@ -1,0 +1,1 @@
+lib/core/analyses.ml: Array Callgraph Context Datalog Hashtbl Jir Kcfa List Programs Queue Relation

@@ -1,0 +1,1 @@
+lib/core/analyses.mli: Context Datalog Jir Kcfa Programs Relation

@@ -1,0 +1,1 @@
+lib/core/callgraph.ml: Graphutil Hashtbl Jir List

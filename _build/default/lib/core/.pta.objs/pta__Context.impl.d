@@ -1,0 +1,1 @@
+lib/core/context.ml: Array Bdd Bignat Callgraph Graphutil Jir List Space

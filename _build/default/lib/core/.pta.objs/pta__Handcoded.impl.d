@@ -1,0 +1,1 @@
+lib/core/handcoded.ml: Array Bdd Callgraph Domain Hashtbl Jir List Relation Space Unix

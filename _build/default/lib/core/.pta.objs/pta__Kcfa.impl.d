@@ -1,0 +1,1 @@
+lib/core/kcfa.ml: Array Callgraph Hashtbl Jir List

@@ -1,0 +1,1 @@
+lib/core/kcfa.mli: Callgraph Jir

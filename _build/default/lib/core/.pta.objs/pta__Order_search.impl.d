@@ -1,0 +1,1 @@
+lib/core/order_search.ml: Analyses Array Context Datalog Hashtbl Jir List Programs Relation String Unix

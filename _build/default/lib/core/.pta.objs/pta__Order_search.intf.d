@@ -1,0 +1,1 @@
+lib/core/order_search.mli: Analyses Context Jir

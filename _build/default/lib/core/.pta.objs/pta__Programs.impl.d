@@ -1,0 +1,1 @@
+lib/core/programs.ml: Jir List Printf

@@ -1,0 +1,1 @@
+lib/core/queries.ml: Printf Programs

@@ -1,0 +1,1 @@
+lib/core/queries.mli: Programs

@@ -1,0 +1,1 @@
+lib/core/steensgaard.ml: Array Handcoded Hashtbl Jir List Unix

@@ -1,0 +1,83 @@
+(** Drivers for the paper's analyses.
+
+    Each driver instantiates the corresponding Datalog program from
+    {!Programs} over a {!Jir.Factgen} extraction, loads the input
+    relations, installs the OCaml-computed inputs (the context
+    numbering's [IEC]/[mC] for Algorithms 5-6, the thread contexts'
+    [HT]/[vP0T] for Algorithm 7), and solves. *)
+
+type result = { engine : Datalog.Engine.t; stats : Datalog.Engine.stats; program_text : string }
+
+type basic = Algo1  (** context-insensitive, CHA call graph, no filter *)
+           | Algo2  (** + type filtering *)
+           | Algo3  (** + on-the-fly call graph discovery *)
+
+val run_basic :
+  ?options:Datalog.Engine.options -> ?query:Programs.query_suffix -> algo:basic -> Jir.Factgen.t -> result
+
+val ie_tuples : result -> (int * int) list
+(** The discovered call graph of an Algorithm 3 result. *)
+
+val make_context : ?max_bits:int -> Jir.Factgen.t -> ie:(int * int) list -> Context.t
+(** Algorithm 4 over a discovered call graph (roots:
+    {!Callgraph.default_roots}). *)
+
+val run_cs :
+  ?options:Datalog.Engine.options -> ?query:Programs.query_suffix -> Jir.Factgen.t -> Context.t -> result
+(** Algorithm 5: context-sensitive points-to. *)
+
+val run_cs_with :
+  ?options:Datalog.Engine.options ->
+  ?query:Programs.query_suffix ->
+  Jir.Factgen.t ->
+  csize:int ->
+  iec:(int * int * int * int) list ->
+  mc:(int * int) list ->
+  result
+(** Algorithm 5 with an arbitrary context structure supplied as
+    explicit [IEC]/[mC] tuples — how alternative context abstractions
+    (e.g. {!Kcfa}) plug into the same program. *)
+
+val run_1cfa :
+  ?options:Datalog.Engine.options -> ?query:Programs.query_suffix -> Jir.Factgen.t -> result * Kcfa.t
+(** Algorithm 5 under 1-CFA contexts (last call site), for the
+    cloning-vs-k-CFA precision ablation. *)
+
+val run_cs_otf :
+  ?options:Datalog.Engine.options -> ?query:Programs.query_suffix -> Jir.Factgen.t -> result * Context.t
+(** §4.2's variant: Algorithm 5 with contexts numbered over the
+    conservative CHA call graph and invocation edges ([IECd])
+    discovered on the fly from [vPC]. *)
+
+val run_cs_types :
+  ?options:Datalog.Engine.options -> ?query:Programs.query_suffix -> Jir.Factgen.t -> Context.t -> result
+(** Algorithm 6: context-sensitive type analysis. *)
+
+type thread_info = {
+  n_contexts : int;  (** C domain size: 0 = global, 1 = startup thread, then 2 per creation site *)
+  thread_sites : (Jir.Ir.heap_id * int * int) list;  (** site, first and second clone context *)
+}
+
+val run_thread_escape :
+  ?options:Datalog.Engine.options -> ?query:Programs.query_suffix -> Jir.Factgen.t -> result * thread_info
+(** Algorithm 7 + §5.6 queries. *)
+
+type escape_counts = { captured_sites : int; escaped_sites : int; needed_syncs : int; unneeded_syncs : int }
+
+val escape_counts : Jir.Factgen.t -> result -> escape_counts
+(** Figure 5's per-benchmark counts, from a {!run_thread_escape}
+    result: allocation sites captured vs escaped, and sync operations
+    needed vs unneeded. *)
+
+(** {2 Result access} *)
+
+val relation : result -> string -> Relation.t
+val tuples : result -> string -> int array list
+val count : result -> string -> float
+
+type refinement_ratios = { population : float; multi_pct : float; refinable_pct : float }
+
+val refinement_ratios : result -> per_clone:bool -> refinement_ratios
+(** Read the Figure 6 percentages off a result whose program included
+    one of the {!Queries} refinement suffixes ([per_clone] selects the
+    [activeC]/[multiC]/[refinableC] outputs). *)

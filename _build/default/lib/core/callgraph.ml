@@ -1,0 +1,54 @@
+module Ir = Jir.Ir
+module Hier = Jir.Hier
+
+type edge = { site : Ir.invoke_id; caller : Ir.method_id; callee : Ir.method_id }
+
+let cha_edges ?(thread_start = true) p =
+  let edges = ref [] in
+  Ir.iter_methods p (fun m ->
+      List.iter
+        (fun (s : Ir.stmt) ->
+          match s with
+          | Ir.New { cls; init_site; _ } ->
+            edges := { site = init_site; caller = m.Ir.m_id; callee = Ir.init_method p cls } :: !edges
+          | Ir.Invoke { kind = Ir.Virtual; site; base = Some b; name; _ } ->
+            let recv_ty = (Ir.var p b).Ir.v_type in
+            (* Every subclass of the receiver's declared type may be the
+               dynamic type; collect the distinct dispatch targets. *)
+            let seen = Hashtbl.create 4 in
+            Ir.iter_classes p (fun c ->
+                if (not c.Ir.cls_interface) && Hier.assignable p recv_ty c.Ir.cls_id then begin
+                  (match Hier.dispatch p c.Ir.cls_id name with
+                  | Some callee -> Hashtbl.replace seen callee ()
+                  | None -> ());
+                  if thread_start && name = "start" && Hier.is_thread p c.Ir.cls_id then
+                    match Hier.run_method p c.Ir.cls_id with
+                    | Some run -> Hashtbl.replace seen run ()
+                    | None -> ()
+                end);
+            Hashtbl.iter (fun callee () -> edges := { site; caller = m.Ir.m_id; callee } :: !edges) seen
+          | Ir.Invoke { kind = Ir.Static | Ir.Special; site; target = Some callee; _ } ->
+            edges := { site; caller = m.Ir.m_id; callee } :: !edges
+          | Ir.Invoke { kind = Ir.Virtual; base = None; _ } | Ir.Invoke { target = None; _ } -> ()
+          | Ir.Assign _ | Ir.Cast _ | Ir.Load _ | Ir.Store _ | Ir.Load_static _ | Ir.Store_static _
+          | Ir.Array_load _ | Ir.Array_store _ | Ir.Throw _ | Ir.Catch _ | Ir.Return _ | Ir.Sync _ -> ())
+        m.Ir.m_body);
+  List.rev !edges
+
+let of_ie_tuples p tuples =
+  List.map (fun (site, callee) -> { site; caller = (Ir.invoke p site).Ir.i_method; callee }) tuples
+
+let default_roots p =
+  let roots = Hashtbl.create 8 in
+  List.iter (fun m -> Hashtbl.replace roots m ()) (Ir.entries p);
+  Ir.iter_heaps p (fun h ->
+      match Hier.run_method p h.Ir.h_cls with
+      | Some run -> Hashtbl.replace roots run ()
+      | None -> ());
+  Hashtbl.fold (fun m () acc -> m :: acc) roots []
+
+let reachable_methods p edges ~roots =
+  let g =
+    Graphutil.make (Ir.num_methods p) (List.map (fun e -> (e.caller, e.callee)) edges)
+  in
+  Graphutil.reachable g roots

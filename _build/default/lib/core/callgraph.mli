@@ -1,0 +1,31 @@
+(** Call graphs over {!Jir.Ir} programs.
+
+    A call graph is a multigraph of invocation edges
+    [(invoke site, caller, callee)]; the caller is always the method
+    containing the site.  Graphs are built either by class-hierarchy
+    analysis (the paper's §2.2 a-priori call graph) or from the [IE]
+    relation produced by on-the-fly discovery (Algorithm 3). *)
+
+type edge = { site : Jir.Ir.invoke_id; caller : Jir.Ir.method_id; callee : Jir.Ir.method_id }
+
+val cha_edges : ?thread_start:bool -> Jir.Ir.t -> edge list
+(** Class-hierarchy-analysis edges: statically bound sites ([IE0])
+    plus, for each virtual site, the dispatch targets over all
+    subclasses of the receiver's declared type.  [thread_start]
+    (default true) includes the synthetic thread-object-to-run()
+    matching edges; Algorithm 7 excludes them so that threads are
+    rooted only at their own run() entries. *)
+
+val of_ie_tuples : Jir.Ir.t -> (int * int) list -> edge list
+(** Reattach callers to [(site, target)] tuples of a discovered [IE]
+    relation. *)
+
+val default_roots : Jir.Ir.t -> Jir.Ir.method_id list
+(** Declared entry methods plus the run() methods of instantiated
+    thread classes (§4.1 footnote 4: "other entry methods ... and
+    thread run methods"). *)
+
+val reachable_methods : Jir.Ir.t -> edge list -> roots:Jir.Ir.method_id list -> bool array
+(** Methods transitively callable from the roots, including the
+    constructors invoked by reachable allocations (size
+    [num_methods]). *)

@@ -1,0 +1,204 @@
+module Factgen = Jir.Factgen
+
+type stats = { vp_count : float; hp_count : float; iterations : int; peak_live_nodes : int; seconds : float }
+type result = { vp_rel : Relation.t; hp_rel : Relation.t; st : stats }
+
+let stats r = r.st
+
+(* Precomputed CHA assign tuples (the paper's Algorithm 2 assumes the
+   assign relation is derived from an a-priori call graph). *)
+let assign_tuples fg =
+  let p = fg.Factgen.program in
+  let actuals : (int * int, int) Hashtbl.t = Hashtbl.create 256 in
+  List.iter
+    (fun t ->
+      match t with
+      | [ i; z; v ] -> Hashtbl.replace actuals (i, z) v
+      | _ -> ())
+    (Factgen.relation fg "actual");
+  let irets : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun t ->
+      match t with
+      | [ i; v ] -> Hashtbl.replace irets i v
+      | _ -> ())
+    (Factgen.relation fg "Iret");
+  let mthrs : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun t ->
+      match t with
+      | [ m; v ] -> Hashtbl.replace mthrs m v
+      | _ -> ())
+    (Factgen.relation fg "Mthr");
+  let out = ref [] in
+  List.iter
+    (fun t ->
+      match t with
+      | [ d; s ] -> out := (d, s) :: !out
+      | _ -> ())
+    (Factgen.relation fg "copyAssign");
+  List.iter
+    (fun (e : Callgraph.edge) ->
+      let callee = Jir.Ir.meth p e.Callgraph.callee in
+      List.iteri
+        (fun z formal ->
+          match Hashtbl.find_opt actuals (e.Callgraph.site, z) with
+          | Some actual -> out := (formal, actual) :: !out
+          | None -> ())
+        callee.Jir.Ir.m_formals;
+      (* Exceptions: the callee's in-flight exception flows to the
+         caller's. *)
+      (match
+         ( Hashtbl.find_opt mthrs (Jir.Ir.invoke p e.Callgraph.site).Jir.Ir.i_method,
+           Hashtbl.find_opt mthrs e.Callgraph.callee )
+       with
+      | Some caller_exc, Some callee_exc -> out := (caller_exc, callee_exc) :: !out
+      | _, _ -> ());
+      (match Hashtbl.find_opt irets e.Callgraph.site with
+      | Some ret_var ->
+        List.iter
+          (fun t ->
+            match t with
+            | [ m; v ] when m = e.Callgraph.callee -> out := (ret_var, v) :: !out
+            | _ -> ())
+          (Factgen.relation fg "Mret")
+      | None -> ()))
+    (Callgraph.cha_edges p);
+  List.sort_uniq compare !out
+
+let run fg =
+  let t0 = Unix.gettimeofday () in
+  let sp = Space.create ~cache_bits:18 () in
+  let man = Space.man sp in
+  let dom name = Domain.make ~name ~size:(Factgen.dom_size fg name) () in
+  let dv = dom "V" and dh = dom "H" and df = dom "F" and dt = dom "T" in
+  let vb = Space.alloc_interleaved sp dv 2 in
+  let hb = Space.alloc_interleaved sp dh 2 in
+  let f0 = Space.alloc sp df in
+  let tb = Space.alloc_interleaved sp dt 2 in
+  let v0 = vb.(0) and v1 = vb.(1) and h0 = hb.(0) and h1 = hb.(1) in
+  let t0b = tb.(0) and t1b = tb.(1) in
+  (* Load input relations into fixed blocks. *)
+  let load_rel name blocks =
+    let b = ref Bdd.bdd_false in
+    List.iter
+      (fun tu ->
+        let minterm =
+          List.fold_left2 (fun acc blk v -> Bdd.mk_and man acc (Space.const sp blk v)) Bdd.bdd_true blocks tu
+        in
+        b := Bdd.mk_or man !b minterm)
+      (Factgen.relation fg name);
+    ref !b
+  in
+  let vp = load_rel "vP0" [ v0; h0 ] in
+  List.iter
+    (fun tu ->
+      match tu with
+      | [ v; h ] -> vp := Bdd.mk_or man !vp (Bdd.mk_and man (Space.const sp v0 v) (Space.const sp h0 h))
+      | _ -> ())
+    (Factgen.relation fg "vP0g");
+  let store_b = load_rel "store" [ v0; f0; v1 ] in
+  let load_b = load_rel "load" [ v0; f0; v1 ] in
+  let vt = load_rel "vT" [ v0; t0b ] in
+  let ht = load_rel "hT" [ h0; t1b ] in
+  let at = load_rel "aT" [ t0b; t1b ] in
+  let assign = ref Bdd.bdd_false in
+  List.iter
+    (fun (d, s) ->
+      assign := Bdd.mk_or man !assign (Bdd.mk_and man (Space.const sp v0 d) (Space.const sp v1 s)))
+    (assign_tuples fg);
+  (* vPfilter(v, h) = exists t0 t1. vT(v,t0) & aT(t0,t1) & hT(h,t1). *)
+  let tmp = Bdd.relprod man ~cube:(Space.cube sp t1b) !at !ht in
+  let vpfilter = ref (Bdd.relprod man ~cube:(Space.cube sp t0b) !vt tmp) in
+  let hp = ref Bdd.bdd_false in
+  List.iter (Bdd.add_root man) [ vp; store_b; load_b; vt; ht; at; assign; vpfilter; hp ];
+  (* Renamings used by the §2.4.1 pseudocode. *)
+  let v0_to_v1 = Space.renaming sp [ (v0, v1) ] in
+  let v0h0_to_v1h1 = Space.renaming sp [ (v0, v1); (h0, h1) ] in
+  let v1h1_to_v0h0 = Space.renaming sp [ (v1, v0); (h1, h0) ] in
+  let cube_v0 = Space.cube sp v0 in
+  let cube_v1 = Space.cube sp v1 in
+  let cube_h0f0 = Space.cube_of_blocks sp [ h0; f0 ] in
+  (* The cubes must survive the in-loop collections too. *)
+  Bdd.add_root_fn man (fun () -> [ cube_v0; cube_v1; cube_h0f0 ]);
+  let iterations = ref 0 in
+  let changed = ref true in
+  while !changed do
+    incr iterations;
+    changed := false;
+    (* Rule (7), incrementalized exactly as in the paper's example:
+       join only the new vP tuples against assign. *)
+    let d = ref !vp in
+    while !d <> Bdd.bdd_false do
+      let t1 = Bdd.replace man v0_to_v1 !d in
+      let t2 = Bdd.relprod man ~cube:cube_v1 !assign t1 in
+      let t2 = Bdd.mk_and man t2 !vpfilter in
+      let fresh = Bdd.mk_diff man t2 !vp in
+      vp := Bdd.mk_or man !vp fresh;
+      if fresh <> Bdd.bdd_false then changed := true;
+      d := fresh
+    done;
+    (* Rule (8): hP(h1,f,h2) from stores. *)
+    let s1 = Bdd.relprod man ~cube:cube_v0 !store_b !vp in
+    let vp_v1h1 = Bdd.replace man v0h0_to_v1h1 !vp in
+    let hp_new = Bdd.relprod man ~cube:cube_v1 s1 vp_v1h1 in
+    let hp' = Bdd.mk_or man !hp hp_new in
+    if hp' <> !hp then begin
+      hp := hp';
+      changed := true
+    end;
+    (* Rule (9): loads. *)
+    let l1 = Bdd.relprod man ~cube:cube_v0 !load_b !vp in
+    let l2 = Bdd.relprod man ~cube:cube_h0f0 l1 !hp in
+    let l3 = Bdd.mk_and man (Bdd.replace man v1h1_to_v0h0 l2) !vpfilter in
+    let fresh = Bdd.mk_diff man l3 !vp in
+    if fresh <> Bdd.bdd_false then begin
+      vp := Bdd.mk_or man !vp fresh;
+      changed := true
+    end;
+    Bdd.gc man
+  done;
+  (* Wrap the results for tuple access. *)
+  let vp_rel =
+    Relation.make sp ~name:"vP" [ { Relation.attr_name = "v"; block = v0 }; { Relation.attr_name = "h"; block = h0 } ]
+  in
+  Relation.set_bdd vp_rel !vp;
+  let hp_rel =
+    Relation.make sp ~name:"hP"
+      [
+        { Relation.attr_name = "h1"; block = h0 };
+        { Relation.attr_name = "f"; block = f0 };
+        { Relation.attr_name = "h2"; block = h1 };
+      ]
+  in
+  Relation.set_bdd hp_rel !hp;
+  {
+    vp_rel;
+    hp_rel;
+    st =
+      {
+        vp_count = Relation.count vp_rel;
+        hp_count = Relation.count hp_rel;
+        iterations = !iterations;
+        peak_live_nodes = Bdd.peak_live_nodes man;
+        seconds = Unix.gettimeofday () -. t0;
+      };
+  }
+
+let vp_tuples r =
+  List.map
+    (fun t ->
+      match Array.to_list t with
+      | [ v; h ] -> (v, h)
+      | _ -> invalid_arg "Handcoded.vp_tuples")
+    (Relation.tuples r.vp_rel)
+  |> List.sort compare
+
+let hp_tuples r =
+  List.map
+    (fun t ->
+      match Array.to_list t with
+      | [ a; b; c ] -> (a, b, c)
+      | _ -> invalid_arg "Handcoded.hp_tuples")
+    (Relation.tuples r.hp_rel)
+  |> List.sort compare

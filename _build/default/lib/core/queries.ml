@@ -1,0 +1,116 @@
+(* Shared §5.3 refinement core over a context-insensitive exact-type
+   relation [exactT]. *)
+let refinement_ci_core =
+  {|candidate(v, tc) :- vT(v, td), aT(td, tc), td != tc.
+activeV(v) :- exactT(v, _).
+notVarType(v, t) :- candidate(v, t), exactT(v, tv), !aT(t, tv).
+multiT(v) :- exactT(v, t1), exactT(v, t2), t1 != t2.
+refinable(v) :- activeV(v), candidate(v, t), !notVarType(v, t).
+|}
+
+let refinement_ci_relations =
+  {|exactT (variable : V, type : T)
+candidate (variable : V, type : T)
+notVarType (variable : V, type : T)
+output activeV (variable : V)
+output multiT (variable : V)
+output refinable (variable : V)
+|}
+
+let refinement_ci =
+  {
+    Programs.q_relations = refinement_ci_relations;
+    q_rules = "exactT(v, t) :- vP(v, h), hT(h, t).\n" ^ refinement_ci_core;
+  }
+
+let refinement_projected_cs =
+  {
+    Programs.q_relations = refinement_ci_relations;
+    q_rules = "exactT(v, t) :- vPC(_, v, h), hT(h, t).\n" ^ refinement_ci_core;
+  }
+
+let refinement_projected_ts =
+  {
+    Programs.q_relations = refinement_ci_relations;
+    q_rules = "exactT(v, t) :- vTC(_, v, t).\n" ^ refinement_ci_core;
+  }
+
+(* Per-clone refinement: the population is (context, variable) pairs,
+   which is how the full context-sensitive columns of Figure 6 stay
+   under 1-2% multi-typed.  The population is restricted to a method's
+   actual clones (mV/mC): loads through the context-blind global
+   variable propagate values into every context (rule (17) with the
+   global as base), and those phantom clones are not part of the
+   cloned program. *)
+let refinement_full_core =
+  {|candidate(v, tc) :- vT(v, td), aT(td, tc), td != tc.
+activeC(c, v) :- exactC(c, v, _), mV(m, v), mC(c, m).
+candC(c, v, t) :- activeC(c, v), candidate(v, t).
+notVarTypeC(c, v, t) :- candC(c, v, t), exactC(c, v, tv), !aT(t, tv).
+multiC(c, v) :- activeC(c, v), exactC(c, v, t1), exactC(c, v, t2), t1 != t2.
+refinableC(c, v) :- candC(c, v, t), !notVarTypeC(c, v, t).
+|}
+
+let refinement_full_relations =
+  {|exactC (context : C, variable : V, type : T)
+candidate (variable : V, type : T)
+candC (context : C, variable : V, type : T)
+notVarTypeC (context : C, variable : V, type : T)
+output activeC (context : C, variable : V)
+output multiC (context : C, variable : V)
+output refinableC (context : C, variable : V)
+|}
+
+let refinement_full_cs =
+  {
+    Programs.q_relations = refinement_full_relations;
+    q_rules = "exactC(c, v, t) :- vPC(c, v, h), hT(h, t).\n" ^ refinement_full_core;
+  }
+
+let refinement_full_ts =
+  {
+    Programs.q_relations = refinement_full_relations;
+    q_rules = "exactC(c, v, t) :- vTC(c, v, t).\n" ^ refinement_full_core;
+  }
+
+let mod_ref =
+  {
+    Programs.q_relations =
+      {|output mVC (c1 : C, m1 : M, c2 : C, var : V)
+output modset (context : C, method : M, heap : H, field : F)
+output refset (context : C, method : M, heap : H, field : F)
+|};
+    q_rules =
+      {|mVC(c, m, c, v) :- mV(m, v), mC(c, m).
+mVC(c1, m1, c3, v3) :- mI(m1, i, _), IEC(c1, i, c2, m2), mVC(c2, m2, c3, v3).
+modset(c, m, h, f) :- mVC(c, m, cv, v), store(v, f, _), vPC(cv, v, h).
+refset(c, m, h, f) :- mVC(c, m, cv, v), load(v, f, _), vPC(cv, v, h).
+|};
+  }
+
+let who_points_to ~heap_label =
+  {
+    Programs.q_relations =
+      {|output whoPointsTo (heap : H, field : F)
+output whoDunnit (context : C, base : V, field : F, src : V)
+|};
+    q_rules =
+      Printf.sprintf
+        {|whoPointsTo(h, f) :- hP(h, f, %S).
+whoDunnit(c, v1, f, v2) :- store(v1, f, v2), vPC(c, v2, %S).
+|}
+        heap_label heap_label;
+  }
+
+let jce_vuln ~init_method =
+  {
+    Programs.q_relations = {|output fromString (heap : H)
+output vuln (context : C, invoke : I)
+|};
+    q_rules =
+      Printf.sprintf
+        {|fromString(h) :- Mcls(m, "String"), Mret(m, v), vPC(_, v, h).
+vuln(c, i) :- IEC(c, i, _, %S), actual(i, 1, v), vPC(c, v, h), fromString(h).
+|}
+        init_method;
+  }

@@ -1,0 +1,37 @@
+(** The §5 queries, as {!Programs.query_suffix} values composed onto
+    the analysis programs.
+
+    All six Figure 6 type-refinement variants share the outputs
+    [activeV]/[multiT]/[refinable] (or their per-clone counterparts
+    [activeC]/[multiC]/[refinableC]) so the drivers can compute the
+    percentages uniformly. *)
+
+val refinement_ci : Programs.query_suffix
+(** §5.3 over a context-insensitive [vP] (Figure 6 columns 1-2,
+    depending on the base algorithm). *)
+
+val refinement_projected_cs : Programs.query_suffix
+(** Over [vPC] with the context projected away (Figure 6 column 3). *)
+
+val refinement_projected_ts : Programs.query_suffix
+(** Over [vTC] projected (Figure 6 column 4). *)
+
+val refinement_full_cs : Programs.query_suffix
+(** Per-clone refinement over [vPC] (Figure 6 column 5). *)
+
+val refinement_full_ts : Programs.query_suffix
+(** Per-clone refinement over [vTC] (Figure 6 column 6). *)
+
+val mod_ref : Programs.query_suffix
+(** §5.4 context-sensitive mod-ref over Algorithm 5's results:
+    outputs [mVC], [modset], [refset]. *)
+
+val who_points_to : heap_label:string -> Programs.query_suffix
+(** §5.1 memory-leak debugging: who may point to objects allocated at
+    the site labelled [heap_label], and which stores (with contexts)
+    created the references.  Outputs [whoPointsTo], [whoDunnit]. *)
+
+val jce_vuln : init_method:string -> Programs.query_suffix
+(** §5.2 security audit: objects derived from [String] flowing into
+    the first argument of [init_method] (e.g. ["PBEKeySpec.init"]).
+    Outputs [fromString], [vuln]. *)

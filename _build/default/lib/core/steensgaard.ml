@@ -1,0 +1,179 @@
+module Factgen = Jir.Factgen
+
+type stats = { classes : int; unifications : int; seconds : float }
+
+(* Union-find over growable nodes.  Node metadata lives at roots:
+   - [pointee]: the single abstract class this class's values point to;
+   - [fields]: field id -> node holding that field's contents;
+   - [heaps]: allocation sites belonging to this class. *)
+type t = {
+  mutable parent : int array;
+  mutable rank : int array;
+  mutable pointee : int array; (* -1 = none *)
+  mutable fields : (int, int) Hashtbl.t array;
+  mutable heaps : int list array;
+  mutable n : int;
+  mutable unifications : int;
+}
+
+type result = { uf : t; nvars : int; st : stats }
+
+let create capacity =
+  {
+    parent = Array.init capacity (fun i -> i);
+    rank = Array.make capacity 0;
+    pointee = Array.make capacity (-1);
+    fields = Array.init capacity (fun _ -> Hashtbl.create 2);
+    heaps = Array.make capacity [];
+    n = capacity;
+    unifications = 0;
+  }
+
+let grow t =
+  let cap = Array.length t.parent in
+  let cap' = max 16 (cap * 2) in
+  let extend a fill = Array.init cap' (fun i -> if i < cap then a.(i) else fill i) in
+  t.parent <- extend t.parent (fun i -> i);
+  t.rank <- extend t.rank (fun _ -> 0);
+  t.pointee <- extend t.pointee (fun _ -> -1);
+  t.fields <- extend t.fields (fun _ -> Hashtbl.create 2);
+  t.heaps <- extend t.heaps (fun _ -> [])
+
+let fresh t =
+  if t.n = Array.length t.parent then grow t;
+  let id = t.n in
+  t.n <- t.n + 1;
+  id
+
+let rec find t x = if t.parent.(x) = x then x else begin
+    let r = find t t.parent.(x) in
+    t.parent.(x) <- r;
+    r
+  end
+
+(* Unify two classes, recursively unifying pointees and same-named
+   fields.  Termination: every recursive call strictly decreases the
+   number of classes. *)
+let rec unify t a b =
+  let ra = find t a and rb = find t b in
+  if ra <> rb then begin
+    t.unifications <- t.unifications + 1;
+    let big, small = if t.rank.(ra) >= t.rank.(rb) then (ra, rb) else (rb, ra) in
+    t.parent.(small) <- big;
+    if t.rank.(big) = t.rank.(small) then t.rank.(big) <- t.rank.(big) + 1;
+    t.heaps.(big) <- t.heaps.(small) @ t.heaps.(big);
+    (* Merge field maps. *)
+    Hashtbl.iter
+      (fun f node ->
+        match Hashtbl.find_opt t.fields.(big) f with
+        | Some node' -> unify t node node'
+        | None -> Hashtbl.add t.fields.(big) f node)
+      t.fields.(small);
+    (* Merge pointees. *)
+    let pa = t.pointee.(big) and pb = t.pointee.(small) in
+    match (pa, pb) with
+    | -1, -1 -> ()
+    | -1, p -> t.pointee.(big) <- p
+    | _, -1 -> ()
+    | p, q -> unify t p q
+  end
+
+let pointee_of t x =
+  let r = find t x in
+  if t.pointee.(r) = -1 then begin
+    let p = fresh t in
+    (* [fresh] may grow the arrays; re-find to be safe. *)
+    let r = find t x in
+    t.pointee.(r) <- p
+  end;
+  t.pointee.(find t x)
+
+let field_of t cls f =
+  let r = find t cls in
+  match Hashtbl.find_opt t.fields.(r) f with
+  | Some node -> node
+  | None ->
+    let node = fresh t in
+    let r = find t cls in
+    Hashtbl.add t.fields.(r) f node;
+    node
+
+(* x = y: unify the pointee classes. *)
+let assign t x y = unify t (pointee_of t x) (pointee_of t y)
+
+let run fg =
+  let t0 = Unix.gettimeofday () in
+  let nvars = Factgen.dom_size fg "V" in
+  let nheaps = Factgen.dom_size fg "H" in
+  (* Nodes 0..nvars-1 are variables; nvars..nvars+nheaps-1 are a class
+     per allocation site (holding the site). *)
+  let uf = create (nvars + nheaps + 64) in
+  let heap_node h = nvars + h in
+  for h = 0 to nheaps - 1 do
+    uf.heaps.(heap_node h) <- [ h ]
+  done;
+  (* vP0: x = new h unifies pts(x) with h's class. *)
+  List.iter
+    (fun tu ->
+      match tu with
+      | [ v; h ] -> unify uf (pointee_of uf v) (heap_node h)
+      | _ -> ())
+    (Factgen.relation fg "vP0" @ Factgen.relation fg "vP0g");
+  (* Local copies. *)
+  List.iter
+    (fun tu ->
+      match tu with
+      | [ d; s ] -> assign uf d s
+      | _ -> ())
+    (Factgen.relation fg "copyAssign");
+  (* Parameter/return/exception binding over the CHA call graph — the
+     same edges Algorithm 2 resolves. *)
+  List.iter (fun (d, s) -> assign uf d s) (Handcoded.assign_tuples fg);
+  (* Stores and loads through the unified field nodes. *)
+  List.iter
+    (fun tu ->
+      match tu with
+      | [ base; f; src ] -> assign uf (field_of uf (pointee_of uf base) f) src
+      | _ -> ())
+    (Factgen.relation fg "store");
+  List.iter
+    (fun tu ->
+      match tu with
+      | [ base; f; dst ] -> assign uf dst (field_of uf (pointee_of uf base) f)
+      | _ -> ())
+    (Factgen.relation fg "load");
+  let roots = Hashtbl.create 64 in
+  for x = 0 to uf.n - 1 do
+    Hashtbl.replace roots (find uf x) ()
+  done;
+  {
+    uf;
+    nvars;
+    st = { classes = Hashtbl.length roots; unifications = uf.unifications; seconds = Unix.gettimeofday () -. t0 };
+  }
+
+let stats r = r.st
+
+let points_to_of r v =
+  let uf = r.uf in
+  let root = find uf v in
+  if uf.pointee.(root) = -1 then []
+  else List.sort_uniq compare uf.heaps.(find uf uf.pointee.(root))
+
+let vp_tuples r =
+  let out = ref [] in
+  for v = 0 to r.nvars - 1 do
+    List.iter (fun h -> out := (v, h) :: !out) (points_to_of r v)
+  done;
+  List.sort compare !out
+
+let avg_points_to r =
+  let total = ref 0 and vars = ref 0 in
+  for v = 0 to r.nvars - 1 do
+    match points_to_of r v with
+    | [] -> ()
+    | hs ->
+      incr vars;
+      total := !total + List.length hs
+  done;
+  if !vars = 0 then 0.0 else float_of_int !total /. float_of_int !vars

@@ -1,0 +1,33 @@
+(** Steensgaard-style unification-based points-to analysis.
+
+    The paper positions inclusion-based analysis against the
+    unification-based family (§1, citing Steensgaard [28]): "pointers
+    are assumed to be either unaliased or are pointing to the same set
+    of locations".  This is that baseline — near-linear time via
+    union-find, one pass, no fixpoint — used by the ablation benchmark
+    to reproduce the precision gap that motivates the paper.
+
+    The abstraction: every variable (and field instance) has at most
+    one abstract pointee class; assignments unify the pointee classes
+    of both sides, recursively unifying their fields.  The call graph
+    is the same CHA graph Algorithm 2 uses, including return and
+    exception binding, so the comparison isolates the
+    unification-vs-inclusion choice. *)
+
+type result
+
+type stats = { classes : int; unifications : int; seconds : float }
+
+val run : Jir.Factgen.t -> result
+val stats : result -> stats
+
+val vp_tuples : result -> (int * int) list
+(** The variable points-to relation [(v, h)], comparable to
+    Algorithm 2's [vP].  Always a superset of it. *)
+
+val points_to_of : result -> int -> int list
+(** Heap ids a variable may point to. *)
+
+val avg_points_to : result -> float
+(** Average points-to set size over variables with non-empty sets —
+    the precision metric for the ablation table. *)

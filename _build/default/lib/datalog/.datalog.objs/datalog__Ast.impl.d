@@ -1,0 +1,1 @@
+lib/datalog/ast.ml: Format List String

@@ -1,0 +1,1 @@
+lib/datalog/engine.ml: Array Ast Bdd Domain Format Hashtbl List Option Parser Relation Resolve Space Stratify Unix

@@ -1,0 +1,1 @@
+lib/datalog/naive_eval.ml: Array Ast Domain Hashtbl List Printf Resolve Set Stratify

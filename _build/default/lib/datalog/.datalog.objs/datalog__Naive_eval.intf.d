@@ -1,0 +1,1 @@
+lib/datalog/naive_eval.mli: Ast

@@ -1,0 +1,1 @@
+lib/datalog/parser.mli: Ast

@@ -1,0 +1,1 @@
+lib/datalog/resolve.ml: Array Ast Domain Format Hashtbl List

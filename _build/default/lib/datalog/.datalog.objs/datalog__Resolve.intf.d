@@ -1,0 +1,1 @@
+lib/datalog/resolve.mli: Ast Domain Hashtbl

@@ -1,0 +1,1 @@
+lib/datalog/stratify.ml: Array Ast Graphutil Hashtbl List Printf

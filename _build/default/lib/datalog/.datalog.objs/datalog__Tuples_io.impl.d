@@ -1,0 +1,1 @@
+lib/datalog/tuples_io.ml: Array Ast Filename List Printf String Sys

@@ -1,0 +1,1 @@
+lib/datalog/tuples_io.mli: Ast

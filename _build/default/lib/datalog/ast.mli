@@ -1,0 +1,58 @@
+(** Abstract syntax of the Datalog dialect of the paper (§2.1-§2.2).
+
+    A program has three sections: DOMAINS (name, size, optional element
+    name-map file), RELATIONS (with [input]/[output] qualifiers), and
+    RULES (Prolog-style, with negation [!], don't-cares [_], quoted
+    constants, and the [=]/[!=] comparisons used by the §5 queries). *)
+
+type term =
+  | Var of string
+  | Const of string  (** quoted name or decimal literal *)
+  | Wildcard
+
+type atom = { pred : string; args : term list }
+
+type literal =
+  | Pos of atom
+  | Neg of atom
+  | Cmp of term * cmp_op * term
+
+and cmp_op = Eq | Neq
+
+type rule = { head : atom; body : literal list }
+
+type domain_decl = {
+  dom_name : string;
+  dom_size : int;
+  dom_map : string option;  (** element-names file, e.g. "variable.map" *)
+}
+
+type rel_kind = Input | Output | Internal
+
+type rel_decl = {
+  rel_name : string;
+  rel_kind : rel_kind;
+  rel_attrs : (string * string) list;  (** attribute name, domain name *)
+}
+
+type program = {
+  domains : domain_decl list;
+  var_order : string list option;
+      (** bddbddb's [.bddvarorder] directive: the relative order of the
+          domains' variable blocks, e.g. [Some ["C"; "V"; "H"; ...]] *)
+  relations : rel_decl list;
+  rules : rule list;
+}
+
+val vars_of_atom : atom -> string list
+(** Distinct variables, in first-occurrence order. *)
+
+val vars_of_literal : literal -> string list
+val vars_of_rule : rule -> string list
+
+val pp_term : Format.formatter -> term -> unit
+val pp_atom : Format.formatter -> atom -> unit
+val pp_literal : Format.formatter -> literal -> unit
+val pp_rule : Format.formatter -> rule -> unit
+val pp_program : Format.formatter -> program -> unit
+(** Prints a program in the concrete syntax accepted by {!Parser}. *)

@@ -1,0 +1,672 @@
+type options = {
+  semi_naive : bool;
+  hoist : bool;
+  greedy_blocks : bool;
+  reorder_joins : bool;
+  gc_interval : int;
+  node_hint : int;
+  cache_bits : int;
+}
+
+let default_options =
+  {
+    semi_naive = true;
+    hoist = true;
+    greedy_blocks = true;
+    reorder_joins = false;
+    gc_interval = 256;
+    node_hint = 1 lsl 16;
+    cache_bits = 18;
+  }
+
+type stats = {
+  rule_applications : int;
+  iterations : int;
+  strata : int;
+  peak_live_nodes : int;
+  solve_seconds : float;
+}
+
+exception Engine_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Engine_error s)) fmt
+
+(* A body atom compiled to its BDD pipeline: select constants, equate
+   duplicate-variable positions, quantify dead storage blocks, rename
+   surviving storage blocks to the rule variables' blocks.  The result
+   is cached while the source relation's version is unchanged (the
+   paper's loop-invariant detection). *)
+type prepared = {
+  p_rel : Relation.t;
+  p_selects : Bdd.t; (* conjunction of constant minterms, true if none *)
+  p_dup_eqs : Bdd.t list;
+  p_away : Bdd.t; (* cube *)
+  p_map : Bdd.varmap option;
+  p_cache_full : (int * Bdd.t) ref; (* version marker -1 = invalid *)
+  p_cache_delta : (int * Bdd.t) ref;
+}
+
+type step_kind = SJoin of prepared | SConstrain of Bdd.t | SSubtract of prepared
+type step = { kind : step_kind; project_after : Bdd.t (* cube *) }
+
+type head_spec = { h_rel : Relation.t; h_map : Bdd.varmap option; h_eqs : Bdd.t list; h_consts : Bdd.t }
+
+type plan = {
+  p_rule : Ast.rule;
+  steps : step array;
+  head : head_spec;
+  delta_positions : int list; (* SJoin indices whose relation is in the stratum *)
+}
+
+type t = {
+  res : Resolve.t;
+  sp : Space.t;
+  opts : options;
+  rels : (string, Relation.t) Hashtbl.t;
+  deltas : (string, Bdd.t ref) Hashtbl.t;
+  pendings : (string, Bdd.t ref) Hashtbl.t;
+  strata : Stratify.stratum list;
+  mutable plans : (plan list * plan list) list; (* (once, loop) per stratum *)
+  mutable plan_consts : Bdd.t list; (* rooted plan-time constants *)
+  mutable rule_apps : int;
+  mutable stats : stats option;
+}
+
+let space t = t.sp
+
+let domain t name =
+  match List.assoc_opt name t.res.Resolve.domains with
+  | Some d -> d
+  | None -> fail "unknown domain %s" name
+
+let relation t name =
+  match Hashtbl.find_opt t.rels name with
+  | Some r -> r
+  | None -> fail "unknown relation %s" name
+
+let relations t = Hashtbl.fold (fun _ r acc -> r :: acc) t.rels []
+
+let set_tuples t name tuples =
+  let r = relation t name in
+  Relation.set_bdd r Bdd.bdd_false;
+  List.iter (Relation.add_tuple r) tuples
+
+let add_tuple t name tu = Relation.add_tuple (relation t name) tu
+
+(* --- Planning --- *)
+
+(* Storage layout: the k-th attribute of domain D within a relation is
+   stored in physical instance k of D. *)
+let storage_instances (decl : Ast.rel_decl) (doms : Domain.t array) =
+  let counts = Hashtbl.create 4 in
+  Array.mapi
+    (fun i _ ->
+      let d = doms.(i) in
+      let seen = Option.value (Hashtbl.find_opt counts (Domain.name d)) ~default:0 in
+      Hashtbl.replace counts (Domain.name d) (seen + 1);
+      (d, seen))
+    (Array.of_list decl.Ast.rel_attrs)
+
+(* Abstract assignment of rule variables to physical instances of their
+   domain.  Returns var -> instance. *)
+let assign_instances (res : Resolve.t) ~greedy (rule : Ast.rule) =
+  let var_doms = Resolve.var_domains res rule in
+  let atoms = rule.Ast.head :: List.filter_map (function Ast.Pos a | Ast.Neg a -> Some a | Ast.Cmp _ -> None) rule.Ast.body in
+  (* Preference votes: var |-> instances of the storage positions it
+     occupies. *)
+  let prefs : (string, int list ref) Hashtbl.t = Hashtbl.create 8 in
+  let occurrences : (string, int ref) Hashtbl.t = Hashtbl.create 8 in
+  let note_var v inst =
+    (match Hashtbl.find_opt prefs v with
+    | Some l -> l := inst :: !l
+    | None -> Hashtbl.add prefs v (ref [ inst ]));
+    match Hashtbl.find_opt occurrences v with
+    | Some c -> incr c
+    | None -> Hashtbl.add occurrences v (ref 1)
+  in
+  List.iter
+    (fun (a : Ast.atom) ->
+      let p = Resolve.pred res a.Ast.pred in
+      let storage = storage_instances p.Resolve.decl p.Resolve.doms in
+      List.iteri
+        (fun i arg ->
+          match arg with
+          | Ast.Var v ->
+            let _, inst = storage.(i) in
+            note_var v inst
+          | Ast.Const _ | Ast.Wildcard -> ())
+        a.Ast.args)
+    atoms;
+  (* Variables only mentioned in comparisons already occur in atoms
+     (safety), so [prefs] covers every variable. *)
+  let assignment : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let used : (string, (string, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 4 in
+  let used_of dname =
+    match Hashtbl.find_opt used dname with
+    | Some h -> h
+    | None ->
+      let h = Hashtbl.create 4 in
+      Hashtbl.add used dname h;
+      h
+  in
+  let take v inst =
+    let dname = Domain.name (Hashtbl.find var_doms v) in
+    Hashtbl.replace (used_of dname) (string_of_int inst) ();
+    Hashtbl.replace assignment v inst
+  in
+  let is_free v inst =
+    let dname = Domain.name (Hashtbl.find var_doms v) in
+    not (Hashtbl.mem (used_of dname) (string_of_int inst))
+  in
+  let all_vars = Ast.vars_of_rule rule in
+  let ordered =
+    if greedy then
+      List.stable_sort
+        (fun a b ->
+          let ca = !(Hashtbl.find occurrences a) and cb = !(Hashtbl.find occurrences b) in
+          if ca <> cb then compare cb ca else compare a b)
+        all_vars
+    else all_vars
+  in
+  List.iter
+    (fun v ->
+      let choice =
+        if greedy then begin
+          let votes = !(Hashtbl.find prefs v) in
+          (* Rank candidate instances by vote count (desc), then index. *)
+          let tally = Hashtbl.create 4 in
+          List.iter
+            (fun i ->
+              let c = Option.value (Hashtbl.find_opt tally i) ~default:0 in
+              Hashtbl.replace tally i (c + 1))
+            votes;
+          let candidates =
+            List.sort
+              (fun (i1, c1) (i2, c2) -> if c1 <> c2 then compare c2 c1 else compare i1 i2)
+              (Hashtbl.fold (fun i c acc -> (i, c) :: acc) tally [])
+          in
+          List.find_opt (fun (i, _) -> is_free v i) candidates |> Option.map fst
+        end
+        else None
+      in
+      match choice with
+      | Some i -> take v i
+      | None ->
+        let rec first_free i = if is_free v i then i else first_free (i + 1) in
+        take v (first_free 0))
+    ordered;
+  (assignment, var_doms)
+
+(* Instances needed per domain across the whole program. *)
+let instance_demand (res : Resolve.t) ~greedy =
+  let demand : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let note dname n =
+    let cur = Option.value (Hashtbl.find_opt demand dname) ~default:1 in
+    if n > cur then Hashtbl.replace demand dname n
+  in
+  List.iter (fun (dname, _) -> note dname 1) res.Resolve.domains;
+  Hashtbl.iter
+    (fun _ (p : Resolve.pred) ->
+      let counts = Hashtbl.create 4 in
+      Array.iter
+        (fun d ->
+          let c = Option.value (Hashtbl.find_opt counts (Domain.name d)) ~default:0 in
+          Hashtbl.replace counts (Domain.name d) (c + 1);
+          note (Domain.name d) (c + 1))
+        p.Resolve.doms)
+    res.Resolve.preds;
+  List.iter
+    (fun rule ->
+      let assignment, var_doms = assign_instances res ~greedy rule in
+      Hashtbl.iter (fun v inst -> note (Domain.name (Hashtbl.find var_doms v)) (inst + 1)) assignment)
+    res.Resolve.program.Ast.rules;
+  demand
+
+(* --- Concrete plan construction --- *)
+
+let prepared_of_atom t ~var_block (a : Ast.atom) =
+  let rel = relation t a.Ast.pred in
+  let p = Resolve.pred t.res a.Ast.pred in
+  let attrs = Array.of_list (Relation.attrs rel) in
+  let man_consts = ref Bdd.bdd_true in
+  let dup_eqs = ref [] in
+  let away = ref [] in
+  let map_pairs = ref [] in
+  let first_pos : (string, int) Hashtbl.t = Hashtbl.create 4 in
+  List.iteri
+    (fun i arg ->
+      let blk = attrs.(i).Relation.block in
+      match arg with
+      | Ast.Const c ->
+        let v = Resolve.const_index p.Resolve.doms.(i) c in
+        man_consts := Bdd.mk_and (Space.man t.sp) !man_consts (Space.const t.sp blk v);
+        away := blk :: !away
+      | Ast.Wildcard -> away := blk :: !away
+      | Ast.Var v -> (
+        match Hashtbl.find_opt first_pos v with
+        | None ->
+          Hashtbl.add first_pos v i;
+          let target = var_block v in
+          if target != blk then map_pairs := (blk, target) :: !map_pairs
+        | Some fp ->
+          dup_eqs := Space.equal_blocks t.sp attrs.(fp).Relation.block blk :: !dup_eqs;
+          away := blk :: !away))
+    a.Ast.args;
+  {
+    p_rel = rel;
+    p_selects = !man_consts;
+    p_dup_eqs = !dup_eqs;
+    p_away = Space.cube_of_blocks t.sp !away;
+    p_map = (if !map_pairs = [] then None else Some (Space.renaming t.sp !map_pairs));
+    p_cache_full = ref (-1, Bdd.bdd_false);
+    p_cache_delta = ref (-1, Bdd.bdd_false);
+  }
+
+let cmp_bdd t ~var_block ~var_doms (l : Ast.term) op (r : Ast.term) =
+  let man = Space.man t.sp in
+  let base =
+    match (l, r) with
+    | Ast.Var a, Ast.Var b -> Space.equal_blocks t.sp (var_block a) (var_block b)
+    | Ast.Var a, Ast.Const c | Ast.Const c, Ast.Var a ->
+      let d = Hashtbl.find var_doms a in
+      Space.const t.sp (var_block a) (Resolve.const_index d c)
+    | (Ast.Const _ | Ast.Wildcard), (Ast.Const _ | Ast.Wildcard) | Ast.Var _, Ast.Wildcard | Ast.Wildcard, Ast.Var _ ->
+      fail "unsupported comparison operands"
+  in
+  match op with
+  | Ast.Eq -> base
+  | Ast.Neq -> Bdd.mk_not man base
+
+let build_plan t ~stratum_preds (rule : Ast.rule) =
+  let assignment, var_doms = assign_instances t.res ~greedy:t.opts.greedy_blocks rule in
+  let var_block v =
+    let d = Hashtbl.find var_doms v in
+    Space.instance t.sp d (Hashtbl.find assignment v)
+  in
+  (* Optional subgoal reordering (bddbddb reorders joins): greedily
+     start from the most-constrained atom (fewest distinct variables,
+     most constants), then repeatedly take the atom sharing the most
+     already-bound variables. *)
+  let body =
+    if not t.opts.reorder_joins then rule.Ast.body
+    else begin
+      let positives, others =
+        List.partition (function Ast.Pos _ -> true | Ast.Neg _ | Ast.Cmp _ -> false) rule.Ast.body
+      in
+      let atom_of = function Ast.Pos a -> a | Ast.Neg _ | Ast.Cmp _ -> assert false in
+      let constants a = List.length (List.filter (function Ast.Const _ -> true | _ -> false) (atom_of a).Ast.args) in
+      let vars a = Ast.vars_of_atom (atom_of a) in
+      let bound_vars : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+      let score a =
+        let vs = vars a in
+        let shared = List.length (List.filter (Hashtbl.mem bound_vars) vs) in
+        (* More shared bound vars first; then fewer free vars; then more
+           constants. *)
+        (-shared, List.length vs - shared, -constants a)
+      in
+      let rec pick acc remaining =
+        match remaining with
+        | [] -> List.rev acc
+        | _ ->
+          let best = List.fold_left (fun b a -> if score a < score b then a else b) (List.hd remaining) remaining in
+          List.iter (fun v -> Hashtbl.replace bound_vars v ()) (vars best);
+          pick (best :: acc) (List.filter (fun x -> x != best) remaining)
+      in
+      pick [] positives @ others
+    end
+  in
+  (* Execution sequence: positive atoms in order, each followed by any
+     deferred negations/comparisons that became fully bound. *)
+  let bound : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  let is_bound_lit lit = List.for_all (fun v -> Hashtbl.mem bound v) (Ast.vars_of_literal lit) in
+  let pending = ref [] in
+  let seq = ref [] in
+  let flush () =
+    let rec go () =
+      let ready, still = List.partition is_bound_lit !pending in
+      if ready <> [] then begin
+        pending := still;
+        List.iter (fun l -> seq := l :: !seq) ready;
+        go ()
+      end
+    in
+    go ()
+  in
+  List.iter
+    (fun lit ->
+      match lit with
+      | Ast.Pos a ->
+        seq := lit :: !seq;
+        List.iter (fun v -> Hashtbl.replace bound v ()) (Ast.vars_of_atom a);
+        flush ()
+      | Ast.Neg _ | Ast.Cmp _ ->
+        pending := !pending @ [ lit ];
+        flush ())
+    body;
+  if !pending <> [] then fail "rule has unbound negation or comparison: %a" Ast.pp_rule rule;
+  let seq = Array.of_list (List.rev !seq) in
+  (* Last use per variable over the sequence; head variables live
+     forever. *)
+  let head_vars = Ast.vars_of_atom rule.Ast.head in
+  let last_use : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  Array.iteri (fun i lit -> List.iter (fun v -> Hashtbl.replace last_use v i) (Ast.vars_of_literal lit)) seq;
+  List.iter (fun v -> Hashtbl.replace last_use v max_int) head_vars;
+  let steps =
+    Array.mapi
+      (fun i lit ->
+        let kind =
+          match lit with
+          | Ast.Pos a -> SJoin (prepared_of_atom t ~var_block a)
+          | Ast.Neg a -> SSubtract (prepared_of_atom t ~var_block a)
+          | Ast.Cmp (l, op, r) -> SConstrain (cmp_bdd t ~var_block ~var_doms l op r)
+        in
+        let dying =
+          List.filter (fun v -> Hashtbl.find last_use v = i) (Ast.vars_of_literal lit)
+        in
+        let dying = List.sort_uniq compare dying in
+        { kind; project_after = Space.cube_of_blocks t.sp (List.map var_block dying) })
+      seq
+  in
+  (* Head: rename var blocks to first-position storage, equate duplicate
+     positions, select constants. *)
+  let head_rel = relation t rule.Ast.head.Ast.pred in
+  let head_pred = Resolve.pred t.res rule.Ast.head.Ast.pred in
+  let head_attrs = Array.of_list (Relation.attrs head_rel) in
+  let h_map_pairs = ref [] in
+  let h_eqs = ref [] in
+  let h_consts = ref Bdd.bdd_true in
+  let first_pos : (string, int) Hashtbl.t = Hashtbl.create 4 in
+  List.iteri
+    (fun i arg ->
+      let blk = head_attrs.(i).Relation.block in
+      match arg with
+      | Ast.Const c ->
+        let v = Resolve.const_index head_pred.Resolve.doms.(i) c in
+        h_consts := Bdd.mk_and (Space.man t.sp) !h_consts (Space.const t.sp blk v)
+      | Ast.Wildcard -> fail "wildcard in head"
+      | Ast.Var v -> (
+        match Hashtbl.find_opt first_pos v with
+        | None ->
+          Hashtbl.add first_pos v i;
+          let src = var_block v in
+          if src != blk then h_map_pairs := (src, blk) :: !h_map_pairs
+        | Some fp -> h_eqs := Space.equal_blocks t.sp head_attrs.(fp).Relation.block blk :: !h_eqs))
+    rule.Ast.head.Ast.args;
+  let head =
+    {
+      h_rel = head_rel;
+      h_map = (if !h_map_pairs = [] then None else Some (Space.renaming t.sp !h_map_pairs));
+      h_eqs = !h_eqs;
+      h_consts = !h_consts;
+    }
+  in
+  let delta_positions =
+    List.filter_map
+      (fun i ->
+        match steps.(i).kind with
+        | SJoin prep when List.mem (Relation.name prep.p_rel) stratum_preds -> Some i
+        | SJoin _ | SConstrain _ | SSubtract _ -> None)
+      (List.init (Array.length steps) (fun i -> i))
+  in
+  (* Gather plan constants for GC rooting. *)
+  let consts = ref [ head.h_consts ] in
+  List.iter (fun e -> consts := e :: !consts) head.h_eqs;
+  Array.iter
+    (fun st ->
+      consts := st.project_after :: !consts;
+      match st.kind with
+      | SJoin p | SSubtract p ->
+        consts := p.p_selects :: p.p_away :: !consts;
+        List.iter (fun e -> consts := e :: !consts) p.p_dup_eqs
+      | SConstrain c -> consts := c :: !consts)
+    steps;
+  t.plan_consts <- !consts @ t.plan_consts;
+  { p_rule = rule; steps; head; delta_positions }
+
+(* --- Creation --- *)
+
+let create ?(options = default_options) ?element_names ?domain_order (program : Ast.program) =
+  let res = Resolve.resolve ?element_names program in
+  let strata = Stratify.strata program in
+  let sp = Space.create ~node_hint:options.node_hint ~cache_bits:options.cache_bits () in
+  let t =
+    {
+      res;
+      sp;
+      opts = options;
+      rels = Hashtbl.create 16;
+      deltas = Hashtbl.create 8;
+      pendings = Hashtbl.create 8;
+      strata;
+      plans = [];
+      plan_consts = [];
+      rule_apps = 0;
+      stats = None;
+    }
+  in
+  (* Physical blocks: one interleaved group per domain. *)
+  let demand = instance_demand res ~greedy:options.greedy_blocks in
+  let order =
+    (* Explicit argument wins, then the program's .bddvarorder
+       directive, then declaration order. *)
+    let domain_order =
+      match domain_order with
+      | Some _ -> domain_order
+      | None -> program.Ast.var_order
+    in
+    match domain_order with
+    | None -> List.map fst res.Resolve.domains
+    | Some names ->
+      List.iter (fun n -> if not (List.mem_assoc n res.Resolve.domains) then fail "domain_order: unknown domain %s" n) names;
+      let missing = List.filter (fun (n, _) -> not (List.mem n names)) res.Resolve.domains in
+      names @ List.map fst missing
+  in
+  List.iter
+    (fun dname ->
+      let d = List.assoc dname res.Resolve.domains in
+      let n = Option.value (Hashtbl.find_opt demand dname) ~default:1 in
+      ignore (Space.alloc_interleaved sp d n))
+    order;
+  (* Relations. *)
+  List.iter
+    (fun (decl : Ast.rel_decl) ->
+      let p = Resolve.pred res decl.Ast.rel_name in
+      let storage = storage_instances decl p.Resolve.doms in
+      let attrs =
+        List.mapi
+          (fun i (aname, _) ->
+            let d, inst = storage.(i) in
+            { Relation.attr_name = aname; block = Space.instance sp d inst })
+          decl.Ast.rel_attrs
+      in
+      Hashtbl.add t.rels decl.Ast.rel_name (Relation.make sp ~name:decl.Ast.rel_name attrs))
+    program.Ast.relations;
+  (* Delta/pending accumulators for recursive predicates. *)
+  List.iter
+    (fun (st : Stratify.stratum) ->
+      if st.Stratify.loop_rules <> [] then
+        List.iter
+          (fun p ->
+            if not (Hashtbl.mem t.deltas p) then begin
+              let d = ref Bdd.bdd_false and pe = ref Bdd.bdd_false in
+              Bdd.add_root (Space.man sp) d;
+              Bdd.add_root (Space.man sp) pe;
+              Hashtbl.add t.deltas p d;
+              Hashtbl.add t.pendings p pe
+            end)
+          st.Stratify.preds)
+    strata;
+  (* Plans. *)
+  t.plans <-
+    List.map
+      (fun (st : Stratify.stratum) ->
+        ( List.map (build_plan t ~stratum_preds:st.Stratify.preds) st.Stratify.once_rules,
+          List.map (build_plan t ~stratum_preds:st.Stratify.preds) st.Stratify.loop_rules ))
+      strata;
+  (* Root plan constants and prepared caches. *)
+  let cache_refs = ref [] in
+  List.iter
+    (fun (once, loop) ->
+      List.iter
+        (fun plan ->
+          Array.iter
+            (fun stp ->
+              match stp.kind with
+              | SJoin p | SSubtract p -> cache_refs := p.p_cache_full :: p.p_cache_delta :: !cache_refs
+              | SConstrain _ -> ())
+            plan.steps)
+        (once @ loop))
+    t.plans;
+  Bdd.add_root_fn (Space.man sp) (fun () -> t.plan_consts @ List.map (fun r -> snd !r) !cache_refs);
+  t
+
+let parse_and_create ?options ?element_names ?domain_order src =
+  create ?options ?element_names ?domain_order (Parser.parse src)
+
+(* --- Evaluation --- *)
+
+let prepare t prep ~delta =
+  let man = Space.man t.sp in
+  let source_bdd, cache, version =
+    if delta then
+      let d = Hashtbl.find t.deltas (Relation.name prep.p_rel) in
+      (* Deltas have no version counter; disable hoisting by using a
+         fake always-stale version. *)
+      (!d, prep.p_cache_delta, -1)
+    else (Relation.bdd prep.p_rel, prep.p_cache_full, Relation.version prep.p_rel)
+  in
+  let cached_version, cached = !cache in
+  if t.opts.hoist && version >= 0 && cached_version = version then cached
+  else begin
+    let b = ref source_bdd in
+    if prep.p_selects <> Bdd.bdd_true then b := Bdd.mk_and man !b prep.p_selects;
+    List.iter (fun eq -> b := Bdd.mk_and man !b eq) prep.p_dup_eqs;
+    if prep.p_away <> Bdd.bdd_true then b := Bdd.exist man ~cube:prep.p_away !b;
+    (match prep.p_map with
+    | Some map -> b := Bdd.replace man map !b
+    | None -> ());
+    cache := (version, !b);
+    !b
+  end
+
+let eval_plan t plan ~delta_at =
+  let man = Space.man t.sp in
+  let current = ref Bdd.bdd_true in
+  let started = ref false in
+  let i = ref 0 in
+  let n = Array.length plan.steps in
+  while !i < n && (not !started || !current <> Bdd.bdd_false) do
+    let stp = plan.steps.(!i) in
+    (match stp.kind with
+    | SJoin prep ->
+      let g = prepare t prep ~delta:(delta_at = Some !i) in
+      if !started then current := Bdd.relprod man ~cube:stp.project_after !current g
+      else begin
+        current := Bdd.exist man ~cube:stp.project_after g;
+        started := true
+      end
+    | SConstrain c ->
+      current := Bdd.mk_and man !current c;
+      current := Bdd.exist man ~cube:stp.project_after !current
+    | SSubtract prep ->
+      let g = prepare t prep ~delta:false in
+      current := Bdd.mk_diff man !current g;
+      current := Bdd.exist man ~cube:stp.project_after !current);
+    incr i
+  done;
+  if !started && !current = Bdd.bdd_false then Bdd.bdd_false
+  else begin
+    let b = ref !current in
+    (match plan.head.h_map with
+    | Some map -> b := Bdd.replace man map !b
+    | None -> ());
+    List.iter (fun eq -> b := Bdd.mk_and man !b eq) plan.head.h_eqs;
+    if plan.head.h_consts <> Bdd.bdd_true then b := Bdd.mk_and man !b plan.head.h_consts;
+    !b
+  end
+
+let maybe_gc t =
+  t.rule_apps <- t.rule_apps + 1;
+  if t.opts.gc_interval > 0 && t.rule_apps mod t.opts.gc_interval = 0 then Bdd.gc (Space.man t.sp)
+
+(* Union the result into the head; returns whether new tuples arrived. *)
+let commit t plan result ~track_delta =
+  let man = Space.man t.sp in
+  let head = plan.head.h_rel in
+  let fresh = Bdd.mk_diff man result (Relation.bdd head) in
+  if fresh = Bdd.bdd_false then false
+  else begin
+    Relation.set_bdd head (Bdd.mk_or man (Relation.bdd head) fresh);
+    if track_delta then begin
+      let p = Hashtbl.find t.pendings (Relation.name head) in
+      p := Bdd.mk_or man !p fresh
+    end;
+    true
+  end
+
+let run t =
+  let t0 = Unix.gettimeofday () in
+  let man = Space.man t.sp in
+  let iterations = ref 0 in
+  List.iter2
+    (fun (st : Stratify.stratum) (once, loop) ->
+      List.iter
+        (fun plan ->
+          let b = eval_plan t plan ~delta_at:None in
+          ignore (commit t plan b ~track_delta:false);
+          maybe_gc t)
+        once;
+      if loop <> [] then begin
+        (* Seed deltas with current contents. *)
+        List.iter
+          (fun p ->
+            let d = Hashtbl.find t.deltas p in
+            d := Relation.bdd (relation t p))
+          st.Stratify.preds;
+        let continue = ref true in
+        while !continue do
+          incr iterations;
+          let changed = ref false in
+          List.iter
+            (fun plan ->
+              if t.opts.semi_naive && plan.delta_positions <> [] then
+                List.iter
+                  (fun pos ->
+                    let b = eval_plan t plan ~delta_at:(Some pos) in
+                    if commit t plan b ~track_delta:true then changed := true;
+                    maybe_gc t)
+                  plan.delta_positions
+              else begin
+                let b = eval_plan t plan ~delta_at:None in
+                if commit t plan b ~track_delta:true then changed := true;
+                maybe_gc t
+              end)
+            loop;
+          if t.opts.semi_naive then begin
+            let any = ref false in
+            List.iter
+              (fun p ->
+                let d = Hashtbl.find t.deltas p and pe = Hashtbl.find t.pendings p in
+                d := !pe;
+                pe := Bdd.bdd_false;
+                if !d <> Bdd.bdd_false then any := true)
+              st.Stratify.preds;
+            continue := !any
+          end
+          else continue := !changed
+        done
+      end)
+    t.strata t.plans;
+  let s =
+    {
+      rule_applications = t.rule_apps;
+      iterations = !iterations;
+      strata = List.length t.strata;
+      peak_live_nodes = Bdd.peak_live_nodes man;
+      solve_seconds = Unix.gettimeofday () -. t0;
+    }
+  in
+  t.stats <- Some s;
+  s
+
+let last_stats t = t.stats

@@ -1,0 +1,81 @@
+(** The bddbddb evaluation engine: translates a Datalog program into
+    BDD relational algebra and solves it to fixpoint.
+
+    The three §2.4.1 optimizations are implemented and individually
+    toggleable (for the §6.4 ablation benchmarks):
+
+    - {e attributes naming}: rule variables are greedily assigned the
+      physical block most of their occurrences are already stored in,
+      minimizing [Bdd.replace] work ([greedy_blocks]);
+    - {e rule application order}: strata (SCCs of the predicate
+      dependency graph) are solved in dependency order; non-recursive
+      rules run once (always on — see {!Stratify});
+    - {e incrementalization}: recursive rules are evaluated
+      semi-naively, joining only against the tuples new since the rule
+      last ran, and prepared (renamed/selected) operand BDDs are cached
+      while their source relation is unchanged — the paper's
+      loop-invariant detection ([semi_naive], [hoist]). *)
+
+type options = {
+  semi_naive : bool;
+  hoist : bool;
+  greedy_blocks : bool;
+  reorder_joins : bool;
+      (** greedy subgoal reordering: most-constrained atom first, then
+          by shared bound variables (off by default — the paper's rules
+          are already written in good join order) *)
+  gc_interval : int;  (** run [Bdd.gc] every N rule applications; 0 = never *)
+  node_hint : int;
+  cache_bits : int;
+}
+
+val default_options : options
+
+type t
+
+type stats = {
+  rule_applications : int;
+  iterations : int;  (** total fixpoint rounds across all strata *)
+  strata : int;
+  peak_live_nodes : int;
+  solve_seconds : float;
+}
+
+exception Engine_error of string
+
+val create :
+  ?options:options ->
+  ?element_names:(string -> string array option) ->
+  ?domain_order:string list ->
+  Ast.program ->
+  t
+(** Resolves and plans the program: allocates one interleaved group of
+    physical blocks per logical domain (in [domain_order] if given,
+    else declaration order) and compiles every rule to a step plan.
+    Raises {!Resolve.Check_error} / {!Stratify.Not_stratified} /
+    {!Engine_error}. *)
+
+val parse_and_create :
+  ?options:options ->
+  ?element_names:(string -> string array option) ->
+  ?domain_order:string list ->
+  string ->
+  t
+(** Convenience: {!Parser.parse} then {!create}. *)
+
+val space : t -> Space.t
+val domain : t -> string -> Domain.t
+val relation : t -> string -> Relation.t
+(** The live relation object: read results from it after {!run}, load
+    input tuples into it before. *)
+
+val relations : t -> Relation.t list
+
+val set_tuples : t -> string -> int array list -> unit
+val add_tuple : t -> string -> int array -> unit
+
+val run : t -> stats
+(** Solve to fixpoint.  Idempotent: calling again after adding tuples
+    to input relations resumes and re-converges. *)
+
+val last_stats : t -> stats option

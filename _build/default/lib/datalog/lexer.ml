@@ -1,0 +1,126 @@
+type token =
+  | IDENT of string
+  | STRING of string
+  | INT of int
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | COLON
+  | TURNSTILE
+  | DOT
+  | BANG
+  | EQ
+  | NEQ
+  | UNDERSCORE
+  | EOF
+
+type error = { message : string; line : int; col : int }
+
+exception Lex_error of error
+
+let fail ~line ~col message = raise (Lex_error { message; line; col })
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '_' || c = '\''
+let is_digit c = c >= '0' && c <= '9'
+
+let tokens src =
+  let n = String.length src in
+  let out = ref [] in
+  let line = ref 1 in
+  let col = ref 1 in
+  let i = ref 0 in
+  let emit t = out := (t, !line) :: !out in
+  let advance () =
+    if !i < n && src.[!i] = '\n' then begin
+      incr line;
+      col := 1
+    end
+    else incr col;
+    incr i
+  in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance ()
+    else if c = '#' then
+      while !i < n && src.[!i] <> '\n' do
+        advance ()
+      done
+    else if c = '(' then (emit LPAREN; advance ())
+    else if c = ')' then (emit RPAREN; advance ())
+    else if c = ',' then (emit COMMA; advance ())
+    else if c = '.' then (emit DOT; advance ())
+    else if c = '=' then (emit EQ; advance ())
+    else if c = ':' then begin
+      advance ();
+      if !i < n && src.[!i] = '-' then (emit TURNSTILE; advance ()) else emit COLON
+    end
+    else if c = '!' then begin
+      advance ();
+      if !i < n && src.[!i] = '=' then (emit NEQ; advance ()) else emit BANG
+    end
+    else if c = '_' then begin
+      (* A lone underscore is a wildcard; [_] may not start an
+         identifier, mirroring the paper's don't-care notation. *)
+      advance ();
+      if !i < n && is_ident_char src.[!i] then fail ~line:!line ~col:!col "identifiers may not start with '_'"
+      else emit UNDERSCORE
+    end
+    else if c = '"' then begin
+      let start_line = !line and start_col = !col in
+      advance ();
+      let buf = Buffer.create 16 in
+      let closed = ref false in
+      while not !closed do
+        if !i >= n then fail ~line:start_line ~col:start_col "unterminated string"
+        else begin
+          let c = src.[!i] in
+          if c = '"' then begin
+            advance ();
+            closed := true
+          end
+          else if c = '\n' then fail ~line:start_line ~col:start_col "newline in string"
+          else begin
+            Buffer.add_char buf c;
+            advance ()
+          end
+        end
+      done;
+      emit (STRING (Buffer.contents buf))
+    end
+    else if is_digit c then begin
+      let buf = Buffer.create 8 in
+      while !i < n && is_digit src.[!i] do
+        Buffer.add_char buf src.[!i];
+        advance ()
+      done;
+      emit (INT (int_of_string (Buffer.contents buf)))
+    end
+    else if is_ident_start c then begin
+      let buf = Buffer.create 16 in
+      while !i < n && is_ident_char src.[!i] do
+        Buffer.add_char buf src.[!i];
+        advance ()
+      done;
+      emit (IDENT (Buffer.contents buf))
+    end
+    else fail ~line:!line ~col:!col (Printf.sprintf "unexpected character %C" c)
+  done;
+  emit EOF;
+  List.rev !out
+
+let pp_token fmt = function
+  | IDENT s -> Format.fprintf fmt "identifier %s" s
+  | STRING s -> Format.fprintf fmt "string %S" s
+  | INT i -> Format.fprintf fmt "integer %d" i
+  | LPAREN -> Format.pp_print_string fmt "'('"
+  | RPAREN -> Format.pp_print_string fmt "')'"
+  | COMMA -> Format.pp_print_string fmt "','"
+  | COLON -> Format.pp_print_string fmt "':'"
+  | TURNSTILE -> Format.pp_print_string fmt "':-'"
+  | DOT -> Format.pp_print_string fmt "'.'"
+  | BANG -> Format.pp_print_string fmt "'!'"
+  | EQ -> Format.pp_print_string fmt "'='"
+  | NEQ -> Format.pp_print_string fmt "'!='"
+  | UNDERSCORE -> Format.pp_print_string fmt "'_'"
+  | EOF -> Format.pp_print_string fmt "end of input"

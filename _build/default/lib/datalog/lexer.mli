@@ -1,0 +1,28 @@
+(** Hand-written lexer for the Datalog concrete syntax. *)
+
+type token =
+  | IDENT of string  (** identifiers: predicates, variables, domains *)
+  | STRING of string  (** "quoted" constant or file name *)
+  | INT of int
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | COLON
+  | TURNSTILE  (** [:-] *)
+  | DOT
+  | BANG
+  | EQ
+  | NEQ
+  | UNDERSCORE
+  | EOF
+
+type error = { message : string; line : int; col : int }
+
+exception Lex_error of error
+
+val tokens : string -> (token * int) list
+(** [tokens src] lexes the whole source, returning each token with its
+    line number.  Comments run from [#] to end of line.
+    Raises {!Lex_error}. *)
+
+val pp_token : Format.formatter -> token -> unit

@@ -1,0 +1,143 @@
+module Tuples = Set.Make (struct
+  type t = int list
+
+  let compare = compare
+end)
+
+type result = { db : (string, Tuples.t ref) Hashtbl.t }
+
+let lookup env v = List.assoc_opt v env
+
+(* Match one atom argument against a tuple value, extending the
+   environment; [None] means mismatch. *)
+let match_arg (res : Resolve.t) dom env (arg : Ast.term) value =
+  match arg with
+  | Ast.Wildcard -> Some env
+  | Ast.Const c -> if Resolve.const_index dom c = value then Some env else None
+  | Ast.Var v -> (
+    match lookup env v with
+    | Some bound -> if bound = value then Some env else None
+    | None ->
+      ignore res;
+      Some ((v, value) :: env))
+
+let match_atom res (preds : (string, Resolve.pred) Hashtbl.t) db env (a : Ast.atom) =
+  let p = Hashtbl.find preds a.Ast.pred in
+  let tuples = !(Hashtbl.find db a.Ast.pred) in
+  Tuples.fold
+    (fun tu acc ->
+      let rec go env args vals i =
+        match (args, vals) with
+        | [], [] -> Some env
+        | arg :: args', v :: vals' -> (
+          match match_arg res p.Resolve.doms.(i) env arg v with
+          | Some env' -> go env' args' vals' (i + 1)
+          | None -> None)
+        | [], _ :: _ | _ :: _, [] -> None
+      in
+      match go env a.Ast.args tu 0 with
+      | Some env' -> env' :: acc
+      | None -> acc)
+    tuples []
+
+let term_value dom env (t : Ast.term) =
+  match t with
+  | Ast.Var v -> (
+    match lookup env v with
+    | Some x -> x
+    | None -> raise (Resolve.Check_error "unbound variable in naive evaluation"))
+  | Ast.Const c -> Resolve.const_index dom c
+  | Ast.Wildcard -> raise (Resolve.Check_error "wildcard where a value is needed")
+
+(* Domain of a comparison, needed to resolve constants on either side. *)
+let cmp_domain res rule l r =
+  match (l, r) with
+  | Ast.Var v, _ | _, Ast.Var v -> Resolve.term_domain res rule v
+  | (Ast.Const _ | Ast.Wildcard), (Ast.Const _ | Ast.Wildcard) ->
+    raise (Resolve.Check_error "comparison without variables")
+
+let eval_rule res db (rule : Ast.rule) =
+  let preds = res.Resolve.preds in
+  (* Positive atoms bind; negations and comparisons filter afterwards
+     (all their variables are positively bound by safety). *)
+  let positives = List.filter_map (function Ast.Pos a -> Some a | Ast.Neg _ | Ast.Cmp _ -> None) rule.Ast.body in
+  let filters = List.filter (function Ast.Pos _ -> false | Ast.Neg _ | Ast.Cmp _ -> true) rule.Ast.body in
+  let envs = List.fold_left (fun envs a -> List.concat_map (fun env -> match_atom res preds db env a) envs) [ [] ] positives in
+  let envs =
+    List.filter
+      (fun env ->
+        List.for_all
+          (fun lit ->
+            match lit with
+            | Ast.Neg a -> match_atom res preds db env a = []
+            | Ast.Cmp (l, op, r) ->
+              let dom = cmp_domain res rule l r in
+              let lv = term_value dom env l and rv = term_value dom env r in
+              (match op with
+              | Ast.Eq -> lv = rv
+              | Ast.Neq -> lv <> rv)
+            | Ast.Pos _ -> true)
+          filters)
+      envs
+  in
+  let hp = Hashtbl.find preds rule.Ast.head.Ast.pred in
+  List.map
+    (fun env -> List.mapi (fun i arg -> term_value hp.Resolve.doms.(i) env arg) rule.Ast.head.Ast.args)
+    envs
+
+let solve ?element_names (program : Ast.program) ~inputs =
+  let res = Resolve.resolve ?element_names program in
+  let strata = Stratify.strata program in
+  let db : (string, Tuples.t ref) Hashtbl.t = Hashtbl.create 16 in
+  List.iter (fun (decl : Ast.rel_decl) -> Hashtbl.add db decl.Ast.rel_name (ref Tuples.empty)) program.Ast.relations;
+  List.iter
+    (fun (name, tuples) ->
+      let slot =
+        match Hashtbl.find_opt db name with
+        | Some s -> s
+        | None -> raise (Resolve.Check_error (Printf.sprintf "unknown input relation %s" name))
+      in
+      let p = Hashtbl.find res.Resolve.preds name in
+      List.iter
+        (fun tu ->
+          if List.length tu <> Array.length p.Resolve.doms then
+            raise (Resolve.Check_error (Printf.sprintf "tuple arity mismatch for %s" name));
+          List.iteri
+            (fun i v ->
+              if v < 0 || v >= Domain.size p.Resolve.doms.(i) then
+                raise (Resolve.Check_error (Printf.sprintf "value %d out of range for %s" v name)))
+            tu;
+          slot := Tuples.add tu !slot)
+        tuples)
+    inputs;
+  let apply_rules rules =
+    List.fold_left
+      (fun changed rule ->
+        let derived = eval_rule res db rule in
+        let slot = Hashtbl.find db rule.Ast.head.Ast.pred in
+        List.fold_left
+          (fun changed tu ->
+            if Tuples.mem tu !slot then changed
+            else begin
+              slot := Tuples.add tu !slot;
+              true
+            end)
+          changed derived)
+      false rules
+  in
+  List.iter
+    (fun (st : Stratify.stratum) ->
+      ignore (apply_rules st.Stratify.once_rules);
+      if st.Stratify.loop_rules <> [] then begin
+        let continue = ref true in
+        while !continue do
+          continue := apply_rules st.Stratify.loop_rules
+        done
+      end)
+    strata;
+  { db }
+
+let tuples r name =
+  match Hashtbl.find_opt r.db name with
+  | Some s -> Tuples.elements !s
+  | None -> raise (Resolve.Check_error (Printf.sprintf "unknown relation %s" name))

@@ -1,0 +1,23 @@
+(** Slow, obviously-correct Datalog evaluator over explicit tuple
+    sets — the executable specification of {!Engine}, used for
+    differential testing (the paper's semi-naive BDD evaluation was
+    "very difficult to get correct"; §6.4 reports a subtle
+    incrementalization bug found months later — this is our guard
+    against the same).
+
+    Evaluation is naive fixpoint iteration per stratum with
+    backtracking joins; exponential in the worst case, fine for test
+    programs. *)
+
+type result
+
+val solve :
+  ?element_names:(string -> string array option) ->
+  Ast.program ->
+  inputs:(string * int list list) list ->
+  result
+(** Raises the same {!Resolve.Check_error} / {!Stratify.Not_stratified}
+    as the engine on bad programs. *)
+
+val tuples : result -> string -> int list list
+(** Sorted, deduplicated tuples of a relation after solving. *)

@@ -1,0 +1,182 @@
+type pred = { decl : Ast.rel_decl; doms : Domain.t array }
+
+type t = {
+  program : Ast.program;
+  domains : (string * Domain.t) list;
+  preds : (string, pred) Hashtbl.t;
+}
+
+exception Check_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Check_error s)) fmt
+
+let const_index dom s =
+  match Domain.element_index dom s with
+  | Some i -> i
+  | None -> fail "constant %S is not an element of domain %s" s (Domain.name dom)
+
+let pred t name =
+  match Hashtbl.find_opt t.preds name with
+  | Some p -> p
+  | None -> fail "unknown relation %s" name
+
+(* Computes the domain of every variable of a rule, checking
+   consistency along the way. *)
+let rule_var_domains preds (r : Ast.rule) =
+  let var_doms : (string, Domain.t) Hashtbl.t = Hashtbl.create 8 in
+  let bind_var rule v dom =
+    match Hashtbl.find_opt var_doms v with
+    | None -> Hashtbl.add var_doms v dom
+    | Some d ->
+      if not (Domain.equal d dom) then
+        fail "variable %s used at positions of domains %s and %s in rule: %a" v (Domain.name d) (Domain.name dom)
+          Ast.pp_rule rule
+  in
+  let check_atom rule (a : Ast.atom) =
+    let p =
+      match Hashtbl.find_opt preds a.Ast.pred with
+      | Some p -> p
+      | None -> fail "unknown relation %s in rule: %a" a.Ast.pred Ast.pp_rule rule
+    in
+    if List.length a.Ast.args <> Array.length p.doms then
+      fail "relation %s expects %d arguments, got %d in rule: %a" a.Ast.pred (Array.length p.doms)
+        (List.length a.Ast.args) Ast.pp_rule rule;
+    List.iteri
+      (fun i arg ->
+        match arg with
+        | Ast.Var v -> bind_var rule v p.doms.(i)
+        | Ast.Const c -> ignore (const_index p.doms.(i) c)
+        | Ast.Wildcard -> ())
+      a.Ast.args
+  in
+  check_atom r r.Ast.head;
+  List.iter
+    (fun lit ->
+      match lit with
+      | Ast.Pos a | Ast.Neg a -> check_atom r a
+      | Ast.Cmp _ -> ())
+    r.Ast.body;
+  (* Comparisons second: their variables must already have a domain
+     from some atom, which also enforces safety for var-var compares. *)
+  List.iter
+    (fun lit ->
+      match lit with
+      | Ast.Cmp (l, _, rt) -> (
+        let dom_of_term = function
+          | Ast.Var v -> Hashtbl.find_opt var_doms v
+          | Ast.Const _ | Ast.Wildcard -> None
+        in
+        (match (l, rt) with
+        | Ast.Wildcard, _ | _, Ast.Wildcard -> fail "wildcard in comparison in rule: %a" Ast.pp_rule r
+        | Ast.Const _, Ast.Const _ -> fail "comparison between two constants in rule: %a" Ast.pp_rule r
+        | (Ast.Var _ | Ast.Const _), (Ast.Var _ | Ast.Const _) -> ());
+        match (dom_of_term l, dom_of_term rt) with
+        | Some dl, Some dr ->
+          if not (Domain.equal dl dr) then
+            fail "comparison between domains %s and %s in rule: %a" (Domain.name dl) (Domain.name dr) Ast.pp_rule r
+        | Some d, None -> (
+          match rt with
+          | Ast.Const c -> ignore (const_index d c)
+          | Ast.Var v -> fail "variable %s in comparison is not bound by a positive atom in rule: %a" v Ast.pp_rule r
+          | Ast.Wildcard -> ())
+        | None, Some d -> (
+          match l with
+          | Ast.Const c -> ignore (const_index d c)
+          | Ast.Var v -> fail "variable %s in comparison is not bound by a positive atom in rule: %a" v Ast.pp_rule r
+          | Ast.Wildcard -> ())
+        | None, None -> fail "comparison with no bound variable in rule: %a" Ast.pp_rule r)
+      | Ast.Pos _ | Ast.Neg _ -> ())
+    r.Ast.body;
+  var_doms
+
+let check_safety (r : Ast.rule) =
+  let positive_vars =
+    List.concat_map
+      (fun lit ->
+        match lit with
+        | Ast.Pos a -> Ast.vars_of_atom a
+        | Ast.Neg _ | Ast.Cmp _ -> [])
+      r.Ast.body
+  in
+  let bound v = List.mem v positive_vars in
+  List.iter
+    (fun arg ->
+      match arg with
+      | Ast.Var v ->
+        if not (bound v) then fail "head variable %s is not bound by a positive body atom in rule: %a" v Ast.pp_rule r
+      | Ast.Wildcard -> fail "wildcard in rule head: %a" Ast.pp_rule r
+      | Ast.Const _ -> ())
+    r.Ast.head.Ast.args;
+  List.iter
+    (fun lit ->
+      match lit with
+      | Ast.Neg a ->
+        List.iter
+          (fun v ->
+            if not (bound v) then
+              fail "variable %s of negated atom is not bound by a positive body atom in rule: %a" v Ast.pp_rule r)
+          (Ast.vars_of_atom a)
+      | Ast.Cmp _ | Ast.Pos _ -> ())
+    r.Ast.body
+
+let resolve ?(element_names = fun _ -> None) (program : Ast.program) =
+  (* Domains. *)
+  let domains =
+    List.map
+      (fun (d : Ast.domain_decl) ->
+        let names = element_names d.Ast.dom_name in
+        (d.Ast.dom_name, Domain.make ?element_names:names ~name:d.Ast.dom_name ~size:d.Ast.dom_size ()))
+      program.Ast.domains
+  in
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (n, _) ->
+      if Hashtbl.mem seen n then fail "domain %s declared twice" n;
+      Hashtbl.add seen n ())
+    domains;
+  let find_domain n =
+    match List.assoc_opt n domains with
+    | Some d -> d
+    | None -> fail "unknown domain %s" n
+  in
+  (* Relations. *)
+  let preds : (string, pred) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (decl : Ast.rel_decl) ->
+      if Hashtbl.mem preds decl.Ast.rel_name then fail "relation %s declared twice" decl.Ast.rel_name;
+      let attr_seen = Hashtbl.create 4 in
+      List.iter
+        (fun (a, _) ->
+          if Hashtbl.mem attr_seen a then fail "relation %s has two attributes named %s" decl.Ast.rel_name a;
+          Hashtbl.add attr_seen a ())
+        decl.Ast.rel_attrs;
+      let doms = Array.of_list (List.map (fun (_, d) -> find_domain d) decl.Ast.rel_attrs) in
+      Hashtbl.add preds decl.Ast.rel_name { decl; doms })
+    program.Ast.relations;
+  (* Rules. *)
+  List.iter
+    (fun (r : Ast.rule) ->
+      ignore (rule_var_domains preds r);
+      check_safety r;
+      (match Hashtbl.find_opt preds r.Ast.head.Ast.pred with
+      | Some { decl = { Ast.rel_kind = Ast.Input; _ }; _ } ->
+        fail "input relation %s may not appear in a rule head: %a" r.Ast.head.Ast.pred Ast.pp_rule r
+      | Some _ -> ()
+      | None -> fail "unknown relation %s" r.Ast.head.Ast.pred);
+      if r.Ast.body = [] then
+        List.iter
+          (fun arg ->
+            match arg with
+            | Ast.Const _ -> ()
+            | Ast.Var _ | Ast.Wildcard -> fail "fact with non-constant argument: %a" Ast.pp_rule r)
+          r.Ast.head.Ast.args)
+    program.Ast.rules;
+  { program; domains; preds }
+
+let var_domains t (r : Ast.rule) = rule_var_domains t.preds r
+
+let term_domain t (r : Ast.rule) v =
+  let var_doms = rule_var_domains t.preds r in
+  match Hashtbl.find_opt var_doms v with
+  | Some d -> d
+  | None -> fail "variable %s not found in rule: %a" v Ast.pp_rule r

@@ -1,0 +1,43 @@
+(** Name resolution and static checking of Datalog programs.
+
+    Checks performed (errors are reported with the offending rule
+    pretty-printed):
+    - domain and relation names are declared once; attribute domains
+      exist; attribute names are unique per relation;
+    - every atom refers to a declared relation with the right arity;
+    - each variable is used consistently at positions of a single
+      domain; comparisons relate terms of one domain;
+    - constants name valid elements of their domain;
+    - {e safety}: every head variable, and every variable of a negated
+      atom or comparison, is bound by some positive body atom; facts
+      (empty body) are all-constant; wildcards may not occur in heads;
+    - input relations may not appear in rule heads. *)
+
+type pred = {
+  decl : Ast.rel_decl;
+  doms : Domain.t array;  (** attribute domains, positionally *)
+}
+
+type t = {
+  program : Ast.program;
+  domains : (string * Domain.t) list;  (** declaration order *)
+  preds : (string, pred) Hashtbl.t;
+}
+
+exception Check_error of string
+
+val resolve : ?element_names:(string -> string array option) -> Ast.program -> t
+(** [element_names dom_name] supplies the optional element-name table
+    for a domain (the paper's ".map" files). *)
+
+val pred : t -> string -> pred
+(** Raises {!Check_error} on unknown predicates. *)
+
+val const_index : Domain.t -> string -> int
+(** Resolve a constant in a domain; raises {!Check_error}. *)
+
+val term_domain : t -> Ast.rule -> string -> Domain.t
+(** Domain of a variable within a (resolved) rule. *)
+
+val var_domains : t -> Ast.rule -> (string, Domain.t) Hashtbl.t
+(** Domains of all variables of a rule. *)

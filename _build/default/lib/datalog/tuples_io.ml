@@ -1,0 +1,60 @@
+let load_file path =
+  let ic = open_in path in
+  let tuples = ref [] in
+  (try
+     let line_no = ref 0 in
+     while true do
+       let line = input_line ic in
+       incr line_no;
+       let line =
+         match String.index_opt line '#' with
+         | Some i -> String.sub line 0 i
+         | None -> line
+       in
+       let fields = String.split_on_char ' ' line |> List.filter (fun s -> s <> "") in
+       if fields <> [] then begin
+         let tuple =
+           List.map
+             (fun s ->
+               match int_of_string_opt s with
+               | Some v -> v
+               | None -> failwith (Printf.sprintf "%s:%d: not an integer: %s" path !line_no s))
+             fields
+         in
+         tuples := tuple :: !tuples
+       end
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !tuples
+
+let save_file path tuples =
+  let oc = open_out path in
+  List.iter
+    (fun t ->
+      Array.iteri
+        (fun i v ->
+          if i > 0 then output_char oc ' ';
+          output_string oc (string_of_int v))
+        t;
+      output_char oc '\n')
+    tuples;
+  close_out oc
+
+let load_inputs ~dir (program : Ast.program) =
+  List.filter_map
+    (fun (r : Ast.rel_decl) ->
+      match r.Ast.rel_kind with
+      | Ast.Input ->
+        let path = Filename.concat dir (r.Ast.rel_name ^ ".tuples") in
+        if Sys.file_exists path then Some (r.Ast.rel_name, load_file path) else Some (r.Ast.rel_name, [])
+      | Ast.Output | Ast.Internal -> None)
+    program.Ast.relations
+
+let save_outputs ~dir (program : Ast.program) tuples_of =
+  List.iter
+    (fun (r : Ast.rel_decl) ->
+      match r.Ast.rel_kind with
+      | Ast.Output -> save_file (Filename.concat dir (r.Ast.rel_name ^ ".tuples")) (tuples_of r.Ast.rel_name)
+      | Ast.Input | Ast.Internal -> ())
+    program.Ast.relations

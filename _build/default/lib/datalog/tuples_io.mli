@@ -1,0 +1,17 @@
+(** Text format for relation tuples, one tuple per line as
+    space-separated ordinals ([#] comments allowed) — the counterpart
+    of bddbddb's ".tuples" files, used by the standalone Datalog
+    front end. *)
+
+val load_file : string -> int list list
+(** Raises [Sys_error] / [Failure] on unreadable files or non-integer
+    fields. *)
+
+val save_file : string -> int array list -> unit
+
+val load_inputs : dir:string -> Ast.program -> (string * int list list) list
+(** For every [input] relation of the program, load ["<dir>/<name>.tuples"]
+    if it exists (missing files mean empty relations). *)
+
+val save_outputs : dir:string -> Ast.program -> (string -> int array list) -> unit
+(** Write every [output] relation to ["<dir>/<name>.tuples"]. *)

@@ -1,0 +1,121 @@
+type t = { n : int; succ : int list array }
+
+let make n edges =
+  if n < 0 then invalid_arg "Graphutil.make";
+  let succ = Array.make n [] in
+  List.iter
+    (fun (a, b) ->
+      if a < 0 || a >= n || b < 0 || b >= n then invalid_arg "Graphutil.make: edge out of range";
+      succ.(a) <- b :: succ.(a))
+    edges;
+  { n; succ }
+
+(* Iterative Tarjan: an explicit stack of (node, remaining successors)
+   frames so deep graphs cannot overflow the OCaml stack. *)
+let scc g =
+  let index = Array.make g.n (-1) in
+  let lowlink = Array.make g.n 0 in
+  let on_stack = Array.make g.n false in
+  let comp = Array.make g.n (-1) in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let next_comp = ref 0 in
+  let members = ref [] in
+  let visit root =
+    let frames = ref [ (root, ref g.succ.(root)) ] in
+    index.(root) <- !next_index;
+    lowlink.(root) <- !next_index;
+    incr next_index;
+    stack := root :: !stack;
+    on_stack.(root) <- true;
+    while !frames <> [] do
+      match !frames with
+      | [] -> ()
+      | (v, rest) :: outer -> (
+        match !rest with
+        | w :: more ->
+          rest := more;
+          if index.(w) = -1 then begin
+            index.(w) <- !next_index;
+            lowlink.(w) <- !next_index;
+            incr next_index;
+            stack := w :: !stack;
+            on_stack.(w) <- true;
+            frames := (w, ref g.succ.(w)) :: !frames
+          end
+          else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w)
+        | [] ->
+          if lowlink.(v) = index.(v) then begin
+            (* v is the root of a component: pop down to v. *)
+            let c = !next_comp in
+            incr next_comp;
+            let rec pop acc =
+              match !stack with
+              | [] -> acc
+              | w :: rest ->
+                stack := rest;
+                on_stack.(w) <- false;
+                comp.(w) <- c;
+                if w = v then w :: acc else pop (w :: acc)
+            in
+            members := pop [] :: !members
+          end;
+          frames := outer;
+          (match outer with
+          | (p, _) :: _ -> lowlink.(p) <- min lowlink.(p) lowlink.(v)
+          | [] -> ()))
+    done
+  in
+  for v = 0 to g.n - 1 do
+    if index.(v) = -1 then visit v
+  done;
+  let member_arr = Array.make !next_comp [] in
+  List.iteri (fun i ms -> member_arr.(i) <- ms) (List.rev !members);
+  (comp, member_arr)
+
+let condense g comp ncomps =
+  let seen = Hashtbl.create 64 in
+  let edges = ref [] in
+  Array.iteri
+    (fun v succs ->
+      List.iter
+        (fun w ->
+          let a = comp.(v) and b = comp.(w) in
+          if a <> b && not (Hashtbl.mem seen (a, b)) then begin
+            Hashtbl.add seen (a, b) ();
+            edges := (a, b) :: !edges
+          end)
+        succs)
+    g.succ;
+  make ncomps !edges
+
+let topo_order g =
+  let indegree = Array.make g.n 0 in
+  Array.iter (fun succs -> List.iter (fun w -> indegree.(w) <- indegree.(w) + 1) succs) g.succ;
+  let queue = Queue.create () in
+  Array.iteri (fun v d -> if d = 0 then Queue.add v queue) indegree;
+  let order = ref [] in
+  let count = ref 0 in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    order := v :: !order;
+    incr count;
+    List.iter
+      (fun w ->
+        indegree.(w) <- indegree.(w) - 1;
+        if indegree.(w) = 0 then Queue.add w queue)
+      g.succ.(v)
+  done;
+  if !count <> g.n then invalid_arg "Graphutil.topo_order: graph has a cycle";
+  List.rev !order
+
+let reachable g seeds =
+  let seen = Array.make g.n false in
+  let rec go v =
+    if not seen.(v) then begin
+      seen.(v) <- true;
+      List.iter go g.succ.(v)
+    end
+  in
+  List.iter go seeds;
+  seen

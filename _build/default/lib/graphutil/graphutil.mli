@@ -1,0 +1,30 @@
+(** Directed-graph algorithms shared by the Datalog stratifier
+    (predicate dependency SCCs) and the context-numbering pass
+    (call-graph SCCs, Algorithm 4 steps 2-4).
+
+    Graphs are on integer nodes [0 .. n-1] with adjacency lists. *)
+
+type t = { n : int; succ : int list array }
+
+val make : int -> (int * int) list -> t
+(** [make n edges] builds a graph; duplicate edges are kept (the call
+    graph is a multigraph), self-loops allowed. *)
+
+val scc : t -> int array * int list array
+(** Tarjan's strongly connected components.
+    Returns [(comp, members)]: [comp.(v)] is the component index of
+    node [v], and [members.(c)] lists the nodes of component [c].
+    Component indices are in {e reverse topological order} of the
+    condensation: if there is an edge from component [a] to component
+    [b] (with [a <> b]) then [comp] satisfies [a > b]. *)
+
+val condense : t -> int array -> int -> t
+(** [condense g comp ncomps] is the condensation graph on component
+    indices, with duplicate edges and self-loops removed. *)
+
+val topo_order : t -> int list
+(** Topological order of an acyclic graph (sources first).  Raises
+    [Invalid_argument] if the graph has a cycle. *)
+
+val reachable : t -> int list -> bool array
+(** Nodes reachable from the given seeds (seeds included). *)

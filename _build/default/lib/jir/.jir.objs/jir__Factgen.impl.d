@@ -1,0 +1,1 @@
+lib/jir/factgen.ml: Array Buffer Hashtbl Hier Ir List Local_opt Printf

@@ -1,0 +1,1 @@
+lib/jir/hier.ml: Hashtbl Ir List

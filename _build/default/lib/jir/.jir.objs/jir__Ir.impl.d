@@ -1,0 +1,1 @@
+lib/jir/ir.ml: Array Hashtbl List Option Printf

@@ -1,0 +1,1 @@
+lib/jir/jparser.ml: Array Buffer Format Hashtbl Ir List Option Printf String

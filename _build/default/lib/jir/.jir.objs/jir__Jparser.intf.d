@@ -1,0 +1,1 @@
+lib/jir/jparser.mli: Ir

@@ -1,0 +1,1 @@
+lib/jir/jprinter.ml: Format Ir List String

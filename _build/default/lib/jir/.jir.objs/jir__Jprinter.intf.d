@@ -1,0 +1,1 @@
+lib/jir/jprinter.mli: Format Ir

@@ -1,0 +1,1 @@
+lib/jir/local_opt.ml: Hashtbl Ir List Option

@@ -1,0 +1,1 @@
+lib/jir/local_opt.mli: Ir

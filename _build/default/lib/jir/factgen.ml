@@ -1,0 +1,217 @@
+type t = {
+  program : Ir.t;
+  domains : (string * int * string array) list;
+  relations : (string * int list list) list;
+}
+
+let global_heap t = Ir.num_heaps t.program
+
+let dom_size t name =
+  let rec go = function
+    | [] -> invalid_arg (Printf.sprintf "Factgen.dom_size: unknown domain %s" name)
+    | (n, s, _) :: rest -> if n = name then s else go rest
+  in
+  go t.domains
+
+let element_names t name =
+  let rec go = function
+    | [] -> None
+    | (n, _, names) :: rest -> if n = name then Some names else go rest
+  in
+  go t.domains
+
+let relation t name =
+  let rec go = function
+    | [] -> invalid_arg (Printf.sprintf "Factgen.relation: unknown relation %s" name)
+    | (n, tuples) :: rest -> if n = name then tuples else go rest
+  in
+  go t.relations
+
+let domains_decl t =
+  let buf = Buffer.create 256 in
+  List.iter (fun (n, s, _) -> Buffer.add_string buf (Printf.sprintf "%s %d\n" n s)) t.domains;
+  Buffer.contents buf
+
+let extract ?(local_opt = true) (p : Ir.t) =
+  if local_opt then ignore (Local_opt.run p);
+  (* Method names for the N domain: null name at 0, then every method
+     name that can be used in dispatch. *)
+  let names = ref [ "<none>" ] in
+  let name_index : (string, int) Hashtbl.t = Hashtbl.create 32 in
+  Hashtbl.add name_index "<none>" 0;
+  let intern_name n =
+    match Hashtbl.find_opt name_index n with
+    | Some i -> i
+    | None ->
+      let i = Hashtbl.length name_index in
+      Hashtbl.add name_index n i;
+      names := n :: !names;
+      i
+  in
+  Ir.iter_methods p (fun m -> ignore (intern_name m.Ir.m_name));
+  (* Relations accumulated as reversed lists. *)
+  let vP0 = ref [] in
+  let copy_assign = ref [] in
+  let store_rel = ref [] in
+  let load_rel = ref [] in
+  let actual = ref [] in
+  let formal = ref [] in
+  let ie0 = ref [] in
+  let mi = ref [] in
+  let mret = ref [] in
+  let iret = ref [] in
+  let mv = ref [] in
+  let mh = ref [] in
+  let syncs = ref [] in
+  let hrun = ref [] in
+  let max_arity = ref 1 in
+  let global = Ir.global_var p in
+  let global_h = Ir.num_heaps p in
+  let vP0g = [ [ global; global_h ] ] in
+  (* One synthetic exception variable per method, appended after the
+     program's variables: the paper's V includes thrown exceptions. *)
+  let exc_var m = Ir.num_vars p + m in
+  let bind_actuals site receiver args =
+    let zs =
+      match receiver with
+      | Some b -> b :: args
+      | None -> args
+    in
+    List.iteri (fun z v -> actual := [ site; z; v ] :: !actual) zs;
+    max_arity := max !max_arity (List.length zs)
+  in
+  Ir.iter_methods p (fun m ->
+      List.iteri (fun z v -> formal := [ m.Ir.m_id; z; v ] :: !formal) m.Ir.m_formals;
+      max_arity := max !max_arity (List.length m.Ir.m_formals);
+      List.iter (fun v -> mv := [ m.Ir.m_id; v ] :: !mv) (m.Ir.m_formals @ m.Ir.m_locals);
+      List.iter
+        (fun (s : Ir.stmt) ->
+          match s with
+          | Ir.New { dst; cls; heap; init_site; args } ->
+            vP0 := [ dst; heap ] :: !vP0;
+            mh := [ m.Ir.m_id; heap ] :: !mh;
+            ie0 := [ init_site; Ir.init_method p cls ] :: !ie0;
+            mi := [ m.Ir.m_id; init_site; 0 ] :: !mi;
+            bind_actuals init_site (Some dst) args;
+            (match Hier.run_method p cls with
+            | Some run -> hrun := [ heap; run ] :: !hrun
+            | None -> ())
+          | Ir.Assign { dst; src } -> copy_assign := [ dst; src ] :: !copy_assign
+          | Ir.Cast { dst; src; target = _ } -> copy_assign := [ dst; src ] :: !copy_assign
+          | Ir.Load { dst; base; fld } -> load_rel := [ base; fld; dst ] :: !load_rel
+          | Ir.Store { base; fld; src } -> store_rel := [ base; fld; src ] :: !store_rel
+          | Ir.Load_static { dst; fld } -> load_rel := [ global; fld; dst ] :: !load_rel
+          | Ir.Store_static { fld; src } -> store_rel := [ global; fld; src ] :: !store_rel
+          | Ir.Invoke { ret; kind; site; base; name; target; args } ->
+            (match ret with
+            | Some r -> iret := [ site; r ] :: !iret
+            | None -> ());
+            (match kind with
+            | Ir.Virtual ->
+              mi := [ m.Ir.m_id; site; intern_name name ] :: !mi;
+              bind_actuals site base args
+            | Ir.Static | Ir.Special ->
+              mi := [ m.Ir.m_id; site; 0 ] :: !mi;
+              (match target with
+              | Some tgt -> ie0 := [ site; tgt ] :: !ie0
+              | None -> ());
+              bind_actuals site base args)
+          | Ir.Array_load { dst; base } -> load_rel := [ base; Ir.array_field p; dst ] :: !load_rel
+          | Ir.Array_store { base; src } -> store_rel := [ base; Ir.array_field p; src ] :: !store_rel
+          | Ir.Throw v -> copy_assign := [ exc_var m.Ir.m_id; v ] :: !copy_assign
+          | Ir.Catch v -> copy_assign := [ v; exc_var m.Ir.m_id ] :: !copy_assign
+          | Ir.Return v -> mret := [ m.Ir.m_id; v ] :: !mret
+          | Ir.Sync v -> syncs := [ v ] :: !syncs)
+        m.Ir.m_body);
+  (* Types. *)
+  let vt = ref [] in
+  Ir.iter_vars p (fun v -> vt := [ v.Ir.v_id; v.Ir.v_type ] :: !vt);
+  let mthr = ref [] in
+  Ir.iter_methods p (fun m ->
+      vt := [ exc_var m.Ir.m_id; Ir.object_class p ] :: !vt;
+      mv := [ m.Ir.m_id; exc_var m.Ir.m_id ] :: !mv;
+      mthr := [ m.Ir.m_id; exc_var m.Ir.m_id ] :: !mthr);
+  let ht = ref [] in
+  Ir.iter_heaps p (fun h -> ht := [ h.Ir.h_id; h.Ir.h_cls ] :: !ht);
+  ht := [ global_h; Ir.object_class p ] :: !ht;
+  let at = List.map (fun (a, b) -> [ a; b ]) (Hier.aT_tuples p) in
+  let cha = List.map (fun (c, n, m) -> [ c; intern_name n; m ]) (Hier.cha_tuples p) in
+  let cha_thread = List.map (fun (c, n, m) -> [ c; intern_name n; m ]) (Hier.thread_dispatch_tuples p) in
+  let mentry = List.map (fun m -> [ m ]) (Ir.entries p) in
+  let mcls = ref [] in
+  Ir.iter_methods p (fun m -> mcls := [ m.Ir.m_id; m.Ir.m_owner ] :: !mcls);
+  (* Element name tables. *)
+  let n_all_vars = Ir.num_vars p + Ir.num_methods p in
+  let v_names =
+    Array.init n_all_vars (fun i ->
+        if i < Ir.num_vars p then begin
+          let v = Ir.var p i in
+          match v.Ir.v_owner with
+          | Some m ->
+            let mm = Ir.meth p m in
+            Printf.sprintf "%s.%s.%s" (Ir.cls p mm.Ir.m_owner).Ir.cls_name mm.Ir.m_name v.Ir.v_name
+          | None -> v.Ir.v_name
+        end
+        else begin
+          let mm = Ir.meth p (i - Ir.num_vars p) in
+          Printf.sprintf "%s.%s.<exc>" (Ir.cls p mm.Ir.m_owner).Ir.cls_name mm.Ir.m_name
+        end)
+  in
+  let h_names = Array.init (Ir.num_heaps p + 1) (fun i -> if i = global_h then "<global>" else (Ir.heap p i).Ir.h_label) in
+  let f_names =
+    Array.init (max 1 (Ir.num_fields p)) (fun i ->
+        if i < Ir.num_fields p then begin
+          let f = Ir.field p i in
+          Printf.sprintf "%s.%s" (Ir.cls p f.Ir.fld_owner).Ir.cls_name f.Ir.fld_name
+        end
+        else "<none>")
+  in
+  let t_names = Array.init (Ir.num_classes p) (fun i -> (Ir.cls p i).Ir.cls_name) in
+  let i_names = Array.init (max 1 (Ir.num_invokes p)) (fun i -> if i < Ir.num_invokes p then (Ir.invoke p i).Ir.i_label else "<none>") in
+  let n_names = Array.of_list (List.rev !names) in
+  let m_names =
+    Array.init (Ir.num_methods p) (fun i ->
+        let m = Ir.meth p i in
+        Printf.sprintf "%s.%s" (Ir.cls p m.Ir.m_owner).Ir.cls_name m.Ir.m_name)
+  in
+  let z_names = Array.init !max_arity string_of_int in
+  let domains =
+    [
+      ("V", n_all_vars, v_names);
+      ("H", Ir.num_heaps p + 1, h_names);
+      ("F", max 1 (Ir.num_fields p), f_names);
+      ("T", Ir.num_classes p, t_names);
+      ("I", max 1 (Ir.num_invokes p), i_names);
+      ("N", Array.length n_names, n_names);
+      ("M", Ir.num_methods p, m_names);
+      ("Z", !max_arity, z_names);
+    ]
+  in
+  let relations =
+    [
+      ("vP0", List.rev !vP0);
+      ("vP0g", vP0g);
+      ("copyAssign", List.rev !copy_assign);
+      ("store", List.rev !store_rel);
+      ("load", List.rev !load_rel);
+      ("vT", List.rev !vt);
+      ("hT", List.rev !ht);
+      ("aT", at);
+      ("cha", cha);
+      ("chaT", cha_thread);
+      ("actual", List.rev !actual);
+      ("formal", List.rev !formal);
+      ("IE0", List.rev !ie0);
+      ("mI", List.rev !mi);
+      ("Mret", List.rev !mret);
+      ("Mthr", List.rev !mthr);
+      ("Iret", List.rev !iret);
+      ("mV", List.rev !mv);
+      ("mH", List.rev !mh);
+      ("syncs", List.rev !syncs);
+      ("Mentry", mentry);
+      ("Mcls", List.rev !mcls);
+      ("hRun", List.rev !hrun);
+    ]
+  in
+  { program = p; domains; relations }

@@ -1,0 +1,47 @@
+(** Extraction of the analyses' input relations from an IR program —
+    the stand-in for the paper's Joeq frontend (§6.1 "The input
+    relations were generated with the Joeq compiler infrastructure").
+
+    Domains produced (sizes are exact, not the paper's generous
+    powers of two):
+    - [V]: variables — formals, locals, the special global variable;
+    - [H]: allocation sites plus one synthetic global object holding
+      static fields;
+    - [F]: field descriptors (instance and static alike);
+    - [T]: classes;
+    - [I]: invocation sites, including one per allocation (the
+      constructor call — this is how [H ⊆ I] is realized);
+    - [N]: virtual method names, with a distinguished null name at
+      index 0 for non-virtual sites (§3);
+    - [M]: methods;
+    - [Z]: parameter positions.
+
+    Relations produced (schemas in the paper's notation):
+    [vP0(v,h)], [copyAssign(dst,src)] (copies/casts surviving
+    {!Local_opt}), [store(base,f,src)], [load(base,f,dst)], [vT(v,t)],
+    [hT(h,t)], [aT(sup,sub)], [cha(t,n,m)], [actual(i,z,v)],
+    [formal(m,z,v)], [IE0(i,m)], [mI(m,i,n)], [Mret(m,v)], [Iret(i,v)],
+    [mV(m,v)], [mH(m,h)], [syncs(v)], [Mentry(m)], [hRun(h,m)] (thread
+    allocation site to its run() method). *)
+
+type t = {
+  program : Ir.t;
+  domains : (string * int * string array) list;  (** name, size, element names *)
+  relations : (string * int list list) list;
+}
+
+val extract : ?local_opt:bool -> Ir.t -> t
+(** [extract p] rewrites static accesses through the global object and
+    produces all domains and relations.  [local_opt] (default true)
+    runs {!Local_opt.run} first (on the program in place). *)
+
+val global_heap : t -> int
+(** The synthetic global object's index in [H]. *)
+
+val dom_size : t -> string -> int
+val element_names : t -> string -> string array option
+(** In the shape expected by {!Datalog.Engine.create}. *)
+
+val relation : t -> string -> int list list
+val domains_decl : t -> string
+(** The DOMAINS section text for a Datalog program over these facts. *)

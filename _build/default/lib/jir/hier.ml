@@ -1,0 +1,90 @@
+let rec subclass_of p sub sup =
+  if sub = sup then true
+  else
+    match (Ir.cls p sub).Ir.cls_super with
+    | Some s -> subclass_of p s sup
+    | None -> false
+
+(* All interfaces a type conforms to: its own (or super-interface)
+   declarations plus those of its ancestors, transitively. *)
+let interfaces_of p c =
+  let seen = Hashtbl.create 8 in
+  let rec add_iface i =
+    if not (Hashtbl.mem seen i) then begin
+      Hashtbl.add seen i ();
+      List.iter add_iface (Ir.cls p i).Ir.cls_impls
+    end
+  in
+  let rec walk c =
+    List.iter add_iface (Ir.cls p c).Ir.cls_impls;
+    match (Ir.cls p c).Ir.cls_super with
+    | Some s -> walk s
+    | None -> ()
+  in
+  walk c;
+  if (Ir.cls p c).Ir.cls_interface then add_iface c;
+  Hashtbl.fold (fun i () acc -> i :: acc) seen []
+
+let assignable p t1 t2 =
+  subclass_of p t2 t1 || ((Ir.cls p t1).Ir.cls_interface && List.mem t1 (interfaces_of p t2))
+
+let rec dispatch p c name =
+  match Ir.find_method p c name with
+  | Some m -> Some m
+  | None -> (
+    match (Ir.cls p c).Ir.cls_super with
+    | Some s -> dispatch p s name
+    | None -> None)
+
+let is_thread p c = subclass_of p c (Ir.thread_class p)
+
+let run_method p c = if is_thread p c then dispatch p c "run" else None
+
+let aT_tuples p =
+  let out = ref [] in
+  Ir.iter_classes p (fun sub ->
+      let rec walk sup =
+        out := (sup.Ir.cls_id, sub.Ir.cls_id) :: !out;
+        match sup.Ir.cls_super with
+        | Some s -> walk (Ir.cls p s)
+        | None -> ()
+      in
+      walk sub;
+      List.iter (fun i -> out := (i, sub.Ir.cls_id) :: !out) (interfaces_of p sub.Ir.cls_id));
+  List.sort_uniq compare !out
+
+(* Method names visible on a class: declared here or inherited. *)
+let visible_names p c =
+  let names = Hashtbl.create 8 in
+  let rec walk c =
+    List.iter (fun m -> Hashtbl.replace names (Ir.meth p m).Ir.m_name ()) (Ir.cls p c).Ir.cls_methods;
+    match (Ir.cls p c).Ir.cls_super with
+    | Some s -> walk s
+    | None -> ()
+  in
+  walk c.Ir.cls_id;
+  Hashtbl.fold (fun n () acc -> n :: acc) names []
+
+let cha_tuples p =
+  let out = ref [] in
+  Ir.iter_classes p (fun c ->
+      List.iter
+        (fun n ->
+          match dispatch p c.Ir.cls_id n with
+          | Some m -> if n <> "<init>" then out := (c.Ir.cls_id, n, m) :: !out
+          | None -> ())
+        (visible_names p c));
+  !out
+
+let thread_dispatch_tuples p =
+  (* Thread-to-run matching (§3, footnote 3): invoking start() on a
+     thread object dispatches to its run() method.  Kept separate from
+     [cha] because Algorithm 7 roots threads at their own run() entries
+     and must not see these edges. *)
+  let out = ref [] in
+  Ir.iter_classes p (fun c ->
+      if is_thread p c.Ir.cls_id then
+        match run_method p c.Ir.cls_id with
+        | Some run -> out := (c.Ir.cls_id, "start", run) :: !out
+        | None -> ());
+  !out

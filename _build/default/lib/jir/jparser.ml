@@ -1,0 +1,593 @@
+type error = { message : string; line : int }
+
+exception Parse_error of error
+
+(* --- Lexer --- *)
+
+type token =
+  | IDENT of string
+  | STRING of string
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | COLON
+  | EQ
+  | DOT
+  | AT
+  | LBRACKET
+  | RBRACKET
+  | EOF
+
+let fail line fmt = Format.kasprintf (fun message -> raise (Parse_error { message; line })) fmt
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = '$'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let lex src =
+  let n = String.length src in
+  let out = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let emit t = out := (t, !line) :: !out in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '#' then
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    else if c = '{' then (emit LBRACE; incr i)
+    else if c = '}' then (emit RBRACE; incr i)
+    else if c = '(' then (emit LPAREN; incr i)
+    else if c = ')' then (emit RPAREN; incr i)
+    else if c = ',' then (emit COMMA; incr i)
+    else if c = ':' then (emit COLON; incr i)
+    else if c = '=' then (emit EQ; incr i)
+    else if c = '.' then (emit DOT; incr i)
+    else if c = '@' then (emit AT; incr i)
+    else if c = '[' then (emit LBRACKET; incr i)
+    else if c = ']' then (emit RBRACKET; incr i)
+    else if c = '"' then begin
+      let buf = Buffer.create 16 in
+      incr i;
+      while !i < n && src.[!i] <> '"' do
+        if src.[!i] = '\n' then fail !line "newline in string";
+        Buffer.add_char buf src.[!i];
+        incr i
+      done;
+      if !i >= n then fail !line "unterminated string";
+      incr i;
+      emit (STRING (Buffer.contents buf))
+    end
+    else if c = '<' then begin
+      (* Angle-bracketed names: <init>, <clinit>, <global>. *)
+      let buf = Buffer.create 8 in
+      Buffer.add_char buf '<';
+      incr i;
+      while !i < n && src.[!i] <> '>' do
+        Buffer.add_char buf src.[!i];
+        incr i
+      done;
+      if !i >= n then fail !line "unterminated '<...>' name";
+      Buffer.add_char buf '>';
+      incr i;
+      emit (IDENT (Buffer.contents buf))
+    end
+    else if is_ident_start c then begin
+      let buf = Buffer.create 16 in
+      while !i < n && is_ident_char src.[!i] do
+        Buffer.add_char buf src.[!i];
+        incr i
+      done;
+      emit (IDENT (Buffer.contents buf))
+    end
+    else fail !line "unexpected character %C" c
+  done;
+  emit EOF;
+  List.rev !out
+
+(* --- Surface AST --- *)
+
+type s_stmt =
+  | S_var of string * string
+  | S_assign of string * string
+  | S_new of { dst : string; cls : string; args : string list; label : string option }
+  | S_cast of { dst : string; cls : string; src : string }
+  | S_get of { dst : string; recv : string; member : string }
+  | S_put of { recv : string; member : string; src : string }
+  | S_call of { ret : string option; recv : string; name : string; args : string list; label : string option }
+  | S_special of { ret : string option; cls : string; name : string; args : string list; label : string option }
+  | S_array_load of { dst : string; base : string }
+  | S_array_store of { base : string; src : string }
+  | S_throw of string
+  | S_catch of string
+  | S_return of string
+  | S_sync of string
+
+type s_method = {
+  sm_name : string;
+  sm_static : bool;
+  sm_formals : (string * string) list;
+  sm_ret : string;
+  sm_body : (s_stmt * int) list;
+  sm_line : int;
+}
+
+type s_class = {
+  sc_name : string;
+  sc_super : string;
+  sc_interface : bool;
+  sc_impls : string list;  (* implemented (class) or extended (interface) interfaces *)
+  sc_fields : (string * string * bool) list;  (* name, type, static *)
+  sc_methods : s_method list;
+  sc_line : int;
+}
+
+type s_program = { s_classes : s_class list; s_entries : (string * string * int) list }
+
+(* --- Parser --- *)
+
+type state = { toks : (token * int) array; mutable pos : int }
+
+let peek st = fst st.toks.(st.pos)
+let line st = snd st.toks.(st.pos)
+let advance st = if st.pos < Array.length st.toks - 1 then st.pos <- st.pos + 1
+
+let describe = function
+  | IDENT s -> Printf.sprintf "identifier %s" s
+  | STRING s -> Printf.sprintf "string %S" s
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | COMMA -> "','"
+  | COLON -> "':'"
+  | EQ -> "'='"
+  | DOT -> "'.'"
+  | AT -> "'@'"
+  | LBRACKET -> "'['"
+  | RBRACKET -> "']'"
+  | EOF -> "end of input"
+
+let expect st tok what =
+  if peek st = tok then advance st else fail (line st) "expected %s, found %s" what (describe (peek st))
+
+let ident st what =
+  match peek st with
+  | IDENT s ->
+    advance st;
+    s
+  | t -> fail (line st) "expected %s, found %s" what (describe t)
+
+let arg_list st =
+  expect st LPAREN "'('";
+  let args = ref [] in
+  if peek st <> RPAREN then begin
+    args := [ ident st "an argument variable" ];
+    while peek st = COMMA do
+      advance st;
+      args := ident st "an argument variable" :: !args
+    done
+  end;
+  expect st RPAREN "')'";
+  List.rev !args
+
+let opt_label st =
+  if peek st = AT then begin
+    advance st;
+    match peek st with
+    | STRING s ->
+      advance st;
+      Some s
+    | t -> fail (line st) "expected a string label after '@', found %s" (describe t)
+  end
+  else None
+
+(* Statement after an optional "dst =" has been consumed. *)
+let rhs_stmt st dst =
+  match peek st with
+  | IDENT "new" ->
+    advance st;
+    let cls = ident st "a class name" in
+    let args = arg_list st in
+    let label = opt_label st in
+    S_new { dst; cls; args; label }
+  | LPAREN ->
+    advance st;
+    let cls = ident st "a class name in cast" in
+    expect st RPAREN "')'";
+    let src = ident st "a variable" in
+    S_cast { dst; cls; src }
+  | IDENT "special" ->
+    advance st;
+    let cls = ident st "a class name" in
+    expect st DOT "'.'";
+    let name = ident st "a method name" in
+    let args = arg_list st in
+    let label = opt_label st in
+    S_special { ret = Some dst; cls; name; args; label }
+  | IDENT "catch" ->
+    advance st;
+    S_catch dst
+  | IDENT _ -> (
+    let recv = ident st "a variable or class name" in
+    match peek st with
+    | LBRACKET ->
+      advance st;
+      expect st RBRACKET "']'";
+      S_array_load { dst; base = recv }
+    | DOT -> (
+      advance st;
+      let member = ident st "a member name" in
+      match peek st with
+      | LPAREN ->
+        let args = arg_list st in
+        let label = opt_label st in
+        S_call { ret = Some dst; recv; name = member; args; label }
+      | RBRACE | LBRACE | RPAREN | COMMA | COLON | EQ | DOT | AT | LBRACKET | RBRACKET | EOF | IDENT _ | STRING _ ->
+        S_get { dst; recv; member })
+    | RBRACE | LBRACE | LPAREN | RPAREN | COMMA | COLON | EQ | AT | RBRACKET | EOF | IDENT _ | STRING _ ->
+      S_assign (dst, recv))
+  | t -> fail (line st) "expected an expression, found %s" (describe t)
+
+let statement st =
+  let ln = line st in
+  let s =
+    match peek st with
+    | IDENT "var" ->
+      advance st;
+      let name = ident st "a variable name" in
+      expect st COLON "':'";
+      let ty = ident st "a type name" in
+      S_var (name, ty)
+    | IDENT "return" ->
+      advance st;
+      S_return (ident st "a variable")
+    | IDENT "throw" ->
+      advance st;
+      S_throw (ident st "a variable")
+    | IDENT "sync" ->
+      advance st;
+      S_sync (ident st "a variable")
+    | IDENT "special" ->
+      advance st;
+      let cls = ident st "a class name" in
+      expect st DOT "'.'";
+      let name = ident st "a method name" in
+      let args = arg_list st in
+      let label = opt_label st in
+      S_special { ret = None; cls; name; args; label }
+    | IDENT _ -> (
+      let first = ident st "a statement" in
+      match peek st with
+      | LBRACKET ->
+        advance st;
+        expect st RBRACKET "']'";
+        expect st EQ "'='";
+        S_array_store { base = first; src = ident st "a variable" }
+      | EQ ->
+        advance st;
+        rhs_stmt st first
+      | DOT -> (
+        advance st;
+        let member = ident st "a member name" in
+        match peek st with
+        | LPAREN ->
+          let args = arg_list st in
+          let label = opt_label st in
+          S_call { ret = None; recv = first; name = member; args; label }
+        | EQ ->
+          advance st;
+          let src = ident st "a variable" in
+          S_put { recv = first; member; src }
+        | t -> fail (line st) "expected '(' or '=' after member access, found %s" (describe t))
+      | t -> fail (line st) "expected '=' or '.' in statement, found %s" (describe t))
+    | t -> fail (line st) "expected a statement, found %s" (describe t)
+  in
+  (s, ln)
+
+let method_decl st ~static =
+  let ln = line st in
+  expect st (IDENT "method") "'method'";
+  let name = ident st "a method name" in
+  expect st LPAREN "'('";
+  let formals = ref [] in
+  if peek st <> RPAREN then begin
+    let formal () =
+      let n = ident st "a formal name" in
+      expect st COLON "':'";
+      let ty = ident st "a type name" in
+      (n, ty)
+    in
+    formals := [ formal () ];
+    while peek st = COMMA do
+      advance st;
+      formals := formal () :: !formals
+    done
+  end;
+  expect st RPAREN "')'";
+  expect st COLON "':'";
+  let ret = ident st "a return type" in
+  expect st LBRACE "'{'";
+  let body = ref [] in
+  while peek st <> RBRACE do
+    body := statement st :: !body
+  done;
+  expect st RBRACE "'}'";
+  { sm_name = name; sm_static = static; sm_formals = List.rev !formals; sm_ret = ret; sm_body = List.rev !body; sm_line = ln }
+
+let name_list st what =
+  let names = ref [ ident st what ] in
+  while peek st = COMMA do
+    advance st;
+    names := ident st what :: !names
+  done;
+  List.rev !names
+
+let interface_decl st =
+  let ln = line st in
+  expect st (IDENT "interface") "'interface'";
+  let name = ident st "an interface name" in
+  let extends = if peek st = IDENT "extends" then (advance st; name_list st "an interface name") else [] in
+  expect st LBRACE "'{'";
+  expect st RBRACE "'}' (interfaces declare no members)";
+  { sc_name = name; sc_super = "Object"; sc_interface = true; sc_impls = extends; sc_fields = []; sc_methods = []; sc_line = ln }
+
+let class_decl st =
+  let ln = line st in
+  expect st (IDENT "class") "'class'";
+  let name = ident st "a class name" in
+  expect st (IDENT "extends") "'extends'";
+  let super = ident st "a superclass name" in
+  let impls = if peek st = IDENT "implements" then (advance st; name_list st "an interface name") else [] in
+  expect st LBRACE "'{'";
+  let fields = ref [] in
+  let methods = ref [] in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | RBRACE ->
+      advance st;
+      continue := false
+    | IDENT "field" ->
+      advance st;
+      let n = ident st "a field name" in
+      expect st COLON "':'";
+      let ty = ident st "a type name" in
+      fields := (n, ty, false) :: !fields
+    | IDENT "static" -> (
+      advance st;
+      match peek st with
+      | IDENT "field" ->
+        advance st;
+        let n = ident st "a field name" in
+        expect st COLON "':'";
+        let ty = ident st "a type name" in
+        fields := (n, ty, true) :: !fields
+      | IDENT "method" -> methods := method_decl st ~static:true :: !methods
+      | t -> fail (line st) "expected 'field' or 'method' after 'static', found %s" (describe t))
+    | IDENT "method" -> methods := method_decl st ~static:false :: !methods
+    | t -> fail (line st) "expected a class member, found %s" (describe t)
+  done;
+  {
+    sc_name = name;
+    sc_super = super;
+    sc_interface = false;
+    sc_impls = impls;
+    sc_fields = List.rev !fields;
+    sc_methods = List.rev !methods;
+    sc_line = ln;
+  }
+
+let surface_program st =
+  let classes = ref [] in
+  let entries = ref [] in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | EOF -> continue := false
+    | IDENT "class" -> classes := class_decl st :: !classes
+    | IDENT "interface" -> classes := interface_decl st :: !classes
+    | IDENT "entry" ->
+      let ln = line st in
+      advance st;
+      let c = ident st "a class name" in
+      expect st DOT "'.'";
+      let m = ident st "a method name" in
+      entries := (c, m, ln) :: !entries
+    | t -> fail (line st) "expected 'class' or 'entry', found %s" (describe t)
+  done;
+  { s_classes = List.rev !classes; s_entries = List.rev !entries }
+
+(* --- Elaboration --- *)
+
+let elaborate (sp : s_program) =
+  let p = Ir.create () in
+  (* Create classes, supers first.  Built-in classes (Object, Thread,
+     String) may be "reopened" to add members. *)
+  let builtin name = List.mem name [ "Object"; "Thread"; "String" ] in
+  let by_name = Hashtbl.create 16 in
+  List.iter
+    (fun sc ->
+      if Hashtbl.mem by_name sc.sc_name && not (builtin sc.sc_name) then fail sc.sc_line "duplicate class %s" sc.sc_name;
+      Hashtbl.replace by_name sc.sc_name sc)
+    sp.s_classes;
+  let rec ensure_class name ~line ~seen =
+    if List.mem name seen then fail line "inheritance cycle involving %s" name;
+    match Ir.find_class p name with
+    | Some c -> c
+    | None -> (
+      match Hashtbl.find_opt by_name name with
+      | None -> fail line "unknown class %s" name
+      | Some sc ->
+        if sc.sc_interface then begin
+          let extends = List.map (fun i -> ensure_class i ~line:sc.sc_line ~seen:(name :: seen)) sc.sc_impls in
+          List.iter
+            (fun i -> if not (Ir.cls p i).Ir.cls_interface then fail sc.sc_line "%s extends a non-interface" name)
+            extends;
+          Ir.add_interface p ~extends ~name
+        end
+        else begin
+          let super = ensure_class sc.sc_super ~line:sc.sc_line ~seen:(name :: seen) in
+          let impls = List.map (fun i -> ensure_class i ~line:sc.sc_line ~seen:(name :: seen)) sc.sc_impls in
+          List.iter
+            (fun i -> if not (Ir.cls p i).Ir.cls_interface then fail sc.sc_line "%s implements a non-interface" name)
+            impls;
+          Ir.add_class p ~impls ~name ~super
+        end)
+  in
+  List.iter (fun sc -> ignore (ensure_class sc.sc_name ~line:sc.sc_line ~seen:[])) sp.s_classes;
+  let class_of name line =
+    match Ir.find_class p name with
+    | Some c -> c
+    | None -> fail line "unknown class %s" name
+  in
+  (* Declare fields and method signatures. *)
+  List.iter
+    (fun sc ->
+      let c = class_of sc.sc_name sc.sc_line in
+      List.iter (fun (n, ty, static) -> ignore (Ir.add_field p ~name:n ~owner:c ~ty:(class_of ty sc.sc_line) ~static)) sc.sc_fields;
+      List.iter
+        (fun sm ->
+          let formals = List.map (fun (n, ty) -> (n, class_of ty sm.sm_line)) sm.sm_formals in
+          if sm.sm_name = "<init>" then begin
+            if sm.sm_static then fail sm.sm_line "<init> may not be static";
+            ignore (Ir.redeclare_init p c ~formals)
+          end
+          else begin
+            if Ir.find_method p c sm.sm_name <> None then
+              fail sm.sm_line "duplicate method %s in %s" sm.sm_name sc.sc_name;
+            let ret = if sm.sm_ret = "void" then None else Some (class_of sm.sm_ret sm.sm_line) in
+            ignore (Ir.add_method p ~name:sm.sm_name ~owner:c ~static:sm.sm_static ~formals ~ret)
+          end)
+        sc.sc_methods)
+    sp.s_classes;
+  (* Elaborate bodies. *)
+  List.iter
+    (fun sc ->
+      let c = class_of sc.sc_name sc.sc_line in
+      List.iter
+        (fun sm ->
+          let m =
+            match Ir.find_method p c sm.sm_name with
+            | Some m -> m
+            | None -> fail sm.sm_line "internal: method %s vanished" sm.sm_name
+          in
+          let mm = Ir.meth p m in
+          let env : (string, Ir.var_id) Hashtbl.t = Hashtbl.create 8 in
+          List.iter (fun v -> Hashtbl.replace env (Ir.var p v).Ir.v_name v) mm.Ir.m_formals;
+          let var_of name line =
+            match Hashtbl.find_opt env name with
+            | Some v -> v
+            | None -> fail line "unknown variable %s in %s.%s" name sc.sc_name sm.sm_name
+          in
+          let field_of cls_id name line ~static =
+            (* Walk the hierarchy for the field. *)
+            let rec go c =
+              let fld =
+                List.find_opt
+                  (fun f ->
+                    let fr = Ir.field p f in
+                    fr.Ir.fld_name = name && fr.Ir.fld_static = static)
+                  (Ir.cls p c).Ir.cls_fields
+              in
+              match fld with
+              | Some f -> f
+              | None -> (
+                match (Ir.cls p c).Ir.cls_super with
+                | Some s -> go s
+                | None ->
+                  fail line "unknown %sfield %s on %s" (if static then "static " else "") name (Ir.cls p cls_id).Ir.cls_name)
+            in
+            go cls_id
+          in
+          List.iter
+            (fun (s, ln) ->
+              match s with
+              | S_var (name, ty) ->
+                if Hashtbl.mem env name then fail ln "duplicate variable %s" name;
+                Hashtbl.replace env name (Ir.add_local p m ~name ~ty:(class_of ty ln))
+              | S_assign (dst, src) -> Ir.emit_assign p m ~dst:(var_of dst ln) ~src:(var_of src ln)
+              | S_new { dst; cls; args; label } ->
+                ignore
+                  (Ir.emit_new p m ?label ~dst:(var_of dst ln) ~cls:(class_of cls ln)
+                     ~args:(List.map (fun a -> var_of a ln) args))
+              | S_cast { dst; cls; src } ->
+                Ir.emit_cast p m ~dst:(var_of dst ln) ~src:(var_of src ln) ~target:(class_of cls ln)
+              | S_get { dst; recv; member } ->
+                if Hashtbl.mem env recv then begin
+                  let base = var_of recv ln in
+                  let fld = field_of (Ir.var p base).Ir.v_type member ln ~static:false in
+                  Ir.emit_load p m ~dst:(var_of dst ln) ~base ~fld
+                end
+                else begin
+                  let c = class_of recv ln in
+                  Ir.emit_load_static p m ~dst:(var_of dst ln) ~fld:(field_of c member ln ~static:true)
+                end
+              | S_put { recv; member; src } ->
+                if Hashtbl.mem env recv then begin
+                  let base = var_of recv ln in
+                  let fld = field_of (Ir.var p base).Ir.v_type member ln ~static:false in
+                  Ir.emit_store p m ~base ~fld ~src:(var_of src ln)
+                end
+                else begin
+                  let c = class_of recv ln in
+                  Ir.emit_store_static p m ~fld:(field_of c member ln ~static:true) ~src:(var_of src ln)
+                end
+              | S_call { ret; recv; name; args; label } ->
+                let ret = Option.map (fun r -> var_of r ln) ret in
+                let args = List.map (fun a -> var_of a ln) args in
+                if Hashtbl.mem env recv then
+                  ignore (Ir.emit_invoke_virtual p m ?label ?ret ~base:(var_of recv ln) ~name ~args)
+                else begin
+                  let c = class_of recv ln in
+                  match Ir.find_method p c name with
+                  | Some target when (Ir.meth p target).Ir.m_static ->
+                    ignore (Ir.emit_invoke_static p m ?label ?ret ~target ~args)
+                  | Some _ -> fail ln "%s.%s is not static" recv name
+                  | None -> fail ln "unknown static method %s.%s" recv name
+                end
+              | S_special { ret; cls; name; args; label } -> (
+                let c = class_of cls ln in
+                match Ir.find_method p c name with
+                | None -> fail ln "unknown method %s.%s" cls name
+                | Some target -> (
+                  let ret = Option.map (fun r -> var_of r ln) ret in
+                  match List.map (fun a -> var_of a ln) args with
+                  | [] -> fail ln "special call needs a receiver argument"
+                  | base :: rest -> ignore (Ir.emit_invoke_special p m ?label ?ret ~base ~target ~args:rest)))
+              | S_array_load { dst; base } -> Ir.emit_array_load p m ~dst:(var_of dst ln) ~base:(var_of base ln)
+              | S_array_store { base; src } -> Ir.emit_array_store p m ~base:(var_of base ln) ~src:(var_of src ln)
+              | S_throw v -> Ir.emit_throw p m (var_of v ln)
+              | S_catch v -> Ir.emit_catch p m (var_of v ln)
+              | S_return v -> Ir.emit_return p m (var_of v ln)
+              | S_sync v -> Ir.emit_sync p m (var_of v ln))
+            sm.sm_body)
+        sc.sc_methods)
+    sp.s_classes;
+  (* Entries. *)
+  List.iter
+    (fun (cname, mname, ln) ->
+      let c = class_of cname ln in
+      match Ir.find_method p c mname with
+      | Some m -> Ir.add_entry p m
+      | None -> fail ln "unknown entry method %s.%s" cname mname)
+    sp.s_entries;
+  p
+
+let parse src =
+  let st = { toks = Array.of_list (lex src); pos = 0 } in
+  elaborate (surface_program st)
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  parse src

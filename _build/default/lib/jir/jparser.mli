@@ -1,0 +1,38 @@
+(** Parser for the textual IR format (".jir").
+
+    {v
+    # comment
+    class A extends Object {
+      field f : B
+      static field sf : B
+      method m(p : B) : B {          # receiver 'this' is implicit
+        var v : B
+        v = new B()                  # allocation + B.<init>()
+        v = new B(p) @ "B.java:12"   # optional site label
+        v.f = p                      # instance store
+        v = p.f                      # instance load
+        A.sf = v                     # static store
+        v = A.sf                     # static load
+        v = (B) p                    # cast
+        v = p.m(v)                   # virtual call
+        p.m(v)                       # virtual call, result ignored
+        v = A.sm(p)                  # static call
+        special Object.<init>(v)     # non-virtual (super/constructor) call
+        sync v
+        return v
+      }
+      static method sm(p : B) : B { ... }
+    }
+    entry A.m
+    v} *)
+
+type error = { message : string; line : int }
+
+exception Parse_error of error
+
+val parse : string -> Ir.t
+(** Raises {!Parse_error} on syntax or elaboration errors (unknown
+    classes/fields/methods/variables, duplicate locals, calling an
+    instance member on a class name, ...). *)
+
+val parse_file : string -> Ir.t

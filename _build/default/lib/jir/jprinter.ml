@@ -1,0 +1,125 @@
+let var_name p v = (Ir.var p v).Ir.v_name
+let cls_name p c = (Ir.cls p c).Ir.cls_name
+
+let pp_args p fmt args =
+  Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f ", ") (fun f v -> Format.pp_print_string f (var_name p v)) fmt
+    args
+
+let pp_stmt p fmt (s : Ir.stmt) =
+  match s with
+  | Ir.New { dst; cls; heap; init_site = _; args } ->
+    Format.fprintf fmt "%s = new %s(%a) @@ %S" (var_name p dst) (cls_name p cls) (pp_args p) args
+      (Ir.heap p heap).Ir.h_label
+  | Ir.Assign { dst; src } -> Format.fprintf fmt "%s = %s" (var_name p dst) (var_name p src)
+  | Ir.Cast { dst; src; target } -> Format.fprintf fmt "%s = (%s) %s" (var_name p dst) (cls_name p target) (var_name p src)
+  | Ir.Load { dst; base; fld } ->
+    Format.fprintf fmt "%s = %s.%s" (var_name p dst) (var_name p base) (Ir.field p fld).Ir.fld_name
+  | Ir.Store { base; fld; src } ->
+    Format.fprintf fmt "%s.%s = %s" (var_name p base) (Ir.field p fld).Ir.fld_name (var_name p src)
+  | Ir.Load_static { dst; fld } ->
+    let f = Ir.field p fld in
+    Format.fprintf fmt "%s = %s.%s" (var_name p dst) (cls_name p f.Ir.fld_owner) f.Ir.fld_name
+  | Ir.Store_static { fld; src } ->
+    let f = Ir.field p fld in
+    Format.fprintf fmt "%s.%s = %s" (cls_name p f.Ir.fld_owner) f.Ir.fld_name (var_name p src)
+  | Ir.Invoke { ret; kind; site; base; name; target; args } -> (
+    let label = (Ir.invoke p site).Ir.i_label in
+    let pp_ret fmt =
+      match ret with
+      | Some r -> Format.fprintf fmt "%s = " (var_name p r)
+      | None -> ()
+    in
+    match (kind, base, target) with
+    | Ir.Virtual, Some b, _ -> Format.fprintf fmt "%t%s.%s(%a) @@ %S" pp_ret (var_name p b) name (pp_args p) args label
+    | Ir.Static, _, Some m ->
+      Format.fprintf fmt "%t%s.%s(%a) @@ %S" pp_ret (cls_name p (Ir.meth p m).Ir.m_owner) name (pp_args p) args label
+    | Ir.Special, Some b, Some m ->
+      let owner = cls_name p (Ir.meth p m).Ir.m_owner in
+      if args = [] then Format.fprintf fmt "%tspecial %s.%s(%s) @@ %S" pp_ret owner name (var_name p b) label
+      else Format.fprintf fmt "%tspecial %s.%s(%s, %a) @@ %S" pp_ret owner name (var_name p b) (pp_args p) args label
+    | (Ir.Virtual | Ir.Static | Ir.Special), _, _ -> Format.fprintf fmt "# unprintable invoke %s" name)
+  | Ir.Array_load { dst; base } -> Format.fprintf fmt "%s = %s[]" (var_name p dst) (var_name p base)
+  | Ir.Array_store { base; src } -> Format.fprintf fmt "%s[] = %s" (var_name p base) (var_name p src)
+  | Ir.Throw v -> Format.fprintf fmt "throw %s" (var_name p v)
+  | Ir.Catch v -> Format.fprintf fmt "%s = catch" (var_name p v)
+  | Ir.Return v -> Format.fprintf fmt "return %s" (var_name p v)
+  | Ir.Sync v -> Format.fprintf fmt "sync %s" (var_name p v)
+
+let pp_method p fmt (m : Ir.jmethod) =
+  let formals = if m.Ir.m_static then m.Ir.m_formals else List.tl m.Ir.m_formals in
+  let ret =
+    match m.Ir.m_ret with
+    | Some c -> cls_name p c
+    | None -> "void"
+  in
+  Format.fprintf fmt "  %smethod %s(%a) : %s {@."
+    (if m.Ir.m_static then "static " else "")
+    m.Ir.m_name
+    (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f ", ") (fun f v ->
+         Format.fprintf f "%s : %s" (var_name p v) (cls_name p (Ir.var p v).Ir.v_type)))
+    formals ret;
+  List.iter
+    (fun v -> Format.fprintf fmt "    var %s : %s@." (var_name p v) (cls_name p (Ir.var p v).Ir.v_type))
+    m.Ir.m_locals;
+  List.iter (fun s -> Format.fprintf fmt "    %a@." (pp_stmt p) s) m.Ir.m_body;
+  Format.fprintf fmt "  }@."
+
+(* Is this method worth printing?  Implicit constructors with no body
+   and no extra formals are recreated automatically on parse. *)
+let nontrivial_method p (m : Ir.jmethod) =
+  ignore p;
+  not (m.Ir.m_name = "<init>" && m.Ir.m_body = [] && List.length m.Ir.m_formals <= 1)
+
+let builtin_default_method p (m : Ir.jmethod) =
+  (m.Ir.m_owner = Ir.thread_class p && m.Ir.m_name = "run" && m.Ir.m_body = [])
+  || not (nontrivial_method p m)
+
+let pp p fmt =
+  Ir.iter_classes p (fun c ->
+      let is_builtin =
+        c.Ir.cls_id = Ir.object_class p || c.Ir.cls_id = Ir.thread_class p || c.Ir.cls_id = Ir.string_class p
+      in
+      let methods = List.map (Ir.meth p) c.Ir.cls_methods in
+      let printable_methods =
+        List.filter (fun m -> if is_builtin then not (builtin_default_method p m) else nontrivial_method p m) methods
+      in
+      let printable_fields = List.filter (fun f -> f <> Ir.array_field p) c.Ir.cls_fields in
+      if c.Ir.cls_interface then begin
+        match c.Ir.cls_impls with
+        | [] -> Format.fprintf fmt "interface %s {@.}@." c.Ir.cls_name
+        | extends ->
+          Format.fprintf fmt "interface %s extends %s {@.}@." c.Ir.cls_name
+            (String.concat ", " (List.map (cls_name p) extends))
+      end
+      else if (not is_builtin) || printable_fields <> [] || printable_methods <> [] then begin
+        let implements =
+          match c.Ir.cls_impls with
+          | [] -> ""
+          | impls -> " implements " ^ String.concat ", " (List.map (cls_name p) impls)
+        in
+        (match c.Ir.cls_super with
+        | Some s -> Format.fprintf fmt "class %s extends %s%s {@." c.Ir.cls_name (cls_name p s) implements
+        | None -> Format.fprintf fmt "class %s extends Object%s {@." c.Ir.cls_name implements);
+        List.iter
+          (fun f ->
+            (* The built-in array-element descriptor is recreated on
+               parse; never print it. *)
+            if f <> Ir.array_field p then begin
+              let fr = Ir.field p f in
+              Format.fprintf fmt "  %sfield %s : %s@."
+                (if fr.Ir.fld_static then "static " else "")
+                fr.Ir.fld_name (cls_name p fr.Ir.fld_type)
+            end)
+          c.Ir.cls_fields;
+        List.iter (fun m -> pp_method p fmt m) printable_methods;
+        Format.fprintf fmt "}@."
+      end);
+  List.iter
+    (fun m ->
+      let mm = Ir.meth p m in
+      Format.fprintf fmt "entry %s.%s@." (cls_name p mm.Ir.m_owner) mm.Ir.m_name)
+    (Ir.entries p)
+
+let pp fmt p = pp p fmt
+
+let to_string p = Format.asprintf "%a" pp p

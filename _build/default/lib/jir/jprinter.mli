@@ -1,0 +1,9 @@
+(** Pretty-printer for the textual IR format; inverse of {!Jparser}.
+
+    [Jparser.parse (to_string p)] yields a program with identical
+    classes, members, statements, and extracted facts (entity ids may
+    be renumbered).  Built-in classes are printed only when they carry
+    user-added members. *)
+
+val pp : Format.formatter -> Ir.t -> unit
+val to_string : Ir.t -> string

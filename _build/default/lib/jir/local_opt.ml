@@ -1,0 +1,73 @@
+(* Forward copy propagation over a straight-line body.
+
+   [env] maps a variable to the variable currently holding the same
+   value.  A definition of [d] kills every binding whose key or value
+   is [d]. *)
+
+let kill env d =
+  Hashtbl.remove env d;
+  let stale = Hashtbl.fold (fun k v acc -> if v = d then k :: acc else acc) env [] in
+  List.iter (Hashtbl.remove env) stale
+
+let rep env v =
+  match Hashtbl.find_opt env v with
+  | Some v' -> v'
+  | None -> v
+
+let rewrite_method (m : Ir.jmethod) =
+  let env : (Ir.var_id, Ir.var_id) Hashtbl.t = Hashtbl.create 8 in
+  let removed = ref 0 in
+  let body =
+    List.filter_map
+      (fun (s : Ir.stmt) ->
+        match s with
+        | Ir.Assign { dst; src } ->
+          let src = rep env src in
+          kill env dst;
+          if src <> dst then Hashtbl.replace env dst src;
+          incr removed;
+          None
+        | Ir.New { dst; cls; heap; init_site; args } ->
+          let args = List.map (rep env) args in
+          kill env dst;
+          Some (Ir.New { dst; cls; heap; init_site; args })
+        | Ir.Cast { dst; src; target } ->
+          let src = rep env src in
+          kill env dst;
+          Some (Ir.Cast { dst; src; target })
+        | Ir.Load { dst; base; fld } ->
+          let base = rep env base in
+          kill env dst;
+          Some (Ir.Load { dst; base; fld })
+        | Ir.Store { base; fld; src } -> Some (Ir.Store { base = rep env base; fld; src = rep env src })
+        | Ir.Load_static { dst; fld } ->
+          kill env dst;
+          Some (Ir.Load_static { dst; fld })
+        | Ir.Store_static { fld; src } -> Some (Ir.Store_static { fld; src = rep env src })
+        | Ir.Invoke { ret; kind; site; base; name; target; args } ->
+          let base = Option.map (rep env) base in
+          let args = List.map (rep env) args in
+          (match ret with
+          | Some r -> kill env r
+          | None -> ());
+          Some (Ir.Invoke { ret; kind; site; base; name; target; args })
+        | Ir.Array_load { dst; base } ->
+          let base = rep env base in
+          kill env dst;
+          Some (Ir.Array_load { dst; base })
+        | Ir.Array_store { base; src } -> Some (Ir.Array_store { base = rep env base; src = rep env src })
+        | Ir.Throw v -> Some (Ir.Throw (rep env v))
+        | Ir.Catch v ->
+          kill env v;
+          Some (Ir.Catch v)
+        | Ir.Return v -> Some (Ir.Return (rep env v))
+        | Ir.Sync v -> Some (Ir.Sync (rep env v)))
+      m.Ir.m_body
+  in
+  m.Ir.m_body <- body;
+  !removed
+
+let run p =
+  let total = ref 0 in
+  Ir.iter_methods p (fun m -> total := !total + rewrite_method m);
+  !total

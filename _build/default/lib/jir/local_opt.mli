@@ -1,0 +1,15 @@
+(** Flow-sensitive local copy elimination.
+
+    The paper's analysis is "mostly flow-insensitive, using flow
+    sensitivity only in the analysis of local pointers in each
+    function" (§1): local variables and their assignments are factored
+    away before the relations are extracted (§2.2).  Method bodies in
+    this IR are straight-line, so a single forward copy-propagation
+    pass is exact: every use of a copied variable is replaced by its
+    source, and the copy statement is removed.  Casts are kept — they
+    are distinct variables in [V] with their own declared types, which
+    is what makes the type filter of Algorithm 2 act on them. *)
+
+val run : Ir.t -> int
+(** Rewrites method bodies in place; returns the number of copy
+    statements removed. *)

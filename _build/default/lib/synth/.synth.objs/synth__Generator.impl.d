@@ -1,0 +1,1 @@
+lib/synth/generator.ml: Array Hashtbl Jir List Option Printf Rng

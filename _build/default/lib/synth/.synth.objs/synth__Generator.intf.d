@@ -1,0 +1,1 @@
+lib/synth/generator.mli: Jir

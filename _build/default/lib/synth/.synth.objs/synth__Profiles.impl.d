@@ -1,0 +1,1 @@
+lib/synth/profiles.ml: Generator Hashtbl List String

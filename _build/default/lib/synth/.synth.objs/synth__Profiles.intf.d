@@ -1,0 +1,1 @@
+lib/synth/profiles.mli: Generator

@@ -1,0 +1,1 @@
+lib/synth/rng.ml: Array Int64 List

@@ -1,0 +1,1 @@
+lib/synth/rng.mli:

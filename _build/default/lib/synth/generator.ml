@@ -1,0 +1,373 @@
+module Ir = Jir.Ir
+module Hier = Jir.Hier
+
+type params = {
+  seed : int;
+  n_classes : int;
+  hierarchy_depth : int;
+  fields_per_class : int;
+  methods_per_class : int;
+  stmts_per_method : int;
+  calls_per_method : int;
+  virtual_fraction : float;
+  recursion_fraction : float;
+  n_thread_classes : int;
+  sync_fraction : float;
+  n_extra_entries : int;
+  n_interfaces : int;
+  jce_flavor : bool;
+}
+
+let default_params =
+  {
+    seed = 42;
+    n_classes = 24;
+    hierarchy_depth = 4;
+    fields_per_class = 2;
+    methods_per_class = 3;
+    stmts_per_method = 8;
+    calls_per_method = 2;
+    virtual_fraction = 0.6;
+    recursion_fraction = 0.1;
+    n_thread_classes = 0;
+    sync_fraction = 0.2;
+    n_extra_entries = 1;
+    n_interfaces = 2;
+    jce_flavor = false;
+  }
+
+(* Per-method state for well-typed statement generation. *)
+type pool = { mutable vars : (Ir.var_id * Ir.class_id) list; mutable fresh : int }
+
+let generate params =
+  let rng = Rng.create params.seed in
+  let p = Ir.create () in
+  let obj = Ir.object_class p in
+  (* Base declares the shared virtual method names so that every
+     receiver typed Base can dispatch them. *)
+  let base = Ir.add_class p ~name:"Base" ~super:obj in
+  let n_virtual_names = max 2 params.methods_per_class in
+  let vnames = Array.init n_virtual_names (fun i -> Printf.sprintf "f%d" i) in
+  Array.iter
+    (fun n ->
+      (* Base's default implementations are identities — the classic
+         case where cloning pays: callers' arguments flow back out. *)
+      let m = Ir.add_method p ~name:n ~owner:base ~static:false ~formals:[ ("p", obj) ] ~ret:(Some obj) in
+      match (Ir.meth p m).Ir.m_formals with
+      | [ _this; param ] -> Ir.emit_return p m param
+      | _ -> ())
+    vnames;
+  (* Interfaces: a small hierarchy of their own; classes implement
+     them below, and some fields/formals are interface-typed so the
+     assignability "allowances for interfaces" are exercised. *)
+  let interfaces =
+    Array.init (max 0 params.n_interfaces) (fun i ->
+        let extends =
+          if i > 0 && Rng.bool rng 0.3 then [ Option.get (Ir.find_class p (Printf.sprintf "I%d" (Rng.int rng i))) ]
+          else []
+        in
+        Ir.add_interface p ~extends ~name:(Printf.sprintf "I%d" i))
+  in
+  (* User classes: thread classes first, then a Base-rooted hierarchy
+     bounded by hierarchy_depth. *)
+  let depth = Hashtbl.create 64 in
+  Hashtbl.add depth base 1;
+  let classes =
+    Array.init params.n_classes (fun i ->
+        if i < params.n_thread_classes then begin
+          let c = Ir.add_class p ~name:(Printf.sprintf "T%d" i) ~super:(Ir.thread_class p) in
+          Hashtbl.add depth c 1;
+          c
+        end
+        else begin
+          (* Candidate supers: Base or an earlier non-thread class with
+             remaining depth budget. *)
+          let candidates = ref [ base ] in
+          for j = params.n_thread_classes to i - 1 do
+            let cj = Ir.find_class p (Printf.sprintf "C%d" j) in
+            match cj with
+            | Some cj when Hashtbl.find depth cj < params.hierarchy_depth -> candidates := cj :: !candidates
+            | Some _ | None -> ()
+          done;
+          let super = Rng.pick rng !candidates in
+          let impls =
+            if Array.length interfaces > 0 && Rng.bool rng 0.4 then [ Rng.pick_array rng interfaces ] else []
+          in
+          let c = Ir.add_class p ~impls ~name:(Printf.sprintf "C%d" i) ~super in
+          Hashtbl.add depth c (Hashtbl.find depth super + 1);
+          c
+        end)
+  in
+  let non_thread_classes = Array.sub classes params.n_thread_classes (params.n_classes - params.n_thread_classes) in
+  let user_or_base = if Array.length non_thread_classes = 0 then [| base |] else non_thread_classes in
+  (* Fields. *)
+  Array.iteri
+    (fun i c ->
+      for k = 0 to params.fields_per_class - 1 do
+        let ty =
+          if Array.length interfaces > 0 && Rng.bool rng 0.2 then Rng.pick_array rng interfaces
+          else Rng.pick_array rng user_or_base
+        in
+        ignore (Ir.add_field p ~name:(Printf.sprintf "g%d" k) ~owner:c ~ty ~static:false)
+      done;
+      if i mod 8 = 0 then ignore (Ir.add_field p ~name:"shared" ~owner:c ~ty:obj ~static:true))
+    classes;
+  (* Method signatures. *)
+  let static_methods = ref [] in
+  Array.iteri
+    (fun _ c ->
+      if Hier.is_thread p c then ignore (Ir.add_method p ~name:"run" ~owner:c ~static:false ~formals:[] ~ret:None)
+      else
+        for k = 0 to params.methods_per_class - 1 do
+          if Rng.bool rng 0.7 then begin
+            let n = Rng.pick_array rng vnames in
+            if Ir.find_method p c n = None then
+              ignore (Ir.add_method p ~name:n ~owner:c ~static:false ~formals:[ ("p", obj) ] ~ret:(Some obj))
+          end
+          else begin
+            let m =
+              Ir.add_method p ~name:(Printf.sprintf "s%d" k) ~owner:c ~static:true ~formals:[ ("p", obj) ]
+                ~ret:(Some obj)
+            in
+            static_methods := m :: !static_methods
+          end
+        done)
+    classes;
+  let static_methods = Array.of_list (List.rev !static_methods) in
+  (* Concrete non-thread classes assignable to the type, for
+     allocations (interface-typed slots get an implementing class). *)
+  let alloc_candidates ty =
+    let out = ref [] in
+    Array.iter (fun c -> if Hier.assignable p ty c then out := c :: !out) user_or_base;
+    if Hier.assignable p ty base then out := base :: !out;
+    match !out with
+    | [] -> if (Ir.cls p ty).Ir.cls_interface then [ base ] else [ ty ]
+    | cands -> cands
+  in
+  (* Statement generation. *)
+  let fresh_local pool m ty =
+    let v = Ir.add_local p m ~name:(Printf.sprintf "t%d" pool.fresh) ~ty in
+    pool.fresh <- pool.fresh + 1;
+    pool.vars <- (v, ty) :: pool.vars;
+    v
+  in
+  let emit_alloc pool m ty =
+    let cls = Rng.pick rng (alloc_candidates ty) in
+    let v = fresh_local pool m cls in
+    ignore (Ir.emit_new p m ~dst:v ~cls ~args:[]);
+    v
+  in
+  let obtain pool m ty =
+    let fits = List.filter (fun (_, t) -> Hier.assignable p ty t) pool.vars in
+    match fits with
+    | [] -> emit_alloc pool m ty
+    | _ -> fst (Rng.pick rng fits)
+  in
+  let instance_fields c =
+    (* Fields visible on class c, non-static, with Java-style
+       shadowing: the most-derived declaration of a name wins. *)
+    let seen = Hashtbl.create 8 in
+    let rec go c acc =
+      let own =
+        List.filter
+          (fun f ->
+            let fr = Ir.field p f in
+            if fr.Ir.fld_static || Hashtbl.mem seen fr.Ir.fld_name then false
+            else begin
+              Hashtbl.add seen fr.Ir.fld_name ();
+              true
+            end)
+          (Ir.cls p c).Ir.cls_fields
+      in
+      match (Ir.cls p c).Ir.cls_super with
+      | Some s -> go s (acc @ own)
+      | None -> acc @ own
+    in
+    go c []
+  in
+  let static_fields = ref [] in
+  Ir.iter_fields p (fun f -> if f.Ir.fld_static then static_fields := f.Ir.fld_id :: !static_fields);
+  let static_fields = Array.of_list !static_fields in
+  let gen_call pool m =
+    if Rng.bool rng params.virtual_fraction || Array.length static_methods = 0 then begin
+      let name = Rng.pick_array rng vnames in
+      let recv = obtain pool m base in
+      let arg = obtain pool m obj in
+      let ret = fresh_local pool m obj in
+      ignore (Ir.emit_invoke_virtual p ~ret m ~base:recv ~name ~args:[ arg ])
+    end
+    else begin
+      let target =
+        if Rng.bool rng params.recursion_fraction then Rng.pick_array rng static_methods
+        else begin
+          (* Forward bias: prefer targets declared after this method. *)
+          let later = Array.to_list static_methods |> List.filter (fun t -> t > m) in
+          match later with
+          | [] -> Rng.pick_array rng static_methods
+          | _ -> Rng.pick rng later
+        end
+      in
+      let arg = obtain pool m obj in
+      let ret = fresh_local pool m obj in
+      ignore (Ir.emit_invoke_static p ~ret m ~target ~args:[ arg ])
+    end
+  in
+  let gen_body m =
+    let mm = Ir.meth p m in
+    let pool = { vars = List.map (fun v -> (v, (Ir.var p v).Ir.v_type)) mm.Ir.m_formals; fresh = 0 } in
+    ignore (emit_alloc pool m base);
+    for _ = 1 to params.calls_per_method do
+      gen_call pool m
+    done;
+    let budget = max 0 (params.stmts_per_method - 1 - params.calls_per_method) in
+    for _ = 1 to budget do
+      let kind = Rng.int rng 100 in
+      if kind < 25 then ignore (emit_alloc pool m (Rng.pick_array rng user_or_base))
+      else if kind < 50 then begin
+        (* Store through this (or any var) into an instance field. *)
+        let recv, recv_ty =
+          if mm.Ir.m_static then begin
+            let v = obtain pool m base in
+            (v, (Ir.var p v).Ir.v_type)
+          end
+          else (List.hd mm.Ir.m_formals, mm.Ir.m_owner)
+        in
+        match instance_fields recv_ty with
+        | [] -> ()
+        | flds ->
+          let f = Rng.pick rng flds in
+          let src = obtain pool m (Ir.field p f).Ir.fld_type in
+          Ir.emit_store p m ~base:recv ~fld:f ~src
+      end
+      else if kind < 75 then begin
+        let recv, recv_ty =
+          if mm.Ir.m_static then begin
+            let v = obtain pool m base in
+            (v, (Ir.var p v).Ir.v_type)
+          end
+          else (List.hd mm.Ir.m_formals, mm.Ir.m_owner)
+        in
+        match instance_fields recv_ty with
+        | [] -> ()
+        | flds ->
+          let f = Rng.pick rng flds in
+          let dst = fresh_local pool m (Ir.field p f).Ir.fld_type in
+          Ir.emit_load p m ~dst ~base:recv ~fld:f
+      end
+      else if kind < 83 && Array.length static_fields > 0 then begin
+        let f = Rng.pick_array rng static_fields in
+        if Rng.bool rng 0.5 then Ir.emit_store_static p m ~fld:f ~src:(obtain pool m (Ir.field p f).Ir.fld_type)
+        else begin
+          let dst = fresh_local pool m (Ir.field p f).Ir.fld_type in
+          Ir.emit_load_static p m ~dst ~fld:f
+        end
+      end
+      else if kind < 90 then begin
+        (* Array element traffic through the special field. *)
+        let base = obtain pool m obj in
+        if Rng.bool rng 0.5 then Ir.emit_array_store p m ~base ~src:(obtain pool m obj)
+        else begin
+          let dst = fresh_local pool m obj in
+          Ir.emit_array_load p m ~dst ~base
+        end
+      end
+      else begin
+        (* Copy between compatible locals; Local_opt will factor it. *)
+        let src = obtain pool m obj in
+        let dst = fresh_local pool m obj in
+        Ir.emit_assign p m ~dst ~src
+      end
+    done;
+    if Rng.bool rng params.sync_fraction then Ir.emit_sync p m (obtain pool m obj);
+    if Rng.bool rng 0.12 then Ir.emit_throw p m (obtain pool m obj);
+    if Rng.bool rng 0.08 then begin
+      let caught = fresh_local pool m obj in
+      Ir.emit_catch p m caught
+    end;
+    match mm.Ir.m_ret with
+    | Some ty -> Ir.emit_return p m (obtain pool m ty)
+    | None -> ()
+  in
+  (* Constructor bodies: initialize the first own field. *)
+  Array.iter
+    (fun c ->
+      match List.filter (fun f -> not (Ir.field p f).Ir.fld_static) (Ir.cls p c).Ir.cls_fields with
+      | [] -> ()
+      | f :: _ ->
+        let m = Ir.init_method p c in
+        let mm = Ir.meth p m in
+        let pool = { vars = List.map (fun v -> (v, (Ir.var p v).Ir.v_type)) mm.Ir.m_formals; fresh = 0 } in
+        let v = emit_alloc pool m (Ir.field p f).Ir.fld_type in
+        Ir.emit_store p m ~base:(List.hd mm.Ir.m_formals) ~fld:f ~src:v)
+    classes;
+  (* Ordinary method bodies. *)
+  Ir.iter_methods p (fun m ->
+      let owner_is_user = m.Ir.m_owner = base || Array.exists (fun c -> c = m.Ir.m_owner) classes in
+      if owner_is_user && m.Ir.m_name <> "<init>" && m.Ir.m_owner <> base then gen_body m.Ir.m_id);
+  (* JCE flavor for the §5.2 query: String-derived values flowing into
+     PBEKeySpec.init. *)
+  let jce =
+    if params.jce_flavor then begin
+      let string_cls = Ir.string_class p in
+      let to_chars = Ir.add_method p ~name:"toCharArray" ~owner:string_cls ~static:false ~formals:[] ~ret:(Some obj) in
+      let pool = { vars = []; fresh = 0 } in
+      let v = emit_alloc pool to_chars obj in
+      Ir.emit_return p to_chars v;
+      let spec = Ir.add_class p ~name:"PBEKeySpec" ~super:base in
+      let init = Ir.add_method p ~name:"init" ~owner:spec ~static:false ~formals:[ ("key", obj) ] ~ret:None in
+      ignore init;
+      Some (string_cls, to_chars, spec)
+    end
+    else None
+  in
+  (* Main. *)
+  let main_cls = Ir.add_class p ~name:"Main" ~super:base in
+  let main = Ir.add_method p ~name:"main" ~owner:main_cls ~static:true ~formals:[] ~ret:None in
+  let pool = { vars = []; fresh = 0 } in
+  let n_allocs = min params.n_classes (4 + (params.n_classes / 4)) in
+  for _ = 1 to max 1 n_allocs do
+    let v = emit_alloc pool main (Rng.pick_array rng user_or_base) in
+    let name = Rng.pick_array rng vnames in
+    let arg = obtain pool main obj in
+    let ret = fresh_local pool main obj in
+    ignore (Ir.emit_invoke_virtual p ~ret main ~base:v ~name ~args:[ arg ])
+  done;
+  if Array.length static_fields > 0 then
+    Ir.emit_store_static p main ~fld:static_fields.(0) ~src:(obtain pool main obj);
+  (* Spawn one thread per thread class. *)
+  for i = 0 to params.n_thread_classes - 1 do
+    let tc = classes.(i) in
+    let v = fresh_local pool main tc in
+    ignore (Ir.emit_new p main ~dst:v ~cls:tc ~args:[]);
+    ignore (Ir.emit_invoke_virtual p main ~base:v ~name:"start" ~args:[])
+  done;
+  (match jce with
+  | Some (string_cls, to_chars, spec) ->
+    let s = fresh_local pool main string_cls in
+    ignore (Ir.emit_new p main ~dst:s ~cls:string_cls ~args:[]);
+    let key = fresh_local pool main obj in
+    ignore (Ir.emit_invoke_special p main ~ret:key ~base:s ~target:to_chars ~args:[]);
+    let k = fresh_local pool main spec in
+    ignore (Ir.emit_new p main ~dst:k ~cls:spec ~args:[]);
+    ignore (Ir.emit_invoke_virtual p main ~base:k ~name:"init" ~args:[ key ] ~label:"main:vuln-call");
+    (* A safe use for contrast: a non-String key. *)
+    let safe = fresh_local pool main obj in
+    ignore (Ir.emit_new p main ~dst:safe ~cls:obj ~args:[]);
+    let k2 = fresh_local pool main spec in
+    ignore (Ir.emit_new p main ~dst:k2 ~cls:spec ~args:[]);
+    ignore (Ir.emit_invoke_virtual p main ~base:k2 ~name:"init" ~args:[ safe ] ~label:"main:safe-call")
+  | None -> ());
+  Ir.add_entry p main;
+  (* Extra class-initializer-like entries. *)
+  for i = 0 to params.n_extra_entries - 1 do
+    let c = Rng.pick_array rng user_or_base in
+    let m = Ir.add_method p ~name:(Printf.sprintf "clinit%d" i) ~owner:c ~static:true ~formals:[] ~ret:None in
+    let pool = { vars = []; fresh = 0 } in
+    ignore (emit_alloc pool m base);
+    if Array.length static_fields > 0 then begin
+      let f = Rng.pick_array rng static_fields in
+      Ir.emit_store_static p m ~fld:f ~src:(obtain pool m (Ir.field p f).Ir.fld_type)
+    end;
+    Ir.add_entry p m
+  done;
+  p

@@ -1,0 +1,82 @@
+type t = {
+  name : string;
+  description : string;
+  paper_classes : int;
+  paper_methods : int;
+  paper_bytecodes : int;
+  paper_vars : int;
+  paper_allocs : int;
+  paper_paths : string;
+  single_threaded : bool;
+}
+
+(* Figure 3 of the paper, verbatim. *)
+let all =
+  [
+    ("freetts", "speech synthesis system", 215, 723, 48_000, 8_000, 3_000, "4e4", true);
+    ("nfcchat", "scalable, distributed chat client", 283, 993, 61_000, 11_000, 3_000, "8e6", false);
+    ("jetty", "HTTP server and servlet container", 309, 1160, 66_000, 12_000, 3_000, "9e5", false);
+    ("openwfe", "java workflow engine", 337, 1215, 74_000, 14_000, 4_000, "3e6", true);
+    ("joone", "Java neural net framework", 375, 1531, 92_000, 17_000, 4_000, "1e7", false);
+    ("jboss", "J2EE application server", 348, 1554, 104_000, 17_000, 4_000, "3e8", false);
+    ("jbossdep", "J2EE deployer", 431, 1924, 119_000, 21_000, 5_000, "4e8", false);
+    ("sshdaemon", "SSH daemon", 485, 2053, 115_000, 24_000, 5_000, "4e9", false);
+    ("pmd", "Java source code analyzer", 394, 1971, 140_000, 19_000, 4_000, "5e23", true);
+    ("azureus", "Java bittorrent client", 498, 2714, 167_000, 24_000, 5_000, "2e9", false);
+    ("freenet", "anonymous peer-to-peer file sharing system", 667, 3200, 210_000, 38_000, 8_000, "2e7", false);
+    ("sshterm", "SSH terminal", 808, 4059, 241_000, 42_000, 8_000, "5e11", false);
+    ("jgraph", "mathematical graph-theory objects and algorithms", 1041, 5753, 337_000, 59_000, 10_000, "1e11", false);
+    ("umldot", "makes UML class diagrams from Java code", 1189, 6505, 362_000, 65_000, 11_000, "3e14", false);
+    ("jbidwatch", "auction site bidding, sniping, and tracking tool", 1474, 8262, 489_000, 90_000, 16_000, "7e13", false);
+    ("columba", "graphical email client with internationalization", 2020, 10574, 572_000, 111_000, 19_000, "1e13", false);
+    ("gantt", "plan projects using Gantt charts", 1834, 10487, 597_000, 117_000, 20_000, "1e13", false);
+    ("jxplorer", "ldap browser", 1927, 10702, 645_000, 133_000, 22_000, "2e9", false);
+    ("jedit", "programmer's text editor", 1788, 10934, 667_000, 124_000, 20_000, "6e7", false);
+    ("megamek", "networked BattleTech game", 1265, 8970, 668_000, 123_000, 21_000, "4e14", false);
+    ("gruntspud", "graphical CVS client", 2277, 12846, 687_000, 145_000, 24_000, "2e9", false);
+  ]
+  |> List.map (fun (name, description, c, m, b, v, a, paths, st) ->
+         {
+           name;
+           description;
+           paper_classes = c;
+           paper_methods = m;
+           paper_bytecodes = b;
+           paper_vars = v;
+           paper_allocs = a;
+           paper_paths = paths;
+           single_threaded = st;
+         })
+
+let find name = List.find_opt (fun p -> p.name = name) all
+
+(* log10 of the paper's path count, from the "KeM" notation. *)
+let paths_exponent t =
+  match String.index_opt t.paper_paths 'e' with
+  | Some i -> int_of_string (String.sub t.paper_paths (i + 1) (String.length t.paper_paths - i - 1))
+  | None -> 4
+
+let hash_seed name = Hashtbl.hash name land 0xFFFF
+
+let params ?(scale = 0.04) t =
+  let e = paths_exponent t in
+  {
+    Generator.seed = 1 + hash_seed t.name;
+    n_classes = max 6 (int_of_float (float_of_int t.paper_classes *. scale));
+    hierarchy_depth = 4;
+    fields_per_class = 2;
+    (* methods per class from the paper's ratio, floor 2. *)
+    methods_per_class = max 2 (t.paper_methods / t.paper_classes);
+    (* bytecodes per method / ~8 bytecodes per IR statement. *)
+    stmts_per_method = max 5 (t.paper_bytecodes / t.paper_methods / 8);
+    (* Call fan-out drives the context count: profiles with huge paper
+       path counts get wider fan-out. *)
+    calls_per_method = (if e >= 20 then 5 else if e >= 12 then 3 else if e >= 8 then 2 else 1);
+    virtual_fraction = (if t.name = "jedit" || t.name = "megamek" then 0.45 else if t.name = "jxplorer" then 0.9 else 0.65);
+    recursion_fraction = (if e >= 20 then 0.02 else 0.1);
+    n_thread_classes = (if t.single_threaded then 0 else max 2 (t.paper_methods / 2500));
+    sync_fraction = 0.25;
+    n_extra_entries = 2;
+    n_interfaces = max 1 (int_of_float (float_of_int t.paper_classes *. scale) / 8);
+    jce_flavor = false;
+  }

@@ -1,0 +1,31 @@
+(** The 21 Sourceforge benchmarks of Figure 3, as generator profiles.
+
+    Each profile records the paper's reported statistics (classes,
+    methods, bytecodes, variables, allocation sites, reduced-call-path
+    count) and derives {!Generator.params} reproducing the program's
+    {e shape} at a chosen scale: class/method counts scale linearly,
+    call fan-out is tuned so that profiles with astronomically many
+    contexts in the paper (pmd's 5e23, megamek's 4e14) also sit at the
+    top of the context-count ordering here. *)
+
+type t = {
+  name : string;
+  description : string;
+  paper_classes : int;
+  paper_methods : int;
+  paper_bytecodes : int;
+  paper_vars : int;
+  paper_allocs : int;
+  paper_paths : string;  (** e.g. ["5e23"] *)
+  single_threaded : bool;
+}
+
+val all : t list
+(** In the paper's (size) order. *)
+
+val find : string -> t option
+
+val params : ?scale:float -> t -> Generator.params
+(** Generator parameters at [scale] (default 0.04: the largest
+    benchmark then has ~90 user classes, which the full
+    context-sensitive pipeline analyzes in seconds). *)

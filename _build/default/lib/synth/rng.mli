@@ -1,0 +1,22 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    The synthetic benchmarks must be bit-for-bit reproducible across
+    runs and platforms, so we use our own tiny generator rather than
+    [Random]. *)
+
+type t
+
+val create : int -> t
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound); [bound > 0]. *)
+
+val bool : t -> float -> bool
+(** [bool t p] is true with probability [p]. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)
+
+val pick_array : t -> 'a array -> 'a

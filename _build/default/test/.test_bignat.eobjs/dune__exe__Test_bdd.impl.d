@@ -1,0 +1,1 @@
+test/test_bdd.ml: Alcotest Array Bdd Bignat List QCheck2 QCheck_alcotest String

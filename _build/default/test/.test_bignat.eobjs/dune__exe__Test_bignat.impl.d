@@ -1,0 +1,1 @@
+test/test_bignat.ml: Alcotest Bignat List QCheck2 QCheck_alcotest String

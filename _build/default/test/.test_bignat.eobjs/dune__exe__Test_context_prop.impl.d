@@ -1,0 +1,1 @@
+test/test_context_prop.ml: Alcotest Array Bignat Domain Hashtbl Jir List Option Printf Pta QCheck2 QCheck_alcotest Relation Space

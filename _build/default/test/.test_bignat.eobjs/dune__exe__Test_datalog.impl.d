@@ -1,0 +1,1 @@
+test/test_datalog.ml: Alcotest Array Ast Domain Engine Format Lexer List Naive_eval Parser Printf QCheck2 QCheck_alcotest Relation Resolve Stratify

@@ -1,0 +1,1 @@
+test/test_datalog_random.ml: Alcotest Array Ast Engine Format Gen List Naive_eval Printf QCheck2 QCheck_alcotest Relation Stratify String Test

@@ -1,0 +1,1 @@
+test/test_datalog_random.mli:

@@ -1,0 +1,1 @@
+test/test_graphutil.ml: Alcotest Array Graphutil List QCheck2 QCheck_alcotest

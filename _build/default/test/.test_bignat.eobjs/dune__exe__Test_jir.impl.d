@@ -1,0 +1,1 @@
+test/test_jir.ml: Alcotest Array Jir List Option Printf Synth

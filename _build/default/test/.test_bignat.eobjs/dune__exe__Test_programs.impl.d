@@ -1,0 +1,1 @@
+test/test_programs.ml: Alcotest Array Engine Filename Jir List Naive_eval Parser Printf Pta Relation Resolve Stratify Sys Tuples_io Unix

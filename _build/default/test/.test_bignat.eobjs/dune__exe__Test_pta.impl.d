@@ -1,0 +1,1 @@
+test/test_pta.ml: Alcotest Array Bignat Domain Jir List Naive_eval Option Parser Printf Pta Relation Space Synth

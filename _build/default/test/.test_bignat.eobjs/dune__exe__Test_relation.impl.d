@@ -1,0 +1,1 @@
+test/test_relation.ml: Alcotest Array Bignat Domain List QCheck2 QCheck_alcotest Ref_relation Relation Space

@@ -1,0 +1,147 @@
+(* Bignat: differential tests against OCaml int arithmetic plus
+   large-number regression cases (the paper's path counts reach
+   5 x 10^23). *)
+
+let check_str = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let of_i = Bignat.of_int
+
+let test_small_roundtrip () =
+  List.iter
+    (fun n -> check_str "to_string" (string_of_int n) (Bignat.to_string (of_i n)))
+    [ 0; 1; 2; 9; 10; 99; 1023; 1024; 999_999_999; 1_000_000_000; max_int ]
+
+let test_of_string () =
+  List.iter
+    (fun s -> check_str "of_string" s (Bignat.to_string (Bignat.of_string s)))
+    [ "0"; "7"; "123456789012345678901234567890"; "500000000000000000000000" ];
+  Alcotest.check_raises "empty" (Invalid_argument "Bignat.of_string: empty") (fun () -> ignore (Bignat.of_string ""));
+  Alcotest.check_raises "non-digit" (Invalid_argument "Bignat.of_string: non-digit") (fun () ->
+      ignore (Bignat.of_string "12x"))
+
+let test_add_sub_known () =
+  let a = Bignat.of_string "99999999999999999999" in
+  let b = Bignat.of_string "1" in
+  check_str "carry chain" "100000000000000000000" (Bignat.to_string (Bignat.add a b));
+  check_str "sub" "99999999999999999998" (Bignat.to_string (Bignat.sub a b));
+  check_str "saturating" "0" (Bignat.to_string (Bignat.sub b a))
+
+let test_mul_known () =
+  let a = Bignat.of_string "123456789" in
+  let b = Bignat.of_string "987654321" in
+  check_str "mul" "121932631112635269" (Bignat.to_string (Bignat.mul a b));
+  check_str "mul by zero" "0" (Bignat.to_string (Bignat.mul a Bignat.zero))
+
+let test_pow2_bits () =
+  check_str "2^70" "1180591620717411303424" (Bignat.to_string (Bignat.pow2 70));
+  check_int "num_bits 0" 0 (Bignat.num_bits Bignat.zero);
+  check_int "num_bits 1" 1 (Bignat.num_bits Bignat.one);
+  check_int "num_bits 2" 2 (Bignat.num_bits (of_i 2));
+  check_int "num_bits 255" 8 (Bignat.num_bits (of_i 255));
+  check_int "num_bits 256" 9 (Bignat.num_bits (of_i 256));
+  check_int "num_bits 2^70" 71 (Bignat.num_bits (Bignat.pow2 70))
+
+let test_to_int_opt () =
+  check_bool "small fits" true (Bignat.to_int_opt (of_i 42) = Some 42);
+  check_bool "max_int fits" true (Bignat.to_int_opt (of_i max_int) = Some max_int);
+  check_bool "2^80 does not fit" true (Bignat.to_int_opt (Bignat.pow2 80) = None);
+  check_bool "max_int+1 does not fit" true (Bignat.to_int_opt (Bignat.succ (of_i max_int)) = None)
+
+let test_scientific () =
+  check_str "exact small" "9999" (Bignat.to_scientific (of_i 9999));
+  check_str "5e23" "5e23" (Bignat.to_scientific (Bignat.of_string "500000000000000000000000"));
+  check_str "4e4" "4e4" (Bignat.to_scientific (of_i 40000))
+
+let test_compare () =
+  check_int "lt" (-1) (Bignat.compare (of_i 5) (of_i 9));
+  check_int "eq" 0 (Bignat.compare (of_i 9) (of_i 9));
+  check_int "limbs" 1 (Bignat.compare (Bignat.pow2 40) (of_i 7));
+  check_bool "min" true (Bignat.equal (Bignat.min (of_i 3) (of_i 8)) (of_i 3));
+  check_bool "max" true (Bignat.equal (Bignat.max (of_i 3) (of_i 8)) (of_i 8))
+
+(* Property tests against int arithmetic (values kept small enough that
+   int results do not overflow). *)
+let small = QCheck2.Gen.int_range 0 1_000_000
+
+let prop_add =
+  QCheck2.Test.make ~name:"add agrees with int" ~count:500
+    QCheck2.Gen.(pair small small)
+    (fun (a, b) -> Bignat.to_string (Bignat.add (of_i a) (of_i b)) = string_of_int (a + b))
+
+let prop_mul =
+  QCheck2.Test.make ~name:"mul agrees with int" ~count:500
+    QCheck2.Gen.(pair small small)
+    (fun (a, b) -> Bignat.to_string (Bignat.mul (of_i a) (of_i b)) = string_of_int (a * b))
+
+let prop_sub =
+  QCheck2.Test.make ~name:"sub agrees with saturating int" ~count:500
+    QCheck2.Gen.(pair small small)
+    (fun (a, b) -> Bignat.to_string (Bignat.sub (of_i a) (of_i b)) = string_of_int (max 0 (a - b)))
+
+let prop_shift =
+  QCheck2.Test.make ~name:"shift_left agrees with lsl" ~count:500
+    QCheck2.Gen.(pair (int_range 0 10_000) (int_range 0 20))
+    (fun (a, k) -> Bignat.to_string (Bignat.shift_left (of_i a) k) = string_of_int (a lsl k))
+
+let prop_roundtrip =
+  QCheck2.Test.make ~name:"of_string . to_string = id" ~count:500
+    QCheck2.Gen.(list_size (int_range 1 40) (int_range 0 9))
+    (fun digits ->
+      let s = String.concat "" (List.map string_of_int digits) in
+      let canonical = Bignat.to_string (Bignat.of_string s) in
+      (* Only differs by leading zeros. *)
+      Bignat.to_string (Bignat.of_string canonical) = canonical)
+
+let prop_mul_commutative =
+  QCheck2.Test.make ~name:"mul is commutative" ~count:300
+    QCheck2.Gen.(pair small small)
+    (fun (a, b) -> Bignat.equal (Bignat.mul (of_i a) (of_i b)) (Bignat.mul (of_i b) (of_i a)))
+
+let prop_mul_distributes =
+  QCheck2.Test.make ~name:"mul distributes over add" ~count:300
+    QCheck2.Gen.(triple small small small)
+    (fun (a, b, c) ->
+      Bignat.equal
+        (Bignat.mul (of_i a) (Bignat.add (of_i b) (of_i c)))
+        (Bignat.add (Bignat.mul (of_i a) (of_i b)) (Bignat.mul (of_i a) (of_i c))))
+
+let prop_num_bits_shift =
+  QCheck2.Test.make ~name:"num_bits of n shifted" ~count:300
+    QCheck2.Gen.(pair (int_range 1 10_000) (int_range 0 80))
+    (fun (a, k) -> Bignat.num_bits (Bignat.shift_left (of_i a) k) = Bignat.num_bits (of_i a) + k)
+
+let prop_compare_total =
+  QCheck2.Test.make ~name:"compare agrees with int compare" ~count:500
+    QCheck2.Gen.(pair small small)
+    (fun (a, b) -> Bignat.compare (of_i a) (of_i b) = compare a b)
+
+let () =
+  Alcotest.run "bignat"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "small roundtrip" `Quick test_small_roundtrip;
+          Alcotest.test_case "of_string" `Quick test_of_string;
+          Alcotest.test_case "add/sub known" `Quick test_add_sub_known;
+          Alcotest.test_case "mul known" `Quick test_mul_known;
+          Alcotest.test_case "pow2 and num_bits" `Quick test_pow2_bits;
+          Alcotest.test_case "to_int_opt" `Quick test_to_int_opt;
+          Alcotest.test_case "scientific notation" `Quick test_scientific;
+          Alcotest.test_case "compare" `Quick test_compare;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_add;
+            prop_mul;
+            prop_sub;
+            prop_shift;
+            prop_roundtrip;
+            prop_compare_total;
+            prop_mul_commutative;
+            prop_mul_distributes;
+            prop_num_bits_shift;
+          ] );
+    ]

@@ -1,0 +1,146 @@
+(* Property tests for Algorithm 4 on random call graphs.
+
+   The reference is an independent implementation: components from a
+   brute-force reachability matrix, and context counts from explicit
+   forward enumeration of the reduced call paths (every distinct
+   cross-component edge sequence from the root).  The production code
+   uses Tarjan + a topological dynamic program + BDD range/offset
+   primitives; agreement on random graphs checks all of it. *)
+
+module Ir = Jir.Ir
+module Context = Pta.Context
+module Callgraph = Pta.Callgraph
+
+let gen_graph =
+  QCheck2.Gen.(
+    let* n = int_range 1 8 in
+    let* edges = list_size (int_range 0 12) (pair (int_range 0 (n - 1)) (int_range 0 (n - 1))) in
+    return (n, edges))
+
+(* Build an IR program whose call graph is exactly the given one
+   (method 0 is the entry). *)
+let program_of (n, edges) =
+  let p = Ir.create () in
+  let g = Ir.add_class p ~name:"G" ~super:(Ir.object_class p) in
+  let ms = Array.init n (fun i -> Ir.add_method p ~name:(Printf.sprintf "m%d" i) ~owner:g ~static:true ~formals:[] ~ret:None) in
+  List.iter (fun (a, b) -> ignore (Ir.emit_invoke_static p ms.(a) ~target:ms.(b) ~args:[])) edges;
+  Ir.add_entry p ms.(0);
+  (p, ms)
+
+(* Brute-force components: representative = smallest mutually
+   reachable node. *)
+let reference_components n edges =
+  let r = Array.make_matrix n n false in
+  for i = 0 to n - 1 do
+    r.(i).(i) <- true
+  done;
+  List.iter (fun (a, b) -> r.(a).(b) <- true) edges;
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if r.(i).(k) && r.(k).(j) then r.(i).(j) <- true
+      done
+    done
+  done;
+  let comp = Array.init n (fun i ->
+      let rep = ref i in
+      for j = 0 to n - 1 do
+        if r.(i).(j) && r.(j).(i) && j < !rep then rep := j
+      done;
+      !rep)
+  in
+  (comp, r)
+
+exception Too_many_paths
+
+(* Forward enumeration of reduced call paths from the root: arrivals at
+   a component = its context count. *)
+let reference_counts n edges =
+  let comp, r = reference_components n edges in
+  let reachable = Array.init n (fun i -> r.(0).(i)) in
+  let cross =
+    List.filter (fun (a, b) -> reachable.(a) && reachable.(b) && comp.(a) <> comp.(b)) edges
+  in
+  let arrivals = Hashtbl.create 8 in
+  let budget = ref 20_000 in
+  let rec visit c =
+    decr budget;
+    if !budget <= 0 then raise Too_many_paths;
+    Hashtbl.replace arrivals c (1 + Option.value (Hashtbl.find_opt arrivals c) ~default:0);
+    List.iter (fun (a, b) -> if comp.(a) = c then visit comp.(b)) cross
+  in
+  visit comp.(0);
+  Array.init n (fun i ->
+      if reachable.(i) then Option.value (Hashtbl.find_opt arrivals comp.(i)) ~default:0 else 0)
+
+let prop_counts =
+  QCheck2.Test.make ~name:"context counts = explicit reduced-path enumeration" ~count:400 gen_graph
+    (fun (n, edges) ->
+      match reference_counts n edges with
+      | exception Too_many_paths -> true
+      | expected ->
+        let p, ms = program_of (n, edges) in
+        let ctx = Context.number p ~edges:(Callgraph.cha_edges p) ~roots:[ ms.(0) ] in
+        Array.for_all (fun i -> Context.method_contexts ctx ms.(i) = expected.(i)) (Array.init n (fun i -> i)))
+
+let prop_iec_bdd_matches_tuples =
+  QCheck2.Test.make ~name:"iec_bdd/mc_bdd enumerate exactly the tuple views" ~count:150 gen_graph
+    (fun (n, edges) ->
+      match reference_counts n edges with
+      | exception Too_many_paths -> true
+      | _ ->
+        let p, ms = program_of (n, edges) in
+        let ctx = Context.number p ~edges:(Callgraph.cha_edges p) ~roots:[ ms.(0) ] in
+        let sp = Space.create () in
+        let dom_c = Domain.make ~name:"C" ~size:(Context.csize ctx) () in
+        let dom_i = Domain.make ~name:"I" ~size:(max 1 (Ir.num_invokes p)) () in
+        let dom_m = Domain.make ~name:"M" ~size:(Ir.num_methods p) () in
+        let cb = Space.alloc_interleaved sp dom_c 2 in
+        let ib = Space.alloc sp dom_i in
+        let mb = Space.alloc sp dom_m in
+        let iec = Context.iec_bdd ctx sp ~caller:cb.(0) ~invoke:ib ~callee:cb.(1) ~target:mb in
+        let rel =
+          Relation.make sp ~name:"IEC"
+            [
+              { Relation.attr_name = "c1"; block = cb.(0) };
+              { Relation.attr_name = "i"; block = ib };
+              { Relation.attr_name = "c2"; block = cb.(1) };
+              { Relation.attr_name = "m"; block = mb };
+            ]
+        in
+        Relation.set_bdd rel iec;
+        let from_bdd = List.sort compare (List.map (fun t -> (t.(0), t.(1), t.(2), t.(3))) (Relation.tuples rel)) in
+        let mc = Context.mc_bdd ctx sp ~context:cb.(0) ~target:mb in
+        let mrel =
+          Relation.make sp ~name:"mC"
+            [ { Relation.attr_name = "c"; block = cb.(0) }; { Relation.attr_name = "m"; block = mb } ]
+        in
+        Relation.set_bdd mrel mc;
+        let mc_from_bdd = List.sort compare (List.map (fun t -> (t.(0), t.(1))) (Relation.tuples mrel)) in
+        from_bdd = Context.iec_tuples ctx && mc_from_bdd = Context.mc_tuples ctx)
+
+let prop_total_paths =
+  QCheck2.Test.make ~name:"total_paths = sum of per-method counts" ~count:200 gen_graph (fun (n, edges) ->
+      match reference_counts n edges with
+      | exception Too_many_paths -> true
+      | expected ->
+        let p, ms = program_of (n, edges) in
+        let ctx = Context.number p ~edges:(Callgraph.cha_edges p) ~roots:[ ms.(0) ] in
+        ignore ms;
+        let total = Array.fold_left ( + ) 0 expected in
+        Bignat.to_int_opt (Context.total_paths ctx) = Some total)
+
+let prop_cap_is_upper_bound =
+  QCheck2.Test.make ~name:"clamped counts never exceed the cap" ~count:200 gen_graph (fun (n, edges) ->
+      let p, ms = program_of (n, edges) in
+      let ctx = Context.number ~max_bits:2 p ~edges:(Callgraph.cha_edges p) ~roots:[ ms.(0) ] in
+      Array.for_all (fun i -> Context.method_contexts ctx ms.(i) <= 3) (Array.init n (fun i -> i))
+      && List.for_all (fun (c1, _, c2, _) -> c1 <= 3 && c2 <= 3) (Context.iec_tuples ctx))
+
+let () =
+  Alcotest.run "context_prop"
+    [
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_counts; prop_iec_bdd_matches_tuples; prop_total_paths; prop_cap_is_upper_bound ] );
+    ]

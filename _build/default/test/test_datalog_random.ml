@@ -1,0 +1,209 @@
+(* Differential testing of the BDD engine against the naive evaluator
+   on randomly generated Datalog programs: random (stratified) rules
+   over two domains with duplicate variables, wildcards, constants,
+   comparisons and negation-on-inputs, solved over random input tuples
+   under every combination of engine optimizations. *)
+
+open QCheck2
+
+let d0_size = 4
+let d1_size = 5
+
+(* Relation name -> attribute domains ("D0"/"D1"). *)
+let schema =
+  [
+    ("in0", [ "D0" ]);
+    ("in1", [ "D0"; "D1" ]);
+    ("in2", [ "D1"; "D1" ]);
+    ("r0", [ "D0"; "D1" ]);
+    ("r1", [ "D0" ]);
+    ("r2", [ "D1"; "D1" ]);
+  ]
+
+let derived = [ "r0"; "r1"; "r2" ]
+let inputs = [ "in0"; "in1"; "in2" ]
+
+let decls =
+  {
+    Ast.domains =
+      [
+        { Ast.dom_name = "D0"; dom_size = d0_size; dom_map = None };
+        { Ast.dom_name = "D1"; dom_size = d1_size; dom_map = None };
+      ];
+    var_order = None;
+    relations =
+      List.map
+        (fun (name, doms) ->
+          {
+            Ast.rel_name = name;
+            rel_kind = (if List.mem name inputs then Ast.Input else Ast.Output);
+            rel_attrs = List.mapi (fun i d -> (Printf.sprintf "a%d" i, d)) doms;
+          })
+        schema;
+    rules = [];
+  }
+
+let var_pool = function
+  | "D0" -> [ "x0"; "x1"; "x2" ]
+  | _ -> [ "y0"; "y1"; "y2" ]
+
+let dom_size = function
+  | "D0" -> d0_size
+  | _ -> d1_size
+
+(* One random positive atom; returns the atom and the variables it
+   binds (with their domains). *)
+let gen_pos_atom =
+  Gen.(
+    let* name, doms = oneofl schema in
+    let* args =
+      flatten_l
+        (List.map
+           (fun d ->
+             let* choice = int_bound 9 in
+             if choice < 6 then
+               let* v = oneofl (var_pool d) in
+               return (Ast.Var v)
+             else if choice < 8 then
+               let* c = int_bound (dom_size d - 1) in
+               return (Ast.Const (string_of_int c))
+             else return Ast.Wildcard)
+           doms)
+    in
+    return { Ast.pred = name; args })
+
+let bound_vars_of atoms =
+  List.concat_map
+    (fun (a : Ast.atom) ->
+      let _, doms = List.assoc a.Ast.pred (List.map (fun (n, d) -> (n, (n, d))) schema) in
+      List.filteri (fun _ _ -> true) (List.map2 (fun arg d ->
+          match arg with
+          | Ast.Var v -> Some (v, d)
+          | Ast.Const _ | Ast.Wildcard -> None)
+        a.Ast.args doms)
+      |> List.filter_map (fun x -> x))
+    atoms
+
+let gen_rule =
+  Gen.(
+    let* n_atoms = int_range 1 3 in
+    let* atoms = list_repeat n_atoms gen_pos_atom in
+    let bound = bound_vars_of atoms in
+    let bound_in d = List.filter (fun (_, dd) -> dd = d) bound |> List.map fst in
+    (* Optional comparison among bound variables of one domain. *)
+    let* cmp =
+      let* want = bool in
+      if not want then return []
+      else
+        let* d = oneofl [ "D0"; "D1" ] in
+        match List.sort_uniq compare (bound_in d) with
+        | [] -> return []
+        | [ v ] ->
+          let* c = int_bound (dom_size d - 1) in
+          let* op = oneofl [ Ast.Eq; Ast.Neq ] in
+          return [ Ast.Cmp (Ast.Var v, op, Ast.Const (string_of_int c)) ]
+        | v1 :: v2 :: _ ->
+          let* op = oneofl [ Ast.Eq; Ast.Neq ] in
+          return [ Ast.Cmp (Ast.Var v1, op, Ast.Var v2) ]
+    in
+    (* Optional negation over an input relation using bound variables. *)
+    let* neg =
+      let* want = bool in
+      if not want then return []
+      else
+        let* name = oneofl inputs in
+        let doms = List.assoc name schema in
+        let* args =
+          flatten_l
+            (List.map
+               (fun d ->
+                 match bound_in d with
+                 | [] -> Gen.return Ast.Wildcard
+                 | vs ->
+                   let* use_var = bool in
+                   if use_var then
+                     let* v = oneofl vs in
+                     return (Ast.Var v)
+                   else return Ast.Wildcard)
+               doms)
+        in
+        return [ Ast.Neg { Ast.pred = name; args } ]
+    in
+    (* Head over a derived relation, arguments drawn from bound
+       variables (falling back to constants). *)
+    let* head_name = oneofl derived in
+    let head_doms = List.assoc head_name schema in
+    let* head_args =
+      flatten_l
+        (List.map
+           (fun d ->
+             match bound_in d with
+             | [] ->
+               let* c = int_bound (dom_size d - 1) in
+               return (Ast.Const (string_of_int c))
+             | vs ->
+               let* pick_const = int_bound 9 in
+               if pick_const < 2 then
+                 let* c = int_bound (dom_size d - 1) in
+                 return (Ast.Const (string_of_int c))
+               else
+                 let* v = oneofl vs in
+                 return (Ast.Var v))
+           head_doms)
+    in
+    return { Ast.head = { Ast.pred = head_name; args = head_args }; body = List.map (fun a -> Ast.Pos a) atoms @ cmp @ neg })
+
+let gen_tuples arity sizes =
+  Gen.(list_size (int_range 0 10) (flatten_l (List.init arity (fun i -> int_bound (List.nth sizes i - 1)))))
+
+let gen_case =
+  Gen.(
+    let* n_rules = int_range 1 6 in
+    let* rules = list_repeat n_rules gen_rule in
+    let* t0 = gen_tuples 1 [ d0_size ] in
+    let* t1 = gen_tuples 2 [ d0_size; d1_size ] in
+    let* t2 = gen_tuples 2 [ d1_size; d1_size ] in
+    return ({ decls with Ast.rules }, [ ("in0", t0); ("in1", t1); ("in2", t2) ]))
+
+let print_case (program, tuples) =
+  Format.asprintf "%a@.inputs: %s" Ast.pp_program program
+    (String.concat "; "
+       (List.map
+          (fun (n, ts) ->
+            Printf.sprintf "%s = {%s}" n (String.concat ", " (List.map (fun t -> String.concat " " (List.map string_of_int t)) ts)))
+          tuples))
+
+let run_case options (program, tuples) =
+  let eng = Engine.create ~options program in
+  List.iter (fun (name, ts) -> Engine.set_tuples eng name (List.map Array.of_list ts)) tuples;
+  ignore (Engine.run eng);
+  List.map
+    (fun name -> (name, List.sort compare (List.map Array.to_list (Relation.tuples (Engine.relation eng name)))))
+    derived
+
+let naive_case (program, tuples) =
+  let r = Naive_eval.solve program ~inputs:tuples in
+  List.map (fun name -> (name, Naive_eval.tuples r name)) derived
+
+let make_prop name options =
+  Test.make ~name ~count:250 ~print:print_case gen_case (fun case ->
+      match naive_case case with
+      | exception Stratify.Not_stratified _ -> true
+      | expected -> run_case options case = expected)
+
+let default = Engine.default_options
+
+let prop_default = make_prop "random programs: engine = naive (default opts)" default
+let prop_no_seminaive = make_prop "random programs (no semi-naive)" { default with Engine.semi_naive = false }
+let prop_no_hoist = make_prop "random programs (no hoisting)" { default with Engine.hoist = false }
+let prop_no_greedy = make_prop "random programs (no greedy blocks)" { default with Engine.greedy_blocks = false }
+let prop_gc_every_rule = make_prop "random programs (gc every rule)" { default with Engine.gc_interval = 1 }
+let prop_reorder = make_prop "random programs (join reordering)" { default with Engine.reorder_joins = true }
+
+let () =
+  Alcotest.run "datalog_random"
+    [
+      ( "differential",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_default; prop_no_seminaive; prop_no_hoist; prop_no_greedy; prop_gc_every_rule; prop_reorder ] );
+    ]

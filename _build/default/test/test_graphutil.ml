@@ -1,0 +1,141 @@
+(* Graph algorithms: unit tests on known graphs plus properties
+   validated against brute-force reachability on random graphs. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_scc_diamond () =
+  (* 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3: all singletons. *)
+  let g = Graphutil.make 4 [ (0, 1); (0, 2); (1, 3); (2, 3) ] in
+  let comp, members = Graphutil.scc g in
+  check_int "four components" 4 (Array.length members);
+  (* Edges go from larger to smaller component index. *)
+  check_bool "0 after 1" true (comp.(0) > comp.(1));
+  check_bool "1 after 3" true (comp.(1) > comp.(3));
+  check_bool "2 after 3" true (comp.(2) > comp.(3))
+
+let test_scc_cycle () =
+  let g = Graphutil.make 5 [ (0, 1); (1, 2); (2, 0); (2, 3); (3, 4); (4, 3) ] in
+  let comp, members = Graphutil.scc g in
+  check_int "two components" 2 (Array.length members);
+  check_bool "0,1,2 together" true (comp.(0) = comp.(1) && comp.(1) = comp.(2));
+  check_bool "3,4 together" true (comp.(3) = comp.(4));
+  check_bool "cycle before its target" true (comp.(0) > comp.(3))
+
+let test_scc_self_loop () =
+  let g = Graphutil.make 2 [ (0, 0); (0, 1) ] in
+  let comp, members = Graphutil.scc g in
+  check_int "two components" 2 (Array.length members);
+  check_bool "distinct" true (comp.(0) <> comp.(1))
+
+let test_topo () =
+  let g = Graphutil.make 4 [ (3, 1); (1, 0); (3, 2); (2, 0) ] in
+  let order = Graphutil.topo_order g in
+  let pos = Array.make 4 0 in
+  List.iteri (fun i v -> pos.(v) <- i) order;
+  check_bool "3 before 1" true (pos.(3) < pos.(1));
+  check_bool "1 before 0" true (pos.(1) < pos.(0));
+  check_bool "2 before 0" true (pos.(2) < pos.(0))
+
+let test_topo_cycle_rejected () =
+  let g = Graphutil.make 2 [ (0, 1); (1, 0) ] in
+  match Graphutil.topo_order g with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected cycle rejection"
+
+let test_condense () =
+  let g = Graphutil.make 4 [ (0, 1); (1, 0); (1, 2); (2, 3); (3, 2) ] in
+  let comp, members = Graphutil.scc g in
+  let c = Graphutil.condense g comp (Array.length members) in
+  check_int "two condensed nodes" 2 c.Graphutil.n;
+  let edges = Array.fold_left (fun acc l -> acc + List.length l) 0 c.Graphutil.succ in
+  check_int "one condensed edge" 1 edges
+
+let test_reachable () =
+  let g = Graphutil.make 5 [ (0, 1); (1, 2); (3, 4) ] in
+  let r = Graphutil.reachable g [ 0 ] in
+  Alcotest.(check (array bool)) "from 0" [| true; true; true; false; false |] r;
+  let r2 = Graphutil.reachable g [ 0; 3 ] in
+  Alcotest.(check (array bool)) "from 0 and 3" [| true; true; true; true; true |] r2
+
+(* --- Properties on random graphs --- *)
+
+let gen_graph =
+  QCheck2.Gen.(
+    let* n = int_range 1 10 in
+    let* edges = list_size (int_range 0 20) (pair (int_range 0 (n - 1)) (int_range 0 (n - 1))) in
+    return (n, edges))
+
+(* Brute-force transitive reachability. *)
+let reach_matrix n edges =
+  let r = Array.make_matrix n n false in
+  for i = 0 to n - 1 do
+    r.(i).(i) <- true
+  done;
+  List.iter (fun (a, b) -> r.(a).(b) <- true) edges;
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if r.(i).(k) && r.(k).(j) then r.(i).(j) <- true
+      done
+    done
+  done;
+  r
+
+let prop_scc_mutual_reachability =
+  QCheck2.Test.make ~name:"same component iff mutually reachable" ~count:300 gen_graph (fun (n, edges) ->
+      let g = Graphutil.make n edges in
+      let comp, _ = Graphutil.scc g in
+      let r = reach_matrix n edges in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          let together = comp.(i) = comp.(j) in
+          let mutual = r.(i).(j) && r.(j).(i) in
+          if together <> mutual then ok := false
+        done
+      done;
+      !ok)
+
+let prop_scc_edge_order =
+  QCheck2.Test.make ~name:"cross-component edges decrease component index" ~count:300 gen_graph (fun (n, edges) ->
+      let g = Graphutil.make n edges in
+      let comp, _ = Graphutil.scc g in
+      List.for_all (fun (a, b) -> comp.(a) = comp.(b) || comp.(a) > comp.(b)) edges)
+
+let prop_condensation_topo =
+  QCheck2.Test.make ~name:"condensation is acyclic and topo-sortable" ~count:300 gen_graph (fun (n, edges) ->
+      let g = Graphutil.make n edges in
+      let comp, members = Graphutil.scc g in
+      let c = Graphutil.condense g comp (Array.length members) in
+      match Graphutil.topo_order c with
+      | order -> List.length order = Array.length members
+      | exception Invalid_argument _ -> false)
+
+let prop_reachable_matches_matrix =
+  QCheck2.Test.make ~name:"reachable agrees with brute force" ~count:300
+    QCheck2.Gen.(pair gen_graph (int_range 0 9))
+    (fun ((n, edges), seed) ->
+      let seed = seed mod n in
+      let g = Graphutil.make n edges in
+      let r = Graphutil.reachable g [ seed ] in
+      let m = reach_matrix n edges in
+      Array.for_all (fun b -> b) (Array.init n (fun j -> r.(j) = m.(seed).(j))))
+
+let () =
+  Alcotest.run "graphutil"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "scc diamond" `Quick test_scc_diamond;
+          Alcotest.test_case "scc cycle" `Quick test_scc_cycle;
+          Alcotest.test_case "scc self loop" `Quick test_scc_self_loop;
+          Alcotest.test_case "topo order" `Quick test_topo;
+          Alcotest.test_case "topo rejects cycles" `Quick test_topo_cycle_rejected;
+          Alcotest.test_case "condense" `Quick test_condense;
+          Alcotest.test_case "reachable" `Quick test_reachable;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_scc_mutual_reachability; prop_scc_edge_order; prop_condensation_topo; prop_reachable_matches_matrix ] );
+    ]

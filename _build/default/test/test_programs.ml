@@ -1,0 +1,179 @@
+(* The Datalog program texts themselves: every algorithm must parse,
+   resolve, stratify and plan — alone and composed with every
+   compatible §5 query suffix — and the algo6 results must agree with
+   the naive evaluator like algo5's do. *)
+
+module Factgen = Jir.Factgen
+module Analyses = Pta.Analyses
+module Context = Pta.Context
+module Programs = Pta.Programs
+module Queries = Pta.Queries
+
+let sample_src =
+  {|
+class A extends Object {
+  field f : Object
+  method set(v : Object) : void {
+    this.f = v
+  }
+  method get() : Object {
+    var r : Object
+    r = this.f
+    return r
+  }
+}
+class W extends Thread {
+  method run() : void {
+    var o : Object
+    o = new Object() @ "TL"
+    sync o
+  }
+}
+class Main extends Object {
+  static method main() : void {
+    var a : A
+    var o : Object
+    var r : Object
+    var w : W
+    a = new A() @ "A0"
+    o = new Object() @ "O0"
+    a.set(o)
+    r = a.get()
+    w = new W() @ "W0"
+    w.start()
+  }
+}
+entry Main.main
+|}
+
+let fg () = Factgen.extract (Jir.Jparser.parse sample_src)
+
+let check_creates ?fg text =
+  let element_names =
+    match fg with
+    | Some fg -> Factgen.element_names fg
+    | None -> fun _ -> None
+  in
+  match Engine.parse_and_create ~element_names text with
+  | _ -> ()
+  | exception Parser.Parse_error e -> Alcotest.failf "parse error line %d: %s" e.Parser.line e.Parser.message
+  | exception Resolve.Check_error m -> Alcotest.failf "check error: %s" m
+  | exception Stratify.Not_stratified m -> Alcotest.failf "not stratified: %s" m
+
+let test_inputs_cover_factgen () =
+  (* Every relation the extractor produces must be declared (and thus
+     loaded) by the programs — a silent whitelist gap would starve the
+     analyses of facts. *)
+  let fg = fg () in
+  let loaded = List.map fst (Programs.input_relations fg) in
+  List.iter
+    (fun (name, _) ->
+      Alcotest.(check bool) (Printf.sprintf "%s is loaded" name) true (List.mem name loaded))
+    fg.Factgen.relations
+
+let test_basic_programs_wellformed () =
+  let fg = fg () in
+  check_creates (Programs.algo1 fg);
+  check_creates (Programs.algo2 fg);
+  check_creates (Programs.algo3 fg);
+  check_creates (Programs.algo5 fg ~csize:8);
+  check_creates (Programs.algo6 fg ~csize:8);
+  check_creates (Programs.algo7 fg ~csize:8)
+
+let test_queries_compose () =
+  let fg = fg () in
+  (* CI refinement over algorithms 1-2. *)
+  check_creates (Programs.algo1 ~query:Queries.refinement_ci fg);
+  check_creates (Programs.algo2 ~query:Queries.refinement_ci fg);
+  (* Every algo5 query suffix. *)
+  List.iter
+    (fun q -> check_creates ~fg (Programs.algo5 ~query:q fg ~csize:8))
+    [
+      Queries.refinement_projected_cs;
+      Queries.refinement_full_cs;
+      Queries.mod_ref;
+      Queries.who_points_to ~heap_label:"A0";
+      Queries.jce_vuln ~init_method:"A.set";
+    ];
+  List.iter
+    (fun q -> check_creates ~fg (Programs.algo6 ~query:q fg ~csize:8))
+    [ Queries.refinement_projected_ts; Queries.refinement_full_ts ]
+
+let test_algo6_vs_naive () =
+  let fg = fg () in
+  let otf = Analyses.run_basic ~algo:Analyses.Algo3 fg in
+  let ctx = Analyses.make_context fg ~ie:(Analyses.ie_tuples otf) in
+  let ts = Analyses.run_cs_types fg ctx in
+  let naive =
+    Naive_eval.solve
+      (Parser.parse ts.Analyses.program_text)
+      ~inputs:
+        (Programs.input_relations fg
+        @ [
+            ("IEC", List.map (fun (a, b, c, d) -> [ a; b; c; d ]) (Context.iec_tuples ctx));
+            ("mC", List.map (fun (a, b) -> [ a; b ]) (Context.mc_tuples ctx));
+          ])
+  in
+  List.iter
+    (fun out ->
+      Alcotest.(check (list (list int)))
+        (Printf.sprintf "engine = naive on %s" out)
+        (Naive_eval.tuples naive out)
+        (List.sort compare (List.map Array.to_list (Analyses.tuples ts out))))
+    [ "vTC"; "fT" ]
+
+let test_algo7_vs_naive () =
+  let fg = fg () in
+  let result, _info = Analyses.run_thread_escape fg in
+  (* Rebuild the same inputs the driver computed by reading them back
+     from the engine. *)
+  let ht = List.map Array.to_list (Analyses.tuples result "HT") in
+  let vp0t = List.map Array.to_list (Analyses.tuples result "vP0T") in
+  let naive =
+    Naive_eval.solve
+      (Parser.parse result.Analyses.program_text)
+      ~inputs:(Programs.input_relations fg @ [ ("HT", ht); ("vP0T", vp0t) ])
+  in
+  List.iter
+    (fun out ->
+      Alcotest.(check (list (list int)))
+        (Printf.sprintf "engine = naive on %s" out)
+        (Naive_eval.tuples naive out)
+        (List.sort compare (List.map Array.to_list (Analyses.tuples result out))))
+    [ "vPT"; "hPT"; "escaped"; "captured"; "neededSyncs" ]
+
+let test_tuples_io_roundtrip () =
+  let dir = Filename.temp_file "whalelam" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let tuples = [ [| 0; 3 |]; [| 2; 1 |]; [| 7; 7 |] ] in
+  let path = Filename.concat dir "r.tuples" in
+  Tuples_io.save_file path tuples;
+  Alcotest.(check (list (list int))) "roundtrip" (List.map Array.to_list tuples) (Tuples_io.load_file path);
+  (* Standalone bddbddb flow. *)
+  let program = Parser.parse "DOMAINS\nV 8\nRELATIONS\ninput r (a : V, b : V)\noutput t (a : V, b : V)\nRULES\nt(x, y) :- r(x, y).\nt(x, z) :- t(x, y), r(y, z).\n" in
+  let inputs = Tuples_io.load_inputs ~dir program in
+  Alcotest.(check int) "only declared inputs" 1 (List.length inputs);
+  let eng = Engine.create program in
+  List.iter (fun (n, ts) -> Engine.set_tuples eng n (List.map Array.of_list ts)) inputs;
+  ignore (Engine.run eng);
+  Tuples_io.save_outputs ~dir program (fun n -> Relation.tuples (Engine.relation eng n));
+  let out = Tuples_io.load_file (Filename.concat dir "t.tuples") in
+  Alcotest.(check bool) "closure computed" true (List.mem [ 2; 3 ] out || List.mem [ 0; 3 ] out)
+
+let () =
+  Alcotest.run "programs"
+    [
+      ( "wellformed",
+        [
+          Alcotest.test_case "all algorithms" `Quick test_basic_programs_wellformed;
+          Alcotest.test_case "inputs cover the extractor" `Quick test_inputs_cover_factgen;
+          Alcotest.test_case "query suffixes compose" `Quick test_queries_compose;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "algo6 vs naive" `Quick test_algo6_vs_naive;
+          Alcotest.test_case "algo7 vs naive" `Quick test_algo7_vs_naive;
+        ] );
+      ("io", [ Alcotest.test_case "tuples files" `Quick test_tuples_io_roundtrip ]);
+    ]

@@ -1,0 +1,243 @@
+(* BDD-backed relations: unit tests plus differential testing against
+   the pure tuple-set reference implementation (Ref_relation). *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let dom_a = Domain.make ~name:"A" ~size:6 ()
+let dom_b = Domain.make ~name:"B" ~size:4 ()
+
+type setup = { sp : Space.t; a0 : Space.block; a1 : Space.block; b0 : Space.block }
+
+let setup () =
+  let sp = Space.create () in
+  let a_blocks = Space.alloc_interleaved sp dom_a 2 in
+  let b0 = Space.alloc sp dom_b in
+  { sp; a0 = a_blocks.(0); a1 = a_blocks.(1); b0 }
+
+let tuples_as_lists r = List.map Array.to_list (Relation.tuples r)
+
+let test_empty_and_add () =
+  let s = setup () in
+  let r = Relation.make s.sp ~name:"r" [ { Relation.attr_name = "x"; block = s.a0 }; { attr_name = "y"; block = s.b0 } ] in
+  check_bool "empty" true (Relation.is_empty r);
+  Relation.add_tuple r [| 3; 2 |];
+  Relation.add_tuple r [| 5; 0 |];
+  Relation.add_tuple r [| 3; 2 |];
+  check_int "two tuples" 2 (int_of_float (Relation.count r));
+  check_bool "mem" true (Relation.mem_tuple r [| 3; 2 |]);
+  check_bool "not mem" false (Relation.mem_tuple r [| 2; 3 |]);
+  Alcotest.(check (list (list int))) "tuples" [ [ 3; 2 ]; [ 5; 0 ] ] (List.sort compare (tuples_as_lists r))
+
+let test_add_range_check () =
+  let s = setup () in
+  let r = Relation.make s.sp ~name:"r" [ { Relation.attr_name = "x"; block = s.a0 } ] in
+  Alcotest.check_raises "out of range" (Invalid_argument "Space.const: 6 out of range for A") (fun () ->
+      Relation.add_tuple r [| 6 |])
+
+let test_select_project () =
+  let s = setup () in
+  let attrs = [ { Relation.attr_name = "x"; block = s.a0 }; { Relation.attr_name = "y"; block = s.a1 } ] in
+  let r = Relation.of_tuples s.sp ~name:"r" attrs [ [| 0; 1 |]; [| 0; 2 |]; [| 3; 1 |] ] in
+  let sel = Relation.select r "x" 0 in
+  Alcotest.(check (list (list int))) "select" [ [ 0; 1 ]; [ 0; 2 ] ] (List.sort compare (tuples_as_lists sel));
+  let proj = Relation.project r [ "y" ] in
+  Alcotest.(check (list (list int))) "project" [ [ 1 ]; [ 2 ] ] (List.sort compare (tuples_as_lists proj));
+  let pa = Relation.project_away r [ "y" ] in
+  Alcotest.(check (list (list int))) "project_away" [ [ 0 ]; [ 3 ] ] (List.sort compare (tuples_as_lists pa))
+
+let test_join () =
+  let s = setup () in
+  let a2 = Space.instance s.sp dom_a 2 in
+  let e =
+    Relation.of_tuples s.sp ~name:"e"
+      [ { Relation.attr_name = "src"; block = s.a0 }; { Relation.attr_name = "dst"; block = s.a1 } ]
+      [ [| 0; 1 |]; [| 1; 2 |]; [| 2; 3 |] ]
+  in
+  (* Paths of length 2: rename e to (y, z) with a simultaneous block
+     move (src a0 -> a1, dst a1 -> a2), join on y, project it away. *)
+  let left = Relation.rename e [ ("dst", "y", s.a1) ] in
+  let right = Relation.rename e [ ("src", "y", s.a1); ("dst", "z", a2) ] in
+  let two_step = Relation.compose left right [ "y" ] in
+  Alcotest.(check (list (list int)))
+    "length-2 paths" [ [ 0; 2 ]; [ 1; 3 ] ]
+    (List.sort compare (tuples_as_lists two_step))
+
+let test_rename_swap () =
+  let s = setup () in
+  let attrs = [ { Relation.attr_name = "x"; block = s.a0 }; { Relation.attr_name = "y"; block = s.a1 } ] in
+  let r = Relation.of_tuples s.sp ~name:"r" attrs [ [| 1; 2 |]; [| 3; 4 |] ] in
+  (* Swap the blocks of x and y simultaneously. *)
+  let swapped = Relation.rename r [ ("x", "x", s.a1); ("y", "y", s.a0) ] in
+  let sorted_attrs = List.map (fun (a : Relation.attr) -> a.attr_name) (Relation.attrs swapped) in
+  Alcotest.(check (list string)) "attr names kept" [ "x"; "y" ] sorted_attrs;
+  Alcotest.(check (list (list int)))
+    "tuples preserved under swap" [ [ 1; 2 ]; [ 3; 4 ] ]
+    (List.sort compare (tuples_as_lists swapped))
+
+let test_union_diff_inter () =
+  let s = setup () in
+  let attrs = [ { Relation.attr_name = "x"; block = s.a0 } ] in
+  let r1 = Relation.of_tuples s.sp ~name:"r1" attrs [ [| 0 |]; [| 1 |]; [| 2 |] ] in
+  let r2 = Relation.of_tuples s.sp ~name:"r2" attrs [ [| 1 |]; [| 3 |] ] in
+  Alcotest.(check (list (list int))) "union" [ [ 0 ]; [ 1 ]; [ 2 ]; [ 3 ] ]
+    (List.sort compare (tuples_as_lists (Relation.union r1 r2)));
+  Alcotest.(check (list (list int))) "diff" [ [ 0 ]; [ 2 ] ] (List.sort compare (tuples_as_lists (Relation.diff r1 r2)));
+  Alcotest.(check (list (list int))) "inter" [ [ 1 ] ] (tuples_as_lists (Relation.inter r1 r2))
+
+let test_count_big () =
+  let s = setup () in
+  let attrs = [ { Relation.attr_name = "x"; block = s.a0 }; { Relation.attr_name = "y"; block = s.a1 } ] in
+  let r = Relation.of_tuples s.sp ~name:"r" attrs [ [| 0; 0 |]; [| 1; 1 |]; [| 2; 2 |] ] in
+  Alcotest.(check string) "count_big" "3" (Bignat.to_string (Relation.count_big r))
+
+let test_copy_union_in_place_dispose () =
+  let s = setup () in
+  let attrs = [ { Relation.attr_name = "x"; block = s.a0 } ] in
+  let r1 = Relation.of_tuples s.sp ~name:"r1" attrs [ [| 0 |]; [| 1 |] ] in
+  let r2 = Relation.copy ~name:"r2" r1 in
+  Relation.add_tuple r2 [| 3 |];
+  Alcotest.(check int) "copy is independent" 2 (int_of_float (Relation.count r1));
+  Alcotest.(check int) "copy extended" 3 (int_of_float (Relation.count r2));
+  let before = Relation.version r1 in
+  Relation.union_in_place r1 r2;
+  Alcotest.(check int) "in-place union" 3 (int_of_float (Relation.count r1));
+  Alcotest.(check bool) "version bumped" true (Relation.version r1 > before);
+  (* Union with itself changes nothing and keeps the version. *)
+  let v = Relation.version r1 in
+  Relation.union_in_place r1 r1;
+  Alcotest.(check int) "idempotent union keeps version" v (Relation.version r1);
+  Relation.dispose r2;
+  (* Disposing twice is fine. *)
+  Relation.dispose r2
+
+let test_schema_mismatch_errors () =
+  let s = setup () in
+  let r1 = Relation.of_tuples s.sp ~name:"r1" [ { Relation.attr_name = "x"; block = s.a0 } ] [ [| 0 |] ] in
+  let r2 = Relation.of_tuples s.sp ~name:"r2" [ { Relation.attr_name = "y"; block = s.a1 } ] [ [| 0 |] ] in
+  (match Relation.union r1 r2 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected schema mismatch");
+  (match Relation.make s.sp ~name:"bad" [ { Relation.attr_name = "x"; block = s.a0 }; { Relation.attr_name = "y"; block = s.a0 } ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected shared-block rejection");
+  match Relation.add_tuple r1 [| 0; 1 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected arity rejection"
+
+let test_space_instance_growth () =
+  let sp = Space.create () in
+  let d = Domain.make ~name:"G" ~size:8 () in
+  let group = Space.alloc_interleaved sp d 2 in
+  Alcotest.(check int) "instances allocated" 2 (List.length (Space.instances sp d));
+  (* Requesting beyond the group allocates sequentially on demand. *)
+  let b3 = Space.instance sp d 3 in
+  Alcotest.(check int) "grown to four" 4 (List.length (Space.instances sp d));
+  Alcotest.(check int) "instance index" 3 b3.Space.instance;
+  (* Blocks of one domain are interchangeable for data. *)
+  let r = Relation.of_tuples sp ~name:"r" [ { Relation.attr_name = "x"; block = group.(0) } ] [ [| 5 |] ] in
+  let moved = Relation.rename r [ ("x", "x", b3) ] in
+  Alcotest.(check (list (list int))) "value preserved across layouts" [ [ 5 ] ]
+    (List.map Array.to_list (Relation.tuples moved));
+  (* Same-name distinct domains are rejected. *)
+  let d2 = Domain.make ~name:"G" ~size:4 () in
+  match Space.alloc sp d2 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected duplicate-name rejection"
+
+(* --- Differential testing against Ref_relation --- *)
+
+(* Random relations over two attributes of dom_a (size 6) and the
+   sequence of operations: union, diff, inter, select, project, join.
+   The BDD relation and the reference must agree on tuples. *)
+
+let gen_tuples =
+  QCheck2.Gen.(list_size (int_range 0 12) (pair (int_range 0 5) (int_range 0 5)))
+
+let to_arrays l = List.map (fun (x, y) -> [| x; y |]) l
+let to_lists l = List.map (fun (x, y) -> [ x; y ]) l
+
+let agree r ref_r = List.sort compare (tuples_as_lists r) = Ref_relation.tuples ref_r
+
+let prop_setops =
+  QCheck2.Test.make ~name:"union/diff/inter agree with reference" ~count:200
+    QCheck2.Gen.(pair gen_tuples gen_tuples)
+    (fun (l1, l2) ->
+      let s = setup () in
+      let attrs = [ { Relation.attr_name = "x"; block = s.a0 }; { Relation.attr_name = "y"; block = s.a1 } ] in
+      let r1 = Relation.of_tuples s.sp ~name:"r1" attrs (to_arrays l1) in
+      let r2 = Relation.of_tuples s.sp ~name:"r2" attrs (to_arrays l2) in
+      let f1 = Ref_relation.make [ "x"; "y" ] (to_lists l1) in
+      let f2 = Ref_relation.make [ "x"; "y" ] (to_lists l2) in
+      agree (Relation.union r1 r2) (Ref_relation.union f1 f2)
+      && agree (Relation.diff r1 r2) (Ref_relation.diff f1 f2)
+      && agree (Relation.inter r1 r2) (Ref_relation.inter f1 f2))
+
+let prop_select_project =
+  QCheck2.Test.make ~name:"select/project agree with reference" ~count:200
+    QCheck2.Gen.(pair gen_tuples (int_range 0 5))
+    (fun (l, v) ->
+      let s = setup () in
+      let attrs = [ { Relation.attr_name = "x"; block = s.a0 }; { Relation.attr_name = "y"; block = s.a1 } ] in
+      let r = Relation.of_tuples s.sp ~name:"r" attrs (to_arrays l) in
+      let f = Ref_relation.make [ "x"; "y" ] (to_lists l) in
+      let sel_ok = agree (Relation.select r "x" v) (Ref_relation.select f "x" v) in
+      let projected = Relation.project r [ "y" ] in
+      let ref_projected = Ref_relation.project f [ "y" ] in
+      let proj_ok =
+        List.sort compare (tuples_as_lists projected) = Ref_relation.tuples ref_projected
+      in
+      sel_ok && proj_ok)
+
+let prop_join =
+  QCheck2.Test.make ~name:"natural join agrees with reference" ~count:200
+    QCheck2.Gen.(pair gen_tuples gen_tuples)
+    (fun (l1, l2) ->
+      let s = setup () in
+      (* r1(x, y) join r2(y, z): y shared and stored in the same block
+         in both; x and z in distinct blocks. *)
+      let a2 = Space.instance s.sp dom_a 2 in
+      let r1 =
+        Relation.of_tuples s.sp ~name:"r1"
+          [ { Relation.attr_name = "x"; block = s.a0 }; { Relation.attr_name = "y"; block = s.a1 } ]
+          (to_arrays l1)
+      in
+      let r2 =
+        Relation.of_tuples s.sp ~name:"r2"
+          [ { Relation.attr_name = "y"; block = s.a1 }; { Relation.attr_name = "z"; block = a2 } ]
+          (to_arrays l2)
+      in
+      let f1 = Ref_relation.make [ "x"; "y" ] (to_lists l1) in
+      let f2 = Ref_relation.make [ "y"; "z" ] (to_lists l2) in
+      agree (Relation.join r1 r2) (Ref_relation.join f1 f2)
+      && agree (Relation.compose r1 r2 [ "y" ]) (Ref_relation.project (Ref_relation.join f1 f2) [ "x"; "z" ]))
+
+let prop_rename_roundtrip =
+  QCheck2.Test.make ~name:"rename to fresh block and back is identity" ~count:100 gen_tuples (fun l ->
+      let s = setup () in
+      let attrs = [ { Relation.attr_name = "x"; block = s.a0 }; { Relation.attr_name = "y"; block = s.a1 } ] in
+      let r = Relation.of_tuples s.sp ~name:"r" attrs (to_arrays l) in
+      let a2 = Space.instance s.sp dom_a 2 in
+      let moved = Relation.rename r [ ("x", "x", a2) ] in
+      let back = Relation.rename moved [ ("x", "x", s.a0) ] in
+      Relation.equal r back)
+
+let () =
+  Alcotest.run "relation"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "empty and add" `Quick test_empty_and_add;
+          Alcotest.test_case "range check" `Quick test_add_range_check;
+          Alcotest.test_case "select and project" `Quick test_select_project;
+          Alcotest.test_case "join compiles" `Quick test_join;
+          Alcotest.test_case "rename swap" `Quick test_rename_swap;
+          Alcotest.test_case "union/diff/inter" `Quick test_union_diff_inter;
+          Alcotest.test_case "count_big" `Quick test_count_big;
+          Alcotest.test_case "copy/union_in_place/dispose" `Quick test_copy_union_in_place_dispose;
+          Alcotest.test_case "schema errors" `Quick test_schema_mismatch_errors;
+          Alcotest.test_case "space instance growth" `Quick test_space_instance_growth;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_setops; prop_select_project; prop_join; prop_rename_roundtrip ] );
+    ]
