@@ -3,10 +3,17 @@
 
      dune exec bench/main.exe -- [--table fig3|fig4|fig5|fig6|scaling|ablations|example1|bechamel|all]
                                  [--scale S] [--benchmarks a,b,c]
+                                 [--json OUT.json]
 
    Shapes, not absolute numbers, are the target: who wins, by what
    kind of factor, and how cost grows with the number of contexts.
-   Paper values are printed alongside for comparison. *)
+   Paper values are printed alongside for comparison.
+
+   [--json OUT.json] additionally writes every engine-backed run as a
+   machine-readable record — wall-clock seconds, peak live BDD nodes,
+   op-cache hit rate, rule applications, fixpoint rounds, GC count —
+   so the perf trajectory across PRs can be tracked (the checked-in
+   baseline lives in BENCH_results.json). *)
 
 module Ir = Jir.Ir
 module Factgen = Jir.Factgen
@@ -19,6 +26,7 @@ module Engine = Datalog.Engine
 let scale = ref 0.04
 let table = ref "all"
 let only = ref []
+let json_path = ref None
 
 let () =
   let rec parse = function
@@ -32,11 +40,79 @@ let () =
     | "--benchmarks" :: v :: rest ->
       only := String.split_on_char ',' v;
       parse rest
+    | "--json" :: v :: rest ->
+      (* Fail fast on an unwritable path rather than after minutes of runs. *)
+      (try close_out (open_out v)
+       with Sys_error msg ->
+         prerr_endline ("cannot write --json output: " ^ msg);
+         exit 1);
+      json_path := Some v;
+      parse rest
     | arg :: _ ->
       prerr_endline ("unknown argument " ^ arg);
       exit 1
   in
   parse (List.tl (Array.to_list Sys.argv))
+
+(* --- Machine-readable results (--json) --- *)
+
+type json_row = {
+  r_table : string;
+  r_bench : string;
+  r_algo : string;
+  r_seconds : float;
+  r_peak : int;
+  r_hit_rate : float;
+  r_rule_apps : int;
+  r_iters : int;
+  r_gcs : int;
+}
+
+let json_rows : json_row list ref = ref []
+
+let record ~table:r_table ~bench:r_bench ~algo:r_algo (s : Engine.stats) =
+  json_rows :=
+    {
+      r_table;
+      r_bench;
+      r_algo;
+      r_seconds = s.Engine.solve_seconds;
+      r_peak = s.Engine.peak_live_nodes;
+      r_hit_rate = Engine.cache_hit_rate s;
+      r_rule_apps = s.Engine.rule_applications;
+      r_iters = s.Engine.iterations;
+      r_gcs = s.Engine.gcs;
+    }
+    :: !json_rows
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_json path =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"schema\": \"whalelam-bench-v1\",\n  \"scale\": %g,\n  \"rows\": [" !scale;
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc "%s\n    { \"table\": \"%s\", \"benchmark\": \"%s\", \"algo\": \"%s\", \"seconds\": %.6f, \
+                         \"peak_live_nodes\": %d, \"cache_hit_rate\": %.4f, \"rule_applications\": %d, \
+                         \"iterations\": %d, \"gcs\": %d }"
+        (if i = 0 then "" else ",")
+        (json_escape r.r_table) (json_escape r.r_bench) (json_escape r.r_algo) r.r_seconds r.r_peak r.r_hit_rate
+        r.r_rule_apps r.r_iters r.r_gcs)
+    (List.rev !json_rows);
+  Printf.fprintf oc "\n  ]\n}\n";
+  close_out oc;
+  Printf.printf "\nwrote %d benchmark records to %s\n" (List.length !json_rows) path
 
 let profiles () =
   List.filter (fun p -> !only = [] || List.mem p.Synth.Profiles.name !only) Synth.Profiles.all
@@ -107,6 +183,10 @@ let fig4 () =
       let s (r : Analyses.result) = r.Analyses.stats in
       let sec r = (s r).Engine.solve_seconds in
       let mem r = knodes (s r).Engine.peak_live_nodes in
+      let name = profile.Synth.Profiles.name in
+      List.iter
+        (fun (algo, r) -> record ~table:"fig4" ~bench:name ~algo (s r))
+        [ ("ci-nofilter", a1); ("ci-typefilter", a2); ("otf", a3); ("cs", cs); ("cstype", ts); ("thread", esc) ];
       Printf.printf
         "%-11s | %6.2f %6.0f | %6.2f %6.0f | %6.2f %5d %6.0f | %7.2f %7.0f | %6.2f %6.0f | %6.2f %6.0f\n"
         profile.Synth.Profiles.name (sec a1) (mem a1) (sec a2) (mem a2) (sec a3) (s a3).Engine.iterations
@@ -180,6 +260,7 @@ let scaling () =
       let otf = Analyses.run_basic ~algo:Analyses.Algo3 fg in
       let ctx = Analyses.make_context fg ~ie:(Analyses.ie_tuples otf) in
       let cs = Analyses.run_cs fg ctx in
+      record ~table:"scaling" ~bench:"gruntspud" ~algo:(Printf.sprintf "cs-fanout-%d" fanout) cs.Analyses.stats;
       let paths = Context.total_paths ctx in
       let lg = float_of_int (Bignat.num_bits paths) in
       let t = cs.Analyses.stats.Engine.solve_seconds in
@@ -212,6 +293,7 @@ let ablations () =
   (* Engine optimization toggles on the context-sensitive analysis. *)
   let run_with options label =
     let r, _ = time_run (fun () -> Analyses.run_cs ~options fg ctx) in
+    record ~table:"ablations" ~bench:profile.Synth.Profiles.name ~algo:label r.Analyses.stats;
     Printf.printf "%-32s %.3fs, %6.0fK peak nodes, %4d rule applications\n" label
       r.Analyses.stats.Engine.solve_seconds
       (knodes r.Analyses.stats.Engine.peak_live_nodes)
@@ -239,6 +321,7 @@ let ablations () =
     Relation.set_bdd mc
       (Context.mc_bdd ctx (Engine.space eng) ~context:(block_of mc "context") ~target:(block_of mc "method"));
     let s = Engine.run eng in
+    record ~table:"ablations" ~bench:profile.Synth.Profiles.name ~algo:label s;
     Printf.printf "%-32s %.3fs, %6.0fK peak nodes\n" label s.Engine.solve_seconds (knodes s.Engine.peak_live_nodes)
   in
   (* §4.2's on-the-fly CS variant over the conservative numbering. *)
@@ -358,4 +441,7 @@ let () =
   run "scaling" scaling;
   run "ablations" ablations;
   run "bechamel" bechamel;
+  (match !json_path with
+  | Some path -> write_json path
+  | None -> ());
   Printf.printf "\ntotal harness time: %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -74,6 +74,20 @@ let print_stats (s : Datalog.Engine.stats) =
   Printf.printf "strata            %d\n" s.Datalog.Engine.strata;
   Printf.printf "peak BDD nodes    %d\n" s.Datalog.Engine.peak_live_nodes
 
+(* --stats: the per-op-class BDD cache counters and GC totals. *)
+let print_extended_stats (s : Datalog.Engine.stats) =
+  Printf.printf "GC runs           %d\n" s.Datalog.Engine.gcs;
+  Printf.printf "op cache hit rate %.1f%%\n" (100.0 *. Datalog.Engine.cache_hit_rate s);
+  Printf.printf "per-op cache      %10s %12s %8s\n" "hits" "misses" "hit%";
+  List.iter
+    (fun (name, h, m) ->
+      if h + m > 0 then
+        Printf.printf "  %-15s %10d %12d %7.1f%%\n" name h m (100.0 *. float_of_int h /. float_of_int (h + m)))
+    s.Datalog.Engine.op_cache
+
+let stats_flag =
+  Arg.(value & flag & info [ "stats" ] ~doc:"Also print GC count and per-operation BDD cache hit rates.")
+
 let dump_relation fg result name =
   let rel = Analyses.relation result name in
   Printf.printf "%s (%.0f tuples):\n" name (Relation.count rel);
@@ -93,11 +107,12 @@ let dump_relation fg result name =
     (Analyses.tuples result name)
 
 let analyze_cmd =
-  let run path algo dump =
+  let run path algo dump stats =
     let p = or_die (read_program path) in
     let fg = Factgen.extract p in
     let finish result =
       print_stats result.Analyses.stats;
+      if stats then print_extended_stats result.Analyses.stats;
       List.iter
         (fun name ->
           print_newline ();
@@ -164,7 +179,9 @@ let analyze_cmd =
   let dump =
     Arg.(value & opt_all string [] & info [ "dump" ] ~docv:"REL" ~doc:"Print the tuples of an output relation.")
   in
-  Cmd.v (Cmd.info "analyze" ~doc:"Run one of the paper's analyses.") Term.(const run $ program_arg $ algo $ dump)
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Run one of the paper's analyses.")
+    Term.(const run $ program_arg $ algo $ dump $ stats_flag)
 
 (* --- query --- *)
 
@@ -245,7 +262,7 @@ let order_search_cmd =
 (* --- datalog --- *)
 
 let datalog_cmd =
-  let run path dir =
+  let run path dir stats =
     let src =
       let ic = open_in_bin path in
       let s = really_input_string ic (in_channel_length ic) in
@@ -271,6 +288,7 @@ let datalog_cmd =
         Printf.printf "solved in %.3fs (%d rule applications, %d rounds, %d peak nodes)\n"
           s.Datalog.Engine.solve_seconds s.Datalog.Engine.rule_applications s.Datalog.Engine.iterations
           s.Datalog.Engine.peak_live_nodes;
+        if stats then print_extended_stats s;
         List.iter
           (fun (r : Datalog.Ast.rel_decl) ->
             match r.Datalog.Ast.rel_kind with
@@ -286,7 +304,7 @@ let datalog_cmd =
   in
   Cmd.v
     (Cmd.info "datalog" ~doc:"Standalone bddbddb: solve a Datalog program over .tuples files.")
-    Term.(const run $ dl $ dir)
+    Term.(const run $ dl $ dir $ stats_flag)
 
 (* --- gen --- *)
 

@@ -1,45 +1,78 @@
 (* Hash-consed OBDD manager.
 
-   Nodes live in parallel int arrays indexed by handle; slot 0 and 1 are
-   the terminals.  The unique table is a chained hash whose bucket array
-   always has the same length as the node arrays (load factor <= 1).
-   Freed slots are threaded through [next] as a free list and marked
-   with [var = -1].
+   Nodes are packed stride-4 records [var; low; high; next] in a single
+   int array indexed by handle * 4; slots 0 and 1 are the terminals.
+   The packing keeps a node's fields on one cache line — the kernels
+   are memory-latency bound on large working sets.  The unique table is
+   a chained hash whose bucket array always has one entry per node slot
+   (load factor <= 1).  Freed slots are threaded through [next] as a
+   free list and marked with [var = -1].
 
    The operation cache is a single direct-mapped array with stride-5
-   entries [op; a; b; c; result]; all memoized operations (apply, not,
-   ite, exist, relprod, replace) share it, distinguished by [op].  It is
-   cleared on GC because freed handles may be reused.
+   entries [op; a; b; c; result]; all memoized operations share it,
+   distinguished by [op].  Hit/miss counters are kept per operation
+   class.  The hot binary connectives (and/or/diff) have specialized
+   recursive kernels with their terminal rules inlined; the generic
+   [apply] survives only for the rare connectives (xor/imp/biimp).
 
    GC is mark-sweep from registered roots and is only ever invoked
-   explicitly, so in-flight intermediate results cannot be collected. *)
+   explicitly, so in-flight intermediate results cannot be collected.
+   The op cache survives collection: entries are swept individually and
+   only those whose operands or result died are invalidated (a freed
+   handle may be reused by a later [mk], so such entries would be
+   unsound to keep).  Marking uses a persistent byte buffer and an
+   explicit stack, both reused across collections, so GC does no
+   per-call allocation and cannot overflow the OCaml stack on deep
+   BDDs.  [support] and [node_count] likewise use an explicit stack
+   with a reusable visited-stamp array instead of per-call hash
+   tables. *)
 
 type t = int
 
 type varmap = {
   map_id : int;
   map : int array; (* indexed by variable; identity beyond its length *)
+  monotone : bool; (* non-decreasing over all variables: order-preserving
+                      on any support it is injective on *)
+  identity : bool;
 }
 
+(* Operation classes for the per-class cache counters. *)
+let cl_and = 0
+let cl_or = 1
+let cl_diff = 2
+let cl_apply_other = 3 (* xor / imp / biimp *)
+let cl_not = 4
+let cl_ite = 5
+let cl_exist = 6
+let cl_relprod = 7
+let cl_replace = 8
+let n_classes = 9
+let class_names = [| "and"; "or"; "diff"; "apply-other"; "not"; "ite"; "exist"; "relprod"; "replace" |]
+
 type man = {
-  mutable var : int array;
-  mutable low : int array;
-  mutable high : int array;
-  mutable next : int array; (* hash chain or free list *)
+  mutable nodes : int array;
+      (* packed stride-4 records [var; low; high; next]: one cache line
+         per node visit instead of one per parallel array *)
   mutable buckets : int array; (* heads, -1 = empty *)
   mutable free_head : int;
   mutable num_slots : int; (* slots ever allocated, including freed *)
   mutable num_free : int;
   mutable peak_live : int;
   mutable nvars : int;
-  cache : int array;
-  cache_mask : int;
-  mutable cache_hits : int;
-  mutable cache_misses : int;
+  mutable cache : int array;
+  mutable cache_mask : int;
+  cache_h : int array; (* per-class hits *)
+  cache_m : int array; (* per-class misses *)
   mutable map_counter : int;
   mutable roots : t ref list;
   mutable root_fns : (unit -> t list) list;
   mutable gcs : int;
+  mutable marks : Bytes.t; (* persistent GC mark buffer *)
+  mutable stack : int array; (* persistent traversal stack (GC / support / node_count) *)
+  mutable visited : int array; (* node visit stamps for support/node_count *)
+  mutable var_seen : int array; (* variable visit stamps for support *)
+  mutable stamp : int;
 }
 
 let bdd_false = 0
@@ -52,24 +85,38 @@ let is_false n = n = 0
 
 let var m n =
   if is_const n then invalid_arg "Bdd.var: terminal";
-  m.var.(n)
+  m.nodes.(n * 4)
 
 let low m n =
   if is_const n then invalid_arg "Bdd.low: terminal";
-  m.low.(n)
+  m.nodes.((n * 4) + 1)
 
 let high m n =
   if is_const n then invalid_arg "Bdd.high: terminal";
-  m.high.(n)
+  m.nodes.((n * 4) + 2)
 
 (* Level of a node with terminals at the bottom of the order. *)
-let level m n = if is_const n then terminal_var else m.var.(n)
+let level m n = if is_const n then terminal_var else m.nodes.(n * 4)
 
 let live_nodes m = m.num_slots - 2 - m.num_free
 let peak_live_nodes m = m.peak_live
 let reset_peak m = m.peak_live <- live_nodes m
 let gc_count m = m.gcs
-let cache_stats m = (m.cache_hits, m.cache_misses)
+
+let cache_stats m =
+  let h = ref 0 and mi = ref 0 in
+  for c = 0 to n_classes - 1 do
+    h := !h + m.cache_h.(c);
+    mi := !mi + m.cache_m.(c)
+  done;
+  (!h, !mi)
+
+let cache_stats_by_class m = Array.to_list (Array.mapi (fun c name -> (name, m.cache_h.(c), m.cache_m.(c))) class_names)
+
+let cache_hit_rate m =
+  let h, mi = cache_stats m in
+  if h + mi = 0 then 0.0 else float_of_int h /. float_of_int (h + mi)
+
 let nvars m = m.nvars
 let extend_vars m n = if n > m.nvars then m.nvars <- n
 
@@ -82,10 +129,7 @@ let create ?(node_hint = 1 lsl 16) ?(cache_bits = 16) ~nvars () =
   in
   let m =
     {
-      var = Array.make cap 0;
-      low = Array.make cap 0;
-      high = Array.make cap 0;
-      next = Array.make cap (-1);
+      nodes = Array.make (cap * 4) (-1);
       buckets = Array.make cap (-1);
       free_head = -1;
       num_slots = 2;
@@ -94,73 +138,102 @@ let create ?(node_hint = 1 lsl 16) ?(cache_bits = 16) ~nvars () =
       nvars;
       cache = Array.make ((1 lsl cache_bits) * 5) (-1);
       cache_mask = (1 lsl cache_bits) - 1;
-      cache_hits = 0;
-      cache_misses = 0;
+      cache_h = Array.make n_classes 0;
+      cache_m = Array.make n_classes 0;
       map_counter = 0;
       roots = [];
       root_fns = [];
       gcs = 0;
+      marks = Bytes.create 0;
+      stack = Array.make 1024 0;
+      visited = [||];
+      var_seen = [||];
+      stamp = 0;
     }
   in
   (* Terminals: self-looping pseudo-nodes never reached by recursion. *)
-  m.var.(0) <- terminal_var;
-  m.var.(1) <- terminal_var;
-  m.low.(0) <- 0;
-  m.high.(0) <- 0;
-  m.low.(1) <- 1;
-  m.high.(1) <- 1;
+  m.nodes.(0 * 4) <- terminal_var;
+  m.nodes.(1 * 4) <- terminal_var;
+  m.nodes.((0 * 4) + 1) <- 0;
+  m.nodes.((0 * 4) + 2) <- 0;
+  m.nodes.((1 * 4) + 1) <- 1;
+  m.nodes.((1 * 4) + 2) <- 1;
   m
 
 let rehash m =
   Array.fill m.buckets 0 (Array.length m.buckets) (-1);
   let mask = Array.length m.buckets - 1 in
   for n = 2 to m.num_slots - 1 do
-    if m.var.(n) >= 0 then begin
-      let b = hash3 m.var.(n) m.low.(n) m.high.(n) land mask in
-      m.next.(n) <- m.buckets.(b);
+    if m.nodes.(n * 4) >= 0 then begin
+      let b = hash3 m.nodes.(n * 4) m.nodes.((n * 4) + 1) m.nodes.((n * 4) + 2) land mask in
+      m.nodes.((n * 4) + 3) <- m.buckets.(b);
       m.buckets.(b) <- n
     end
   done
 
+(* The op cache tracks the node-table capacity (up to a fixed maximum):
+   a direct-mapped cache much smaller than the working set thrashes and
+   the hit rate collapses.  Doubling re-inserts the surviving entries at
+   their new slots, so the cost is amortized against the table growth
+   that triggered it. *)
+let max_cache_entries = 1 lsl 18
+
+let grow_cache m =
+  let old = m.cache in
+  let entries' = (m.cache_mask + 1) * 2 in
+  let fresh = Array.make (entries' * 5) (-1) in
+  m.cache <- fresh;
+  m.cache_mask <- entries' - 1;
+  for s = 0 to (Array.length old / 5) - 1 do
+    let i = s * 5 in
+    let op = old.(i) in
+    if op >= 0 then begin
+      let a = old.(i + 1) and b = old.(i + 2) and c = old.(i + 3) in
+      let j = (hash3 (op + (a * 31)) b c land m.cache_mask) * 5 in
+      fresh.(j) <- op;
+      fresh.(j + 1) <- a;
+      fresh.(j + 2) <- b;
+      fresh.(j + 3) <- c;
+      fresh.(j + 4) <- old.(i + 4)
+    end
+  done
+
 let grow m =
-  let cap = Array.length m.var in
+  let cap = Array.length m.nodes / 4 in
   let cap' = cap * 2 in
-  let copy a = Array.append a (Array.make cap 0) in
-  m.var <- copy m.var;
-  m.low <- copy m.low;
-  m.high <- copy m.high;
-  m.next <- copy m.next;
+  m.nodes <- Array.append m.nodes (Array.make (cap * 4) (-1));
   m.buckets <- Array.make cap' (-1);
-  rehash m
+  rehash m;
+  if m.cache_mask + 1 < cap' && m.cache_mask + 1 < max_cache_entries then grow_cache m
 
 let mk m v l h =
   if l = h then l
   else begin
     let mask = Array.length m.buckets - 1 in
     let b = hash3 v l h land mask in
-    let rec find n = if n = -1 then -1 else if m.var.(n) = v && m.low.(n) = l && m.high.(n) = h then n else find m.next.(n) in
+    let rec find n = if n = -1 then -1 else if m.nodes.(n * 4) = v && m.nodes.((n * 4) + 1) = l && m.nodes.((n * 4) + 2) = h then n else find m.nodes.((n * 4) + 3) in
     let found = find m.buckets.(b) in
     if found >= 0 then found
     else begin
       let slot =
         if m.free_head >= 0 then begin
           let s = m.free_head in
-          m.free_head <- m.next.(s);
+          m.free_head <- m.nodes.((s * 4) + 3);
           m.num_free <- m.num_free - 1;
           s
         end else begin
-          if m.num_slots = Array.length m.var then grow m;
+          if m.num_slots * 4 = Array.length m.nodes then grow m;
           let s = m.num_slots in
           m.num_slots <- m.num_slots + 1;
           s
         end
       in
-      m.var.(slot) <- v;
-      m.low.(slot) <- l;
-      m.high.(slot) <- h;
+      m.nodes.(slot * 4) <- v;
+      m.nodes.((slot * 4) + 1) <- l;
+      m.nodes.((slot * 4) + 2) <- h;
       (* Recompute the bucket: [grow] may have changed the mask. *)
       let b = hash3 v l h land (Array.length m.buckets - 1) in
-      m.next.(slot) <- m.buckets.(b);
+      m.nodes.((slot * 4) + 3) <- m.buckets.(b);
       m.buckets.(b) <- slot;
       let live = live_nodes m in
       if live > m.peak_live then m.peak_live <- live;
@@ -189,15 +262,15 @@ let op_exist = 9
 let op_relprod = 10
 let op_replace = 11
 
-let cache_lookup m op a b c =
+let cache_lookup m cls op a b c =
   let slot = hash3 (op + (a * 31)) b c land m.cache_mask in
   let i = slot * 5 in
   let cache = m.cache in
   if cache.(i) = op && cache.(i + 1) = a && cache.(i + 2) = b && cache.(i + 3) = c then begin
-    m.cache_hits <- m.cache_hits + 1;
+    m.cache_h.(cls) <- m.cache_h.(cls) + 1;
     cache.(i + 4)
   end else begin
-    m.cache_misses <- m.cache_misses + 1;
+    m.cache_m.(cls) <- m.cache_m.(cls) + 1;
     -1
   end
 
@@ -215,42 +288,89 @@ let rec mk_not m f =
   if f = bdd_false then bdd_true
   else if f = bdd_true then bdd_false
   else begin
-    let cached = cache_lookup m op_not f 0 0 in
+    let cached = cache_lookup m cl_not op_not f 0 0 in
     if cached >= 0 then cached
     else begin
-      let r = mk m m.var.(f) (mk_not m m.low.(f)) (mk_not m m.high.(f)) in
+      let r = mk m m.nodes.(f * 4) (mk_not m m.nodes.((f * 4) + 1)) (mk_not m m.nodes.((f * 4) + 2)) in
       cache_store m op_not f 0 0 r;
       r
     end
   end
 
-(* Terminal rules for the binary connectives; returns -1 when no rule
-   applies and the recursion must proceed. *)
+(* Specialized kernels for the hot connectives: terminal rules inlined,
+   no per-node op dispatch.  Once both operands are non-terminal the
+   var array can be read directly (terminal slots hold [terminal_var],
+   so the comparisons still order levels correctly). *)
+let rec and_rec m f g =
+  if f = g || g = bdd_true then f
+  else if f = bdd_true then g
+  else if f = bdd_false || g = bdd_false then bdd_false
+  else begin
+    (* Canonicalize the commutative operands for better cache hits. *)
+    let f, g = if f > g then (g, f) else (f, g) in
+    let cached = cache_lookup m cl_and op_and f g 0 in
+    if cached >= 0 then cached
+    else begin
+      let vf = m.nodes.(f * 4) and vg = m.nodes.(g * 4) in
+      let r =
+        if vf = vg then mk m vf (and_rec m m.nodes.((f * 4) + 1) m.nodes.((g * 4) + 1)) (and_rec m m.nodes.((f * 4) + 2) m.nodes.((g * 4) + 2))
+        else if vf < vg then mk m vf (and_rec m m.nodes.((f * 4) + 1) g) (and_rec m m.nodes.((f * 4) + 2) g)
+        else mk m vg (and_rec m f m.nodes.((g * 4) + 1)) (and_rec m f m.nodes.((g * 4) + 2))
+      in
+      cache_store m op_and f g 0 r;
+      r
+    end
+  end
+
+and or_rec m f g =
+  if f = g || g = bdd_false then f
+  else if f = bdd_false then g
+  else if f = bdd_true || g = bdd_true then bdd_true
+  else begin
+    let f, g = if f > g then (g, f) else (f, g) in
+    let cached = cache_lookup m cl_or op_or f g 0 in
+    if cached >= 0 then cached
+    else begin
+      let vf = m.nodes.(f * 4) and vg = m.nodes.(g * 4) in
+      let r =
+        if vf = vg then mk m vf (or_rec m m.nodes.((f * 4) + 1) m.nodes.((g * 4) + 1)) (or_rec m m.nodes.((f * 4) + 2) m.nodes.((g * 4) + 2))
+        else if vf < vg then mk m vf (or_rec m m.nodes.((f * 4) + 1) g) (or_rec m m.nodes.((f * 4) + 2) g)
+        else mk m vg (or_rec m f m.nodes.((g * 4) + 1)) (or_rec m f m.nodes.((g * 4) + 2))
+      in
+      cache_store m op_or f g 0 r;
+      r
+    end
+  end
+
+and diff_rec m f g =
+  (* f AND NOT g; not commutative, so no operand canonicalization. *)
+  if f = bdd_false || g = bdd_true || f = g then bdd_false
+  else if g = bdd_false then f
+  else if f = bdd_true then mk_not m g
+  else begin
+    let cached = cache_lookup m cl_diff op_diff f g 0 in
+    if cached >= 0 then cached
+    else begin
+      let vf = m.nodes.(f * 4) and vg = m.nodes.(g * 4) in
+      let r =
+        if vf = vg then mk m vf (diff_rec m m.nodes.((f * 4) + 1) m.nodes.((g * 4) + 1)) (diff_rec m m.nodes.((f * 4) + 2) m.nodes.((g * 4) + 2))
+        else if vf < vg then mk m vf (diff_rec m m.nodes.((f * 4) + 1) g) (diff_rec m m.nodes.((f * 4) + 2) g)
+        else mk m vg (diff_rec m f m.nodes.((g * 4) + 1)) (diff_rec m f m.nodes.((g * 4) + 2))
+      in
+      cache_store m op_diff f g 0 r;
+      r
+    end
+  end
+
+(* Terminal rules for the remaining binary connectives; returns -1 when
+   no rule applies and the recursion must proceed. *)
 let apply_terminal m op f g =
-  if op = op_and then
-    if f = bdd_false || g = bdd_false then bdd_false
-    else if f = bdd_true then g
-    else if g = bdd_true then f
-    else if f = g then f
-    else -1
-  else if op = op_or then
-    if f = bdd_true || g = bdd_true then bdd_true
-    else if f = bdd_false then g
-    else if g = bdd_false then f
-    else if f = g then f
-    else -1
-  else if op = op_xor then
+  if op = op_xor then
     if f = g then bdd_false
     else if f = bdd_false then g
     else if g = bdd_false then f
     else if f = bdd_true then mk_not m g
     else if g = bdd_true then mk_not m f
-    else -1
-  else if op = op_diff then
-    if f = bdd_false || g = bdd_true then bdd_false
-    else if f = g then bdd_false
-    else if g = bdd_false then f
-    else if f = bdd_true then mk_not m g
     else -1
   else if op = op_imp then
     if f = bdd_false || g = bdd_true then bdd_true
@@ -267,31 +387,30 @@ let apply_terminal m op f g =
     else -1
   else invalid_arg "Bdd.apply_terminal: bad op"
 
-let commutative op = op = op_and || op = op_or || op = op_xor || op = op_biimp
+let commutative op = op = op_xor || op = op_biimp
 
 let rec apply m op f g =
   let t = apply_terminal m op f g in
   if t >= 0 then t
   else begin
-    (* Canonicalize commutative operands for better cache hits. *)
     let f, g = if commutative op && f > g then (g, f) else (f, g) in
-    let cached = cache_lookup m op f g 0 in
+    let cached = cache_lookup m cl_apply_other op f g 0 in
     if cached >= 0 then cached
     else begin
       let vf = level m f and vg = level m g in
       let v = if vf < vg then vf else vg in
-      let f0, f1 = if vf = v then (m.low.(f), m.high.(f)) else (f, f) in
-      let g0, g1 = if vg = v then (m.low.(g), m.high.(g)) else (g, g) in
+      let f0, f1 = if vf = v then (m.nodes.((f * 4) + 1), m.nodes.((f * 4) + 2)) else (f, f) in
+      let g0, g1 = if vg = v then (m.nodes.((g * 4) + 1), m.nodes.((g * 4) + 2)) else (g, g) in
       let r = mk m v (apply m op f0 g0) (apply m op f1 g1) in
       cache_store m op f g 0 r;
       r
     end
   end
 
-let mk_and m f g = apply m op_and f g
-let mk_or m f g = apply m op_or f g
+let mk_and m f g = and_rec m f g
+let mk_or m f g = or_rec m f g
+let mk_diff m f g = diff_rec m f g
 let mk_xor m f g = apply m op_xor f g
-let mk_diff m f g = apply m op_diff f g
 let mk_imp m f g = apply m op_imp f g
 let mk_biimp m f g = apply m op_biimp f g
 
@@ -302,14 +421,14 @@ let rec mk_ite m f g h =
   else if g = bdd_true && h = bdd_false then f
   else if g = bdd_false && h = bdd_true then mk_not m f
   else begin
-    let cached = cache_lookup m op_ite f g h in
+    let cached = cache_lookup m cl_ite op_ite f g h in
     if cached >= 0 then cached
     else begin
       let vf = level m f and vg = level m g and vh = level m h in
       let v = min vf (min vg vh) in
-      let f0, f1 = if vf = v then (m.low.(f), m.high.(f)) else (f, f) in
-      let g0, g1 = if vg = v then (m.low.(g), m.high.(g)) else (g, g) in
-      let h0, h1 = if vh = v then (m.low.(h), m.high.(h)) else (h, h) in
+      let f0, f1 = if vf = v then (m.nodes.((f * 4) + 1), m.nodes.((f * 4) + 2)) else (f, f) in
+      let g0, g1 = if vg = v then (m.nodes.((g * 4) + 1), m.nodes.((g * 4) + 2)) else (g, g) in
+      let h0, h1 = if vh = v then (m.nodes.((h * 4) + 1), m.nodes.((h * 4) + 2)) else (h, h) in
       let r = mk m v (mk_ite m f0 g0 h0) (mk_ite m f1 g1 h1) in
       cache_store m op_ite f g h r;
       r
@@ -324,22 +443,27 @@ let cube_of_vars m vs =
    they cannot occur in the function being quantified below [v]. *)
 let rec skip_cube m cube v =
   if is_const cube then cube
-  else if m.var.(cube) < v then skip_cube m m.high.(cube) v
+  else if m.nodes.(cube * 4) < v then skip_cube m m.nodes.((cube * 4) + 2) v
   else cube
 
 let rec exist_rec m cube f =
   if is_const f then f
   else begin
-    let cube = skip_cube m cube m.var.(f) in
+    let cube = skip_cube m cube m.nodes.(f * 4) in
     if cube = bdd_true then f
     else begin
-      let cached = cache_lookup m op_exist f cube 0 in
+      let cached = cache_lookup m cl_exist op_exist f cube 0 in
       if cached >= 0 then cached
       else begin
-        let v = m.var.(f) in
+        let v = m.nodes.(f * 4) in
         let r =
-          if m.var.(cube) = v then mk_or m (exist_rec m m.high.(cube) m.low.(f)) (exist_rec m m.high.(cube) m.high.(f))
-          else mk m v (exist_rec m cube m.low.(f)) (exist_rec m cube m.high.(f))
+          if m.nodes.(cube * 4) = v then begin
+            (* Once one branch saturates, the disjunction is decided:
+               skip the other branch entirely. *)
+            let r0 = exist_rec m m.nodes.((cube * 4) + 2) m.nodes.((f * 4) + 1) in
+            if r0 = bdd_true then bdd_true else or_rec m r0 (exist_rec m m.nodes.((cube * 4) + 2) m.nodes.((f * 4) + 2))
+          end
+          else mk m v (exist_rec m cube m.nodes.((f * 4) + 1)) (exist_rec m cube m.nodes.((f * 4) + 2))
         in
         cache_store m op_exist f cube 0 r;
         r
@@ -352,24 +476,26 @@ let forall m ~cube f = mk_not m (exist_rec m cube (mk_not m f))
 
 let rec relprod_rec m cube f g =
   if f = bdd_false || g = bdd_false then bdd_false
-  else if cube = bdd_true then apply m op_and f g
-  else if f = bdd_true && g = bdd_true then bdd_true
+  else if f = g || g = bdd_true then exist_rec m cube f
+  else if f = bdd_true then exist_rec m cube g
   else begin
-    let vf = level m f and vg = level m g in
+    (* Both operands are internal nodes from here on. *)
+    let vf = m.nodes.(f * 4) and vg = m.nodes.(g * 4) in
     let v = if vf < vg then vf else vg in
     let cube = skip_cube m cube v in
-    if cube = bdd_true then apply m op_and f g
+    if cube = bdd_true then and_rec m f g
     else begin
-      let f, g = if f > g then (g, f) else (f, g) in
-      let cached = cache_lookup m op_relprod f g cube in
+      let f, g, vf, vg = if f > g then (g, f, vg, vf) else (f, g, vf, vg) in
+      let cached = cache_lookup m cl_relprod op_relprod f g cube in
       if cached >= 0 then cached
       else begin
-        let vf = level m f and vg = level m g in
-        let v = if vf < vg then vf else vg in
-        let f0, f1 = if vf = v then (m.low.(f), m.high.(f)) else (f, f) in
-        let g0, g1 = if vg = v then (m.low.(g), m.high.(g)) else (g, g) in
+        let f0, f1 = if vf = v then (m.nodes.((f * 4) + 1), m.nodes.((f * 4) + 2)) else (f, f) in
+        let g0, g1 = if vg = v then (m.nodes.((g * 4) + 1), m.nodes.((g * 4) + 2)) else (g, g) in
         let r =
-          if m.var.(cube) = v then mk_or m (relprod_rec m m.high.(cube) f0 g0) (relprod_rec m m.high.(cube) f1 g1)
+          if m.nodes.(cube * 4) = v then begin
+            let r0 = relprod_rec m m.nodes.((cube * 4) + 2) f0 g0 in
+            if r0 = bdd_true then bdd_true else or_rec m r0 (relprod_rec m m.nodes.((cube * 4) + 2) f1 g1)
+          end
           else mk m v (relprod_rec m cube f0 g0) (relprod_rec m cube f1 g1)
         in
         cache_store m op_relprod f g cube r;
@@ -387,19 +513,52 @@ let make_map m pairs =
       if a < 0 || a >= m.nvars || b < 0 || b >= m.nvars then invalid_arg "Bdd.make_map: variable out of range";
       map.(a) <- b)
     pairs;
+  (* Order preservation: a non-decreasing map is strictly increasing on
+     any variable set it is injective on, and [replace] requires
+     injectivity on the support — so such maps can be rebuilt with
+     plain [mk] instead of [mk_ite].  (Beyond the array the map is the
+     identity; entries are < nvars, so the boundary is monotone too.) *)
+  let monotone = ref true in
+  let identity = ref true in
+  Array.iteri
+    (fun i b ->
+      if b <> i then identity := false;
+      if i > 0 && map.(i - 1) > b then monotone := false)
+    map;
   m.map_counter <- m.map_counter + 1;
-  { map_id = m.map_counter; map }
+  { map_id = m.map_counter; map; monotone = !monotone; identity = !identity }
 
-let rec replace_rec m vm f =
+let map_is_monotone vm = vm.monotone
+
+(* Order-preserving fast path: the renamed variable is in the same
+   relative position, so the children can be rebuilt with a direct
+   [mk] — no exponential ite reconstruction. *)
+let rec replace_mono m vm f =
   if is_const f then f
   else begin
-    let cached = cache_lookup m op_replace f vm.map_id 0 in
+    let cached = cache_lookup m cl_replace op_replace f vm.map_id 0 in
     if cached >= 0 then cached
     else begin
-      let v = m.var.(f) in
+      let v = m.nodes.(f * 4) in
       let v' = if v < Array.length vm.map then vm.map.(v) else v in
-      let l = replace_rec m vm m.low.(f) in
-      let h = replace_rec m vm m.high.(f) in
+      let l = replace_mono m vm m.nodes.((f * 4) + 1) in
+      let h = replace_mono m vm m.nodes.((f * 4) + 2) in
+      let r = mk m v' l h in
+      cache_store m op_replace f vm.map_id 0 r;
+      r
+    end
+  end
+
+let rec replace_gen m vm f =
+  if is_const f then f
+  else begin
+    let cached = cache_lookup m cl_replace op_replace f vm.map_id 0 in
+    if cached >= 0 then cached
+    else begin
+      let v = m.nodes.(f * 4) in
+      let v' = if v < Array.length vm.map then vm.map.(v) else v in
+      let l = replace_gen m vm m.nodes.((f * 4) + 1) in
+      let h = replace_gen m vm m.nodes.((f * 4) + 2) in
       (* [mk_ite] rather than [mk]: correct even when the renaming does
          not preserve the variable order. *)
       let r = mk_ite m (ithvar m v') h l in
@@ -408,33 +567,72 @@ let rec replace_rec m vm f =
     end
   end
 
-let replace m vm f = replace_rec m vm f
+let replace m vm f = if vm.identity then f else if vm.monotone then replace_mono m vm f else replace_gen m vm f
+
+(* --- Traversals (explicit stack + reusable visit stamps) --- *)
+
+let stack_push m top n =
+  if top = Array.length m.stack then m.stack <- Array.append m.stack (Array.make (Array.length m.stack) 0);
+  m.stack.(top) <- n;
+  top + 1
+
+let fresh_stamp m =
+  (* (Re)size the stamp arrays; a fresh array is all zeros, which no
+     stamp ever equals because stamps start at 1. *)
+  if Array.length m.visited < m.num_slots then m.visited <- Array.make (Array.length m.nodes / 4) 0;
+  if Array.length m.var_seen < m.nvars then m.var_seen <- Array.make (max m.nvars 16) 0;
+  m.stamp <- m.stamp + 1;
+  m.stamp
 
 let support m f =
-  let seen = Hashtbl.create 64 in
-  let vars = Hashtbl.create 16 in
-  let rec go n =
-    if not (is_const n) && not (Hashtbl.mem seen n) then begin
-      Hashtbl.add seen n ();
-      Hashtbl.replace vars m.var.(n) ();
-      go m.low.(n);
-      go m.high.(n)
-    end
-  in
-  go f;
-  List.sort compare (Hashtbl.fold (fun v () acc -> v :: acc) vars [])
+  if is_const f then []
+  else begin
+    let stamp = fresh_stamp m in
+    let vars = ref [] in
+    let top = ref 0 in
+    let visit n =
+      if not (is_const n) && m.visited.(n) <> stamp then begin
+        m.visited.(n) <- stamp;
+        top := stack_push m !top n
+      end
+    in
+    visit f;
+    while !top > 0 do
+      decr top;
+      let n = m.stack.(!top) in
+      let v = m.nodes.(n * 4) in
+      if m.var_seen.(v) <> stamp then begin
+        m.var_seen.(v) <- stamp;
+        vars := v :: !vars
+      end;
+      visit m.nodes.((n * 4) + 1);
+      visit m.nodes.((n * 4) + 2)
+    done;
+    List.sort compare !vars
+  end
 
 let node_count m f =
-  let seen = Hashtbl.create 64 in
-  let rec go n =
-    if not (is_const n) && not (Hashtbl.mem seen n) then begin
-      Hashtbl.add seen n ();
-      go m.low.(n);
-      go m.high.(n)
-    end
-  in
-  go f;
-  Hashtbl.length seen
+  if is_const f then 0
+  else begin
+    let stamp = fresh_stamp m in
+    let count = ref 0 in
+    let top = ref 0 in
+    let visit n =
+      if not (is_const n) && m.visited.(n) <> stamp then begin
+        m.visited.(n) <- stamp;
+        incr count;
+        top := stack_push m !top n
+      end
+    in
+    visit f;
+    while !top > 0 do
+      decr top;
+      let n = m.stack.(!top) in
+      visit m.nodes.((n * 4) + 1);
+      visit m.nodes.((n * 4) + 2)
+    done;
+    !count
+  end
 
 (* Generic satcount parameterized by a small semiring. *)
 let satcount_gen m ~vars f ~zero ~two_pow ~add ~scale =
@@ -449,7 +647,7 @@ let satcount_gen m ~vars f ~zero ~two_pow ~add ~scale =
     else if n = bdd_true then two_pow (len - i)
     else begin
       let j =
-        match Hashtbl.find_opt pos m.var.(n) with
+        match Hashtbl.find_opt pos m.nodes.(n * 4) with
         | Some j -> j
         | None -> invalid_arg "Bdd.satcount: support not included in vars"
       in
@@ -457,7 +655,7 @@ let satcount_gen m ~vars f ~zero ~two_pow ~add ~scale =
         match Hashtbl.find_opt memo n with
         | Some c -> c
         | None ->
-          let c = add (count m.low.(n) (j + 1)) (count m.high.(n) (j + 1)) in
+          let c = add (count m.nodes.((n * 4) + 1) (j + 1)) (count m.nodes.((n * 4) + 2) (j + 1)) in
           Hashtbl.add memo n c;
           c
       in
@@ -486,9 +684,9 @@ let iter_sat m ~vars yield f =
         let vn = level m n in
         if vn = vars.(i) then begin
           assignment.(i) <- false;
-          go (i + 1) m.low.(n);
+          go (i + 1) m.nodes.((n * 4) + 1);
           assignment.(i) <- true;
-          go (i + 1) m.high.(n)
+          go (i + 1) m.nodes.((n * 4) + 2)
         end
         else if vn > vars.(i) then begin
           (* n does not depend on vars.(i): both values satisfy. *)
@@ -570,11 +768,11 @@ let to_dot ?(var_name = fun i -> Printf.sprintf "x%d" i) m f =
   let rec go n =
     if not (is_const n) && not (Hashtbl.mem seen n) then begin
       Hashtbl.add seen n ();
-      Buffer.add_string buf (Printf.sprintf "  node%d [label=%S];\n" n (var_name m.var.(n)));
-      Buffer.add_string buf (Printf.sprintf "  node%d -> node%d [style=dashed];\n" n m.low.(n));
-      Buffer.add_string buf (Printf.sprintf "  node%d -> node%d;\n" n m.high.(n));
-      go m.low.(n);
-      go m.high.(n)
+      Buffer.add_string buf (Printf.sprintf "  node%d [label=%S];\n" n (var_name m.nodes.(n * 4)));
+      Buffer.add_string buf (Printf.sprintf "  node%d -> node%d [style=dashed];\n" n m.nodes.((n * 4) + 1));
+      Buffer.add_string buf (Printf.sprintf "  node%d -> node%d;\n" n m.nodes.((n * 4) + 2));
+      go m.nodes.((n * 4) + 1);
+      go m.nodes.((n * 4) + 2)
     end
   in
   go f;
@@ -590,22 +788,57 @@ let add_root m r = m.roots <- r :: m.roots
 let remove_root m r = m.roots <- List.filter (fun r' -> r' != r) m.roots
 let add_root_fn m f = m.root_fns <- f :: m.root_fns
 
-let gc m =
-  let marked = Bytes.make m.num_slots '\000' in
-  let rec mark n =
-    if n >= 2 && Bytes.get marked n = '\000' then begin
-      Bytes.set marked n '\001';
-      mark m.low.(n);
-      mark m.high.(n)
+(* Invalidate cache entries whose operands or result died this
+   collection: their handles may be reused by a later [mk], after which
+   the entry would describe a different function.  Entries over live
+   handles stay valid because hash consing makes a live handle denote
+   the same function forever.  Operand slots holding non-handle keys
+   ([op_replace]'s map id) are skipped — varmaps are immutable and map
+   ids are never reused. *)
+let sweep_cache m =
+  let live x = x < 2 || Bytes.get m.marks x = '\001' in
+  let cache = m.cache in
+  let n = Array.length cache / 5 in
+  for slot = 0 to n - 1 do
+    let i = slot * 5 in
+    let op = cache.(i) in
+    if op >= 0 then begin
+      let ok =
+        live cache.(i + 4)
+        && live cache.(i + 1)
+        && (op = op_replace || (live cache.(i + 2) && live cache.(i + 3)))
+      in
+      if not ok then cache.(i) <- -1
     end
+  done
+
+let gc m =
+  if Bytes.length m.marks < m.num_slots then m.marks <- Bytes.make (Array.length m.nodes / 4) '\000'
+  else Bytes.fill m.marks 0 m.num_slots '\000';
+  let top = ref 0 in
+  let push n =
+    if n >= 2 && Bytes.get m.marks n = '\000' then begin
+      Bytes.set m.marks n '\001';
+      top := stack_push m !top n
+    end
+  in
+  let mark n =
+    push n;
+    while !top > 0 do
+      decr top;
+      let x = m.stack.(!top) in
+      push m.nodes.((x * 4) + 1);
+      push m.nodes.((x * 4) + 2)
+    done
   in
   List.iter (fun r -> mark !r) m.roots;
   List.iter (fun f -> List.iter mark (f ())) m.root_fns;
+  sweep_cache m;
   (* Sweep: free unmarked live slots. *)
   for n = 2 to m.num_slots - 1 do
-    if m.var.(n) >= 0 && Bytes.get marked n = '\000' then begin
-      m.var.(n) <- -1;
-      m.next.(n) <- m.free_head;
+    if m.nodes.(n * 4) >= 0 && Bytes.get m.marks n = '\000' then begin
+      m.nodes.(n * 4) <- -1;
+      m.nodes.((n * 4) + 3) <- m.free_head;
       m.free_head <- n;
       m.num_free <- m.num_free + 1
     end
@@ -615,11 +848,10 @@ let gc m =
   m.free_head <- -1;
   m.num_free <- 0;
   for n = m.num_slots - 1 downto 2 do
-    if m.var.(n) = -1 then begin
-      m.next.(n) <- m.free_head;
+    if m.nodes.(n * 4) = -1 then begin
+      m.nodes.((n * 4) + 3) <- m.free_head;
       m.free_head <- n;
       m.num_free <- m.num_free + 1
     end
   done;
-  Array.fill m.cache 0 (Array.length m.cache) (-1);
   m.gcs <- m.gcs + 1

@@ -86,10 +86,20 @@ val relprod : man -> cube:t -> t -> t -> t
 val make_map : man -> (int * int) list -> varmap
 (** [make_map m pairs] renames variable [a] to [b] for each [(a, b)];
     unlisted variables are unchanged.  The combined mapping must be
-    injective on the support of the BDDs it is applied to. *)
+    injective on the support of the BDDs it is applied to.
+
+    Monotonicity is detected here: if the combined map is non-decreasing
+    over the variable order (the common case — renames between
+    interleaved instances of the same domain are monotone shifts), then
+    {!replace} uses a linear-time order-preserving rebuild instead of
+    the general ite-based reconstruction. *)
+
+val map_is_monotone : varmap -> bool
+(** Whether the order-preserving {!replace} fast path applies. *)
 
 val replace : man -> varmap -> t -> t
-(** Apply a renaming.  Correct for arbitrary (order-changing) maps. *)
+(** Apply a renaming.  Correct for arbitrary (order-changing) maps;
+    order-preserving maps take a direct [mk]-rebuild fast path. *)
 
 val support : man -> t -> int list
 (** Variables the function depends on, ascending. *)
@@ -143,7 +153,9 @@ val add_root_fn : man -> (unit -> t list) -> unit
 val gc : man -> unit
 (** Mark-sweep collection from the registered roots.  Never called
     implicitly during an operation; callers (e.g. the Datalog engine)
-    invoke it between rule applications. *)
+    invoke it between rule applications.  The operation cache survives
+    collection: only entries whose operands or result were freed are
+    invalidated. *)
 
 val live_nodes : man -> int
 (** Currently allocated (live) nodes, terminals excluded. *)
@@ -155,7 +167,16 @@ val peak_live_nodes : man -> int
 val reset_peak : man -> unit
 val gc_count : man -> int
 val cache_stats : man -> int * int
-(** (hits, misses) of the operation cache since creation. *)
+(** (hits, misses) of the operation cache since creation, summed over
+    all operation classes. *)
+
+val cache_stats_by_class : man -> (string * int * int) list
+(** Per-operation-class [(name, hits, misses)] counters, in a fixed
+    order: and, or, diff, apply-other (xor/imp/biimp), not, ite, exist,
+    relprod, replace. *)
+
+val cache_hit_rate : man -> float
+(** Overall hit fraction in [0, 1]; 0 if no lookups happened. *)
 
 val to_dot : ?var_name:(int -> string) -> man -> t -> string
 (** Graphviz rendering of the DAG: solid edges for high (1) branches,

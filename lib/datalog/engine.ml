@@ -25,7 +25,13 @@ type stats = {
   strata : int;
   peak_live_nodes : int;
   solve_seconds : float;
+  gcs : int;
+  op_cache : (string * int * int) list;
 }
+
+let cache_hit_rate s =
+  let h, m = List.fold_left (fun (h, m) (_, h', m') -> (h + h', m + m')) (0, 0) s.op_cache in
+  if h + m = 0 then 0.0 else float_of_int h /. float_of_int (h + m)
 
 exception Engine_error of string
 
@@ -43,7 +49,11 @@ type prepared = {
   p_away : Bdd.t; (* cube *)
   p_map : Bdd.varmap option;
   p_cache_full : (int * Bdd.t) ref; (* version marker -1 = invalid *)
-  p_cache_delta : (int * Bdd.t) ref;
+  p_cache_delta : (int * int * Bdd.t) ref;
+      (* (delta BDD handle, gc stamp, result); handle -1 = invalid.  The
+         handle is only a valid key while no GC has run since it was
+         stored — a collection may free the old delta and let a later
+         [mk] reuse its handle for a different function. *)
 }
 
 type step_kind = SJoin of prepared | SConstrain of Bdd.t | SSubtract of prepared
@@ -259,7 +269,7 @@ let prepared_of_atom t ~var_block (a : Ast.atom) =
     p_away = Space.cube_of_blocks t.sp !away;
     p_map = (if !map_pairs = [] then None else Some (Space.renaming t.sp !map_pairs));
     p_cache_full = ref (-1, Bdd.bdd_false);
-    p_cache_delta = ref (-1, Bdd.bdd_false);
+    p_cache_delta = ref (-1, -1, Bdd.bdd_false);
   }
 
 let cmp_bdd t ~var_block ~var_doms (l : Ast.term) op (r : Ast.term) =
@@ -504,7 +514,8 @@ let create ?(options = default_options) ?element_names ?domain_order (program : 
           List.map (build_plan t ~stratum_preds:st.Stratify.preds) st.Stratify.loop_rules ))
       strata;
   (* Root plan constants and prepared caches. *)
-  let cache_refs = ref [] in
+  let full_refs = ref [] in
+  let delta_refs = ref [] in
   List.iter
     (fun (once, loop) ->
       List.iter
@@ -512,12 +523,21 @@ let create ?(options = default_options) ?element_names ?domain_order (program : 
           Array.iter
             (fun stp ->
               match stp.kind with
-              | SJoin p | SSubtract p -> cache_refs := p.p_cache_full :: p.p_cache_delta :: !cache_refs
+              | SJoin p | SSubtract p ->
+                full_refs := p.p_cache_full :: !full_refs;
+                delta_refs := p.p_cache_delta :: !delta_refs
               | SConstrain _ -> ())
             plan.steps)
         (once @ loop))
     t.plans;
-  Bdd.add_root_fn (Space.man sp) (fun () -> t.plan_consts @ List.map (fun r -> snd !r) !cache_refs);
+  Bdd.add_root_fn (Space.man sp) (fun () ->
+      t.plan_consts
+      @ List.map (fun r -> snd !r) !full_refs
+      @ List.map
+          (fun r ->
+            let _, _, b = !r in
+            b)
+          !delta_refs);
   t
 
 let parse_and_create ?options ?element_names ?domain_order src =
@@ -527,17 +547,7 @@ let parse_and_create ?options ?element_names ?domain_order src =
 
 let prepare t prep ~delta =
   let man = Space.man t.sp in
-  let source_bdd, cache, version =
-    if delta then
-      let d = Hashtbl.find t.deltas (Relation.name prep.p_rel) in
-      (* Deltas have no version counter; disable hoisting by using a
-         fake always-stale version. *)
-      (!d, prep.p_cache_delta, -1)
-    else (Relation.bdd prep.p_rel, prep.p_cache_full, Relation.version prep.p_rel)
-  in
-  let cached_version, cached = !cache in
-  if t.opts.hoist && version >= 0 && cached_version = version then cached
-  else begin
+  let compute source_bdd =
     let b = ref source_bdd in
     if prep.p_selects <> Bdd.bdd_true then b := Bdd.mk_and man !b prep.p_selects;
     List.iter (fun eq -> b := Bdd.mk_and man !b eq) prep.p_dup_eqs;
@@ -545,8 +555,33 @@ let prepare t prep ~delta =
     (match prep.p_map with
     | Some map -> b := Bdd.replace man map !b
     | None -> ());
-    cache := (version, !b);
     !b
+  in
+  if delta then begin
+    (* Deltas have no version counter; key the cache on the delta BDD
+       handle itself (stable within an iteration because the delta ref
+       only changes between iterations), guarded by the GC stamp since
+       a collection can free the old delta and reuse its handle. *)
+    let d = !(Hashtbl.find t.deltas (Relation.name prep.p_rel)) in
+    let handle = (d : Bdd.t :> int) in
+    let gcs = Bdd.gc_count man in
+    let ch, cgc, cb = !(prep.p_cache_delta) in
+    if t.opts.hoist && ch = handle && cgc = gcs then cb
+    else begin
+      let b = compute d in
+      prep.p_cache_delta := (handle, gcs, b);
+      b
+    end
+  end
+  else begin
+    let version = Relation.version prep.p_rel in
+    let cached_version, cached = !(prep.p_cache_full) in
+    if t.opts.hoist && cached_version = version then cached
+    else begin
+      let b = compute (Relation.bdd prep.p_rel) in
+      prep.p_cache_full := (version, b);
+      b
+    end
   end
 
 let eval_plan t plan ~delta_at =
@@ -664,6 +699,8 @@ let run t =
       strata = List.length t.strata;
       peak_live_nodes = Bdd.peak_live_nodes man;
       solve_seconds = Unix.gettimeofday () -. t0;
+      gcs = Bdd.gc_count man;
+      op_cache = Bdd.cache_stats_by_class man;
     }
   in
   t.stats <- Some s;

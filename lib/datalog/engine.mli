@@ -39,7 +39,14 @@ type stats = {
   strata : int;
   peak_live_nodes : int;
   solve_seconds : float;
+  gcs : int;  (** BDD garbage collections during the whole run *)
+  op_cache : (string * int * int) list;
+      (** per-operation-class (name, hits, misses) of the BDD op cache
+          since manager creation — see {!Bdd.cache_stats_by_class} *)
 }
+
+val cache_hit_rate : stats -> float
+(** Overall op-cache hit fraction in [0, 1] from [op_cache]. *)
 
 exception Engine_error of string
 

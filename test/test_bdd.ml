@@ -129,6 +129,21 @@ let prop_replace_swap =
       done;
       table_of_bdd m n (Bdd.replace m map (bdd_of_table m n t)) = !expected)
 
+(* A non-decreasing map takes the order-preserving fast path inside
+   replace; the semantics must be indistinguishable from the generic
+   path: variable i of f becomes variable i+1 of the result. *)
+let prop_replace_mono =
+  prop "monotone shift replace matches semantics" 300 gen_table (fun t ->
+      let m = fresh () in
+      let map = Bdd.make_map m [ (0, 1); (1, 2); (2, 3); (3, 4) ] in
+      let g = Bdd.replace m map (bdd_of_table m n t) in
+      let ok = ref (Bdd.map_is_monotone map) in
+      for a = 0 to 31 do
+        let expect = (t lsr ((a lsr 1) land 15)) land 1 = 1 in
+        if eval m g (fun i -> (a lsr i) land 1 = 1) <> expect then ok := false
+      done;
+      !ok)
+
 let prop_replace_shift =
   prop "replace to fresh variables preserves satcount" 200 gen_table (fun t ->
       let m = fresh () in
@@ -318,6 +333,42 @@ let test_peak_and_cache_stats () =
   let hits_after, _ = Bdd.cache_stats m in
   Alcotest.(check bool) "cache hit recorded" true (hits_after > hits_before)
 
+let test_map_monotone () =
+  let m = fresh () in
+  Alcotest.(check bool) "shift by one is monotone" true
+    (Bdd.map_is_monotone (Bdd.make_map m [ (0, 1); (1, 2); (2, 3); (3, 4) ]));
+  Alcotest.(check bool) "swap is not monotone" false
+    (Bdd.map_is_monotone (Bdd.make_map m [ (0, 3); (3, 0) ]));
+  (* Moving a whole block past unmapped variables is non-monotone as a
+     total map (7 -> 4 at the seam) even though it is increasing on the
+     mapped variables alone. *)
+  Alcotest.(check bool) "block move is not monotone" false
+    (Bdd.map_is_monotone (Bdd.make_map m [ (0, 4); (1, 5); (2, 6); (3, 7) ]))
+
+let test_cache_survives_gc () =
+  let m = fresh () in
+  let f = ref (bdd_of_table m n 0xAAAA) and g = ref (bdd_of_table m n 0x0FF0) in
+  Bdd.add_root m f;
+  Bdd.add_root m g;
+  let keep = ref (Bdd.mk_and m !f !g) in
+  Bdd.add_root m keep;
+  for i = 0 to 30 do
+    ignore (bdd_of_table m n (i * 41 land full_mask))
+  done;
+  (* Refresh the cache entry (garbage above may have evicted the slot),
+     then collect: operands and result are rooted, so the sweep must
+     keep the entry and the next lookup must hit. *)
+  ignore (Bdd.mk_and m !f !g);
+  Bdd.gc m;
+  let hits_before = fst (Bdd.cache_stats m) in
+  let r2 = Bdd.mk_and m !f !g in
+  Alcotest.(check bool) "same node after gc" true (r2 = !keep);
+  Alcotest.(check bool) "cache hit after gc" true (fst (Bdd.cache_stats m) > hits_before);
+  let per = Bdd.cache_stats_by_class m in
+  let h, ms = List.fold_left (fun (h, ms) (_, h', m') -> (h + h', ms + m')) (0, 0) per in
+  Alcotest.(check bool) "per-class stats sum to totals" true ((h, ms) = Bdd.cache_stats m);
+  Alcotest.(check bool) "and class present" true (List.exists (fun (nm, _, _) -> nm = "and") per)
+
 let test_extend_vars () =
   let m = Bdd.create ~nvars:2 () in
   Alcotest.check_raises "out of range" (Invalid_argument "Bdd.ithvar") (fun () -> ignore (Bdd.ithvar m 5));
@@ -335,6 +386,8 @@ let () =
           Alcotest.test_case "gc root functions" `Quick test_gc_root_fn;
           Alcotest.test_case "node table growth" `Quick test_table_growth;
           Alcotest.test_case "extend_vars" `Quick test_extend_vars;
+          Alcotest.test_case "map monotonicity" `Quick test_map_monotone;
+          Alcotest.test_case "cache survives gc" `Quick test_cache_survives_gc;
           Alcotest.test_case "to_dot" `Quick test_to_dot;
           Alcotest.test_case "peak and cache stats" `Quick test_peak_and_cache_stats;
         ] );
@@ -354,6 +407,7 @@ let () =
             prop_forall;
             prop_relprod;
             prop_replace_swap;
+            prop_replace_mono;
             prop_replace_shift;
             prop_satcount;
             prop_satcount_padded;
