@@ -26,7 +26,54 @@ let or_die = function
     exit 1
 
 let program_arg =
-  Arg.(required & pos 0 (some file) None & info [] ~docv:"PROGRAM.jir" ~doc:"Program in the textual IR format.")
+  (* A plain string, not Arg.file: missing files are then reported by
+     our own error protocol (one line, exit 1) instead of cmdliner's
+     usage error (exit 124). *)
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"PROGRAM.jir" ~doc:"Program in the textual IR format.")
+
+(* --- resource budgets --- *)
+
+let budget_term =
+  let max_nodes =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-nodes" ] ~docv:"N" ~doc:"Abort the solve when live BDD nodes exceed $(docv).")
+  in
+  let max_allocs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-allocs" ] ~docv:"N" ~doc:"Abort the solve after $(docv) fresh BDD node allocations.")
+  in
+  let timeout =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Abort the solve after $(docv) seconds of wall-clock time.")
+  in
+  let max_iters =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-iters" ] ~docv:"N" ~doc:"Abort the solve after $(docv) fixpoint rounds.")
+  in
+  let make n a t i =
+    if n = None && a = None && t = None && i = None then None
+    else Some (Budget.make ?max_live_nodes:n ?max_allocations:a ?timeout_s:t ?max_iterations:i ())
+  in
+  Term.(const make $ max_nodes $ max_allocs $ timeout $ max_iters)
+
+let options_of_budget budget =
+  match budget with
+  | None -> Datalog.Engine.default_options
+  | Some _ -> { Datalog.Engine.default_options with Datalog.Engine.budget }
+
+(* Turn a structured solver error into the process exit protocol (the
+   top-level handler prints it and maps it to an exit code). *)
+let solved = function
+  | Ok r -> r
+  | Error e -> raise (Solver_error.Error e)
 
 (* --- stats --- *)
 
@@ -106,10 +153,19 @@ let dump_relation fg result name =
       Printf.printf "  %s\n" (String.concat "  " parts))
     (Analyses.tuples result name)
 
+let print_steens_stats r =
+  let st = Pta.Steensgaard.stats r in
+  Printf.printf "solve time        %.3fs\n" st.Pta.Steensgaard.seconds;
+  Printf.printf "classes           %d\n" st.Pta.Steensgaard.classes;
+  Printf.printf "unifications      %d\n" st.Pta.Steensgaard.unifications;
+  Printf.printf "vP pairs          %d\n" (List.length (Pta.Steensgaard.vp_tuples r));
+  Printf.printf "avg points-to     %.2f\n" (Pta.Steensgaard.avg_points_to r)
+
 let analyze_cmd =
-  let run path algo dump stats =
+  let run path algo dump stats budget fallback =
     let p = or_die (read_program path) in
     let fg = Factgen.extract p in
+    let options = options_of_budget budget in
     let finish result =
       print_stats result.Analyses.stats;
       if stats then print_extended_stats result.Analyses.stats;
@@ -120,7 +176,7 @@ let analyze_cmd =
         dump
     in
     let with_context k =
-      let ci = Analyses.run_basic ~algo:Analyses.Algo3 fg in
+      let ci = solved (Analyses.solve_basic ~options ~algo:Analyses.Algo3 fg) in
       let ctx = Analyses.make_context fg ~ie:(Analyses.ie_tuples ci) in
       Printf.printf "contexts: %s reduced call paths, C domain size %d%s\n"
         (Bignat.to_scientific (Context.total_paths ctx))
@@ -128,20 +184,41 @@ let analyze_cmd =
         (if Context.merged ctx then " (merged at cap)" else "");
       k ctx
     in
+    if fallback && algo <> Cs then begin
+      prerr_endline "ptacli: --fallback only applies to --algo cs";
+      exit 1
+    end;
     match algo with
-    | Cha_nofilter -> finish (Analyses.run_basic ~algo:Analyses.Algo1 fg)
-    | Cha -> finish (Analyses.run_basic ~algo:Analyses.Algo2 fg)
-    | Otf -> finish (Analyses.run_basic ~algo:Analyses.Algo3 fg)
-    | Cs -> with_context (fun ctx -> finish (Analyses.run_cs fg ctx))
+    | Cs when fallback ->
+      let fb = solved (Analyses.solve_with_fallback ~options ?budget fg) in
+      List.iter
+        (fun (r, e) ->
+          Printf.printf "%s failed: %s\n" (Analyses.rung_name r) (Solver_error.to_string e))
+        fb.Analyses.failures;
+      (match fb.Analyses.rung with
+      | Analyses.Rung_cs -> print_endline "precision: precise (context-sensitive)"
+      | rung ->
+        Printf.printf "degraded to %s\n" (Analyses.rung_name rung);
+        Printf.printf "precision: overapproximate (%s)\n"
+          (match rung with Analyses.Rung_ci -> "context-insensitive" | _ -> "unification-based"));
+      Printf.printf "vP pairs          %d\n" (List.length fb.Analyses.vp);
+      (match (fb.Analyses.result, fb.Analyses.steens) with
+      | Some r, _ -> finish r
+      | None, Some s -> print_steens_stats s
+      | None, None -> ())
+    | Cha_nofilter -> finish (solved (Analyses.solve_basic ~options ~algo:Analyses.Algo1 fg))
+    | Cha -> finish (solved (Analyses.solve_basic ~options ~algo:Analyses.Algo2 fg))
+    | Otf -> finish (solved (Analyses.solve_basic ~options ~algo:Analyses.Algo3 fg))
+    | Cs -> with_context (fun ctx -> finish (solved (Analyses.solve_cs ~options fg ctx)))
     | Cs_otf ->
-      let result, _ctx = Analyses.run_cs_otf fg in
+      let result, _ctx = Analyses.run_cs_otf ~options fg in
       finish result
     | One_cfa ->
-      let result, _k = Analyses.run_1cfa fg in
+      let result, _k = Analyses.run_1cfa ~options fg in
       finish result
-    | Cs_types -> with_context (fun ctx -> finish (Analyses.run_cs_types fg ctx))
+    | Cs_types -> with_context (fun ctx -> finish (Analyses.run_cs_types ~options fg ctx))
     | Escape ->
-      let result, info = Analyses.run_thread_escape fg in
+      let result, info = Analyses.run_thread_escape ~options fg in
       Printf.printf "thread contexts   %d\n" info.Analyses.n_contexts;
       let c = Analyses.escape_counts fg result in
       Printf.printf "captured sites    %d\n" c.Analyses.captured_sites;
@@ -157,14 +234,7 @@ let analyze_cmd =
       Printf.printf "peak BDD nodes    %d\n" st.Pta.Handcoded.peak_live_nodes;
       Printf.printf "vP tuples         %.0f\n" st.Pta.Handcoded.vp_count;
       Printf.printf "hP tuples         %.0f\n" st.Pta.Handcoded.hp_count
-    | Steens ->
-      let r = Pta.Steensgaard.run fg in
-      let st = Pta.Steensgaard.stats r in
-      Printf.printf "solve time        %.3fs\n" st.Pta.Steensgaard.seconds;
-      Printf.printf "classes           %d\n" st.Pta.Steensgaard.classes;
-      Printf.printf "unifications      %d\n" st.Pta.Steensgaard.unifications;
-      Printf.printf "vP pairs          %d\n" (List.length (Pta.Steensgaard.vp_tuples r));
-      Printf.printf "avg points-to     %.2f\n" (Pta.Steensgaard.avg_points_to r)
+    | Steens -> print_steens_stats (Pta.Steensgaard.run fg)
   in
   let algo =
     Arg.(
@@ -179,9 +249,18 @@ let analyze_cmd =
   let dump =
     Arg.(value & opt_all string [] & info [ "dump" ] ~docv:"REL" ~doc:"Print the tuples of an output relation.")
   in
+  let fallback =
+    Arg.(
+      value
+      & flag
+      & info [ "fallback" ]
+          ~doc:
+            "When the budget exhausts a context-sensitive run, retry context-insensitively (Algorithm 2), \
+             then with Steensgaard unification — each rung a sound overapproximation of the one above.")
+  in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Run one of the paper's analyses.")
-    Term.(const run $ program_arg $ algo $ dump $ stats_flag)
+    Term.(const run $ program_arg $ algo $ dump $ stats_flag $ budget_term $ fallback)
 
 (* --- query --- *)
 
@@ -262,19 +341,19 @@ let order_search_cmd =
 (* --- datalog --- *)
 
 let datalog_cmd =
-  let run path dir stats =
+  let run path dir stats budget =
     let src =
       let ic = open_in_bin path in
-      let s = really_input_string ic (in_channel_length ic) in
-      close_in ic;
-      s
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
     in
     match Datalog.Parser.parse src with
     | exception Datalog.Parser.Parse_error e ->
       prerr_endline (Printf.sprintf "%s:%d: %s" path e.Datalog.Parser.line e.Datalog.Parser.message);
       exit 1
     | program -> (
-      match Datalog.Engine.create program with
+      match Datalog.Engine.create ~options:(options_of_budget budget) program with
       | exception Datalog.Resolve.Check_error m ->
         prerr_endline m;
         exit 1
@@ -282,7 +361,7 @@ let datalog_cmd =
         List.iter
           (fun (name, tuples) -> Datalog.Engine.set_tuples eng name (List.map Array.of_list tuples))
           (Datalog.Tuples_io.load_inputs ~dir program);
-        let s = Datalog.Engine.run eng in
+        let s = solved (Datalog.Engine.solve eng) in
         Datalog.Tuples_io.save_outputs ~dir program (fun name ->
             Relation.tuples (Datalog.Engine.relation eng name));
         Printf.printf "solved in %.3fs (%d rule applications, %d rounds, %d peak nodes)\n"
@@ -298,13 +377,13 @@ let datalog_cmd =
             | Datalog.Ast.Input | Datalog.Ast.Internal -> ())
           program.Datalog.Ast.relations)
   in
-  let dl = Arg.(required & pos 0 (some file) None & info [] ~docv:"PROGRAM.dl" ~doc:"Datalog program.") in
+  let dl = Arg.(required & pos 0 (some string) None & info [] ~docv:"PROGRAM.dl" ~doc:"Datalog program.") in
   let dir =
     Arg.(value & opt dir "." & info [ "facts" ] ~docv:"DIR" ~doc:"Directory of <relation>.tuples files.")
   in
   Cmd.v
     (Cmd.info "datalog" ~doc:"Standalone bddbddb: solve a Datalog program over .tuples files.")
-    Term.(const run $ dl $ dir $ stats_flag)
+    Term.(const run $ dl $ dir $ stats_flag $ budget_term)
 
 (* --- gen --- *)
 
@@ -338,7 +417,32 @@ let gen_cmd =
     (Cmd.info "gen" ~doc:"Generate a synthetic benchmark program in the textual IR format.")
     Term.(const run $ profile $ scale $ seed $ out)
 
+(* Top-level error protocol: one-line message on stderr, exit 1 for bad
+   input, 2 for budget exhaustion, 3 for internal errors.  No OCaml
+   backtrace reaches the user unless PTACLI_DEBUG=1, in which case the
+   exception propagates untouched. *)
 let () =
+  let debug = Sys.getenv_opt "PTACLI_DEBUG" = Some "1" in
+  if debug then Printexc.record_backtrace true;
   let doc = "cloning-based context-sensitive pointer alias analysis using BDDs" in
   let info = Cmd.info "ptacli" ~version:"1.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ stats_cmd; analyze_cmd; query_cmd; order_search_cmd; datalog_cmd; gen_cmd ]))
+  let group = Cmd.group info [ stats_cmd; analyze_cmd; query_cmd; order_search_cmd; datalog_cmd; gen_cmd ] in
+  let die code msg =
+    prerr_endline ("ptacli: " ^ msg);
+    code
+  in
+  let code =
+    try Cmd.eval ~catch:false group with
+    | e when debug -> raise e
+    | Solver_error.Error err -> die (Solver_error.exit_code err) (Solver_error.to_string err)
+    | Bdd.Limit_exceeded reason -> die 2 ("budget exhausted: " ^ Budget.reason_to_string reason)
+    | Jir.Jparser.Parse_error e -> die 1 (Printf.sprintf "line %d: %s" e.Jir.Jparser.line e.Jir.Jparser.message)
+    | Datalog.Parser.Parse_error e ->
+      die 1 (Printf.sprintf "line %d: %s" e.Datalog.Parser.line e.Datalog.Parser.message)
+    | Datalog.Resolve.Check_error m -> die 1 m
+    | Sys_error m -> die 1 m
+    | Datalog.Engine.Engine_error m -> die 3 ("internal error: " ^ m)
+    | Failure m -> die 3 ("internal error: " ^ m)
+    | Invalid_argument m -> die 3 ("internal error: " ^ m)
+  in
+  exit code

@@ -73,7 +73,24 @@ type man = {
   mutable visited : int array; (* node visit stamps for support/node_count *)
   mutable var_seen : int array; (* variable visit stamps for support *)
   mutable stamp : int;
+  mutable allocs : int; (* total fresh-node allocations, ever *)
+  mutable budget : Budget.t option;
 }
+
+exception Limit_exceeded of Budget.reason
+
+(* The budget is tested on the fresh-allocation slow path of [mk] only,
+   once every [budget_check_interval] allocations: cache-hit lookups
+   (the vast majority of [mk] calls on a warm solve) pay nothing, and
+   the live-node count can overshoot a limit by at most the interval.
+   Raising here is safe at any point: the new node is not yet linked
+   into the table, completed operations are already cached, and
+   in-flight intermediates are simply garbage for the next [gc]. *)
+let budget_check_interval = 4096
+
+let set_budget m b = m.budget <- b
+let budget m = m.budget
+let allocations m = m.allocs
 
 let bdd_false = 0
 let bdd_true = 1
@@ -149,6 +166,8 @@ let create ?(node_hint = 1 lsl 16) ?(cache_bits = 16) ~nvars () =
       visited = [||];
       var_seen = [||];
       stamp = 0;
+      allocs = 0;
+      budget = None;
     }
   in
   (* Terminals: self-looping pseudo-nodes never reached by recursion. *)
@@ -206,6 +225,14 @@ let grow m =
   rehash m;
   if m.cache_mask + 1 < cap' && m.cache_mask + 1 < max_cache_entries then grow_cache m
 
+let budget_check m =
+  match m.budget with
+  | None -> ()
+  | Some b -> (
+    match Budget.check_nodes b ~live:(live_nodes m) ~allocs:m.allocs with
+    | Some reason -> raise (Limit_exceeded reason)
+    | None -> ())
+
 let mk m v l h =
   if l = h then l
   else begin
@@ -215,6 +242,8 @@ let mk m v l h =
     let found = find m.buckets.(b) in
     if found >= 0 then found
     else begin
+      m.allocs <- m.allocs + 1;
+      if m.allocs land (budget_check_interval - 1) = 0 then budget_check m;
       let slot =
         if m.free_head >= 0 then begin
           let s = m.free_head in

@@ -27,6 +27,13 @@ type t = private int
 type varmap
 (** A variable renaming, created with {!make_map}. *)
 
+exception Limit_exceeded of Budget.reason
+(** Raised from inside an operation when the installed {!Budget.t} is
+    violated.  The node table, unique table and operation cache are
+    left consistent: completed sub-results are cached, the in-flight
+    intermediates become garbage for the next {!gc}, and the manager
+    remains fully usable (lift or replace the budget and retry). *)
+
 val create : ?node_hint:int -> ?cache_bits:int -> nvars:int -> unit -> man
 (** [create ~nvars ()] makes a manager with variables [0 .. nvars-1].
     [node_hint] is the initial node-table capacity (default 64K);
@@ -156,6 +163,26 @@ val gc : man -> unit
     invoke it between rule applications.  The operation cache survives
     collection: only entries whose operands or result were freed are
     invalidated. *)
+
+(** {2 Resource governance} *)
+
+val set_budget : man -> Budget.t option -> unit
+(** Install (or clear) the budget this manager enforces.  Enforcement
+    is amortized: the limits are tested on the fresh-allocation slow
+    path of the node constructor, once every {!budget_check_interval}
+    allocations, so cache-hit lookups pay nothing and a live-node
+    limit can be overshot by at most the interval.  With no budget
+    installed the only cost is one counter increment per fresh node. *)
+
+val budget : man -> Budget.t option
+
+val allocations : man -> int
+(** Total fresh-node allocations since creation (never decreases;
+    compare with {!live_nodes}, which GC shrinks).  This is the
+    counter [Budget.max_allocations] is compared against. *)
+
+val budget_check_interval : int
+(** Allocations between two budget checks (a power of two). *)
 
 val live_nodes : man -> int
 (** Currently allocated (live) nodes, terminals excluded. *)

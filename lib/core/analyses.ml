@@ -25,6 +25,30 @@ let run_basic ?options ?query ~algo fg =
   let stats = Engine.run engine in
   { engine; stats; program_text = text }
 
+(* Budget violations can fire while the engine is still being built —
+   loading input relations and installing computed inputs allocate BDD
+   nodes too.  [partial_iterations = 0] then says the abort happened
+   before any fixpoint round; [live_nodes = 0] means unknown (the
+   manager is not reachable once creation has been abandoned). *)
+let wrap_limit f =
+  match f () with
+  | r -> r
+  | exception Bdd.Limit_exceeded reason ->
+    Error (Solver_error.Budget_exhausted { Solver_error.reason; partial_iterations = 0; live_nodes = 0 })
+
+let solve_basic ?options ?query ~algo fg =
+  let text =
+    match algo with
+    | Algo1 -> Programs.algo1 ?query fg
+    | Algo2 -> Programs.algo2 ?query fg
+    | Algo3 -> Programs.algo3 ?query fg
+  in
+  wrap_limit (fun () ->
+      let engine = engine_of_program ?options fg text in
+      match Engine.solve engine with
+      | Ok stats -> Ok { engine; stats; program_text = text }
+      | Error e -> Error e)
+
 let relation r name = Engine.relation r.engine name
 let tuples r name = Relation.tuples (relation r name)
 let count r name = Relation.count (relation r name)
@@ -59,6 +83,15 @@ let run_cs ?options ?query fg ctx =
   install_context_inputs engine ctx;
   let stats = Engine.run engine in
   { engine; stats; program_text = text }
+
+let solve_cs ?options ?query fg ctx =
+  let text = Programs.algo5 ?query fg ~csize:(Context.csize ctx) in
+  wrap_limit (fun () ->
+      let engine = engine_of_program ?options fg text in
+      install_context_inputs engine ctx;
+      match Engine.solve engine with
+      | Ok stats -> Ok { engine; stats; program_text = text }
+      | Error e -> Error e)
 
 let run_cs_with ?options ?query fg ~csize ~iec ~mc =
   let text = Programs.algo5 ?query fg ~csize in
@@ -217,6 +250,77 @@ let escape_counts fg r =
     needed_syncs = Hashtbl.length needed_v;
     unneeded_syncs = total_syncs - Hashtbl.length needed_v;
   }
+
+(* --- Graceful-degradation ladder --- *)
+
+type rung = Rung_cs | Rung_ci | Rung_steens
+
+type fallback = {
+  rung : rung;
+  result : result option;
+  steens : Steensgaard.result option;
+  vp : (int * int) list;
+  failures : (rung * Solver_error.t) list;
+}
+
+let rung_name = function
+  | Rung_cs -> "context-sensitive (Algorithm 5)"
+  | Rung_ci -> "context-insensitive, type-filtered (Algorithm 2)"
+  | Rung_steens -> "unification-based (Steensgaard)"
+
+(* Degrade only when the solver ran out of resources; a user-requested
+   cancellation means stop, and bad input or an internal error would
+   fail identically on every rung. *)
+let degradable = function
+  | Solver_error.Budget_exhausted { Solver_error.reason = Budget.Cancelled; _ } -> false
+  | Solver_error.Budget_exhausted _ -> true
+  | Solver_error.Bad_input _ | Solver_error.Internal _ -> false
+
+let vp_pairs ~v ~h ts = List.sort_uniq compare (List.map (fun (t : int array) -> (t.(v), t.(h))) ts)
+
+let solve_with_fallback ?(options = Engine.default_options) ?budget ?query fg =
+  (* One budget governs the whole ladder: a deadline is absolute, so
+     time spent on a failed precise attempt is not granted again to the
+     fallback; node/allocation limits are per-manager and each rung
+     builds a fresh manager, so they reset naturally. *)
+  let options =
+    match budget with Some _ -> { options with Engine.budget } | None -> options
+  in
+  let cs_attempt () =
+    (* The precise rung is the paper's full pipeline: discover the call
+       graph on the fly (Algorithm 3), number contexts (Algorithm 4),
+       then solve context-sensitively (Algorithm 5). *)
+    match solve_basic ~options ~algo:Algo3 fg with
+    | Error e -> Error e
+    | Ok r3 -> (
+      let ctx = make_context fg ~ie:(ie_tuples r3) in
+      match solve_cs ~options ?query fg ctx with
+      | Ok r -> Ok (r, ctx)
+      | Error e -> Error e)
+  in
+  match cs_attempt () with
+  | Ok (r, _ctx) ->
+    Ok { rung = Rung_cs; result = Some r; steens = None; vp = vp_pairs ~v:1 ~h:2 (tuples r "vPC"); failures = [] }
+  | Error e when degradable e -> (
+    let failures = [ (Rung_cs, e) ] in
+    match solve_basic ~options ?query ~algo:Algo2 fg with
+    | Ok r ->
+      Ok { rung = Rung_ci; result = Some r; steens = None; vp = vp_pairs ~v:0 ~h:1 (tuples r "vP"); failures }
+    | Error e2 when degradable e2 ->
+      (* Last rung: union-find, near-linear, no BDDs — effectively
+         immune to the budgets that exhausted the rungs above. *)
+      let failures = failures @ [ (Rung_ci, e2) ] in
+      let s = Steensgaard.run fg in
+      Ok
+        {
+          rung = Rung_steens;
+          result = None;
+          steens = Some s;
+          vp = List.sort_uniq compare (Steensgaard.vp_tuples s);
+          failures;
+        }
+    | Error e2 -> Error e2)
+  | Error e -> Error e
 
 type refinement_ratios = { population : float; multi_pct : float; refinable_pct : float }
 

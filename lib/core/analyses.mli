@@ -15,6 +15,16 @@ type basic = Algo1  (** context-insensitive, CHA call graph, no filter *)
 val run_basic :
   ?options:Datalog.Engine.options -> ?query:Programs.query_suffix -> algo:basic -> Jir.Factgen.t -> result
 
+val solve_basic :
+  ?options:Datalog.Engine.options ->
+  ?query:Programs.query_suffix ->
+  algo:basic ->
+  Jir.Factgen.t ->
+  (result, Solver_error.t) Stdlib.result
+(** {!run_basic} with structured errors: budget violations — including
+    ones raised while input relations are still being loaded — come
+    back as [Error (Budget_exhausted _)] instead of an exception. *)
+
 val ie_tuples : result -> (int * int) list
 (** The discovered call graph of an Algorithm 3 result. *)
 
@@ -25,6 +35,14 @@ val make_context : ?max_bits:int -> Jir.Factgen.t -> ie:(int * int) list -> Cont
 val run_cs :
   ?options:Datalog.Engine.options -> ?query:Programs.query_suffix -> Jir.Factgen.t -> Context.t -> result
 (** Algorithm 5: context-sensitive points-to. *)
+
+val solve_cs :
+  ?options:Datalog.Engine.options ->
+  ?query:Programs.query_suffix ->
+  Jir.Factgen.t ->
+  Context.t ->
+  (result, Solver_error.t) Stdlib.result
+(** {!run_cs} with structured errors (see {!solve_basic}). *)
 
 val run_cs_with :
   ?options:Datalog.Engine.options ->
@@ -68,6 +86,44 @@ val escape_counts : Jir.Factgen.t -> result -> escape_counts
 (** Figure 5's per-benchmark counts, from a {!run_thread_escape}
     result: allocation sites captured vs escaped, and sync operations
     needed vs unneeded. *)
+
+(** {2 Graceful degradation}
+
+    A resource-governed run that cannot finish the precise analysis can
+    still return a sound answer: every rung of the ladder is a sound
+    overapproximation of the one above it
+    (vP{_ cs} ⊆ vP{_ ci} ⊆ vP{_ steens}), so degrading trades precision,
+    never soundness. *)
+
+type rung =
+  | Rung_cs  (** Algorithms 3+4+5: on-the-fly call graph, context numbering, context-sensitive solve *)
+  | Rung_ci  (** Algorithm 2: context-insensitive with type filtering *)
+  | Rung_steens  (** Steensgaard unification — near-linear, no BDDs *)
+
+type fallback = {
+  rung : rung;  (** the rung that produced the answer *)
+  result : result option;  (** engine-backed result for [Rung_cs]/[Rung_ci] *)
+  steens : Steensgaard.result option;  (** set only for [Rung_steens] *)
+  vp : (int * int) list;
+      (** the variable points-to pairs [(v, h)] of the answering rung,
+          context-projected for [Rung_cs]; sorted, duplicate-free *)
+  failures : (rung * Solver_error.t) list;  (** rungs tried and exhausted before the answer, in order *)
+}
+
+val rung_name : rung -> string
+
+val solve_with_fallback :
+  ?options:Datalog.Engine.options ->
+  ?budget:Budget.t ->
+  ?query:Programs.query_suffix ->
+  Jir.Factgen.t ->
+  (fallback, Solver_error.t) Stdlib.result
+(** Try [Rung_cs] under [budget]; on budget exhaustion retry [Rung_ci],
+    then [Rung_steens].  The single budget governs the whole ladder
+    (its deadline is absolute; node/allocation limits reset per rung
+    because each rung builds a fresh manager).  Only resource
+    exhaustion degrades: cancellation, bad input and internal errors
+    are returned as [Error] immediately. *)
 
 (** {2 Result access} *)
 

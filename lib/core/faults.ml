@@ -1,0 +1,21 @@
+let count_checks b =
+  let n = ref 0 in
+  Budget.set_check_hook b (Some (fun _ -> incr n));
+  n
+
+let cancel_after_checks b n =
+  let seen = ref 0 in
+  Budget.set_check_hook b
+    (Some
+       (fun b ->
+         incr seen;
+         if !seen >= n then Budget.cancel b))
+
+let corrupt_file path ~at garbage =
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      ignore (Unix.lseek fd at Unix.SEEK_SET);
+      let b = Bytes.of_string garbage in
+      ignore (Unix.write fd b 0 (Bytes.length b)))

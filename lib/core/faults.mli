@@ -1,0 +1,23 @@
+(** Deterministic fault injection for the robustness test-suite.
+
+    All helpers work through {!Budget.set_check_hook}: the hook fires
+    at the start of every amortized budget check — inside [Bdd.mk]
+    every [Bdd.budget_check_interval] fresh allocations, and in the
+    Datalog engine between rule applications and at the top of each
+    fixpoint round — so faults land at exactly the points where a real
+    limit violation would be observed.  Nothing here is used by
+    production code paths. *)
+
+val count_checks : Budget.t -> int ref
+(** Install a counting hook and return the counter; replaces any
+    previously installed hook. *)
+
+val cancel_after_checks : Budget.t -> int -> unit
+(** Flip the budget's cancellation flag at the [n]-th check (1-based):
+    the solve aborts with [Budget.Cancelled] mid-flight, at a
+    deterministic point.  Replaces any previously installed hook. *)
+
+val corrupt_file : string -> at:int -> string -> unit
+(** Overwrite the file in place starting at byte offset [at] with the
+    given bytes — a deterministic input corruption for loader tests
+    (the file keeps its length when the patch fits). *)

@@ -1,0 +1,30 @@
+type bad_input = { file : string; line : int; msg : string }
+type exhaustion = { reason : Budget.reason; partial_iterations : int; live_nodes : int }
+
+type t =
+  | Budget_exhausted of exhaustion
+  | Bad_input of bad_input
+  | Internal of string
+
+exception Error of t
+
+let raise_bad_input ~file ~line fmt =
+  Format.kasprintf (fun msg -> raise (Error (Bad_input { file; line; msg }))) fmt
+
+let to_string = function
+  | Budget_exhausted { reason; partial_iterations; live_nodes } ->
+    (* The counters are 0 when the budget fired before the fixpoint
+       started (e.g. while loading input relations) — omit them then. *)
+    if partial_iterations = 0 && live_nodes = 0 then
+      Printf.sprintf "budget exhausted: %s (before the fixpoint started)" (Budget.reason_to_string reason)
+    else
+      Printf.sprintf "budget exhausted: %s (after %d fixpoint rounds, %d live nodes)" (Budget.reason_to_string reason)
+        partial_iterations live_nodes
+  | Bad_input { file; line; msg } ->
+    if line > 0 then Printf.sprintf "%s:%d: %s" file line msg else Printf.sprintf "%s: %s" file msg
+  | Internal msg -> Printf.sprintf "internal error: %s" msg
+
+let exit_code = function
+  | Bad_input _ -> 1
+  | Budget_exhausted _ -> 2
+  | Internal _ -> 3

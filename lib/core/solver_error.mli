@@ -1,0 +1,40 @@
+(** Structured solver outcomes.
+
+    Every failure mode of a solve — resource exhaustion, malformed
+    input, internal invariant breakage — is represented as a value so
+    callers can match on it, rather than as a raw [Failure] backtrace.
+    [Datalog.Engine.solve] and the [Analyses] drivers return
+    [(_, Solver_error.t) result]; loaders raise {!Error} (the
+    exception form exists because parsing happens deep inside
+    [input_line] loops), which the drivers and [ptacli] catch and
+    convert back to the value form. *)
+
+type bad_input = {
+  file : string;
+  line : int;  (** 1-based; 0 when the error is not tied to a line *)
+  msg : string;
+}
+
+type exhaustion = {
+  reason : Budget.reason;
+  partial_iterations : int;  (** fixpoint rounds completed before the abort *)
+  live_nodes : int;  (** live BDD nodes at the moment of the abort *)
+}
+
+type t =
+  | Budget_exhausted of exhaustion
+  | Bad_input of bad_input
+  | Internal of string
+
+exception Error of t
+
+val raise_bad_input : file:string -> line:int -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Format the message and raise [Error (Bad_input _)]. *)
+
+val to_string : t -> string
+(** One-line, user-facing: ["file:line: msg"] for bad input,
+    ["budget exhausted: ..."] for exhaustion. *)
+
+val exit_code : t -> int
+(** The [ptacli] exit-code convention: 1 = bad input, 2 = budget
+    exhausted, 3 = internal error. *)

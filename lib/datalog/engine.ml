@@ -6,6 +6,7 @@ type options = {
   gc_interval : int;
   node_hint : int;
   cache_bits : int;
+  budget : Budget.t option;
 }
 
 let default_options =
@@ -17,6 +18,7 @@ let default_options =
     gc_interval = 256;
     node_hint = 1 lsl 16;
     cache_bits = 18;
+    budget = None;
   }
 
 type stats = {
@@ -80,6 +82,8 @@ type t = {
   mutable plan_consts : Bdd.t list; (* rooted plan-time constants *)
   mutable rule_apps : int;
   mutable stats : stats option;
+  mutable budget : Budget.t option;
+  mutable cur_iterations : int; (* rounds completed by the current/last [run] *)
 }
 
 let space t = t.sp
@@ -452,8 +456,11 @@ let create ?(options = default_options) ?element_names ?domain_order (program : 
       plan_consts = [];
       rule_apps = 0;
       stats = None;
+      budget = options.budget;
+      cur_iterations = 0;
     }
   in
+  Bdd.set_budget (Space.man sp) options.budget;
   (* Physical blocks: one interleaved group per domain. *)
   let demand = instance_demand res ~greedy:options.greedy_blocks in
   let order =
@@ -620,8 +627,25 @@ let eval_plan t plan ~delta_at =
     !b
   end
 
+let set_budget t b =
+  t.budget <- b;
+  Bdd.set_budget (Space.man t.sp) b
+
+(* Cooperative cancellation/deadline point between rule applications.
+   The node-count and allocation limits are enforced inside [Bdd.mk]
+   itself (amortized); here we only poll the flag and the clock, which
+   a long cache-hit-heavy stretch would otherwise never reach. *)
+let check_budget t =
+  match t.budget with
+  | None -> ()
+  | Some b -> (
+    match Budget.check_interrupt b with
+    | Some reason -> raise (Bdd.Limit_exceeded reason)
+    | None -> ())
+
 let maybe_gc t =
   t.rule_apps <- t.rule_apps + 1;
+  check_budget t;
   if t.opts.gc_interval > 0 && t.rule_apps mod t.opts.gc_interval = 0 then Bdd.gc (Space.man t.sp)
 
 (* Union the result into the head; returns whether new tuples arrived. *)
@@ -642,6 +666,13 @@ let commit t plan result ~track_delta =
 let run t =
   let t0 = Unix.gettimeofday () in
   let man = Space.man t.sp in
+  t.cur_iterations <- 0;
+  (* A previous run may have been aborted mid-round, leaving tuples in
+     the pending accumulators.  Relations themselves are monotone (every
+     commit unions into the head), so clearing the pendings and
+     re-seeding deltas from the full relations below makes [run]
+     restartable: it re-converges to the same fixpoint. *)
+  Hashtbl.iter (fun _ pe -> pe := Bdd.bdd_false) t.pendings;
   let iterations = ref 0 in
   List.iter2
     (fun (st : Stratify.stratum) (once, loop) ->
@@ -661,6 +692,13 @@ let run t =
         let continue = ref true in
         while !continue do
           incr iterations;
+          t.cur_iterations <- !iterations;
+          (match t.budget with
+          | None -> ()
+          | Some b -> (
+            match Budget.check_iterations b ~iterations:!iterations with
+            | Some reason -> raise (Bdd.Limit_exceeded reason)
+            | None -> ()));
           let changed = ref false in
           List.iter
             (fun plan ->
@@ -705,5 +743,18 @@ let run t =
   in
   t.stats <- Some s;
   s
+
+let solve t =
+  match run t with
+  | s -> Ok s
+  | exception Bdd.Limit_exceeded reason ->
+    Error
+      (Solver_error.Budget_exhausted
+         {
+           Solver_error.reason;
+           partial_iterations = t.cur_iterations;
+           live_nodes = Bdd.live_nodes (Space.man t.sp);
+         })
+  | exception Engine_error msg -> Error (Solver_error.Internal msg)
 
 let last_stats t = t.stats

@@ -27,6 +27,11 @@ type options = {
   gc_interval : int;  (** run [Bdd.gc] every N rule applications; 0 = never *)
   node_hint : int;
   cache_bits : int;
+  budget : Budget.t option;
+      (** resource budget: installed on the manager at {!create} (node
+          and allocation limits enforced inside [Bdd.mk]) and polled by
+          the engine between rule applications (deadline, cancellation)
+          and fixpoint rounds (iteration limit) *)
 }
 
 val default_options : options
@@ -83,6 +88,24 @@ val add_tuple : t -> string -> int array -> unit
 
 val run : t -> stats
 (** Solve to fixpoint.  Idempotent: calling again after adding tuples
-    to input relations resumes and re-converges. *)
+    to input relations resumes and re-converges.  This also makes an
+    aborted run recoverable: if a previous [run] raised
+    {!Bdd.Limit_exceeded}, relations keep the (sound, partial) tuples
+    derived so far, and calling [run] again — typically after
+    {!set_budget} with a looser budget or [None] — re-converges to the
+    exact fixpoint.  Raises {!Bdd.Limit_exceeded} when the installed
+    budget is violated. *)
+
+val solve : t -> (stats, Solver_error.t) result
+(** {!run} with structured errors instead of exceptions:
+    [Error (Budget_exhausted _)] when the budget is violated (carrying
+    the reason, fixpoint rounds completed, and live node count at
+    abort), [Error (Internal _)] for {!Engine_error}.  Other exceptions
+    propagate. *)
+
+val set_budget : t -> Budget.t option -> unit
+(** Replace (or clear, with [None]) the budget installed at creation,
+    both on the engine and the underlying BDD manager.  Use together
+    with re-{!run} to resume an aborted solve. *)
 
 val last_stats : t -> stats option

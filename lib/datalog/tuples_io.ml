@@ -1,53 +1,92 @@
-let load_file path =
-  let ic = open_in path in
-  let tuples = ref [] in
-  (try
-     let line_no = ref 0 in
-     while true do
-       let line = input_line ic in
-       incr line_no;
-       let line =
-         match String.index_opt line '#' with
-         | Some i -> String.sub line 0 i
-         | None -> line
-       in
-       let fields = String.split_on_char ' ' line |> List.filter (fun s -> s <> "") in
-       if fields <> [] then begin
-         let tuple =
-           List.map
-             (fun s ->
-               match int_of_string_opt s with
-               | Some v -> v
-               | None -> failwith (Printf.sprintf "%s:%d: not an integer: %s" path !line_no s))
-             fields
-         in
-         tuples := tuple :: !tuples
-       end
-     done
-   with End_of_file -> ());
-  close_in ic;
-  List.rev !tuples
+let bad ~path ~line fmt = Solver_error.raise_bad_input ~file:path ~line fmt
+
+(* [schema] is the relation's attribute list as (field name, domain
+   size): with it, arity and value-range errors are reported at the
+   offending file:line with the field's name, instead of surfacing
+   later as an [Invalid_argument] from deep inside the BDD layer. *)
+let load_file ?schema path =
+  let ic = try open_in path with Sys_error msg -> bad ~path ~line:0 "%s" msg in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let tuples = ref [] in
+      (try
+         let line_no = ref 0 in
+         while true do
+           let line = input_line ic in
+           incr line_no;
+           let line =
+             match String.index_opt line '#' with
+             | Some i -> String.sub line 0 i
+             | None -> line
+           in
+           let fields = String.split_on_char ' ' line |> List.filter (fun s -> s <> "") in
+           if fields <> [] then begin
+             let tuple =
+               List.map
+                 (fun s ->
+                   match int_of_string_opt s with
+                   | Some v -> v
+                   | None -> bad ~path ~line:!line_no "not an integer: %s" s)
+                 fields
+             in
+             (match schema with
+             | None -> ()
+             | Some attrs ->
+               let arity = List.length attrs in
+               let width = List.length tuple in
+               if width <> arity then
+                 bad ~path ~line:!line_no "expected %d fields, got %d" arity width;
+               List.iter2
+                 (fun (fname, dsize) v ->
+                   if v < 0 || v >= dsize then
+                     bad ~path ~line:!line_no "field %s: value %d out of range [0, %d)" fname v
+                       dsize)
+                 attrs tuple);
+             tuples := tuple :: !tuples
+           end
+         done
+       with End_of_file -> ());
+      List.rev !tuples)
 
 let save_file path tuples =
   let oc = open_out path in
-  List.iter
-    (fun t ->
-      Array.iteri
-        (fun i v ->
-          if i > 0 then output_char oc ' ';
-          output_string oc (string_of_int v))
-        t;
-      output_char oc '\n')
-    tuples;
-  close_out oc
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      List.iter
+        (fun t ->
+          Array.iteri
+            (fun i v ->
+              if i > 0 then output_char oc ' ';
+              output_string oc (string_of_int v))
+            t;
+          output_char oc '\n')
+        tuples)
 
 let load_inputs ~dir (program : Ast.program) =
+  let dom_size name =
+    List.find_map
+      (fun (d : Ast.domain_decl) -> if d.Ast.dom_name = name then Some d.Ast.dom_size else None)
+      program.Ast.domains
+  in
   List.filter_map
     (fun (r : Ast.rel_decl) ->
       match r.Ast.rel_kind with
       | Ast.Input ->
         let path = Filename.concat dir (r.Ast.rel_name ^ ".tuples") in
-        if Sys.file_exists path then Some (r.Ast.rel_name, load_file path) else Some (r.Ast.rel_name, [])
+        if Sys.file_exists path then begin
+          let schema =
+            List.map
+              (fun (aname, dname) ->
+                match dom_size dname with
+                | Some n -> (aname, n)
+                | None -> (aname, max_int) (* resolver reports unknown domains *))
+              r.Ast.rel_attrs
+          in
+          Some (r.Ast.rel_name, load_file ~schema path)
+        end
+        else Some (r.Ast.rel_name, [])
       | Ast.Output | Ast.Internal -> None)
     program.Ast.relations
 

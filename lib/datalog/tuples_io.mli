@@ -3,15 +3,22 @@
     of bddbddb's ".tuples" files, used by the standalone Datalog
     front end. *)
 
-val load_file : string -> int list list
-(** Raises [Sys_error] / [Failure] on unreadable files or non-integer
-    fields. *)
+val load_file : ?schema:(string * int) list -> string -> int list list
+(** Load a .tuples file.  With [schema] (the relation's attributes as
+    [(field name, domain size)] pairs), every line is checked for
+    arity and every value for range, and violations raise
+    {!Solver_error.Error}[ (Bad_input _)] carrying the file, line and
+    field name.  Without [schema] only integer syntax is checked (also
+    reported as [Bad_input]).  Unreadable files raise [Bad_input] too,
+    and the descriptor is always closed, error or not. *)
 
 val save_file : string -> int array list -> unit
+(** Write tuples; the descriptor is closed even if a write fails. *)
 
 val load_inputs : dir:string -> Ast.program -> (string * int list list) list
 (** For every [input] relation of the program, load ["<dir>/<name>.tuples"]
-    if it exists (missing files mean empty relations). *)
+    if it exists (missing files mean empty relations), validating each
+    tuple against the relation's declared arity and domain sizes. *)
 
 val save_outputs : dir:string -> Ast.program -> (string -> int array list) -> unit
 (** Write every [output] relation to ["<dir>/<name>.tuples"]. *)
