@@ -1,7 +1,8 @@
 (* Benchmark harness: regenerates every table and figure of the
    paper's evaluation (§6) over the 21 scaled synthetic benchmarks.
 
-     dune exec bench/main.exe -- [--table fig3|fig4|fig5|fig6|scaling|ablations|example1|bechamel|all]
+     dune exec bench/main.exe -- [--table fig3|fig4|fig5|fig6|scaling|ablations|persist|example1|bechamel|all]
+                                 (comma-separate to run several, e.g. --table fig4,persist)
                                  [--scale S] [--benchmarks a,b,c]
                                  [--json OUT.json]
 
@@ -100,7 +101,12 @@ let json_escape s =
 
 let write_json path =
   let oc = open_out path in
-  Printf.fprintf oc "{\n  \"schema\": \"whalelam-bench-v1\",\n  \"scale\": %g,\n  \"rows\": [" !scale;
+  Printf.fprintf oc "{\n  \"schema\": \"whalelam-bench-v2\",\n";
+  Printf.fprintf oc
+    "  \"schema_note\": \"v2 adds the persist table: store save/load and cold vs warm 100-query batches \
+     (algos cold-solve, cold-query-batch, store-save, store-load, warm-query-batch); rows measured outside \
+     the engine carry zero solve counters\",\n";
+  Printf.fprintf oc "  \"scale\": %g,\n  \"rows\": [" !scale;
   List.iteri
     (fun i r ->
       Printf.fprintf oc "%s\n    { \"table\": \"%s\", \"benchmark\": \"%s\", \"algo\": \"%s\", \"seconds\": %.6f, \
@@ -371,6 +377,81 @@ let ablations () =
   print_endline "precision strictly improves from unification to inclusion to 1-CFA to";
   print_endline "full cloning (fewer points-to pairs = more precise)."
 
+(* --- Persistence: store save/load and warm query latency --- *)
+
+(* Rows measured outside the engine (store save/load, query batches)
+   have no solve counters; only the seconds column is meaningful. *)
+let timed_stats seconds =
+  {
+    Engine.rule_applications = 0;
+    iterations = 0;
+    strata = 0;
+    peak_live_nodes = 0;
+    solve_seconds = seconds;
+    gcs = 0;
+    op_cache = [];
+  }
+
+(* 100 mixed queries (50 points-to, 25 alias, 25 reverse points-to)
+   over a (variable, heap) relation — the serve daemon's workload. *)
+let query_batch pt =
+  let dom_of name = (Relation.find_attr pt name).Relation.block.Space.dom in
+  let nv = Domain.size (dom_of "variable") and nh = Domain.size (dom_of "heap") in
+  for i = 0 to 49 do
+    ignore (Queries.points_to pt ~var:(i * 13 mod nv))
+  done;
+  for i = 0 to 24 do
+    ignore (Queries.alias_heaps pt ~v1:(i * 13 mod nv) ~v2:(((i * 29) + 1) mod nv))
+  done;
+  for i = 0 to 24 do
+    ignore (Queries.pointed_by pt ~heap:(i * 7 mod nh))
+  done
+
+let persist () =
+  header "Persistence: cold solve vs warm store (gantt, gruntspud)";
+  Printf.printf "%-11s %9s %9s %9s %10s %10s %9s\n" "name" "cs-solve" "save" "load" "cold-100q" "warm-100q"
+    "speedup";
+  List.iter
+    (fun name ->
+      match Synth.Profiles.find name with
+      | None -> ()
+      | Some profile ->
+        let { fg; ctx; _ } = prepare profile in
+        let dir = Filename.concat (Filename.get_temp_dir_name ()) ("whalelam-bench-store-" ^ name) in
+        let cs, _ = time_run (fun () -> Analyses.run_cs fg ctx) in
+        record ~table:"persist" ~bench:name ~algo:"cold-solve" cs.Analyses.stats;
+        let eng = cs.Analyses.engine in
+        let with_pt vpc f =
+          let pt = Relation.project vpc [ "variable"; "heap" ] in
+          Fun.protect ~finally:(fun () -> Relation.dispose pt) (fun () -> f pt)
+        in
+        let t_cold_q =
+          with_pt (Analyses.relation cs "vPC") (fun pt -> snd (time_run (fun () -> query_batch pt)))
+        in
+        record ~table:"persist" ~bench:name ~algo:"cold-query-batch" (timed_stats t_cold_q);
+        let _, t_save =
+          time_run (fun () ->
+              Bddrel.Store.save ~dir ~key:"bench" ~config:[ ("benchmark", name) ] ~space:(Engine.space eng)
+                ~relations:(Engine.exported_relations eng))
+        in
+        record ~table:"persist" ~bench:name ~algo:"store-save" (timed_stats t_save);
+        let st, t_load = time_run (fun () -> Bddrel.Store.load ~dir) in
+        record ~table:"persist" ~bench:name ~algo:"store-load" (timed_stats t_load);
+        let t_warm =
+          with_pt
+            (Option.get (Bddrel.Store.find st "vPC"))
+            (fun pt -> snd (time_run (fun () -> query_batch pt)))
+        in
+        record ~table:"persist" ~bench:name ~algo:"warm-query-batch" (timed_stats t_warm);
+        let t_solve = cs.Analyses.stats.Engine.solve_seconds in
+        Printf.printf "%-11s %8.3fs %8.3fs %8.3fs %9.4fs %9.4fs %8.1fx\n" name t_solve t_save t_load t_cold_q
+          t_warm
+          ((t_solve +. t_cold_q) /. (t_load +. t_warm)))
+    [ "gantt"; "gruntspud" ];
+  print_endline "\nShape to check: answering a 100-query batch from a loaded store (load + warm)";
+  print_endline "beats re-solving (cs-solve + cold batch) by well over an order of magnitude;";
+  print_endline "save/load cost is a small fraction of one solve."
+
 (* --- The paper's running example --- *)
 
 let example1 () =
@@ -432,7 +513,8 @@ let bechamel () =
 let () =
   let t0 = Unix.gettimeofday () in
   Printf.printf "whalelam benchmark harness - scale %.3f\n" !scale;
-  let run name f = if !table = "all" || !table = name then f () in
+  let wanted = String.split_on_char ',' !table in
+  let run name f = if !table = "all" || List.mem name wanted then f () in
   run "example1" example1;
   run "fig3" fig3;
   run "fig4" fig4;
@@ -440,6 +522,7 @@ let () =
   run "fig6" fig6;
   run "scaling" scaling;
   run "ablations" ablations;
+  run "persist" persist;
   run "bechamel" bechamel;
   (match !json_path with
   | Some path -> write_json path

@@ -75,6 +75,46 @@ let solved = function
   | Ok r -> r
   | Error e -> raise (Solver_error.Error e)
 
+(* --- persistent result stores --- *)
+
+let read_file_bytes path =
+  let ic = try open_in_bin path with Sys_error m -> (prerr_endline m; exit 1) in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> really_input_string ic (in_channel_length ic))
+
+(* The cache key: a content hash of everything that determines the
+   solved relations — raw program bytes, algorithm, the exact query
+   suffix text, and the store format itself.  Any change to any of
+   them makes an existing store a miss (and a re-save). *)
+let store_key ~program_bytes ~algo ~(query : Pta.Programs.query_suffix) =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x00"
+          [
+            program_bytes;
+            algo;
+            query.Pta.Programs.q_relations;
+            query.Pta.Programs.q_rules;
+            string_of_int Store.format_version;
+          ]))
+
+let save_store ~dir ~key ~config (result : Analyses.result) =
+  let eng = result.Analyses.engine in
+  Store.save ~dir ~key ~config ~space:(Datalog.Engine.space eng)
+    ~relations:(Datalog.Engine.exported_relations eng);
+  Printf.printf "store: saved %d relations to %s/store (key %s)\n"
+    (List.length (Datalog.Engine.exported_relations eng))
+    dir
+    (String.sub key 0 12)
+
+let store_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "store" ] ~docv:"DIR"
+        ~doc:
+          "Persistent result store directory.  When a store with a matching content key exists, answer from it \
+           without solving; otherwise solve cold and save.")
+
 (* --- stats --- *)
 
 let stats_cmd =
@@ -161,11 +201,28 @@ let print_steens_stats r =
   Printf.printf "vP pairs          %d\n" (List.length (Pta.Steensgaard.vp_tuples r));
   Printf.printf "avg points-to     %.2f\n" (Pta.Steensgaard.avg_points_to r)
 
+let algo_tag = function
+  | Cha_nofilter -> "algo1"
+  | Cha -> "algo2"
+  | Otf -> "algo3"
+  | Cs -> "algo5"
+  | Cs_otf -> "algo5-otf"
+  | One_cfa -> "1cfa"
+  | Cs_types -> "algo6"
+  | Escape -> "algo7"
+  | Handcoded -> "handcoded"
+  | Steens -> "steensgaard"
+
 let analyze_cmd =
-  let run path algo dump stats budget fallback =
+  let run path algo dump stats budget fallback save_store_dir =
     let p = or_die (read_program path) in
     let fg = Factgen.extract p in
     let options = options_of_budget budget in
+    (match (save_store_dir, algo) with
+    | Some _, (Handcoded | Steens) ->
+      prerr_endline "ptacli: --save-store needs an engine-backed algorithm (not handcoded/steensgaard)";
+      exit 1
+    | _ -> ());
     let finish result =
       print_stats result.Analyses.stats;
       if stats then print_extended_stats result.Analyses.stats;
@@ -173,7 +230,16 @@ let analyze_cmd =
         (fun name ->
           print_newline ();
           dump_relation fg result name)
-        dump
+        dump;
+      match save_store_dir with
+      | Some dir ->
+        let key =
+          store_key ~program_bytes:(read_file_bytes path) ~algo:(algo_tag algo) ~query:Pta.Programs.no_query
+        in
+        save_store ~dir ~key
+          ~config:[ ("program", Filename.basename path); ("algo", algo_tag algo) ]
+          result
+      | None -> ()
     in
     let with_context k =
       let ci = solved (Analyses.solve_basic ~options ~algo:Analyses.Algo3 fg) in
@@ -258,47 +324,207 @@ let analyze_cmd =
             "When the budget exhausts a context-sensitive run, retry context-insensitively (Algorithm 2), \
              then with Steensgaard unification — each rung a sound overapproximation of the one above.")
   in
+  let save_store_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save-store" ] ~docv:"DIR"
+          ~doc:
+            "Persist the solved relations (inputs and outputs, as one shared-DAG BDD dump) under $(docv)/store, \
+             keyed by a content hash of the program and configuration, for later $(b,query --store) / $(b,serve).")
+  in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Run one of the paper's analyses.")
-    Term.(const run $ program_arg $ algo $ dump $ stats_flag $ budget_term $ fallback)
+    Term.(const run $ program_arg $ algo $ dump $ stats_flag $ budget_term $ fallback $ save_store_dir)
 
 (* --- query --- *)
 
+(* The per-variable queries (--points-to/--alias), shared between the
+   cold path (freshly solved relations) and the warm path (relations
+   loaded from a store), so both paths print byte-identical answers. *)
+let answer_pt_queries pt pt_query alias_query =
+  let dom_of name = (Relation.find_attr pt name).Relation.block.Space.dom in
+  let vdom = dom_of "variable" and hdom = dom_of "heap" in
+  let resolve what s =
+    match Domain.element_index vdom s with
+    | Some v -> v
+    | None ->
+      prerr_endline (Printf.sprintf "ptacli: unknown %s %S" what s);
+      exit 1
+  in
+  (match pt_query with
+  | Some v ->
+    let heaps = Pta.Queries.points_to pt ~var:(resolve "variable" v) in
+    Printf.printf "points-to %s (%d heaps):\n" v (List.length heaps);
+    List.iter (fun h -> Printf.printf "  %s\n" (Domain.element_name hdom h)) heaps
+  | None -> ());
+  match alias_query with
+  | Some (v1, v2) ->
+    let shared = Pta.Queries.alias_heaps pt ~v1:(resolve "variable" v1) ~v2:(resolve "variable" v2) in
+    Printf.printf "alias %s %s: %s (%d shared heaps)\n" v1 v2 (if shared = [] then "no" else "yes")
+      (List.length shared);
+    List.iter (fun h -> Printf.printf "  %s\n" (Domain.element_name hdom h)) shared
+  | None -> ()
+
+(* Dump a store-loaded relation in the same format as [dump_relation]
+   (which reads names through Factgen): the store's .map files carry
+   the same element names, through Domain.element_name. *)
+let dump_store_relation st name =
+  match Store.find st name with
+  | None ->
+    prerr_endline (Printf.sprintf "ptacli: relation %s missing from store" name);
+    exit 1
+  | Some rel ->
+    Printf.printf "%s (%.0f tuples):\n" name (Relation.count rel);
+    let doms =
+      List.map (fun (a : Relation.attr) -> a.Relation.block.Space.dom) (Relation.attrs rel)
+    in
+    List.iter
+      (fun t ->
+        let parts = List.mapi (fun i d -> Domain.element_name d t.(i)) doms in
+        Printf.printf "  %s\n" (String.concat "  " parts))
+      (List.sort compare (Relation.tuples rel))
+
 let query_cmd =
-  let run path leak vuln refine modref =
+  let run path leak vuln refine modref pt_query alias_query store_dir =
     let p = or_die (read_program path) in
     let fg = Factgen.extract p in
-    let ci = Analyses.run_basic ~algo:Analyses.Algo3 fg in
-    let ctx = Analyses.make_context fg ~ie:(Analyses.ie_tuples ci) in
-    let ran = ref false in
-    (match leak with
-    | Some label ->
-      ran := true;
-      let cs = Analyses.run_cs fg ctx ~query:(Pta.Queries.who_points_to ~heap_label:label) in
-      dump_relation fg cs "whoPointsTo";
-      dump_relation fg cs "whoDunnit"
-    | None -> ());
-    (match vuln with
-    | Some meth ->
-      ran := true;
-      let cs = Analyses.run_cs fg ctx ~query:(Pta.Queries.jce_vuln ~init_method:meth) in
-      dump_relation fg cs "fromString";
-      dump_relation fg cs "vuln"
-    | None -> ());
-    if refine then begin
-      ran := true;
-      let cs = Analyses.run_cs fg ctx ~query:Pta.Queries.refinement_projected_cs in
-      let r = Analyses.refinement_ratios cs ~per_clone:false in
-      Printf.printf "population %.0f, multi-typed %.2f%%, refinable %.2f%%\n" r.Analyses.population
-        r.Analyses.multi_pct r.Analyses.refinable_pct
-    end;
-    if modref then begin
-      ran := true;
-      let cs = Analyses.run_cs fg ctx ~query:Pta.Queries.mod_ref in
-      dump_relation fg cs "modset";
-      dump_relation fg cs "refset"
-    end;
-    if not !ran then prerr_endline "nothing to do: pass --leak, --vuln, --refine or --modref"
+    let any =
+      leak <> None || vuln <> None || refine || modref || pt_query <> None || alias_query <> None
+    in
+    if not any then
+      prerr_endline "nothing to do: pass --leak, --vuln, --refine, --modref, --points-to or --alias"
+    else begin
+      let cold_solve query =
+        let ci = Analyses.run_basic ~algo:Analyses.Algo3 fg in
+        let ctx = Analyses.make_context fg ~ie:(Analyses.ie_tuples ci) in
+        Analyses.run_cs fg ctx ~query
+      in
+      let print_refine_line population multi_pct refinable_pct =
+        Printf.printf "population %.0f, multi-typed %.2f%%, refinable %.2f%%\n" population multi_pct
+          refinable_pct
+      in
+      let with_pt_of_relation vpc_or_vp k =
+        (* Project the context away once; vP passes through unchanged. *)
+        let has_ctx = List.exists (fun (a : Relation.attr) -> a.Relation.attr_name = "context") (Relation.attrs vpc_or_vp) in
+        if has_ctx then begin
+          let pt = Relation.project vpc_or_vp [ "variable"; "heap" ] in
+          Fun.protect ~finally:(fun () -> Relation.dispose pt) (fun () -> k pt)
+        end
+        else k vpc_or_vp
+      in
+      match store_dir with
+      | None ->
+        (* No store: solve per query family, exactly as before. *)
+        (match leak with
+        | Some label ->
+          let cs = cold_solve (Pta.Queries.who_points_to ~heap_label:label) in
+          dump_relation fg cs "whoPointsTo";
+          dump_relation fg cs "whoDunnit"
+        | None -> ());
+        (match vuln with
+        | Some meth ->
+          let cs = cold_solve (Pta.Queries.jce_vuln ~init_method:meth) in
+          dump_relation fg cs "fromString";
+          dump_relation fg cs "vuln"
+        | None -> ());
+        if refine then begin
+          let cs = cold_solve Pta.Queries.refinement_projected_cs in
+          let r = Analyses.refinement_ratios cs ~per_clone:false in
+          print_refine_line r.Analyses.population r.Analyses.multi_pct r.Analyses.refinable_pct
+        end;
+        if modref then begin
+          let cs = cold_solve Pta.Queries.mod_ref in
+          dump_relation fg cs "modset";
+          dump_relation fg cs "refset"
+        end;
+        if pt_query <> None || alias_query <> None then begin
+          let cs = cold_solve Pta.Programs.no_query in
+          with_pt_of_relation (Analyses.relation cs "vPC") (fun pt ->
+              answer_pt_queries pt pt_query alias_query)
+        end
+      | Some dir ->
+        (* One combined solve covers every question the store will be
+           asked, so any later invocation with the same program and
+           flags is a pure read. *)
+        let suffix =
+          let s = Pta.Queries.combine Pta.Queries.mod_ref Pta.Queries.refinement_projected_cs in
+          let s =
+            match leak with
+            | Some label -> Pta.Queries.combine s (Pta.Queries.who_points_to ~heap_label:label)
+            | None -> s
+          in
+          match vuln with
+          | Some meth -> Pta.Queries.combine s (Pta.Queries.jce_vuln ~init_method:meth)
+          | None -> s
+        in
+        let key = store_key ~program_bytes:(read_file_bytes path) ~algo:"algo5" ~query:suffix in
+        if Store.exists ~dir && Store.read_key ~dir = Some key then begin
+          Printf.printf "query path: store hit (%s/store)\n" dir;
+          let st = Store.load ~dir in
+          (match leak with
+          | Some _ ->
+            dump_store_relation st "whoPointsTo";
+            dump_store_relation st "whoDunnit"
+          | None -> ());
+          (match vuln with
+          | Some _ ->
+            dump_store_relation st "fromString";
+            dump_store_relation st "vuln"
+          | None -> ());
+          if refine then begin
+            let count name =
+              match Store.find st name with Some r -> Relation.count r | None -> 0.0
+            in
+            let population = count "activeV" in
+            let pct x = if population = 0.0 then 0.0 else 100.0 *. x /. population in
+            print_refine_line population (pct (count "multiT")) (pct (count "refinable"))
+          end;
+          if modref then begin
+            dump_store_relation st "modset";
+            dump_store_relation st "refset"
+          end;
+          if pt_query <> None || alias_query <> None then begin
+            match Store.find st "vPC" with
+            | Some vpc -> with_pt_of_relation vpc (fun pt -> answer_pt_queries pt pt_query alias_query)
+            | None ->
+              prerr_endline "ptacli: relation vPC missing from store";
+              exit 1
+          end
+        end
+        else begin
+          Printf.printf "query path: cold solve (%s)\n"
+            (if Store.exists ~dir then "store key mismatch: program or queries changed" else "no store yet");
+          let cs = cold_solve suffix in
+          (match leak with
+          | Some _ ->
+            dump_relation fg cs "whoPointsTo";
+            dump_relation fg cs "whoDunnit"
+          | None -> ());
+          (match vuln with
+          | Some _ ->
+            dump_relation fg cs "fromString";
+            dump_relation fg cs "vuln"
+          | None -> ());
+          if refine then begin
+            let r = Analyses.refinement_ratios cs ~per_clone:false in
+            print_refine_line r.Analyses.population r.Analyses.multi_pct r.Analyses.refinable_pct
+          end;
+          if modref then begin
+            dump_relation fg cs "modset";
+            dump_relation fg cs "refset"
+          end;
+          if pt_query <> None || alias_query <> None then
+            with_pt_of_relation (Analyses.relation cs "vPC") (fun pt ->
+                answer_pt_queries pt pt_query alias_query);
+          let config =
+            [ ("program", Filename.basename path); ("algo", "algo5") ]
+            @ (match leak with Some l -> [ ("leak", l) ] | None -> [])
+            @ match vuln with Some m -> [ ("vuln", m) ] | None -> []
+          in
+          save_store ~dir ~key ~config cs
+        end
+    end
   in
   let leak = Arg.(value & opt (some string) None & info [ "leak" ] ~docv:"LABEL" ~doc:"§5.1 leak query for a heap label.") in
   let vuln =
@@ -306,9 +532,99 @@ let query_cmd =
   in
   let refine = Arg.(value & flag & info [ "refine" ] ~doc:"§5.3 type refinement percentages.") in
   let modref = Arg.(value & flag & info [ "modref" ] ~doc:"§5.4 context-sensitive mod-ref sets.") in
+  let pt_query =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "points-to" ] ~docv:"VAR" ~doc:"Heaps the variable may point to (any context).")
+  in
+  let alias_query =
+    Arg.(
+      value
+      & opt (some (pair ~sep:',' string string)) None
+      & info [ "alias" ] ~docv:"V1,V2" ~doc:"May the two variables alias (share a pointed-to heap)?")
+  in
   Cmd.v
-    (Cmd.info "query" ~doc:"Run the §5 queries over the context-sensitive results.")
-    Term.(const run $ program_arg $ leak $ vuln $ refine $ modref)
+    (Cmd.info "query"
+       ~doc:
+         "Run the §5 queries over the context-sensitive results, answering from a persistent store when one \
+          matches ($(b,--store)).")
+    Term.(const run $ program_arg $ leak $ vuln $ refine $ modref $ pt_query $ alias_query $ store_dir_arg)
+
+(* --- serve --- *)
+
+let serve_cmd =
+  let run dir socket =
+    let st = Store.load ~dir in
+    let srv = Pta.Serve.make st in
+    Printf.eprintf "serve: loaded %d relations from %s/store (key %s)\n%!"
+      (List.length (Store.relations st))
+      dir
+      (String.sub (Store.key st) 0 12);
+    (* Per query: one header line "ok|err <command> <rows> <latency>"
+       on stdout, then the result rows.  The banner and shutdown notes
+       go to stderr so stdout stays a pure protocol stream. *)
+    let handle_channel ic oc =
+      let served = ref 0 in
+      (try
+         while true do
+           let line = input_line ic in
+           if String.trim line = "quit" then raise Exit;
+           let t0 = Unix.gettimeofday () in
+           let o = Pta.Serve.handle srv line in
+           let dt_us = (Unix.gettimeofday () -. t0) *. 1e6 in
+           if not (o.Pta.Serve.command = "" && o.Pta.Serve.lines = []) then begin
+             incr served;
+             Printf.fprintf oc "%s %s %d %.0fus\n"
+               (if o.Pta.Serve.ok then "ok" else "err")
+               o.Pta.Serve.command o.Pta.Serve.count dt_us;
+             List.iter (fun l -> output_string oc (l ^ "\n")) o.Pta.Serve.lines
+           end;
+           flush oc
+         done
+       with End_of_file | Exit -> ());
+      !served
+    in
+    match socket with
+    | None ->
+      let n = handle_channel stdin stdout in
+      Printf.eprintf "serve: done (%d queries)\n%!" n
+    | Some path ->
+      if Sys.file_exists path then Sys.remove path;
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd 8;
+      Printf.eprintf "serve: listening on %s (connections served one at a time; 'quit' ends a connection)\n%!"
+        path;
+      while true do
+        let cfd, _ = Unix.accept fd in
+        let ic = Unix.in_channel_of_descr cfd and oc = Unix.out_channel_of_descr cfd in
+        let n = try handle_channel ic oc with Sys_error _ -> 0 in
+        Printf.eprintf "serve: connection closed (%d queries)\n%!" n;
+        (try flush oc with Sys_error _ -> ());
+        try Unix.close cfd with Unix.Unix_error _ -> ()
+      done
+  in
+  let dir =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "store" ] ~docv:"DIR" ~doc:"Store directory written by $(b,analyze --save-store) or $(b,query --store).")
+  in
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Listen on a Unix domain socket instead of reading queries from stdin.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Long-running query daemon: load a persistent store once, then answer line-delimited queries \
+          (points-to, alias, leak, modref, vuln, refine, ...) from the solved relations, printing per-query \
+          latency and row counts.  'help' lists the protocol.")
+    Term.(const run $ dir $ socket)
 
 (* --- order-search --- *)
 
@@ -426,7 +742,9 @@ let () =
   if debug then Printexc.record_backtrace true;
   let doc = "cloning-based context-sensitive pointer alias analysis using BDDs" in
   let info = Cmd.info "ptacli" ~version:"1.0" ~doc in
-  let group = Cmd.group info [ stats_cmd; analyze_cmd; query_cmd; order_search_cmd; datalog_cmd; gen_cmd ] in
+  let group =
+    Cmd.group info [ stats_cmd; analyze_cmd; query_cmd; serve_cmd; order_search_cmd; datalog_cmd; gen_cmd ]
+  in
   let die code msg =
     prerr_endline ("ptacli: " ^ msg);
     code

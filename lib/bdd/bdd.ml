@@ -811,6 +811,115 @@ let to_dot ?(var_name = fun i -> Printf.sprintf "x%d" i) m f =
   Buffer.add_string buf "}\n";
   Buffer.contents buf
 
+(* --- Serialization (shared-DAG binary dump) ---
+
+   BuDDy bdd_save-style format, extended to many roots so a whole
+   store of relations persists as ONE reduced DAG — identical
+   sub-functions across relations are written once (shared-structure
+   persistence).  Layout, all integers unsigned 32-bit little-endian:
+
+     bytes 0-7    magic "WLBDD01\n"
+     bytes 8-19   nvars, node count N, root count R
+     then N       (var, lo, hi) triples in topological (children-first)
+                  order; node j has id j+2, ids 0/1 are the terminals,
+                  and lo/hi must reference ids < j+2
+     then R       root ids
+
+   Loading rebuilds through [mk], so hash consing re-establishes
+   canonicity in the target manager regardless of its current table
+   size, free-list state or GC history; validation rejects malformed
+   input ([Solver_error.Bad_input] carrying the byte offset) before any
+   node is interned from a bad triple. *)
+
+let magic = "WLBDD01\n"
+let header_bytes = String.length magic + 12
+
+let serialize m roots =
+  let buf = Buffer.create 4096 in
+  let tri = Buffer.create 4096 in
+  let ids = Hashtbl.create 1024 in
+  Hashtbl.add ids bdd_false 0;
+  Hashtbl.add ids bdd_true 1;
+  let next = ref 2 in
+  let stack = ref [] in
+  let emit n =
+    Hashtbl.add ids n !next;
+    incr next;
+    Buffer.add_int32_le tri (Int32.of_int m.nodes.(n * 4));
+    Buffer.add_int32_le tri (Int32.of_int (Hashtbl.find ids m.nodes.((n * 4) + 1)));
+    Buffer.add_int32_le tri (Int32.of_int (Hashtbl.find ids m.nodes.((n * 4) + 2)))
+  in
+  let visit root =
+    if not (Hashtbl.mem ids root) then begin
+      stack := [ root ];
+      while !stack <> [] do
+        match !stack with
+        | [] -> ()
+        | n :: rest ->
+          if Hashtbl.mem ids n then stack := rest
+          else begin
+            let l = m.nodes.((n * 4) + 1) and h = m.nodes.((n * 4) + 2) in
+            let lk = Hashtbl.mem ids l and hk = Hashtbl.mem ids h in
+            if lk && hk then begin
+              stack := rest;
+              emit n
+            end
+            else begin
+              if not hk then stack := h :: !stack;
+              if not lk then stack := l :: !stack
+            end
+          end
+      done
+    end
+  in
+  List.iter visit roots;
+  Buffer.add_string buf magic;
+  Buffer.add_int32_le buf (Int32.of_int m.nvars);
+  Buffer.add_int32_le buf (Int32.of_int (!next - 2));
+  Buffer.add_int32_le buf (Int32.of_int (List.length roots));
+  Buffer.add_buffer buf tri;
+  List.iter (fun r -> Buffer.add_int32_le buf (Int32.of_int (Hashtbl.find ids r))) roots;
+  Buffer.contents buf
+
+let deserialize ?(source = "<bdd>") m data =
+  let fail off fmt = Solver_error.raise_bad_input ~file:source ~line:0 ("byte %d: " ^^ fmt) off in
+  let len = String.length data in
+  let u32 off =
+    if off + 4 > len then fail off "truncated (need 4 bytes, have %d)" (len - off);
+    let v = Int32.to_int (String.get_int32_le data off) in
+    if v < 0 then fail off "negative field %d" v;
+    v
+  in
+  if len < header_bytes then fail 0 "truncated header (%d bytes)" len;
+  if String.sub data 0 (String.length magic) <> magic then fail 0 "bad magic (not a %s dump)" (String.trim magic);
+  let base = String.length magic in
+  let nvars = u32 base in
+  let nnodes = u32 (base + 4) in
+  let nroots = u32 (base + 8) in
+  let expect = header_bytes + (12 * nnodes) + (4 * nroots) in
+  if len <> expect then fail len "size mismatch: %d nodes + %d roots need %d bytes, file has %d" nnodes nroots expect len;
+  if nvars > m.nvars then extend_vars m nvars;
+  let handles = Array.make (nnodes + 2) bdd_false in
+  handles.(1) <- bdd_true;
+  for j = 0 to nnodes - 1 do
+    let off = header_bytes + (12 * j) in
+    let v = u32 off and l = u32 (off + 4) and h = u32 (off + 8) in
+    if v >= nvars then fail off "variable %d out of range [0, %d)" v nvars;
+    if l >= j + 2 then fail (off + 4) "low edge %d is not topologically earlier than node %d" l (j + 2);
+    if h >= j + 2 then fail (off + 8) "high edge %d is not topologically earlier than node %d" h (j + 2);
+    if l = h then fail off "node %d is not reduced (low = high = %d)" (j + 2) l;
+    (* Children are strictly below their parent in the variable order in
+       any well-formed dump; [mk] does not re-check, so verify here. *)
+    let lvl x = if x < 2 then terminal_var else m.nodes.(handles.(x) * 4) in
+    if lvl l <= v || lvl h <= v then fail off "node %d breaks the variable order" (j + 2);
+    handles.(j + 2) <- mk m v handles.(l) handles.(h)
+  done;
+  List.init nroots (fun i ->
+      let off = header_bytes + (12 * nnodes) + (4 * i) in
+      let r = u32 off in
+      if r >= nnodes + 2 then fail off "root id %d out of range [0, %d)" r (nnodes + 2);
+      handles.(r))
+
 (* --- Garbage collection --- *)
 
 let add_root m r = m.roots <- r :: m.roots

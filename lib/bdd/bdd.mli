@@ -146,6 +146,31 @@ val add_const : man -> src:int array -> dst:int array -> delta:int -> t
 val equal_blocks : man -> src:int array -> dst:int array -> t
 (** The relation [dst = src] between two equal-width bit blocks. *)
 
+(** {2 Serialization}
+
+    A reduced shared-DAG binary dump (BuDDy [bdd_save]-style): magic,
+    variable count, node count, topologically-ordered [(var, lo, hi)]
+    triples, then root ids.  Many roots share one DAG, so a set of
+    relations persists with every common sub-function written once. *)
+
+val serialize : man -> t list -> string
+(** Dump the shared DAG reachable from [roots].  Root order is
+    preserved by {!deserialize}. *)
+
+val deserialize : ?source:string -> man -> string -> t list
+(** Rebuild the dumped functions in [m] (which need not be the dumping
+    manager: nodes are re-interned through the constructor, so the
+    result is reduced and hash-consed regardless of the manager's GC or
+    table-growth history; the variable space is extended if needed).
+    Returns the roots in dump order.
+
+    Raises [Solver_error.Error (Bad_input _)] — with [source] as the
+    file and the byte offset in the message — on truncation, bad magic,
+    out-of-range variables or edges, non-topological or non-reduced
+    triples, and variable-order violations.  No partial result escapes:
+    already-interned nodes are unreachable garbage for the next
+    {!gc}. *)
+
 (** {2 Memory management} *)
 
 val add_root : man -> t ref -> unit

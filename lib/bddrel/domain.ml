@@ -31,6 +31,7 @@ let make ?element_names ~name ~size () =
 let name d = d.name
 let size d = d.size
 let bits d = d.bits
+let element_names d = d.element_names
 
 let element_name d i =
   match d.element_names with

@@ -20,6 +20,10 @@ val bits : t -> int
 val element_name : t -> int -> string
 (** Name of element [i], falling back to the ordinal in decimal. *)
 
+val element_names : t -> string array option
+(** The name table passed to {!make}, if any — what a persisted store
+    writes out as the domain's [.map] file. *)
+
 val element_index : t -> string -> int option
 (** Reverse of {!element_name}; also accepts a decimal ordinal. *)
 

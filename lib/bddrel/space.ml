@@ -64,6 +64,26 @@ let instances s d =
   | Some r -> !r
   | None -> []
 
+let domains s =
+  let ds = Hashtbl.fold (fun _ r acc -> match !r with b :: _ -> b.dom :: acc | [] -> acc) s.by_domain [] in
+  List.sort (fun a b -> compare (Domain.name a) (Domain.name b)) ds
+
+let restore_block s d ~instance ~bits =
+  let slot = domain_slot s d in
+  if List.length !slot <> instance then
+    invalid_arg
+      (Printf.sprintf "Space.restore_block: %s instance %d restored out of order (next is %d)" (Domain.name d)
+         instance (List.length !slot));
+  if Array.length bits <> Domain.bits d then
+    invalid_arg (Printf.sprintf "Space.restore_block: %s needs %d bits, got %d" (Domain.name d) (Domain.bits d) (Array.length bits));
+  Array.iter (fun v -> if v < 0 then invalid_arg "Space.restore_block: negative variable") bits;
+  let b = { dom = d; instance; bits } in
+  slot := !slot @ [ b ];
+  let top = Array.fold_left max (-1) bits in
+  if top + 1 > s.next_var then s.next_var <- top + 1;
+  Bdd.extend_vars s.man s.next_var;
+  b
+
 let instance s d i =
   let rec ensure () =
     let existing = instances s d in

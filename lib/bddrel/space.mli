@@ -40,6 +40,18 @@ val alloc_interleaved : t -> Domain.t -> int -> block array
 val instances : t -> Domain.t -> block list
 (** Blocks allocated so far for this domain, in instance order. *)
 
+val domains : t -> Domain.t list
+(** Every domain with at least one allocated block, sorted by name —
+    the schema a persisted {!Store} records. *)
+
+val restore_block : t -> Domain.t -> instance:int -> bits:int array -> block
+(** Re-register a block read back from a persisted store, with its
+    exact saved variable ids (no fresh allocation: the on-disk BDD dump
+    is only meaningful under the saved variable numbering).  Blocks of
+    a domain must be restored in instance order; the variable space is
+    extended past the highest bit.  Mixing [restore_block] with
+    {!alloc} on the same space is not supported. *)
+
 val instance : t -> Domain.t -> int -> block
 (** [instance s d i] returns instance [i], allocating sequentially up
     to it if needed. *)

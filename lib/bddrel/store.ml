@@ -1,0 +1,286 @@
+(* On-disk results database: domains + variable layout + relation BDDs.
+
+   The manifest is a small line-oriented text file; the BDD payload is
+   one Bdd.serialize dump whose roots are the relations in manifest
+   order.  Write protocol for crash safety: every file goes through
+   temp + rename, data files are written before the manifest, and an
+   existing manifest is removed first when overwriting — the manifest's
+   presence is the commit point of the whole store. *)
+
+type t = {
+  st_key : string;
+  st_config : (string * string) list;
+  st_space : Space.t;
+  st_domains : (string * Domain.t) list;
+  st_rels : (string * Relation.t) list; (* manifest order *)
+}
+
+let format_version = 1
+
+let subdir dir = Filename.concat dir "store"
+let manifest_path dir = Filename.concat (subdir dir) "manifest"
+let bdd_path dir = Filename.concat (subdir dir) "relations.bdd"
+let map_path dir dom_name = Filename.concat (subdir dir) (dom_name ^ ".map")
+
+let bad ~path ~line fmt = Solver_error.raise_bad_input ~file:path ~line fmt
+
+let rec mkdir_p path =
+  if path <> "" && path <> "/" && path <> "." && not (Sys.file_exists path) then begin
+    mkdir_p (Filename.dirname path);
+    try Sys.mkdir path 0o755 with Sys_error _ when Sys.is_directory path -> ()
+  end
+
+(* Atomic write: the destination either keeps its old content or gets
+   the complete new content, never a prefix. *)
+let write_atomic path f =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (try Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> f oc)
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
+
+let check_name what s =
+  if s = "" || String.exists (fun c -> c = ' ' || c = ':' || c = '\n' || c = '\t' || c = '/') s then
+    invalid_arg (Printf.sprintf "Store: %s name %S must be non-empty without spaces, colons or slashes" what s)
+
+let save ~dir ~key ~config ~space ~relations =
+  List.iter
+    (fun r ->
+      check_name "relation" (Relation.name r);
+      if Relation.space r != space then invalid_arg "Store.save: relation from a different space")
+    relations;
+  let names = List.map Relation.name relations in
+  if List.length (List.sort_uniq compare names) <> List.length names then
+    invalid_arg "Store.save: duplicate relation names";
+  List.iter
+    (fun (k, v) ->
+      check_name "config" k;
+      if String.contains v '\n' then invalid_arg "Store.save: config value contains newline")
+    config;
+  let doms = Space.domains space in
+  mkdir_p (subdir dir);
+  (* Invalidate any previous store before touching its data files. *)
+  (try Sys.remove (manifest_path dir) with Sys_error _ -> ());
+  List.iter
+    (fun d ->
+      check_name "domain" (Domain.name d);
+      match Domain.element_names d with
+      | None -> ()
+      | Some names ->
+        write_atomic (map_path dir (Domain.name d)) (fun oc ->
+            for i = 0 to Domain.size d - 1 do
+              output_string oc names.(i);
+              output_char oc '\n'
+            done))
+    doms;
+  let dump = Bdd.serialize (Space.man space) (List.map Relation.bdd relations) in
+  write_atomic (bdd_path dir) (fun oc -> output_string oc dump);
+  write_atomic (manifest_path dir) (fun oc ->
+      Printf.fprintf oc "whalelam-store %d\n" format_version;
+      Printf.fprintf oc "key %s\n" key;
+      List.iter (fun (k, v) -> Printf.fprintf oc "config %s %s\n" k v) config;
+      Printf.fprintf oc "nvars %d\n" (Space.num_vars space);
+      List.iter
+        (fun d ->
+          Printf.fprintf oc "domain %s %d %d\n" (Domain.name d) (Domain.size d)
+            (if Domain.element_names d = None then 0 else 1))
+        doms;
+      List.iter
+        (fun d ->
+          List.iter
+            (fun (b : Space.block) ->
+              Printf.fprintf oc "block %s %d %s\n" (Domain.name d) b.Space.instance
+                (String.concat " " (List.map string_of_int (Array.to_list b.Space.bits))))
+            (Space.instances space d))
+        doms;
+      List.iter
+        (fun r ->
+          Printf.fprintf oc "relation %s %s\n" (Relation.name r)
+            (String.concat " "
+               (List.map
+                  (fun (a : Relation.attr) ->
+                    Printf.sprintf "%s:%s:%d" a.Relation.attr_name
+                      (Domain.name a.Relation.block.Space.dom)
+                      a.Relation.block.Space.instance)
+                  (Relation.attrs r))))
+        relations;
+      output_string oc "end\n")
+
+(* --- Manifest parsing --- *)
+
+let read_lines path =
+  let ic = try open_in path with Sys_error msg -> bad ~path ~line:0 "%s" msg in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> ());
+      List.rev !lines)
+
+type manifest = {
+  m_key : string;
+  m_config : (string * string) list;
+  m_nvars : int;
+  m_domains : (string * int * bool) list; (* name, size, has map *)
+  m_blocks : (string * int * int array) list; (* dom, instance, bits *)
+  m_relations : (string * (string * string * int) list) list; (* rel, attrs (name, dom, instance) *)
+}
+
+let split_ws s = String.split_on_char ' ' s |> List.filter (fun f -> f <> "")
+
+let parse_manifest path =
+  let lines = read_lines path in
+  let int_field ~line what s =
+    match int_of_string_opt s with
+    | Some v when v >= 0 -> v
+    | Some _ | None -> bad ~path ~line "%s: not a non-negative integer: %s" what s
+  in
+  (match lines with
+  | first :: _ when first = Printf.sprintf "whalelam-store %d" format_version -> ()
+  | first :: _ -> bad ~path ~line:1 "unsupported store format: %s" first
+  | [] -> bad ~path ~line:1 "empty manifest");
+  (match List.rev lines with
+  | "end" :: _ -> ()
+  | _ -> bad ~path ~line:(List.length lines) "missing end trailer (truncated manifest)");
+  let key = ref None
+  and config = ref []
+  and nvars = ref None
+  and domains = ref []
+  and blocks = ref []
+  and relations = ref [] in
+  List.iteri
+    (fun i line ->
+      let line_no = i + 1 in
+      if i > 0 && line <> "end" then
+        match split_ws line with
+        | [ "key"; k ] -> key := Some k
+        | "config" :: k :: _ ->
+          (* The value is everything after the key, spaces included. *)
+          let prefix = "config " ^ k ^ " " in
+          let v =
+            if String.length line >= String.length prefix then
+              String.sub line (String.length prefix) (String.length line - String.length prefix)
+            else ""
+          in
+          config := (k, v) :: !config
+        | [ "nvars"; n ] -> nvars := Some (int_field ~line:line_no "nvars" n)
+        | [ "domain"; name; size; mapped ] ->
+          domains := (name, int_field ~line:line_no "domain size" size, mapped = "1") :: !domains
+        | "block" :: dname :: inst :: bits ->
+          blocks :=
+            (dname, int_field ~line:line_no "instance" inst,
+             Array.of_list (List.map (int_field ~line:line_no "bit") bits))
+            :: !blocks
+        | "relation" :: rname :: attrs ->
+          let parse_attr spec =
+            match String.split_on_char ':' spec with
+            | [ a; d; inst ] -> (a, d, int_field ~line:line_no "attr instance" inst)
+            | _ -> bad ~path ~line:line_no "malformed attribute spec %s" spec
+          in
+          relations := (rname, List.map parse_attr attrs) :: !relations
+        | _ -> bad ~path ~line:line_no "unrecognized manifest line: %s" line)
+    lines;
+  let require what = function
+    | Some v -> v
+    | None -> bad ~path ~line:0 "manifest is missing its %s line" what
+  in
+  {
+    m_key = require "key" !key;
+    m_config = List.rev !config;
+    m_nvars = require "nvars" !nvars;
+    m_domains = List.rev !domains;
+    m_blocks = List.rev !blocks;
+    m_relations = List.rev !relations;
+  }
+
+let exists ~dir = Sys.file_exists (manifest_path dir)
+
+let read_key ~dir =
+  if not (exists ~dir) then None
+  else
+    match parse_manifest (manifest_path dir) with
+    | m -> Some m.m_key
+    | exception Solver_error.Error _ -> None
+
+let read_file path =
+  let ic = try open_in_bin path with Sys_error msg -> bad ~path ~line:0 "%s" msg in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load ~dir =
+  let mpath = manifest_path dir in
+  if not (Sys.file_exists mpath) then bad ~path:mpath ~line:0 "no store at %s" dir;
+  let m = parse_manifest mpath in
+  let space = Space.create () in
+  let domains =
+    List.map
+      (fun (name, size, mapped) ->
+        let element_names =
+          if not mapped then None
+          else begin
+            let path = map_path dir name in
+            let names = Array.of_list (read_lines path) in
+            if Array.length names < size then
+              bad ~path ~line:(Array.length names) "map has %d entries, domain %s needs %d" (Array.length names)
+                name size;
+            Some names
+          end
+        in
+        (name, Domain.make ?element_names ~name ~size ()))
+      m.m_domains
+  in
+  let find_domain ~line name =
+    match List.assoc_opt name domains with
+    | Some d -> d
+    | None -> bad ~path:mpath ~line "unknown domain %s" name
+  in
+  let blocks = Hashtbl.create 16 in
+  List.iter
+    (fun (dname, instance, bits) ->
+      let d = find_domain ~line:0 dname in
+      let b =
+        try Space.restore_block space d ~instance ~bits
+        with Invalid_argument msg -> bad ~path:mpath ~line:0 "%s" msg
+      in
+      Hashtbl.replace blocks (dname, instance) b)
+    m.m_blocks;
+  if Space.num_vars space > m.m_nvars then
+    bad ~path:mpath ~line:0 "blocks use %d variables but nvars says %d" (Space.num_vars space) m.m_nvars;
+  Bdd.extend_vars (Space.man space) m.m_nvars;
+  let rels =
+    List.map
+      (fun (rname, attr_specs) ->
+        let attrs =
+          List.map
+            (fun (aname, dname, instance) ->
+              match Hashtbl.find_opt blocks (dname, instance) with
+              | Some b -> { Relation.attr_name = aname; block = b }
+              | None -> bad ~path:mpath ~line:0 "relation %s: no block %s#%d" rname dname instance)
+            attr_specs
+        in
+        (rname, Relation.make space ~name:rname attrs))
+      m.m_relations
+  in
+  let bpath = bdd_path dir in
+  let roots = Bdd.deserialize ~source:bpath (Space.man space) (read_file bpath) in
+  if List.length roots <> List.length rels then
+    bad ~path:bpath ~line:0 "dump has %d roots, manifest lists %d relations" (List.length roots)
+      (List.length rels);
+  List.iter2 (fun (_, r) root -> Relation.set_bdd r root) rels roots;
+  { st_key = m.m_key; st_config = m.m_config; st_space = space; st_domains = domains; st_rels = rels }
+
+let key t = t.st_key
+let config t = t.st_config
+let config_value t k = List.assoc_opt k t.st_config
+let space t = t.st_space
+let domains t = List.map snd t.st_domains
+let domain t name = List.assoc_opt name t.st_domains
+let relations t = List.map snd t.st_rels
+let find t name = List.assoc_opt name t.st_rels

@@ -1,0 +1,69 @@
+(** Persistent, content-addressed BDD relation store.
+
+    A store is an on-disk results database for one solved analysis:
+    the logical domains (with their element-name maps), the physical
+    variable layout ({!Space.block}s), and a set of named relations —
+    all relation BDDs saved as {e one} shared DAG ({!Bdd.serialize}),
+    so structure repeated across relations is written once.
+
+    Layout under the store root [dir]:
+
+    {v
+    dir/store/manifest        versioned text manifest (written last)
+    dir/store/relations.bdd   shared-DAG dump, one root per relation
+    dir/store/<dom>.map       element names, one per line (optional)
+    v}
+
+    The manifest carries a [key]: a content hash of the analysis
+    inputs (program bytes + configuration), computed by the caller.  A
+    re-run whose key matches can skip solving entirely and answer from
+    the store.  Every file is written atomically (temp file + rename)
+    and the manifest is written {e last} and removed {e first} when
+    overwriting, so an interrupted save can never leave a manifest
+    describing missing or mismatched data: the store is either
+    complete or treated as absent/invalid.
+
+    Load errors are reported as [Solver_error.Error (Bad_input _)]
+    with the offending file and line (or byte offset for the BDD
+    dump). *)
+
+type t
+
+val format_version : int
+
+val save :
+  dir:string ->
+  key:string ->
+  config:(string * string) list ->
+  space:Space.t ->
+  relations:Relation.t list ->
+  unit
+(** Persist [relations] (all owned by [space]) under [dir].  [config]
+    is an informational key/value list recorded in the manifest
+    (algorithm, query suffixes, scale, ...); keys must be
+    space/newline-free, values newline-free.  Relation and domain
+    names must be unique.  Overwrites any previous store at [dir]. *)
+
+val exists : dir:string -> bool
+(** A complete store (manifest present) exists at [dir]. *)
+
+val read_key : dir:string -> string option
+(** The saved key, reading only the manifest header; [None] when there
+    is no complete, well-formed store at [dir].  Cheap: no BDD load. *)
+
+val load : dir:string -> t
+(** Rebuild the store into a fresh {!Space}: domains (with element
+    names), blocks at their saved variable ids, and every relation
+    BDD-exact.  Raises [Solver_error.Error (Bad_input _)] on a missing
+    or malformed store. *)
+
+val key : t -> string
+val config : t -> (string * string) list
+val config_value : t -> string -> string option
+val space : t -> Space.t
+val domains : t -> Domain.t list
+val domain : t -> string -> Domain.t option
+val relations : t -> Relation.t list
+(** In manifest (= save) order. *)
+
+val find : t -> string -> Relation.t option

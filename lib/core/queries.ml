@@ -102,6 +102,55 @@ whoDunnit(c, v1, f, v2) :- store(v1, f, v2), vPC(c, v2, %S).
         heap_label heap_label;
   }
 
+(* --- Store-backed evaluation ---
+
+   The same questions answered directly from solved relations (fresh
+   from an engine or loaded back from a Bddrel.Store) with plain
+   relational algebra — no Datalog re-solve.  This is what the query
+   daemon serves: a select+project over the persisted BDD is
+   milliseconds, a cold solve is seconds.  Every intermediate relation
+   is disposed so a long-running server does not accumulate GC
+   roots. *)
+
+let combine a b =
+  {
+    Programs.q_relations = a.Programs.q_relations ^ b.Programs.q_relations;
+    q_rules = a.Programs.q_rules ^ b.Programs.q_rules;
+  }
+
+let with_disposal r f =
+  Fun.protect ~finally:(fun () -> Relation.dispose r) (fun () -> f r)
+
+(* Project the (possibly context-qualified) points-to relation down to
+   one attribute after fixing another: the shared shape of the
+   evaluators below. *)
+let select_project rel ~fix ~value ~keep =
+  with_disposal (Relation.select rel fix value) (fun sel ->
+      with_disposal (Relation.project sel keep) (fun proj ->
+          List.sort_uniq compare (List.map (fun t -> t.(0)) (Relation.tuples proj))))
+
+let points_to pt ~var = select_project pt ~fix:"variable" ~value:var ~keep:[ "heap" ]
+
+let pointed_by pt ~heap = select_project pt ~fix:"heap" ~value:heap ~keep:[ "variable" ]
+
+(* Shared heaps of two variables, computed as a BDD intersection of the
+   two projected heap sets (not a list intersection: the sets stay
+   shared-structure until the final enumeration). *)
+let alias_heaps pt ~v1 ~v2 =
+  with_disposal (Relation.select pt "variable" v1) (fun s1 ->
+      with_disposal (Relation.project s1 [ "heap" ]) (fun h1 ->
+          with_disposal (Relation.select pt "variable" v2) (fun s2 ->
+              with_disposal (Relation.project s2 [ "heap" ]) (fun h2 ->
+                  with_disposal (Relation.inter h1 h2) (fun shared ->
+                      List.sort_uniq compare (List.map (fun t -> t.(0)) (Relation.tuples shared)))))))
+
+(* Mod/ref (heap, field) pairs of one method, any context: project the
+   §5.4 [modset]/[refset] down from (context, method, heap, field). *)
+let mod_ref_sites rel ~meth =
+  with_disposal (Relation.select rel "method" meth) (fun sel ->
+      with_disposal (Relation.project sel [ "heap"; "field" ]) (fun proj ->
+          List.sort_uniq compare (List.map (fun t -> (t.(0), t.(1))) (Relation.tuples proj))))
+
 let jce_vuln ~init_method =
   {
     Programs.q_relations = {|output fromString (heap : H)

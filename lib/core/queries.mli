@@ -35,3 +35,38 @@ val jce_vuln : init_method:string -> Programs.query_suffix
 (** §5.2 security audit: objects derived from [String] flowing into
     the first argument of [init_method] (e.g. ["PBEKeySpec.init"]).
     Outputs [fromString], [vuln]. *)
+
+val combine : Programs.query_suffix -> Programs.query_suffix -> Programs.query_suffix
+(** Concatenate two query suffixes so one solve materializes both
+    result sets (e.g. mod-ref plus refinement before persisting a
+    store that will serve either kind of question). *)
+
+(** {2 Store-backed evaluation}
+
+    The same questions answered directly from already-solved relations
+    — fresh from an engine or loaded back from a {!Bddrel.Store} —
+    with plain relational algebra, no Datalog re-solve.  All
+    intermediate relations are disposed, so these are safe to call in
+    a long-running query server.  Results are sorted and duplicate
+    free.
+
+    Each takes the relevant solved relation: a points-to relation with
+    ["variable"] and ["heap"] attributes ([vP], or [vPC] with its
+    context attribute existentially projected per query), or a mod/ref
+    set with ["method"], ["heap"], ["field"] attributes. *)
+
+val points_to : Bddrel.Relation.t -> var:int -> int list
+(** Heap ordinals the variable may point to. *)
+
+val pointed_by : Bddrel.Relation.t -> heap:int -> int list
+(** Variable ordinals that may point to the heap object — the §5.1
+    memory-leak direction. *)
+
+val alias_heaps : Bddrel.Relation.t -> v1:int -> v2:int -> int list
+(** Heap ordinals both variables may point to; the variables alias iff
+    this is non-empty.  Computed as a BDD intersection of the two
+    projected heap sets. *)
+
+val mod_ref_sites : Bddrel.Relation.t -> meth:int -> (int * int) list
+(** [(heap, field)] pairs the method may modify (pass [modset]) or
+    read (pass [refset]), in any calling context. *)

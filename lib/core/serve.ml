@@ -1,0 +1,137 @@
+type t = {
+  store : Store.t;
+  pt : Relation.t;  (* "variable", "heap"; context already projected away *)
+  vdom : Domain.t;
+  hdom : Domain.t;
+}
+
+let store t = t.store
+
+type outcome = { ok : bool; command : string; lines : string list; count : int }
+
+let help_lines =
+  [
+    "points-to <var>        heaps <var> may point to";
+    "alias <var1> <var2>    heaps both may point to (aliased iff any)";
+    "leak <heap>            variables that may point to <heap>";
+    "modref <method>        mod and ref (heap, field) sites";
+    "vuln                   stored vulnerability tuples";
+    "refine                 stored refinement ratios";
+    "count <relation>       tuple count of a stored relation";
+    "relations              list stored relations";
+    "help                   this summary";
+  ]
+
+let attr_domain rel name = (Relation.find_attr rel name).Relation.block.Space.dom
+
+let make store =
+  let pt =
+    match Store.find store "vPC" with
+    | Some vpc -> Relation.project vpc [ "variable"; "heap" ]
+    | None -> (
+      match Store.find store "vP" with
+      | Some vp -> vp
+      | None ->
+        Solver_error.raise_bad_input ~file:"<store>" ~line:0
+          "store has neither vPC nor vP: not a solved points-to store")
+  in
+  { store; pt; vdom = attr_domain pt "variable"; hdom = attr_domain pt "heap" }
+
+(* --- answers --- *)
+
+let ok command lines = { ok = true; command; lines; count = List.length lines }
+let err command fmt = Printf.ksprintf (fun msg -> { ok = false; command; lines = [ msg ]; count = 0 }) fmt
+
+let resolve command dom what token k =
+  match Domain.element_index dom token with
+  | Some v -> k v
+  | None -> err command "unknown %s %S (domain %s)" what token (Domain.name dom)
+
+let require command t name k =
+  match Store.find t.store name with
+  | Some r -> k r
+  | None ->
+    err command "relation %s is not in this store (re-solve with the matching query suffix)" name
+
+let points_to t v =
+  ok "points-to" (List.map (Domain.element_name t.hdom) (Queries.points_to t.pt ~var:v))
+
+let alias t v1 v2 =
+  let shared = Queries.alias_heaps t.pt ~v1 ~v2 in
+  let o = ok "alias" (List.map (Domain.element_name t.hdom) shared) in
+  { o with lines = (if shared = [] then "no" else "yes") :: o.lines }
+
+let leak t h = ok "leak" (List.map (Domain.element_name t.vdom) (Queries.pointed_by t.pt ~heap:h))
+
+let modref t m =
+  require "modref" t "modset" @@ fun modset ->
+  require "modref" t "refset" @@ fun refset ->
+  let hdom = attr_domain modset "heap" and fdom = attr_domain modset "field" in
+  let row tag (h, f) =
+    Printf.sprintf "%s %s.%s" tag (Domain.element_name hdom h) (Domain.element_name fdom f)
+  in
+  ok "modref"
+    (List.map (row "mod") (Queries.mod_ref_sites modset ~meth:m)
+    @ List.map (row "ref") (Queries.mod_ref_sites refset ~meth:m))
+
+let vuln t =
+  require "vuln" t "vuln" @@ fun rel ->
+  let doms = List.map (fun (a : Relation.attr) -> a.Relation.block.Space.dom) (Relation.attrs rel) in
+  let row tup =
+    String.concat " " (List.mapi (fun i d -> Domain.element_name d tup.(i)) doms)
+  in
+  ok "vuln" (List.map row (List.sort compare (Relation.tuples rel)))
+
+(* Same arithmetic as [Analyses.refinement_ratios], over whichever
+   refinement family (per-variable or per-clone) the store holds. *)
+let refine t =
+  let family =
+    if Store.find t.store "activeC" <> None then Some ("activeC", "multiC", "refinableC")
+    else if Store.find t.store "activeV" <> None then Some ("activeV", "multiT", "refinable")
+    else None
+  in
+  match family with
+  | None -> err "refine" "no refinement relations in this store (solve with --refine)"
+  | Some (active, multi, refinable) ->
+    require "refine" t active @@ fun a ->
+    require "refine" t multi @@ fun m ->
+    require "refine" t refinable @@ fun r ->
+    let population = Relation.count a in
+    let pct x = if population = 0.0 then 0.0 else 100.0 *. x /. population in
+    ok "refine"
+      [
+        Printf.sprintf "population %.0f" population;
+        Printf.sprintf "multi-type %.2f%%" (pct (Relation.count m));
+        Printf.sprintf "refinable %.2f%%" (pct (Relation.count r));
+      ]
+
+let count t name =
+  require "count" t name @@ fun rel ->
+  ok "count" [ Printf.sprintf "%s %.0f" name (Relation.count rel) ]
+
+let relations t =
+  ok "relations"
+    (List.map
+       (fun rel ->
+         Printf.sprintf "%s/%d %.0f" (Relation.name rel) (Relation.arity rel) (Relation.count rel))
+       (Store.relations t.store))
+
+let handle t line =
+  let line = match String.index_opt line '#' with Some i -> String.sub line 0 i | None -> line in
+  let toks = String.split_on_char ' ' line |> List.concat_map (String.split_on_char '\t') in
+  match List.filter (fun s -> s <> "") toks with
+  | [] -> ok "" []
+  | [ "points-to"; v ] -> resolve "points-to" t.vdom "variable" v (points_to t)
+  | [ "alias"; v1; v2 ] ->
+    resolve "alias" t.vdom "variable" v1 (fun a ->
+        resolve "alias" t.vdom "variable" v2 (fun b -> alias t a b))
+  | [ "leak"; h ] -> resolve "leak" t.hdom "heap" h (leak t)
+  | [ "modref"; m ] ->
+    require "modref" t "modset" @@ fun modset ->
+    resolve "modref" (attr_domain modset "method") "method" m (modref t)
+  | [ "vuln" ] -> vuln t
+  | [ "refine" ] -> refine t
+  | [ "count"; name ] -> count t name
+  | [ "relations" ] -> relations t
+  | [ "help" ] -> ok "help" help_lines
+  | cmd :: _ -> err "error" "unknown or malformed query %S (try: help)" cmd

@@ -1,0 +1,52 @@
+(** Query server over a loaded {!Bddrel.Store}: the warm half of
+    [ptacli serve].
+
+    A {!t} wraps a persisted analysis result and answers the §5
+    questions with {!Queries} relational algebra only — no Datalog
+    engine, no re-solve.  The driver (CLI or socket loop) feeds one
+    line per query to {!handle} and prints the outcome; this module is
+    pure protocol + evaluation so it can be exercised directly in
+    tests.
+
+    Protocol (whitespace-separated tokens, one query per line):
+
+    {v
+    points-to <var>        heaps <var> may point to
+    alias <var1> <var2>    heaps both may point to (aliased iff any)
+    leak <heap>            variables that may point to <heap>   (§5.1)
+    modref <method>        mod and ref (heap, field) sites      (§5.4)
+    vuln                   stored §5.2 vulnerability tuples
+    refine                 stored §5.3 refinement ratios
+    count <relation>       tuple count of a stored relation
+    relations              list stored relations
+    help                   this summary
+    v}
+
+    Elements are named by their [.map] entries when the store has
+    them, or by decimal ordinals ({!Bddrel.Domain.element_index}). *)
+
+type t
+
+val make : Bddrel.Store.t -> t
+(** Prepare the server: locates the points-to relation ([vPC], whose
+    context attribute is projected away once up front, or [vP]) and
+    the optional query relations.  Raises
+    [Solver_error.Error (Bad_input _)] when the store has neither
+    [vPC] nor [vP]. *)
+
+val store : t -> Bddrel.Store.t
+
+type outcome = {
+  ok : bool;  (** false: parse/lookup error, [lines] is the message *)
+  command : string;  (** the recognized command word, or ["error"] *)
+  lines : string list;  (** result rows (or error text), ready to print *)
+  count : int;  (** number of result rows ([0] when [ok] is false) *)
+}
+
+val handle : t -> string -> outcome
+(** Evaluate one protocol line.  Never raises on bad input — unknown
+    commands, unknown element names, and missing stored relations come
+    back as [ok = false] with an explanatory message.  Blank lines and
+    [#] comments yield an empty successful outcome. *)
+
+val help_lines : string list

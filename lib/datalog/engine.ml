@@ -100,6 +100,18 @@ let relation t name =
 
 let relations t = Hashtbl.fold (fun _ r acc -> r :: acc) t.rels []
 
+(* The program's interface: inputs (including computed inputs a driver
+   installed, e.g. IEC/mC) and outputs, in declaration order — the
+   relations a persistent store saves.  Internal relations are working
+   state of the solve and are excluded. *)
+let exported_relations t =
+  List.filter_map
+    (fun (decl : Ast.rel_decl) ->
+      match decl.Ast.rel_kind with
+      | Ast.Input | Ast.Output -> Some (relation t decl.Ast.rel_name)
+      | Ast.Internal -> None)
+    t.res.Resolve.program.Ast.relations
+
 let set_tuples t name tuples =
   let r = relation t name in
   Relation.set_bdd r Bdd.bdd_false;

@@ -83,6 +83,12 @@ val relation : t -> string -> Relation.t
 
 val relations : t -> Relation.t list
 
+val exported_relations : t -> Relation.t list
+(** The program's interface relations — declared inputs (including
+    computed inputs installed by a driver) and outputs, in declaration
+    order, excluding internal working relations.  This is the set a
+    persistent results store ({!Bddrel.Store}) saves after a solve. *)
+
 val set_tuples : t -> string -> int array list -> unit
 val add_tuple : t -> string -> int array -> unit
 

@@ -49,20 +49,30 @@ let load_file ?schema path =
        with End_of_file -> ());
       List.rev !tuples)
 
+(* Atomic: write to a temp file in the same directory, then rename over
+   the destination, so an interrupted save leaves either the old file
+   or the new one — never a truncated prefix that a later run would
+   load as a (silently smaller) relation. *)
 let save_file path tuples =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () ->
-      List.iter
-        (fun t ->
-          Array.iteri
-            (fun i v ->
-              if i > 0 then output_char oc ' ';
-              output_string oc (string_of_int v))
-            t;
-          output_char oc '\n')
-        tuples)
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  (try
+     Fun.protect
+       ~finally:(fun () -> close_out_noerr oc)
+       (fun () ->
+         List.iter
+           (fun t ->
+             Array.iteri
+               (fun i v ->
+                 if i > 0 then output_char oc ' ';
+                 output_string oc (string_of_int v))
+               t;
+             output_char oc '\n')
+           tuples)
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
 
 let load_inputs ~dir (program : Ast.program) =
   let dom_size name =

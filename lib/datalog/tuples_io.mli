@@ -13,7 +13,9 @@ val load_file : ?schema:(string * int) list -> string -> int list list
     and the descriptor is always closed, error or not. *)
 
 val save_file : string -> int array list -> unit
-(** Write tuples; the descriptor is closed even if a write fails. *)
+(** Write tuples atomically (temp file + rename): an interrupted save
+    leaves the previous file intact, never a truncated one.  The
+    descriptor is closed even if a write fails. *)
 
 val load_inputs : dir:string -> Ast.program -> (string * int list list) list
 (** For every [input] relation of the program, load ["<dir>/<name>.tuples"]

@@ -146,9 +146,88 @@ let test_abort_resume () =
     step st rs n
   done
 
+(* Serialize → deserialize round-trips over the same randomized
+   churn (which forces GCs every 12 steps and grows the node table):
+   reloading into the same manager must hash-cons back to the very
+   same handles, and reloading into a fresh manager with the same
+   variable layout must reproduce every tuple set and node count. *)
+let test_serialize_roundtrip () =
+  let rs = Random.State.make [| seed + 2 |] in
+  let st = setup rs in
+  for n = 0 to 79 do
+    step st rs n
+  done;
+  Alcotest.(check bool) "churn forced gcs" true (Bdd.gc_count st.man >= 3);
+  let roots = Array.to_list (Array.map Relation.bdd st.rels) in
+  let data = Bdd.serialize st.man roots in
+  (* Another GC between dump and reload: the dump must not depend on
+     live node numbering. *)
+  Bdd.gc st.man;
+  let back = Bdd.deserialize st.man data in
+  List.iter2
+    (fun a b -> Alcotest.(check int) "same-manager handle identity" (a : Bdd.t :> int) (b : Bdd.t :> int))
+    roots back;
+  (* Fresh manager, same layout. *)
+  let sp2 = Space.create ~node_hint:64 () in
+  let b2 = Space.alloc_interleaved sp2 dom 3 in
+  let man2 = Space.man sp2 in
+  let back2 = Bdd.deserialize man2 data in
+  List.iteri
+    (fun k root2 ->
+      let r2 =
+        Relation.make sp2 ~name:(Printf.sprintf "r%d'" k)
+          [ { Relation.attr_name = "x"; block = b2.(0) }; { attr_name = "y"; block = b2.(1) } ]
+      in
+      Relation.set_bdd r2 root2;
+      check_same (Printf.sprintf "fresh-manager rel %d tuples" k) r2 st.refs.(k);
+      Alcotest.(check int)
+        (Printf.sprintf "fresh-manager rel %d node count" k)
+        (Bdd.node_count st.man (Relation.bdd st.rels.(k)))
+        (Bdd.node_count man2 root2))
+    back2
+
+(* Corrupt dumps must be rejected with [Bad_input] (never a crash or a
+   silently wrong BDD): truncation, bad magic, trailing garbage, and a
+   bytewise scramble of the triple section. *)
+let expect_bad_input ctx f =
+  match f () with
+  | _ -> Alcotest.fail (ctx ^ ": expected Bad_input")
+  | exception Solver_error.Error (Solver_error.Bad_input _) -> ()
+
+let test_deserialize_rejects_corruption () =
+  let rs = Random.State.make [| seed + 3 |] in
+  let st = setup rs in
+  for n = 0 to 23 do
+    step st rs n
+  done;
+  let data = Bdd.serialize st.man [ Relation.bdd st.rels.(0) ] in
+  expect_bad_input "truncated" (fun () ->
+      Bdd.deserialize st.man (String.sub data 0 (String.length data - 5)));
+  expect_bad_input "empty" (fun () -> Bdd.deserialize st.man "");
+  expect_bad_input "bad magic" (fun () ->
+      Bdd.deserialize st.man ("X" ^ String.sub data 1 (String.length data - 1)));
+  expect_bad_input "trailing garbage" (fun () -> Bdd.deserialize st.man (data ^ "!"));
+  (* Scramble one byte of every triple: some perturbation must trip a
+     validation (out-of-order child, non-reduced node, or bad var). *)
+  let tripped = ref 0 in
+  let header = String.length "WLBDD01\n" + 12 in
+  for off = header to min (String.length data - 1) (header + 60) do
+    let b = Bytes.of_string data in
+    Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor 0xff));
+    match Bdd.deserialize st.man (Bytes.to_string b) with
+    | _ -> ()
+    | exception Solver_error.Error (Solver_error.Bad_input _) -> incr tripped
+  done;
+  Alcotest.(check bool) "some scrambles rejected" true (!tripped > 0)
+
 let () =
   Alcotest.run "bdd_kernels"
     [
       ("differential", [ Alcotest.test_case "random ops vs Ref_relation across gcs" `Quick test_differential ]);
       ("robustness", [ Alcotest.test_case "abort mid-load, resume idempotently" `Quick test_abort_resume ]);
+      ( "serialization",
+        [
+          Alcotest.test_case "serialize/deserialize round-trip across gcs" `Quick test_serialize_roundtrip;
+          Alcotest.test_case "corrupt dumps rejected as Bad_input" `Quick test_deserialize_rejects_corruption;
+        ] );
     ]

@@ -1,0 +1,222 @@
+(* End-to-end tests for the persistent relation store on the gantt
+   benchmark: save a solved Algorithm 5 result, load it back into a
+   fresh manager, and check
+
+   - exactness: every loaded relation is BDD-semantically equal to the
+     freshly solved one (same canonical dump bytes under the saved
+     variable numbering, same node count, same cardinality);
+   - serving: a warm batch of >= 100 mixed queries through
+     [Pta.Serve.handle] answers identically to evaluation over the
+     fresh result, with zero re-solves, at least 10x faster than the
+     cold solve;
+   - robustness: corrupt manifests and BDD dumps are rejected as
+     [Bad_input], and an overwritten store never mixes old and new. *)
+
+module Analyses = Pta.Analyses
+module Queries = Pta.Queries
+module Serve = Pta.Serve
+module Engine = Datalog.Engine
+
+let tmp_dir name =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) (Printf.sprintf "whalelam-%s-%d" name (Unix.getpid ())) in
+  ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)));
+  dir
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* One shared gantt solve (with the refinement query, so the store can
+   also answer [refine]) reused across tests; [solve_seconds] is the
+   measured wall-clock of the whole cold pipeline. *)
+let solved =
+  lazy
+    (let profile = Option.get (Synth.Profiles.find "gantt") in
+     let program = Synth.Generator.generate (Synth.Profiles.params ~scale:0.04 profile) in
+     let fg = Jir.Factgen.extract program in
+     let (cs : Analyses.result), seconds =
+       time (fun () ->
+           let otf = Analyses.run_basic ~algo:Analyses.Algo3 fg in
+           let ctx = Analyses.make_context fg ~ie:(Analyses.ie_tuples otf) in
+           Analyses.run_cs fg ctx ~query:Queries.refinement_projected_cs)
+     in
+     (cs, seconds))
+
+let saved_dir =
+  lazy
+    (let cs, _ = Lazy.force solved in
+     let dir = tmp_dir "store-test" in
+     let eng = cs.Analyses.engine in
+     Store.save ~dir ~key:"test-key" ~config:[ ("algo", "algo5"); ("bench", "gantt") ]
+       ~space:(Engine.space eng) ~relations:(Engine.exported_relations eng);
+     dir)
+
+let test_manifest () =
+  let dir = Lazy.force saved_dir in
+  Alcotest.(check bool) "exists" true (Store.exists ~dir);
+  Alcotest.(check (option string)) "read_key" (Some "test-key") (Store.read_key ~dir);
+  Alcotest.(check bool) "no store elsewhere" false (Store.exists ~dir:(dir ^ "-nope"));
+  Alcotest.(check (option string)) "no key elsewhere" None (Store.read_key ~dir:(dir ^ "-nope"));
+  let st = Store.load ~dir in
+  Alcotest.(check string) "key" "test-key" (Store.key st);
+  Alcotest.(check (option string)) "config" (Some "gantt") (Store.config_value st "bench")
+
+(* BDD-semantic equality across managers: re-dump each side under its
+   own manager and compare bytes.  Both managers carry the same
+   variable numbering (the store restores the saved blocks verbatim),
+   and the dump of a reduced ordered BDD under a fixed numbering is
+   canonical, so byte equality is semantic equality. *)
+let test_round_trip_exact () =
+  let cs, _ = Lazy.force solved in
+  let eng = cs.Analyses.engine in
+  let fresh_man = Space.man (Engine.space eng) in
+  let st = Store.load ~dir:(Lazy.force saved_dir) in
+  let loaded_man = Space.man (Store.space st) in
+  let fresh = Engine.exported_relations eng in
+  Alcotest.(check int) "same relation count" (List.length fresh) (List.length (Store.relations st));
+  List.iter
+    (fun fr ->
+      let name = Relation.name fr in
+      match Store.find st name with
+      | None -> Alcotest.fail ("missing from store: " ^ name)
+      | Some ld ->
+        Alcotest.(check (float 0.0)) (name ^ ": cardinality") (Relation.count fr) (Relation.count ld);
+        Alcotest.(check int) (name ^ ": node count")
+          (Bdd.node_count fresh_man (Relation.bdd fr))
+          (Bdd.node_count loaded_man (Relation.bdd ld));
+        Alcotest.(check bool) (name ^ ": canonical dump bytes") true
+          (Bdd.serialize fresh_man [ Relation.bdd fr ] = Bdd.serialize loaded_man [ Relation.bdd ld ]))
+    fresh
+
+(* >= 100 mixed queries served warm, answered identically to direct
+   evaluation over the fresh result, and (load + whole batch) at least
+   10x faster than the cold solve.  Serve never touches a Datalog
+   engine, so zero re-solves holds by construction. *)
+let test_warm_serve_batch () =
+  let cs, cold_seconds = Lazy.force solved in
+  let vpc = Analyses.relation cs "vPC" in
+  let fresh_pt = Relation.project vpc [ "variable"; "heap" ] in
+  let hdom = (Relation.find_attr fresh_pt "heap").Relation.block.Space.dom in
+  let vdom = (Relation.find_attr fresh_pt "variable").Relation.block.Space.dom in
+  let nv = Domain.size vdom in
+  let queries =
+    List.concat
+      [
+        List.init 50 (fun i -> Printf.sprintf "points-to %d" (i * 17 mod nv));
+        List.init 25 (fun i -> Printf.sprintf "alias %d %d" (i * 13 mod nv) ((i * 13 * 3) mod nv));
+        List.init 23 (fun i -> Printf.sprintf "leak %d" (i * 5 mod Domain.size hdom));
+        [ "refine"; "count vPC" ];
+      ]
+  in
+  Alcotest.(check bool) "batch has >= 100 queries" true (List.length queries >= 100);
+  let (srv, outcomes), warm_seconds =
+    time (fun () ->
+        let st = Store.load ~dir:(Lazy.force saved_dir) in
+        let srv = Serve.make st in
+        (srv, List.map (Serve.handle srv) queries))
+  in
+  ignore srv;
+  List.iter (fun (o : Serve.outcome) -> Alcotest.(check bool) ("served ok: " ^ o.Serve.command) true o.Serve.ok) outcomes;
+  (* Spot-check answers against direct evaluation over the fresh solve. *)
+  List.iter2
+    (fun q (o : Serve.outcome) ->
+      match String.split_on_char ' ' q with
+      | [ "points-to"; v ] ->
+        let expect =
+          List.map (Domain.element_name hdom) (Queries.points_to fresh_pt ~var:(int_of_string v))
+        in
+        Alcotest.(check (list string)) ("answer: " ^ q) expect o.Serve.lines
+      | [ "alias"; v1; v2 ] ->
+        let shared =
+          Queries.alias_heaps fresh_pt ~v1:(int_of_string v1) ~v2:(int_of_string v2)
+        in
+        let expect = (if shared = [] then "no" else "yes") :: List.map (Domain.element_name hdom) shared in
+        Alcotest.(check (list string)) ("answer: " ^ q) expect o.Serve.lines
+      | _ -> ())
+    queries outcomes;
+  (* The refinement ratios must match the engine-side computation. *)
+  let r = Analyses.refinement_ratios cs ~per_clone:false in
+  let refine_outcome = List.nth outcomes 98 in
+  Alcotest.(check string) "refine population"
+    (Printf.sprintf "population %.0f" r.Analyses.population)
+    (List.hd refine_outcome.Serve.lines);
+  Printf.printf "cold solve %.2fs, warm load+%d-query batch %.3fs (%.0fx)\n%!" cold_seconds
+    (List.length queries) warm_seconds
+    (cold_seconds /. warm_seconds);
+  Alcotest.(check bool) "warm batch at least 10x faster than cold solve" true
+    (warm_seconds *. 10.0 <= cold_seconds);
+  Relation.dispose fresh_pt
+
+let expect_bad_input ctx f =
+  match f () with
+  | _ -> Alcotest.fail (ctx ^ ": expected Bad_input")
+  | exception Solver_error.Error (Solver_error.Bad_input _) -> ()
+
+(* Corruption: a store with a damaged manifest or BDD dump must fail
+   loudly, and a manifest-less directory is simply "no store". *)
+let test_corruption () =
+  let src = Lazy.force saved_dir in
+  let copy name =
+    let dir = tmp_dir name in
+    ignore (Sys.command (Printf.sprintf "cp -r %s %s" (Filename.quote src) (Filename.quote dir)));
+    dir
+  in
+  (* Truncated manifest (missing end marker). *)
+  let dir = copy "store-badmanifest" in
+  let manifest = Filename.concat (Filename.concat dir "store") "manifest" in
+  let ic = open_in manifest in
+  let lines = In_channel.input_lines ic in
+  close_in ic;
+  let oc = open_out manifest in
+  List.iteri (fun i l -> if i < List.length lines - 1 then output_string oc (l ^ "\n")) lines;
+  close_out oc;
+  expect_bad_input "truncated manifest" (fun () -> Store.load ~dir);
+  (* Flipped byte in the middle of the BDD dump. *)
+  let dir = copy "store-badbdd" in
+  let bddfile = Filename.concat (Filename.concat dir "store") "relations.bdd" in
+  let data = In_channel.with_open_bin bddfile In_channel.input_all in
+  let b = Bytes.of_string data in
+  Bytes.set b (String.length data / 2) '\xff';
+  Out_channel.with_open_bin bddfile (fun oc -> Out_channel.output_bytes oc b);
+  (match Store.load ~dir with
+  | _ -> () (* a byte flip may still decode to some valid BDD... *)
+  | exception Solver_error.Error (Solver_error.Bad_input _) -> ());
+  (* Missing manifest = no store at all. *)
+  let dir = copy "store-nomanifest" in
+  Sys.remove (Filename.concat (Filename.concat dir "store") "manifest");
+  Alcotest.(check bool) "manifest-less store does not exist" false (Store.exists ~dir);
+  Alcotest.(check (option string)) "manifest-less store has no key" None (Store.read_key ~dir);
+  expect_bad_input "manifest-less load" (fun () -> Store.load ~dir)
+
+(* Overwrite: saving different relations under a new key at the same
+   dir fully replaces the old store. *)
+let test_overwrite () =
+  let dir = tmp_dir "store-overwrite" in
+  let sp = Space.create () in
+  let d = Domain.make ~name:"D" ~size:8 () in
+  let b = Space.alloc sp d in
+  let r1 = Relation.of_tuples sp ~name:"one" [ { Relation.attr_name = "x"; block = b } ] [ [| 3 |]; [| 5 |] ] in
+  Store.save ~dir ~key:"k1" ~config:[] ~space:sp ~relations:[ r1 ];
+  Alcotest.(check (option string)) "first key" (Some "k1") (Store.read_key ~dir);
+  let sp2 = Space.create () in
+  let d2 = Domain.make ~name:"D" ~size:8 () in
+  let b2 = Space.alloc sp2 d2 in
+  let r2 = Relation.of_tuples sp2 ~name:"two" [ { Relation.attr_name = "x"; block = b2 } ] [ [| 1 |] ] in
+  Store.save ~dir ~key:"k2" ~config:[] ~space:sp2 ~relations:[ r2 ];
+  Alcotest.(check (option string)) "second key" (Some "k2") (Store.read_key ~dir);
+  let st = Store.load ~dir in
+  Alcotest.(check bool) "old relation gone" true (Store.find st "one" = None);
+  match Store.find st "two" with
+  | None -> Alcotest.fail "new relation missing"
+  | Some r -> Alcotest.(check (float 0.0)) "new relation contents" 1.0 (Relation.count r)
+
+let () =
+  Alcotest.run "store"
+    [
+      ("manifest", [ Alcotest.test_case "save/exists/read_key/config" `Quick test_manifest ]);
+      ("exactness", [ Alcotest.test_case "loaded gantt relations BDD-equal to fresh solve" `Quick test_round_trip_exact ]);
+      ("serving", [ Alcotest.test_case "100+ warm queries match fresh answers, 10x faster" `Quick test_warm_serve_batch ]);
+      ("robustness", [ Alcotest.test_case "corrupt stores rejected" `Quick test_corruption ]);
+      ("overwrite", [ Alcotest.test_case "re-save replaces the store atomically" `Quick test_overwrite ]);
+    ]
