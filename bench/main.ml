@@ -23,6 +23,7 @@ module Context = Pta.Context
 module Callgraph = Pta.Callgraph
 module Queries = Pta.Queries
 module Engine = Datalog.Engine
+module Ast = Datalog.Ast
 
 let scale = ref 0.04
 let table = ref "all"
@@ -67,6 +68,7 @@ type json_row = {
   r_rule_apps : int;
   r_iters : int;
   r_gcs : int;
+  r_rules : Engine.rule_stat list;
 }
 
 let json_rows : json_row list ref = ref []
@@ -83,6 +85,7 @@ let record ~table:r_table ~bench:r_bench ~algo:r_algo (s : Engine.stats) =
       r_rule_apps = s.Engine.rule_applications;
       r_iters = s.Engine.iterations;
       r_gcs = s.Engine.gcs;
+      r_rules = s.Engine.rule_stats;
     }
     :: !json_rows
 
@@ -99,22 +102,42 @@ let json_escape s =
     s;
   Buffer.contents buf
 
+(* Per-rule attribution of one engine run: "file:line" (or the head
+   predicate when the rule has no position), seconds, applications, and
+   BDD op-cache lookups. *)
+let json_rules (rules : Engine.rule_stat list) =
+  String.concat ", "
+    (List.map
+       (fun (r : Engine.rule_stat) ->
+         let where =
+           match r.Engine.rs_rule.Ast.rule_pos with
+           | Some p -> Format.asprintf "%a" Ast.pp_pos p
+           | None -> r.Engine.rs_rule.Ast.head.Ast.pred
+         in
+         Printf.sprintf
+           "{ \"rule\": \"%s\", \"head\": \"%s\", \"seconds\": %.6f, \"applications\": %d, \
+            \"bdd_cache_lookups\": %d }"
+           (json_escape where)
+           (json_escape r.Engine.rs_rule.Ast.head.Ast.pred)
+           r.Engine.rs_seconds r.Engine.rs_applications r.Engine.rs_cache_lookups)
+       rules)
+
 let write_json path =
   let oc = open_out path in
-  Printf.fprintf oc "{\n  \"schema\": \"whalelam-bench-v2\",\n";
+  Printf.fprintf oc "{\n  \"schema\": \"whalelam-bench-v3\",\n";
   Printf.fprintf oc
-    "  \"schema_note\": \"v2 adds the persist table: store save/load and cold vs warm 100-query batches \
-     (algos cold-solve, cold-query-batch, store-save, store-load, warm-query-batch); rows measured outside \
-     the engine carry zero solve counters\",\n";
+    "  \"schema_note\": \"v3 adds per-rule attribution: each engine-backed row carries a rules array \
+     (rule = file:line of the Datalog rule, head predicate, seconds, applications, bdd_cache_lookups); \
+     rows measured outside the engine carry zero solve counters and an empty rules array\",\n";
   Printf.fprintf oc "  \"scale\": %g,\n  \"rows\": [" !scale;
   List.iteri
     (fun i r ->
       Printf.fprintf oc "%s\n    { \"table\": \"%s\", \"benchmark\": \"%s\", \"algo\": \"%s\", \"seconds\": %.6f, \
                          \"peak_live_nodes\": %d, \"cache_hit_rate\": %.4f, \"rule_applications\": %d, \
-                         \"iterations\": %d, \"gcs\": %d }"
+                         \"iterations\": %d, \"gcs\": %d, \"rules\": [%s] }"
         (if i = 0 then "" else ",")
         (json_escape r.r_table) (json_escape r.r_bench) (json_escape r.r_algo) r.r_seconds r.r_peak r.r_hit_rate
-        r.r_rule_apps r.r_iters r.r_gcs)
+        r.r_rule_apps r.r_iters r.r_gcs (json_rules r.r_rules))
     (List.rev !json_rows);
   Printf.fprintf oc "\n  ]\n}\n";
   close_out oc;
@@ -390,6 +413,7 @@ let timed_stats seconds =
     solve_seconds = seconds;
     gcs = 0;
     op_cache = [];
+    rule_stats = [];
   }
 
 (* 100 mixed queries (50 points-to, 25 alias, 25 reverse points-to)

@@ -6,6 +6,8 @@
      query         run a §5 query on top of the context-sensitive analysis
      order-search  empirical BDD domain-order search (§2.4.2)
      datalog       standalone bddbddb: solve a Datalog file over .tuples
+     explain       print optimized per-rule query plans (and, after
+                   --solve, per-rule time/BDD-op attribution)
      gen           generate a synthetic benchmark program *)
 
 module Ir = Jir.Ir
@@ -664,7 +666,7 @@ let datalog_cmd =
         ~finally:(fun () -> close_in_noerr ic)
         (fun () -> really_input_string ic (in_channel_length ic))
     in
-    match Datalog.Parser.parse src with
+    match Datalog.Parser.parse ~file:path src with
     | exception Datalog.Parser.Parse_error e ->
       prerr_endline (Printf.sprintf "%s:%d: %s" path e.Datalog.Parser.line e.Datalog.Parser.message);
       exit 1
@@ -700,6 +702,82 @@ let datalog_cmd =
   Cmd.v
     (Cmd.info "datalog" ~doc:"Standalone bddbddb: solve a Datalog program over .tuples files.")
     Term.(const run $ dl $ dir $ stats_flag $ budget_term)
+
+(* --- explain --- *)
+
+let explain_cmd =
+  let run path algo solve budget facts_dir =
+    let options = options_of_budget budget in
+    let finish eng =
+      if solve then ignore (Datalog.Engine.run eng);
+      Format.printf "%a@?" Datalog.Engine.explain eng
+    in
+    if Filename.check_suffix path ".dl" then begin
+      let src = read_file_bytes path in
+      match Datalog.Parser.parse ~file:path src with
+      | exception Datalog.Parser.Parse_error e ->
+        prerr_endline (Printf.sprintf "%s:%d: %s" path e.Datalog.Parser.line e.Datalog.Parser.message);
+        exit 1
+      | program ->
+        let eng = Datalog.Engine.create ~options program in
+        if solve then
+          List.iter
+            (fun (name, tuples) -> Datalog.Engine.set_tuples eng name (List.map Array.of_list tuples))
+            (Datalog.Tuples_io.load_inputs ~dir:facts_dir program);
+        finish eng
+    end
+    else begin
+      let p = or_die (read_program path) in
+      let fg = Factgen.extract p in
+      let eng =
+        match algo with
+        | Cha_nofilter -> fst (Analyses.prepare_basic ~options ~algo:Analyses.Algo1 fg)
+        | Cha -> fst (Analyses.prepare_basic ~options ~algo:Analyses.Algo2 fg)
+        | Otf -> fst (Analyses.prepare_basic ~options ~algo:Analyses.Algo3 fg)
+        | Cs ->
+          let ci = Analyses.run_basic ~options ~algo:Analyses.Algo3 fg in
+          let ctx = Analyses.make_context fg ~ie:(Analyses.ie_tuples ci) in
+          fst (Analyses.prepare_cs ~options fg ctx)
+        | Cs_otf | One_cfa | Cs_types | Escape | Handcoded | Steens ->
+          prerr_endline "ptacli: explain supports --algo cha-nofilter, cha, otf or cs";
+          exit 1
+      in
+      finish eng
+    end
+  in
+  let target =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"PROGRAM" ~doc:"A $(b,.jir) program (pick the analysis with $(b,--algo)) or a $(b,.dl) Datalog file.")
+  in
+  let algo =
+    Arg.(
+      value
+      & opt algo_conv Cha
+      & info [ "algo"; "a" ] ~docv:"ALGO"
+          ~doc:"Analysis whose plans to explain (for .jir input): cha-nofilter, cha, otf or cs.")
+  in
+  let solve =
+    Arg.(
+      value
+      & flag
+      & info [ "solve" ]
+          ~doc:"Solve first, so the report includes per-rule time and BDD-op attribution.")
+  in
+  let facts_dir =
+    Arg.(
+      value
+      & opt dir "."
+      & info [ "facts" ] ~docv:"DIR" ~doc:"Directory of <relation>.tuples files (for .dl input with $(b,--solve)).")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Print the optimized query plan of every rule: physical domain assignments, join/subtract/filter \
+          steps with early quantification, rename counts, the optimization pass pipeline, and (with \
+          $(b,--solve)) per-rule time and BDD-op attribution.")
+    Term.(const run $ target $ algo $ solve $ budget_term $ facts_dir)
 
 (* --- gen --- *)
 
@@ -743,7 +821,8 @@ let () =
   let doc = "cloning-based context-sensitive pointer alias analysis using BDDs" in
   let info = Cmd.info "ptacli" ~version:"1.0" ~doc in
   let group =
-    Cmd.group info [ stats_cmd; analyze_cmd; query_cmd; serve_cmd; order_search_cmd; datalog_cmd; gen_cmd ]
+    Cmd.group info
+      [ stats_cmd; analyze_cmd; query_cmd; serve_cmd; order_search_cmd; datalog_cmd; explain_cmd; gen_cmd ]
   in
   let die code msg =
     prerr_endline ("ptacli: " ^ msg);

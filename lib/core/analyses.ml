@@ -6,22 +6,27 @@ module Engine = Datalog.Engine
 type result = { engine : Engine.t; stats : Engine.stats; program_text : string }
 type basic = Algo1 | Algo2 | Algo3
 
-let engine_of_program ?options fg text =
+let engine_of_program ?options ?file fg text =
   let element_names name = Factgen.element_names fg name in
-  let eng = Engine.parse_and_create ?options ~element_names text in
+  let eng = Engine.parse_and_create ?options ~element_names ?file text in
   List.iter
     (fun (name, tuples) -> Engine.set_tuples eng name (List.map Array.of_list tuples))
     (Programs.input_relations fg);
   eng
 
+let basic_text ?query ~algo fg =
+  match algo with
+  | Algo1 -> (Programs.algo1 ?query fg, "<algo1>")
+  | Algo2 -> (Programs.algo2 ?query fg, "<algo2>")
+  | Algo3 -> (Programs.algo3 ?query fg, "<algo3>")
+
+let prepare_basic ?options ?query ~algo fg =
+  let text, file = basic_text ?query ~algo fg in
+  let engine = engine_of_program ?options ~file fg text in
+  (engine, text)
+
 let run_basic ?options ?query ~algo fg =
-  let text =
-    match algo with
-    | Algo1 -> Programs.algo1 ?query fg
-    | Algo2 -> Programs.algo2 ?query fg
-    | Algo3 -> Programs.algo3 ?query fg
-  in
-  let engine = engine_of_program ?options fg text in
+  let engine, text = prepare_basic ?options ?query ~algo fg in
   let stats = Engine.run engine in
   { engine; stats; program_text = text }
 
@@ -37,14 +42,8 @@ let wrap_limit f =
     Error (Solver_error.Budget_exhausted { Solver_error.reason; partial_iterations = 0; live_nodes = 0 })
 
 let solve_basic ?options ?query ~algo fg =
-  let text =
-    match algo with
-    | Algo1 -> Programs.algo1 ?query fg
-    | Algo2 -> Programs.algo2 ?query fg
-    | Algo3 -> Programs.algo3 ?query fg
-  in
   wrap_limit (fun () ->
-      let engine = engine_of_program ?options fg text in
+      let engine, text = prepare_basic ?options ?query ~algo fg in
       match Engine.solve engine with
       | Ok stats -> Ok { engine; stats; program_text = text }
       | Error e -> Error e)
@@ -77,25 +76,27 @@ let install_context_inputs eng ctx =
   let mc = Engine.relation eng "mC" in
   Relation.set_bdd mc (Context.mc_bdd ctx sp ~context:(block_of mc "context") ~target:(block_of mc "method"))
 
-let run_cs ?options ?query fg ctx =
+let prepare_cs ?options ?query fg ctx =
   let text = Programs.algo5 ?query fg ~csize:(Context.csize ctx) in
-  let engine = engine_of_program ?options fg text in
+  let engine = engine_of_program ?options ~file:"<algo5>" fg text in
   install_context_inputs engine ctx;
+  (engine, text)
+
+let run_cs ?options ?query fg ctx =
+  let engine, text = prepare_cs ?options ?query fg ctx in
   let stats = Engine.run engine in
   { engine; stats; program_text = text }
 
 let solve_cs ?options ?query fg ctx =
-  let text = Programs.algo5 ?query fg ~csize:(Context.csize ctx) in
   wrap_limit (fun () ->
-      let engine = engine_of_program ?options fg text in
-      install_context_inputs engine ctx;
+      let engine, text = prepare_cs ?options ?query fg ctx in
       match Engine.solve engine with
       | Ok stats -> Ok { engine; stats; program_text = text }
       | Error e -> Error e)
 
 let run_cs_with ?options ?query fg ~csize ~iec ~mc =
   let text = Programs.algo5 ?query fg ~csize in
-  let engine = engine_of_program ?options fg text in
+  let engine = engine_of_program ?options ~file:"<algo5>" fg text in
   Engine.set_tuples engine "IEC" (List.map (fun (a, b, c, d) -> [| a; b; c; d |]) iec);
   Engine.set_tuples engine "mC" (List.map (fun (a, b) -> [| a; b |]) mc);
   let stats = Engine.run engine in
@@ -111,14 +112,14 @@ let run_cs_otf ?options ?query fg =
   let p = fg.Factgen.program in
   let ctx = Context.number p ~edges:(Callgraph.cha_edges p) ~roots:(Callgraph.default_roots p) in
   let text = Programs.algo5_otf ?query fg ~csize:(Context.csize ctx) in
-  let engine = engine_of_program ?options fg text in
+  let engine = engine_of_program ?options ~file:"<algo5otf>" fg text in
   install_context_inputs engine ctx;
   let stats = Engine.run engine in
   ({ engine; stats; program_text = text }, ctx)
 
 let run_cs_types ?options ?query fg ctx =
   let text = Programs.algo6 ?query fg ~csize:(Context.csize ctx) in
-  let engine = engine_of_program ?options fg text in
+  let engine = engine_of_program ?options ~file:"<algo6>" fg text in
   install_context_inputs engine ctx;
   let stats = Engine.run engine in
   { engine; stats; program_text = text }
@@ -217,7 +218,7 @@ let run_thread_escape ?options ?query fg =
     vp0t := [ c; global_v; 0; global_h ] :: !vp0t
   done;
   let text = Programs.algo7 ?query fg ~csize:(max 2 n_contexts) in
-  let engine = engine_of_program ?options fg text in
+  let engine = engine_of_program ?options ~file:"<algo7>" fg text in
   Engine.set_tuples engine "HT" (List.map Array.of_list !ht);
   Engine.set_tuples engine "vP0T" (List.map Array.of_list !vp0t);
   let stats = Engine.run engine in

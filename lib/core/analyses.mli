@@ -12,6 +12,16 @@ type basic = Algo1  (** context-insensitive, CHA call graph, no filter *)
            | Algo2  (** + type filtering *)
            | Algo3  (** + on-the-fly call graph discovery *)
 
+val prepare_basic :
+  ?options:Datalog.Engine.options ->
+  ?query:Programs.query_suffix ->
+  algo:basic ->
+  Jir.Factgen.t ->
+  Datalog.Engine.t * string
+(** Build the engine (program instantiated, inputs loaded, plans
+    compiled) without running it — for [ptacli explain] and custom
+    drivers.  Returns the engine and the program text. *)
+
 val run_basic :
   ?options:Datalog.Engine.options -> ?query:Programs.query_suffix -> algo:basic -> Jir.Factgen.t -> result
 
@@ -31,6 +41,15 @@ val ie_tuples : result -> (int * int) list
 val make_context : ?max_bits:int -> Jir.Factgen.t -> ie:(int * int) list -> Context.t
 (** Algorithm 4 over a discovered call graph (roots:
     {!Callgraph.default_roots}). *)
+
+val prepare_cs :
+  ?options:Datalog.Engine.options ->
+  ?query:Programs.query_suffix ->
+  Jir.Factgen.t ->
+  Context.t ->
+  Datalog.Engine.t * string
+(** {!prepare_basic}'s analog for Algorithm 5: engine built, inputs and
+    computed [IEC]/[mC] installed, not yet run. *)
 
 val run_cs :
   ?options:Datalog.Engine.options -> ?query:Programs.query_suffix -> Jir.Factgen.t -> Context.t -> result

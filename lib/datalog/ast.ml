@@ -5,7 +5,9 @@ type atom = { pred : string; args : term list }
 type literal = Pos of atom | Neg of atom | Cmp of term * cmp_op * term
 and cmp_op = Eq | Neq
 
-type rule = { head : atom; body : literal list }
+type pos = { file : string; line : int }
+
+type rule = { head : atom; body : literal list; rule_pos : pos option }
 type domain_decl = { dom_name : string; dom_size : int; dom_map : string option }
 type rel_kind = Input | Output | Internal
 type rel_decl = { rel_name : string; rel_kind : rel_kind; rel_attrs : (string * string) list }
@@ -34,6 +36,15 @@ let vars_of_rule r =
   List.fold_left
     (fun acc l -> List.fold_left (fun acc v -> if List.mem v acc then acc else acc @ [ v ]) acc (vars_of_literal l))
     (vars_of_atom r.head) r.body
+
+let pp_pos fmt p = Format.fprintf fmt "%s:%d" p.file p.line
+
+(* "file:line: " when the rule carries a position, nothing otherwise —
+   the prefix every rule-level diagnostic uses. *)
+let pp_pos_prefix fmt r =
+  match r.rule_pos with
+  | Some p -> Format.fprintf fmt "%a: " pp_pos p
+  | None -> ()
 
 let pp_term fmt = function
   | Var v -> Format.pp_print_string fmt v

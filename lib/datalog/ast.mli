@@ -19,7 +19,13 @@ type literal =
 
 and cmp_op = Eq | Neq
 
-type rule = { head : atom; body : literal list }
+type pos = { file : string; line : int }
+(** Source position of a rule: the file (or a synthetic name like
+    ["<algo5>"] for generated program text) and 1-based line of the
+    rule head.  Threaded from the parser into query plans so plan-time
+    failures and [explain] can say which rule they are about. *)
+
+type rule = { head : atom; body : literal list; rule_pos : pos option }
 
 type domain_decl = {
   dom_name : string;
@@ -50,7 +56,14 @@ val vars_of_atom : atom -> string list
 val vars_of_literal : literal -> string list
 val vars_of_rule : rule -> string list
 
+val pp_pos : Format.formatter -> pos -> unit
+(** ["file:line"]. *)
+
+val pp_pos_prefix : Format.formatter -> rule -> unit
+(** ["file:line: "] when the rule has a position, [""] otherwise. *)
+
 val pp_term : Format.formatter -> term -> unit
+val pp_cmp_op : Format.formatter -> cmp_op -> unit
 val pp_atom : Format.formatter -> atom -> unit
 val pp_literal : Format.formatter -> literal -> unit
 val pp_rule : Format.formatter -> rule -> unit

@@ -3,6 +3,7 @@ type options = {
   hoist : bool;
   greedy_blocks : bool;
   reorder_joins : bool;
+  pushdown : bool;
   gc_interval : int;
   node_hint : int;
   cache_bits : int;
@@ -15,11 +16,28 @@ let default_options =
     hoist = true;
     greedy_blocks = true;
     reorder_joins = false;
+    pushdown = true;
     gc_interval = 256;
     node_hint = 1 lsl 16;
     cache_bits = 18;
     budget = None;
   }
+
+let toggles_of_options o =
+  {
+    Ralg.naming = o.greedy_blocks;
+    reorder = o.reorder_joins;
+    pushdown = o.pushdown;
+    semi_naive = o.semi_naive;
+    hoist = o.hoist;
+  }
+
+type rule_stat = {
+  rs_rule : Ast.rule;
+  rs_applications : int;
+  rs_seconds : float;
+  rs_cache_lookups : int;
+}
 
 type stats = {
   rule_applications : int;
@@ -29,6 +47,7 @@ type stats = {
   solve_seconds : float;
   gcs : int;
   op_cache : (string * int * int) list;
+  rule_stats : rule_stat list;
 }
 
 let cache_hit_rate s =
@@ -39,17 +58,18 @@ exception Engine_error of string
 
 let fail fmt = Format.kasprintf (fun s -> raise (Engine_error s)) fmt
 
-(* A body atom compiled to its BDD pipeline: select constants, equate
+(* A plan source compiled to its BDD pipeline: select constants, equate
    duplicate-variable positions, quantify dead storage blocks, rename
-   surviving storage blocks to the rule variables' blocks.  The result
-   is cached while the source relation's version is unchanged (the
-   paper's loop-invariant detection). *)
+   surviving storage blocks to the rule variables' blocks.  When the
+   source is marked hoistable, the result is cached while the relation's
+   version is unchanged (the paper's loop-invariant detection). *)
 type prepared = {
   p_rel : Relation.t;
   p_selects : Bdd.t; (* conjunction of constant minterms, true if none *)
   p_dup_eqs : Bdd.t list;
   p_away : Bdd.t; (* cube *)
   p_map : Bdd.varmap option;
+  p_hoist : bool;
   p_cache_full : (int * Bdd.t) ref; (* version marker -1 = invalid *)
   p_cache_delta : (int * int * Bdd.t) ref;
       (* (delta BDD handle, gc stamp, result); handle -1 = invalid.  The
@@ -63,22 +83,28 @@ type step = { kind : step_kind; project_after : Bdd.t (* cube *) }
 
 type head_spec = { h_rel : Relation.t; h_map : Bdd.varmap option; h_eqs : Bdd.t list; h_consts : Bdd.t }
 
+(* A compiled plan: the symbolic {!Ralg.plan} plus its BDD realisation
+   and cumulative per-rule evaluation counters. *)
 type plan = {
-  p_rule : Ast.rule;
+  p_ir : Ralg.plan;
   steps : step array;
   head : head_spec;
-  delta_positions : int list; (* SJoin indices whose relation is in the stratum *)
+  delta_positions : int list; (* = p_ir.deltas: SJoin indices evaluated semi-naively *)
+  mutable ev_applications : int;
+  mutable ev_seconds : float;
+  mutable ev_lookups : int;
 }
 
 type t = {
   res : Resolve.t;
   sp : Space.t;
   opts : options;
+  ir_plans : (Ralg.plan list * Ralg.plan list) list; (* (once, loop) per stratum *)
   rels : (string, Relation.t) Hashtbl.t;
   deltas : (string, Bdd.t ref) Hashtbl.t;
   pendings : (string, Bdd.t ref) Hashtbl.t;
   strata : Stratify.stratum list;
-  mutable plans : (plan list * plan list) list; (* (once, loop) per stratum *)
+  mutable plans : (plan list * plan list) list; (* compiled ir_plans *)
   mutable plan_consts : Bdd.t list; (* rooted plan-time constants *)
   mutable rule_apps : int;
   mutable stats : stats option;
@@ -87,6 +113,7 @@ type t = {
 }
 
 let space t = t.sp
+let ir_plans t = t.ir_plans
 
 let domain t name =
   match List.assoc_opt name t.res.Resolve.domains with
@@ -119,305 +146,91 @@ let set_tuples t name tuples =
 
 let add_tuple t name tu = Relation.add_tuple (relation t name) tu
 
-(* --- Planning --- *)
+(* --- Compilation: Ralg plans to BDD pipelines --- *)
 
-(* Storage layout: the k-th attribute of domain D within a relation is
-   stored in physical instance k of D. *)
-let storage_instances (decl : Ast.rel_decl) (doms : Domain.t array) =
-  let counts = Hashtbl.create 4 in
-  Array.mapi
-    (fun i _ ->
-      let d = doms.(i) in
-      let seen = Option.value (Hashtbl.find_opt counts (Domain.name d)) ~default:0 in
-      Hashtbl.replace counts (Domain.name d) (seen + 1);
-      (d, seen))
-    (Array.of_list decl.Ast.rel_attrs)
+let var_block t (ir : Ralg.plan) v =
+  let dname = List.assoc v ir.Ralg.var_doms in
+  let d = List.assoc dname t.res.Resolve.domains in
+  Space.instance t.sp d (List.assoc v ir.Ralg.binding)
 
-(* Abstract assignment of rule variables to physical instances of their
-   domain.  Returns var -> instance. *)
-let assign_instances (res : Resolve.t) ~greedy (rule : Ast.rule) =
-  let var_doms = Resolve.var_domains res rule in
-  let atoms = rule.Ast.head :: List.filter_map (function Ast.Pos a | Ast.Neg a -> Some a | Ast.Cmp _ -> None) rule.Ast.body in
-  (* Preference votes: var |-> instances of the storage positions it
-     occupies. *)
-  let prefs : (string, int list ref) Hashtbl.t = Hashtbl.create 8 in
-  let occurrences : (string, int ref) Hashtbl.t = Hashtbl.create 8 in
-  let note_var v inst =
-    (match Hashtbl.find_opt prefs v with
-    | Some l -> l := inst :: !l
-    | None -> Hashtbl.add prefs v (ref [ inst ]));
-    match Hashtbl.find_opt occurrences v with
-    | Some c -> incr c
-    | None -> Hashtbl.add occurrences v (ref 1)
-  in
-  List.iter
-    (fun (a : Ast.atom) ->
-      let p = Resolve.pred res a.Ast.pred in
-      let storage = storage_instances p.Resolve.decl p.Resolve.doms in
-      List.iteri
-        (fun i arg ->
-          match arg with
-          | Ast.Var v ->
-            let _, inst = storage.(i) in
-            note_var v inst
-          | Ast.Const _ | Ast.Wildcard -> ())
-        a.Ast.args)
-    atoms;
-  (* Variables only mentioned in comparisons already occur in atoms
-     (safety), so [prefs] covers every variable. *)
-  let assignment : (string, int) Hashtbl.t = Hashtbl.create 8 in
-  let used : (string, (string, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 4 in
-  let used_of dname =
-    match Hashtbl.find_opt used dname with
-    | Some h -> h
-    | None ->
-      let h = Hashtbl.create 4 in
-      Hashtbl.add used dname h;
-      h
-  in
-  let take v inst =
-    let dname = Domain.name (Hashtbl.find var_doms v) in
-    Hashtbl.replace (used_of dname) (string_of_int inst) ();
-    Hashtbl.replace assignment v inst
-  in
-  let is_free v inst =
-    let dname = Domain.name (Hashtbl.find var_doms v) in
-    not (Hashtbl.mem (used_of dname) (string_of_int inst))
-  in
-  let all_vars = Ast.vars_of_rule rule in
-  let ordered =
-    if greedy then
-      List.stable_sort
-        (fun a b ->
-          let ca = !(Hashtbl.find occurrences a) and cb = !(Hashtbl.find occurrences b) in
-          if ca <> cb then compare cb ca else compare a b)
-        all_vars
-    else all_vars
-  in
-  List.iter
-    (fun v ->
-      let choice =
-        if greedy then begin
-          let votes = !(Hashtbl.find prefs v) in
-          (* Rank candidate instances by vote count (desc), then index. *)
-          let tally = Hashtbl.create 4 in
-          List.iter
-            (fun i ->
-              let c = Option.value (Hashtbl.find_opt tally i) ~default:0 in
-              Hashtbl.replace tally i (c + 1))
-            votes;
-          let candidates =
-            List.sort
-              (fun (i1, c1) (i2, c2) -> if c1 <> c2 then compare c2 c1 else compare i1 i2)
-              (Hashtbl.fold (fun i c acc -> (i, c) :: acc) tally [])
-          in
-          List.find_opt (fun (i, _) -> is_free v i) candidates |> Option.map fst
-        end
-        else None
-      in
-      match choice with
-      | Some i -> take v i
-      | None ->
-        let rec first_free i = if is_free v i then i else first_free (i + 1) in
-        take v (first_free 0))
-    ordered;
-  (assignment, var_doms)
-
-(* Instances needed per domain across the whole program. *)
-let instance_demand (res : Resolve.t) ~greedy =
-  let demand : (string, int) Hashtbl.t = Hashtbl.create 8 in
-  let note dname n =
-    let cur = Option.value (Hashtbl.find_opt demand dname) ~default:1 in
-    if n > cur then Hashtbl.replace demand dname n
-  in
-  List.iter (fun (dname, _) -> note dname 1) res.Resolve.domains;
-  Hashtbl.iter
-    (fun _ (p : Resolve.pred) ->
-      let counts = Hashtbl.create 4 in
-      Array.iter
-        (fun d ->
-          let c = Option.value (Hashtbl.find_opt counts (Domain.name d)) ~default:0 in
-          Hashtbl.replace counts (Domain.name d) (c + 1);
-          note (Domain.name d) (c + 1))
-        p.Resolve.doms)
-    res.Resolve.preds;
-  List.iter
-    (fun rule ->
-      let assignment, var_doms = assign_instances res ~greedy rule in
-      Hashtbl.iter (fun v inst -> note (Domain.name (Hashtbl.find var_doms v)) (inst + 1)) assignment)
-    res.Resolve.program.Ast.rules;
-  demand
-
-(* --- Concrete plan construction --- *)
-
-let prepared_of_atom t ~var_block (a : Ast.atom) =
-  let rel = relation t a.Ast.pred in
-  let p = Resolve.pred t.res a.Ast.pred in
+let compile_source t (ir : Ralg.plan) (s : Ralg.source) =
+  let rel = relation t s.Ralg.src_rel in
   let attrs = Array.of_list (Relation.attrs rel) in
   let man_consts = ref Bdd.bdd_true in
   let dup_eqs = ref [] in
   let away = ref [] in
   let map_pairs = ref [] in
-  let first_pos : (string, int) Hashtbl.t = Hashtbl.create 4 in
-  List.iteri
-    (fun i arg ->
+  Array.iteri
+    (fun i col ->
       let blk = attrs.(i).Relation.block in
-      match arg with
-      | Ast.Const c ->
-        let v = Resolve.const_index p.Resolve.doms.(i) c in
+      match col with
+      | Ralg.Cconst (v, _) ->
         man_consts := Bdd.mk_and (Space.man t.sp) !man_consts (Space.const t.sp blk v);
         away := blk :: !away
-      | Ast.Wildcard -> away := blk :: !away
-      | Ast.Var v -> (
-        match Hashtbl.find_opt first_pos v with
-        | None ->
-          Hashtbl.add first_pos v i;
-          let target = var_block v in
-          if target != blk then map_pairs := (blk, target) :: !map_pairs
-        | Some fp ->
-          dup_eqs := Space.equal_blocks t.sp attrs.(fp).Relation.block blk :: !dup_eqs;
-          away := blk :: !away))
-    a.Ast.args;
+      | Ralg.Cwild -> away := blk :: !away
+      | Ralg.Cvar v ->
+        let target = var_block t ir v in
+        if target != blk then map_pairs := (blk, target) :: !map_pairs
+      | Ralg.Cdup fp ->
+        dup_eqs := Space.equal_blocks t.sp attrs.(fp).Relation.block blk :: !dup_eqs;
+        away := blk :: !away)
+    s.Ralg.src_cols;
   {
     p_rel = rel;
     p_selects = !man_consts;
     p_dup_eqs = !dup_eqs;
     p_away = Space.cube_of_blocks t.sp !away;
     p_map = (if !map_pairs = [] then None else Some (Space.renaming t.sp !map_pairs));
+    p_hoist = s.Ralg.src_hoist;
     p_cache_full = ref (-1, Bdd.bdd_false);
     p_cache_delta = ref (-1, -1, Bdd.bdd_false);
   }
 
-let cmp_bdd t ~var_block ~var_doms (l : Ast.term) op (r : Ast.term) =
+let compile_constr t (ir : Ralg.plan) (c : Ralg.constr) =
   let man = Space.man t.sp in
-  let base =
-    match (l, r) with
-    | Ast.Var a, Ast.Var b -> Space.equal_blocks t.sp (var_block a) (var_block b)
-    | Ast.Var a, Ast.Const c | Ast.Const c, Ast.Var a ->
-      let d = Hashtbl.find var_doms a in
-      Space.const t.sp (var_block a) (Resolve.const_index d c)
-    | (Ast.Const _ | Ast.Wildcard), (Ast.Const _ | Ast.Wildcard) | Ast.Var _, Ast.Wildcard | Ast.Wildcard, Ast.Var _ ->
-      fail "unsupported comparison operands"
-  in
-  match op with
-  | Ast.Eq -> base
-  | Ast.Neq -> Bdd.mk_not man base
+  match c with
+  | Ralg.Cmp_vv { left; op; right } -> (
+    let base = Space.equal_blocks t.sp (var_block t ir left) (var_block t ir right) in
+    match op with
+    | Ast.Eq -> base
+    | Ast.Neq -> Bdd.mk_not man base)
+  | Ralg.Cmp_vc { var; op; value; _ } -> (
+    let base = Space.const t.sp (var_block t ir var) value in
+    match op with
+    | Ast.Eq -> base
+    | Ast.Neq -> Bdd.mk_not man base)
 
-let build_plan t ~stratum_preds (rule : Ast.rule) =
-  let assignment, var_doms = assign_instances t.res ~greedy:t.opts.greedy_blocks rule in
-  let var_block v =
-    let d = Hashtbl.find var_doms v in
-    Space.instance t.sp d (Hashtbl.find assignment v)
-  in
-  (* Optional subgoal reordering (bddbddb reorders joins): greedily
-     start from the most-constrained atom (fewest distinct variables,
-     most constants), then repeatedly take the atom sharing the most
-     already-bound variables. *)
-  let body =
-    if not t.opts.reorder_joins then rule.Ast.body
-    else begin
-      let positives, others =
-        List.partition (function Ast.Pos _ -> true | Ast.Neg _ | Ast.Cmp _ -> false) rule.Ast.body
-      in
-      let atom_of = function Ast.Pos a -> a | Ast.Neg _ | Ast.Cmp _ -> assert false in
-      let constants a = List.length (List.filter (function Ast.Const _ -> true | _ -> false) (atom_of a).Ast.args) in
-      let vars a = Ast.vars_of_atom (atom_of a) in
-      let bound_vars : (string, unit) Hashtbl.t = Hashtbl.create 8 in
-      let score a =
-        let vs = vars a in
-        let shared = List.length (List.filter (Hashtbl.mem bound_vars) vs) in
-        (* More shared bound vars first; then fewer free vars; then more
-           constants. *)
-        (-shared, List.length vs - shared, -constants a)
-      in
-      let rec pick acc remaining =
-        match remaining with
-        | [] -> List.rev acc
-        | _ ->
-          let best = List.fold_left (fun b a -> if score a < score b then a else b) (List.hd remaining) remaining in
-          List.iter (fun v -> Hashtbl.replace bound_vars v ()) (vars best);
-          pick (best :: acc) (List.filter (fun x -> x != best) remaining)
-      in
-      pick [] positives @ others
-    end
-  in
-  (* Execution sequence: positive atoms in order, each followed by any
-     deferred negations/comparisons that became fully bound. *)
-  let bound : (string, unit) Hashtbl.t = Hashtbl.create 8 in
-  let is_bound_lit lit = List.for_all (fun v -> Hashtbl.mem bound v) (Ast.vars_of_literal lit) in
-  let pending = ref [] in
-  let seq = ref [] in
-  let flush () =
-    let rec go () =
-      let ready, still = List.partition is_bound_lit !pending in
-      if ready <> [] then begin
-        pending := still;
-        List.iter (fun l -> seq := l :: !seq) ready;
-        go ()
-      end
-    in
-    go ()
-  in
-  List.iter
-    (fun lit ->
-      match lit with
-      | Ast.Pos a ->
-        seq := lit :: !seq;
-        List.iter (fun v -> Hashtbl.replace bound v ()) (Ast.vars_of_atom a);
-        flush ()
-      | Ast.Neg _ | Ast.Cmp _ ->
-        pending := !pending @ [ lit ];
-        flush ())
-    body;
-  if !pending <> [] then fail "rule has unbound negation or comparison: %a" Ast.pp_rule rule;
-  let seq = Array.of_list (List.rev !seq) in
-  (* Last use per variable over the sequence; head variables live
-     forever. *)
-  let head_vars = Ast.vars_of_atom rule.Ast.head in
-  let last_use : (string, int) Hashtbl.t = Hashtbl.create 8 in
-  Array.iteri (fun i lit -> List.iter (fun v -> Hashtbl.replace last_use v i) (Ast.vars_of_literal lit)) seq;
-  List.iter (fun v -> Hashtbl.replace last_use v max_int) head_vars;
+let compile_plan t (ir : Ralg.plan) =
   let steps =
-    Array.mapi
-      (fun i lit ->
+    Array.map
+      (fun (st : Ralg.step) ->
         let kind =
-          match lit with
-          | Ast.Pos a -> SJoin (prepared_of_atom t ~var_block a)
-          | Ast.Neg a -> SSubtract (prepared_of_atom t ~var_block a)
-          | Ast.Cmp (l, op, r) -> SConstrain (cmp_bdd t ~var_block ~var_doms l op r)
+          match st.Ralg.op with
+          | Ralg.Join s -> SJoin (compile_source t ir s)
+          | Ralg.Subtract s -> SSubtract (compile_source t ir s)
+          | Ralg.Constrain c -> SConstrain (compile_constr t ir c)
         in
-        let dying =
-          List.filter (fun v -> Hashtbl.find last_use v = i) (Ast.vars_of_literal lit)
-        in
-        let dying = List.sort_uniq compare dying in
-        { kind; project_after = Space.cube_of_blocks t.sp (List.map var_block dying) })
-      seq
+        { kind; project_after = Space.cube_of_blocks t.sp (List.map (var_block t ir) st.Ralg.quantify) })
+      ir.Ralg.steps
   in
   (* Head: rename var blocks to first-position storage, equate duplicate
      positions, select constants. *)
-  let head_rel = relation t rule.Ast.head.Ast.pred in
-  let head_pred = Resolve.pred t.res rule.Ast.head.Ast.pred in
+  let head_rel = relation t ir.Ralg.head.Ralg.hd_rel in
   let head_attrs = Array.of_list (Relation.attrs head_rel) in
   let h_map_pairs = ref [] in
   let h_eqs = ref [] in
   let h_consts = ref Bdd.bdd_true in
-  let first_pos : (string, int) Hashtbl.t = Hashtbl.create 4 in
-  List.iteri
-    (fun i arg ->
+  Array.iteri
+    (fun i col ->
       let blk = head_attrs.(i).Relation.block in
-      match arg with
-      | Ast.Const c ->
-        let v = Resolve.const_index head_pred.Resolve.doms.(i) c in
-        h_consts := Bdd.mk_and (Space.man t.sp) !h_consts (Space.const t.sp blk v)
-      | Ast.Wildcard -> fail "wildcard in head"
-      | Ast.Var v -> (
-        match Hashtbl.find_opt first_pos v with
-        | None ->
-          Hashtbl.add first_pos v i;
-          let src = var_block v in
-          if src != blk then h_map_pairs := (src, blk) :: !h_map_pairs
-        | Some fp -> h_eqs := Space.equal_blocks t.sp head_attrs.(fp).Relation.block blk :: !h_eqs))
-    rule.Ast.head.Ast.args;
+      match col with
+      | Ralg.Cconst (v, _) -> h_consts := Bdd.mk_and (Space.man t.sp) !h_consts (Space.const t.sp blk v)
+      | Ralg.Cwild -> fail "wildcard in head"
+      | Ralg.Cvar v ->
+        let src = var_block t ir v in
+        if src != blk then h_map_pairs := (src, blk) :: !h_map_pairs
+      | Ralg.Cdup fp -> h_eqs := Space.equal_blocks t.sp head_attrs.(fp).Relation.block blk :: !h_eqs)
+    ir.Ralg.head.Ralg.hd_cols;
   let head =
     {
       h_rel = head_rel;
@@ -425,14 +238,6 @@ let build_plan t ~stratum_preds (rule : Ast.rule) =
       h_eqs = !h_eqs;
       h_consts = !h_consts;
     }
-  in
-  let delta_positions =
-    List.filter_map
-      (fun i ->
-        match steps.(i).kind with
-        | SJoin prep when List.mem (Relation.name prep.p_rel) stratum_preds -> Some i
-        | SJoin _ | SConstrain _ | SSubtract _ -> None)
-      (List.init (Array.length steps) (fun i -> i))
   in
   (* Gather plan constants for GC rooting. *)
   let consts = ref [ head.h_consts ] in
@@ -447,19 +252,35 @@ let build_plan t ~stratum_preds (rule : Ast.rule) =
       | SConstrain c -> consts := c :: !consts)
     steps;
   t.plan_consts <- !consts @ t.plan_consts;
-  { p_rule = rule; steps; head; delta_positions }
+  { p_ir = ir; steps; head; delta_positions = ir.Ralg.deltas; ev_applications = 0; ev_seconds = 0.0; ev_lookups = 0 }
 
 (* --- Creation --- *)
 
 let create ?(options = default_options) ?element_names ?domain_order (program : Ast.program) =
   let res = Resolve.resolve ?element_names program in
   let strata = Stratify.strata program in
+  (* Lower and optimize every rule first — purely symbolic, no BDD
+     work, so plan-time failures surface before any allocation. *)
+  let toggles = toggles_of_options options in
+  let ir_plans =
+    try
+      List.map
+        (fun (st : Stratify.stratum) ->
+          let opt r = Ralg.optimize res ~toggles ~stratum_preds:st.Stratify.preds (Ralg.lower res r) in
+          (List.map opt st.Stratify.once_rules, List.map opt st.Stratify.loop_rules))
+        strata
+    with Ralg.Plan_error { message; pos } -> (
+      match pos with
+      | Some p -> fail "%a: %s" Ast.pp_pos p message
+      | None -> fail "%s" message)
+  in
   let sp = Space.create ~node_hint:options.node_hint ~cache_bits:options.cache_bits () in
   let t =
     {
       res;
       sp;
       opts = options;
+      ir_plans;
       rels = Hashtbl.create 16;
       deltas = Hashtbl.create 8;
       pendings = Hashtbl.create 8;
@@ -473,8 +294,9 @@ let create ?(options = default_options) ?element_names ?domain_order (program : 
     }
   in
   Bdd.set_budget (Space.man sp) options.budget;
-  (* Physical blocks: one interleaved group per domain. *)
-  let demand = instance_demand res ~greedy:options.greedy_blocks in
+  (* Physical blocks: one interleaved group per domain, sized by the
+     demand of the relations' storage layouts and the plans' bindings. *)
+  let demand = Ralg.instance_demand res (List.concat_map (fun (once, loop) -> once @ loop) ir_plans) in
   let order =
     (* Explicit argument wins, then the program's .bddvarorder
        directive, then declaration order. *)
@@ -500,12 +322,12 @@ let create ?(options = default_options) ?element_names ?domain_order (program : 
   List.iter
     (fun (decl : Ast.rel_decl) ->
       let p = Resolve.pred res decl.Ast.rel_name in
-      let storage = storage_instances decl p.Resolve.doms in
+      let slots = Ralg.storage_slots res decl.Ast.rel_name in
       let attrs =
         List.mapi
           (fun i (aname, _) ->
-            let d, inst = storage.(i) in
-            { Relation.attr_name = aname; block = Space.instance sp d inst })
+            let _, inst = slots.(i) in
+            { Relation.attr_name = aname; block = Space.instance sp p.Resolve.doms.(i) inst })
           decl.Ast.rel_attrs
       in
       Hashtbl.add t.rels decl.Ast.rel_name (Relation.make sp ~name:decl.Ast.rel_name attrs))
@@ -525,13 +347,8 @@ let create ?(options = default_options) ?element_names ?domain_order (program : 
             end)
           st.Stratify.preds)
     strata;
-  (* Plans. *)
-  t.plans <-
-    List.map
-      (fun (st : Stratify.stratum) ->
-        ( List.map (build_plan t ~stratum_preds:st.Stratify.preds) st.Stratify.once_rules,
-          List.map (build_plan t ~stratum_preds:st.Stratify.preds) st.Stratify.loop_rules ))
-      strata;
+  (* Compile the IR plans to BDD pipelines. *)
+  t.plans <- List.map (fun (once, loop) -> (List.map (compile_plan t) once, List.map (compile_plan t) loop)) ir_plans;
   (* Root plan constants and prepared caches. *)
   let full_refs = ref [] in
   let delta_refs = ref [] in
@@ -559,8 +376,8 @@ let create ?(options = default_options) ?element_names ?domain_order (program : 
           !delta_refs);
   t
 
-let parse_and_create ?options ?element_names ?domain_order src =
-  create ?options ?element_names ?domain_order (Parser.parse src)
+let parse_and_create ?options ?element_names ?domain_order ?file src =
+  create ?options ?element_names ?domain_order (Parser.parse ?file src)
 
 (* --- Evaluation --- *)
 
@@ -585,7 +402,7 @@ let prepare t prep ~delta =
     let handle = (d : Bdd.t :> int) in
     let gcs = Bdd.gc_count man in
     let ch, cgc, cb = !(prep.p_cache_delta) in
-    if t.opts.hoist && ch = handle && cgc = gcs then cb
+    if prep.p_hoist && ch = handle && cgc = gcs then cb
     else begin
       let b = compute d in
       prep.p_cache_delta := (handle, gcs, b);
@@ -595,7 +412,7 @@ let prepare t prep ~delta =
   else begin
     let version = Relation.version prep.p_rel in
     let cached_version, cached = !(prep.p_cache_full) in
-    if t.opts.hoist && cached_version = version then cached
+    if prep.p_hoist && cached_version = version then cached
     else begin
       let b = compute (Relation.bdd prep.p_rel) in
       prep.p_cache_full := (version, b);
@@ -621,11 +438,13 @@ let eval_plan t plan ~delta_at =
       end
     | SConstrain c ->
       current := Bdd.mk_and man !current c;
-      current := Bdd.exist man ~cube:stp.project_after !current
+      current := Bdd.exist man ~cube:stp.project_after !current;
+      started := true
     | SSubtract prep ->
       let g = prepare t prep ~delta:false in
       current := Bdd.mk_diff man !current g;
-      current := Bdd.exist man ~cube:stp.project_after !current);
+      current := Bdd.exist man ~cube:stp.project_after !current;
+      started := true);
     incr i
   done;
   if !started && !current = Bdd.bdd_false then Bdd.bdd_false
@@ -675,6 +494,34 @@ let commit t plan result ~track_delta =
     true
   end
 
+(* One rule application (evaluate + commit), attributing wall time and
+   BDD op-cache lookups to the plan's cumulative counters. *)
+let apply t plan ~delta_at ~track_delta =
+  let man = Space.man t.sp in
+  let t0 = Unix.gettimeofday () in
+  let h0, m0 = Bdd.cache_stats man in
+  let b = eval_plan t plan ~delta_at in
+  let changed = commit t plan b ~track_delta in
+  let h1, m1 = Bdd.cache_stats man in
+  plan.ev_applications <- plan.ev_applications + 1;
+  plan.ev_seconds <- plan.ev_seconds +. (Unix.gettimeofday () -. t0);
+  plan.ev_lookups <- plan.ev_lookups + (h1 - h0) + (m1 - m0);
+  changed
+
+let collect_rule_stats t =
+  List.concat_map
+    (fun (once, loop) ->
+      List.map
+        (fun p ->
+          {
+            rs_rule = p.p_ir.Ralg.rule;
+            rs_applications = p.ev_applications;
+            rs_seconds = p.ev_seconds;
+            rs_cache_lookups = p.ev_lookups;
+          })
+        (once @ loop))
+    t.plans
+
 let run t =
   let t0 = Unix.gettimeofday () in
   let man = Space.man t.sp in
@@ -690,8 +537,7 @@ let run t =
     (fun (st : Stratify.stratum) (once, loop) ->
       List.iter
         (fun plan ->
-          let b = eval_plan t plan ~delta_at:None in
-          ignore (commit t plan b ~track_delta:false);
+          ignore (apply t plan ~delta_at:None ~track_delta:false);
           maybe_gc t)
         once;
       if loop <> [] then begin
@@ -714,16 +560,14 @@ let run t =
           let changed = ref false in
           List.iter
             (fun plan ->
-              if t.opts.semi_naive && plan.delta_positions <> [] then
+              if plan.delta_positions <> [] then
                 List.iter
                   (fun pos ->
-                    let b = eval_plan t plan ~delta_at:(Some pos) in
-                    if commit t plan b ~track_delta:true then changed := true;
+                    if apply t plan ~delta_at:(Some pos) ~track_delta:true then changed := true;
                     maybe_gc t)
                   plan.delta_positions
               else begin
-                let b = eval_plan t plan ~delta_at:None in
-                if commit t plan b ~track_delta:true then changed := true;
+                if apply t plan ~delta_at:None ~track_delta:true then changed := true;
                 maybe_gc t
               end)
             loop;
@@ -751,6 +595,7 @@ let run t =
       solve_seconds = Unix.gettimeofday () -. t0;
       gcs = Bdd.gc_count man;
       op_cache = Bdd.cache_stats_by_class man;
+      rule_stats = collect_rule_stats t;
     }
   in
   t.stats <- Some s;
@@ -770,3 +615,36 @@ let solve t =
   | exception Engine_error msg -> Error (Solver_error.Internal msg)
 
 let last_stats t = t.stats
+
+(* --- Explain --- *)
+
+let explain fmt t =
+  Format.fprintf fmt "domains:@\n";
+  List.iter
+    (fun (dname, d) ->
+      let insts = List.length (Space.instances t.sp d) in
+      Format.fprintf fmt "  %s: size %d, %d bits, %d physical instance%s@\n" dname (Domain.size d) (Domain.bits d)
+        insts
+        (if insts = 1 then "" else "s"))
+    t.res.Resolve.domains;
+  Format.fprintf fmt "passes:@\n";
+  List.iter
+    (fun (p : Ralg.pass) ->
+      Format.fprintf fmt "  [%s] %-10s %s@\n" (if p.Ralg.pass_on then "on " else "off") p.Ralg.pass_name
+        p.Ralg.pass_doc)
+    (Ralg.pass_list (toggles_of_options t.opts) ~stratum_preds:[]);
+  List.iteri
+    (fun si (once, loop) ->
+      Format.fprintf fmt "stratum %d (%d once, %d loop):@\n" (si + 1) (List.length once) (List.length loop);
+      List.iter (fun ir -> Ralg.pp_plan t.res fmt ir) (once @ loop))
+    t.ir_plans;
+  match t.stats with
+  | Some s when List.exists (fun r -> r.rs_applications > 0) s.rule_stats ->
+    Format.fprintf fmt "per-rule stats (cumulative over %d applications):@\n" s.rule_applications;
+    let sorted = List.sort (fun a b -> compare b.rs_seconds a.rs_seconds) s.rule_stats in
+    List.iter
+      (fun r ->
+        Format.fprintf fmt "  %9.3fs %7d apps %12d bdd-cache-lookups  %a%a@\n" r.rs_seconds r.rs_applications
+          r.rs_cache_lookups Ast.pp_pos_prefix r.rs_rule Ast.pp_atom r.rs_rule.Ast.head)
+      sorted
+  | Some _ | None -> ()

@@ -1,8 +1,15 @@
-(** The bddbddb evaluation engine: translates a Datalog program into
-    BDD relational algebra and solves it to fixpoint.
+(** The bddbddb evaluation engine: the BDD executor and fixpoint driver
+    for {!Ralg} query plans.
 
-    The three §2.4.1 optimizations are implemented and individually
-    toggleable (for the §6.4 ablation benchmarks):
+    The pipeline is split in three (§2.4 of the paper):
+    + {!Ralg.lower}: Datalog -> relational-algebra IR;
+    + {!Ralg.optimize}: separable [plan -> plan] passes, toggled from
+      {!options} (see {!toggles_of_options});
+    + this module: compile each plan's sources/constraints/head to BDD
+      pipelines and run the stratified (semi-naive) fixpoint.
+
+    The §2.4.1 optimizations are individually toggleable (for the §6.4
+    ablation benchmarks):
 
     - {e attributes naming}: rule variables are greedily assigned the
       physical block most of their occurrences are already stored in,
@@ -24,6 +31,9 @@ type options = {
       (** greedy subgoal reordering: most-constrained atom first, then
           by shared bound variables (off by default — the paper's rules
           are already written in good join order) *)
+  pushdown : bool;
+      (** early quantification: project each variable away at its last
+          use instead of at the end of the rule *)
   gc_interval : int;  (** run [Bdd.gc] every N rule applications; 0 = never *)
   node_hint : int;
   cache_bits : int;
@@ -36,7 +46,20 @@ type options = {
 
 val default_options : options
 
+val toggles_of_options : options -> Ralg.toggles
+(** The pass toggles an engine with these options hands to
+    {!Ralg.optimize}. *)
+
 type t
+
+type rule_stat = {
+  rs_rule : Ast.rule;
+  rs_applications : int;  (** evaluate+commit cycles of this rule *)
+  rs_seconds : float;  (** wall time spent in them *)
+  rs_cache_lookups : int;
+      (** BDD op-cache lookups (hits + misses) they performed — a
+          machine-independent proxy for BDD work *)
+}
 
 type stats = {
   rule_applications : int;
@@ -48,6 +71,9 @@ type stats = {
   op_cache : (string * int * int) list;
       (** per-operation-class (name, hits, misses) of the BDD op cache
           since manager creation — see {!Bdd.cache_stats_by_class} *)
+  rule_stats : rule_stat list;
+      (** per-rule attribution, in stratum order (once rules before
+          loop rules); cumulative across runs of this engine *)
 }
 
 val cache_hit_rate : stats -> float
@@ -61,19 +87,23 @@ val create :
   ?domain_order:string list ->
   Ast.program ->
   t
-(** Resolves and plans the program: allocates one interleaved group of
-    physical blocks per logical domain (in [domain_order] if given,
-    else declaration order) and compiles every rule to a step plan.
-    Raises {!Resolve.Check_error} / {!Stratify.Not_stratified} /
-    {!Engine_error}. *)
+(** Resolves, lowers, and optimizes the program ({!Ralg}), then
+    allocates one interleaved group of physical blocks per logical
+    domain (in [domain_order] if given, else declaration order) and
+    compiles every plan to a BDD step pipeline.  Plan-time failures
+    are reported as {!Engine_error} prefixed with the offending rule's
+    [file:line] when known.  Raises {!Resolve.Check_error} /
+    {!Stratify.Not_stratified} / {!Engine_error}. *)
 
 val parse_and_create :
   ?options:options ->
   ?element_names:(string -> string array option) ->
   ?domain_order:string list ->
+  ?file:string ->
   string ->
   t
-(** Convenience: {!Parser.parse} then {!create}. *)
+(** Convenience: {!Parser.parse} then {!create}.  [file] is recorded in
+    rule positions for diagnostics and {!explain}. *)
 
 val space : t -> Space.t
 val domain : t -> string -> Domain.t
@@ -88,6 +118,11 @@ val exported_relations : t -> Relation.t list
     computed inputs installed by a driver) and outputs, in declaration
     order, excluding internal working relations.  This is the set a
     persistent results store ({!Bddrel.Store}) saves after a solve. *)
+
+val ir_plans : t -> (Ralg.plan list * Ralg.plan list) list
+(** The optimized query plans this engine executes, per stratum as
+    (once, loop) — the exact IR also accepted by
+    {!Naive_eval.solve_ir}. *)
 
 val set_tuples : t -> string -> int array list -> unit
 val add_tuple : t -> string -> int array -> unit
@@ -115,3 +150,10 @@ val set_budget : t -> Budget.t option -> unit
     with re-{!run} to resume an aborted solve. *)
 
 val last_stats : t -> stats option
+
+val explain : Format.formatter -> t -> unit
+(** Pretty-print what this engine will (or did) execute: the domains
+    with sizes, widths, and physical instance counts; the optimization
+    pass pipeline with each pass's on/off state; every rule's optimized
+    plan ({!Ralg.pp_plan}) with rename counts; and, after a solve,
+    per-rule time/BDD-op attribution sorted by time. *)

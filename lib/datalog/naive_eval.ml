@@ -141,3 +141,251 @@ let tuples r name =
   match Hashtbl.find_opt r.db name with
   | Some s -> Tuples.elements !s
   | None -> raise (Resolve.Check_error (Printf.sprintf "unknown relation %s" name))
+
+(* --- IR interpretation: the reference executor for Ralg plans ---
+
+   Interprets the very same optimized plans the BDD engine compiles,
+   over explicit environment sets, mirroring the engine's fixpoint
+   driver (once rules, delta seeding, per-delta-position passes,
+   pending rotation).  Differential testing between the two executors
+   is the correctness contract of every optimization pass. *)
+
+(* An environment is an assoc list sorted by variable name, so
+   environments are canonical and sets of them deduplicate. *)
+module Envs = Set.Make (struct
+  type t = (string * int) list
+
+  let compare = compare
+end)
+
+(* One plan step plus its loop-invariant cache: the extracted source
+   environments, valid while the relation's tuple set is unchanged
+   (physical equality — sets are persistent). *)
+type cstep = { c_step : Ralg.step; c_cache : (Tuples.t * (string * int) list list) option ref }
+
+type cplan = { c_ir : Ralg.plan; c_steps : cstep array }
+
+let env_sorted env = List.sort (fun (a, _) (b, _) -> compare a b) env
+
+(* Environments of the source's variables, one per matching tuple:
+   constants select, duplicate columns equate, wildcards and dead
+   columns project away, variables bind (the tuple-level analog of the
+   engine's prepared operand). *)
+let source_envs (s : Ralg.source) tuples =
+  Tuples.fold
+    (fun tu acc ->
+      let arr = Array.of_list tu in
+      let n = Array.length s.Ralg.src_cols in
+      let rec go i env =
+        if i = n then Some env
+        else
+          match s.Ralg.src_cols.(i) with
+          | Ralg.Cconst (v, _) -> if arr.(i) = v then go (i + 1) env else None
+          | Ralg.Cwild -> go (i + 1) env
+          | Ralg.Cdup fp -> if arr.(i) = arr.(fp) then go (i + 1) env else None
+          | Ralg.Cvar v -> go (i + 1) ((v, arr.(i)) :: env)
+      in
+      match go 0 [] with
+      | Some env -> env_sorted env :: acc
+      | None -> acc)
+    tuples []
+  |> List.sort_uniq compare
+
+(* Merge two sorted environments; [None] on conflicting bindings. *)
+let rec merge_envs e1 e2 =
+  match (e1, e2) with
+  | [], e | e, [] -> Some e
+  | (v1, x1) :: r1, (v2, x2) :: r2 ->
+    if v1 = v2 then
+      if x1 <> x2 then None
+      else Option.map (fun m -> (v1, x1) :: m) (merge_envs r1 r2)
+    else if v1 < v2 then Option.map (fun m -> (v1, x1) :: m) (merge_envs r1 e2)
+    else Option.map (fun m -> (v2, x2) :: m) (merge_envs e1 r2)
+
+let join_envs current senvs =
+  Envs.fold
+    (fun env acc ->
+      List.fold_left
+        (fun acc senv ->
+          match merge_envs env senv with
+          | Some m -> Envs.add m acc
+          | None -> acc)
+        acc senvs)
+    current Envs.empty
+
+(* Drop environments subsumed by some source environment (all source
+   variables are bound here, by safety and plan validation). *)
+let subtract_envs current senvs =
+  Envs.filter
+    (fun env -> not (List.exists (List.for_all (fun (v, x) -> List.assoc v env = x)) senvs))
+    current
+
+let constrain_envs (c : Ralg.constr) current =
+  let holds op a b =
+    match op with
+    | Ast.Eq -> a = b
+    | Ast.Neq -> a <> b
+  in
+  Envs.filter
+    (fun env ->
+      match c with
+      | Ralg.Cmp_vv { left; op; right } -> holds op (List.assoc left env) (List.assoc right env)
+      | Ralg.Cmp_vc { var; op; value; _ } -> holds op (List.assoc var env) value)
+    current
+
+let quantify_envs vars current =
+  if vars = [] then current
+  else Envs.map (fun env -> List.filter (fun (v, _) -> not (List.mem v vars)) env) current
+
+let eval_ir_plan db deltas cplan ~delta_at =
+  let current = ref (Envs.singleton []) in
+  Array.iteri
+    (fun i cst ->
+      let st = cst.c_step in
+      (match st.Ralg.op with
+      | Ralg.Join s | Ralg.Subtract s ->
+        let delta_here = delta_at = Some i in
+        let tuples = if delta_here then !(Hashtbl.find deltas s.Ralg.src_rel) else !(Hashtbl.find db s.Ralg.src_rel) in
+        let senvs =
+          if (not delta_here) && s.Ralg.src_hoist then begin
+            match !(cst.c_cache) with
+            | Some (t, envs) when t == tuples -> envs
+            | Some _ | None ->
+              let envs = source_envs s tuples in
+              cst.c_cache := Some (tuples, envs);
+              envs
+          end
+          else source_envs s tuples
+        in
+        current :=
+          (match st.Ralg.op with
+          | Ralg.Join _ -> join_envs !current senvs
+          | Ralg.Subtract _ -> subtract_envs !current senvs
+          | Ralg.Constrain _ -> assert false)
+      | Ralg.Constrain c -> current := constrain_envs c !current);
+      current := quantify_envs st.Ralg.quantify !current)
+    cplan.c_steps;
+  (* Head tuples, positionally (duplicates copy earlier columns). *)
+  let cols = cplan.c_ir.Ralg.head.Ralg.hd_cols in
+  Envs.fold
+    (fun env acc ->
+      let arr = Array.make (Array.length cols) 0 in
+      Array.iteri
+        (fun i col ->
+          match col with
+          | Ralg.Cvar v -> arr.(i) <- List.assoc v env
+          | Ralg.Cdup fp -> arr.(i) <- arr.(fp)
+          | Ralg.Cconst (v, _) -> arr.(i) <- v
+          | Ralg.Cwild -> assert false)
+        cols;
+      Array.to_list arr :: acc)
+    !current []
+
+let solve_ir ?element_names ?(toggles = Ralg.default_toggles) ?plans (program : Ast.program) ~inputs =
+  let res = Resolve.resolve ?element_names program in
+  let strata = Stratify.strata program in
+  let ir_plans =
+    match plans with
+    | Some p -> p
+    | None ->
+      List.map
+        (fun (st : Stratify.stratum) ->
+          let opt r = Ralg.optimize res ~toggles ~stratum_preds:st.Stratify.preds (Ralg.lower res r) in
+          (List.map opt st.Stratify.once_rules, List.map opt st.Stratify.loop_rules))
+        strata
+  in
+  let compile ir = { c_ir = ir; c_steps = Array.map (fun st -> { c_step = st; c_cache = ref None }) ir.Ralg.steps } in
+  let cplans = List.map (fun (once, loop) -> (List.map compile once, List.map compile loop)) ir_plans in
+  (* Semi-naive driving, as the engine infers it from the plans. *)
+  let semi_naive =
+    List.exists (fun (_, loop) -> List.exists (fun p -> p.c_ir.Ralg.deltas <> []) loop) cplans
+  in
+  let db : (string, Tuples.t ref) Hashtbl.t = Hashtbl.create 16 in
+  List.iter (fun (decl : Ast.rel_decl) -> Hashtbl.add db decl.Ast.rel_name (ref Tuples.empty)) program.Ast.relations;
+  List.iter
+    (fun (name, tuples) ->
+      let slot =
+        match Hashtbl.find_opt db name with
+        | Some s -> s
+        | None -> raise (Resolve.Check_error (Printf.sprintf "unknown input relation %s" name))
+      in
+      let p = Hashtbl.find res.Resolve.preds name in
+      List.iter
+        (fun tu ->
+          if List.length tu <> Array.length p.Resolve.doms then
+            raise (Resolve.Check_error (Printf.sprintf "tuple arity mismatch for %s" name));
+          List.iteri
+            (fun i v ->
+              if v < 0 || v >= Domain.size p.Resolve.doms.(i) then
+                raise (Resolve.Check_error (Printf.sprintf "value %d out of range for %s" v name)))
+            tu;
+          slot := Tuples.add tu !slot)
+        tuples)
+    inputs;
+  let deltas : (string, Tuples.t ref) Hashtbl.t = Hashtbl.create 8 in
+  let pendings : (string, Tuples.t ref) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (st : Stratify.stratum) ->
+      if st.Stratify.loop_rules <> [] then
+        List.iter
+          (fun p ->
+            if not (Hashtbl.mem deltas p) then begin
+              Hashtbl.add deltas p (ref Tuples.empty);
+              Hashtbl.add pendings p (ref Tuples.empty)
+            end)
+          st.Stratify.preds)
+    strata;
+  (* Union derived tuples into the head; true if any were new. *)
+  let commit cplan derived ~track_delta =
+    let slot = Hashtbl.find db cplan.c_ir.Ralg.head.Ralg.hd_rel in
+    List.fold_left
+      (fun changed tu ->
+        if Tuples.mem tu !slot then changed
+        else begin
+          slot := Tuples.add tu !slot;
+          if track_delta then begin
+            let pe = Hashtbl.find pendings cplan.c_ir.Ralg.head.Ralg.hd_rel in
+            pe := Tuples.add tu !pe
+          end;
+          true
+        end)
+      false derived
+  in
+  List.iter2
+    (fun (st : Stratify.stratum) (once, loop) ->
+      List.iter (fun cp -> ignore (commit cp (eval_ir_plan db deltas cp ~delta_at:None) ~track_delta:false)) once;
+      if loop <> [] then begin
+        List.iter
+          (fun p ->
+            let d = Hashtbl.find deltas p in
+            d := !(Hashtbl.find db p))
+          st.Stratify.preds;
+        let continue = ref true in
+        while !continue do
+          let changed = ref false in
+          List.iter
+            (fun cp ->
+              if cp.c_ir.Ralg.deltas <> [] then
+                List.iter
+                  (fun pos ->
+                    if commit cp (eval_ir_plan db deltas cp ~delta_at:(Some pos)) ~track_delta:true then
+                      changed := true)
+                  cp.c_ir.Ralg.deltas
+              else if commit cp (eval_ir_plan db deltas cp ~delta_at:None) ~track_delta:true then changed := true)
+            loop;
+          if semi_naive then begin
+            let any = ref false in
+            List.iter
+              (fun p ->
+                let d = Hashtbl.find deltas p and pe = Hashtbl.find pendings p in
+                d := !pe;
+                pe := Tuples.empty;
+                if not (Tuples.is_empty !d) then any := true)
+              st.Stratify.preds;
+            continue := !any
+          end
+          else continue := !changed
+        done
+      end)
+    strata cplans;
+  { db }

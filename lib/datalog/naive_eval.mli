@@ -19,5 +19,24 @@ val solve :
 (** Raises the same {!Resolve.Check_error} / {!Stratify.Not_stratified}
     as the engine on bad programs. *)
 
+val solve_ir :
+  ?element_names:(string -> string array option) ->
+  ?toggles:Ralg.toggles ->
+  ?plans:(Ralg.plan list * Ralg.plan list) list ->
+  Ast.program ->
+  inputs:(string * int list list) list ->
+  result
+(** The reference executor for {!Ralg} query plans: interprets the
+    same optimized IR the BDD engine compiles, over explicit
+    environment sets, with the same fixpoint driving (once rules,
+    delta seeding, per-delta-position passes, pending rotation).
+
+    [plans] supplies the IR directly (e.g. {!Engine.ir_plans}, so both
+    executors provably run the very same plans); otherwise plans are
+    derived with {!Ralg.lower} and {!Ralg.optimize} under [toggles]
+    (default {!Ralg.default_toggles}).  Must agree with [solve] on
+    every program — that equivalence is the correctness contract of
+    every optimization pass. *)
+
 val tuples : result -> string -> int list list
 (** Sorted, deduplicated tuples of a relation after solving. *)

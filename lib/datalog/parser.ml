@@ -2,7 +2,7 @@ type error = { message : string; line : int }
 
 exception Parse_error of error
 
-type state = { toks : (Lexer.token * int) array; mutable pos : int }
+type state = { toks : (Lexer.token * int) array; file : string; mutable pos : int }
 
 let peek st = fst st.toks.(st.pos)
 let peek_line st = snd st.toks.(st.pos)
@@ -73,6 +73,7 @@ let literal st : Ast.literal =
   | t -> fail st (Format.asprintf "expected a literal, found %a" Lexer.pp_token t)
 
 let rule st : Ast.rule =
+  let line = peek_line st in
   let head = atom st in
   let body =
     if peek st = Lexer.TURNSTILE then begin
@@ -87,7 +88,7 @@ let rule st : Ast.rule =
     else []
   in
   expect st Lexer.DOT "'.' at end of rule";
-  { Ast.head; body }
+  { Ast.head; body; rule_pos = Some { Ast.file = st.file; line } }
 
 let rules_until_eof st =
   let out = ref [] in
@@ -145,8 +146,8 @@ let rel_decl st : Ast.rel_decl =
   expect st Lexer.RPAREN "')'";
   { Ast.rel_name; rel_kind; rel_attrs = List.rev !attrs }
 
-let parse src =
-  let st = { toks = Array.of_list (Lexer.tokens src); pos = 0 } in
+let parse ?(file = "<datalog>") src =
+  let st = { toks = Array.of_list (Lexer.tokens src); file; pos = 0 } in
   section st "DOMAINS";
   let domains = ref [] in
   let var_order = ref None in
@@ -176,6 +177,6 @@ let parse src =
   let rules = rules_until_eof st in
   { Ast.domains = List.rev !domains; var_order = !var_order; relations = List.rev !relations; rules }
 
-let parse_rules src =
-  let st = { toks = Array.of_list (Lexer.tokens src); pos = 0 } in
+let parse_rules ?(file = "<datalog>") src =
+  let st = { toks = Array.of_list (Lexer.tokens src); file; pos = 0 } in
   rules_until_eof st

@@ -1,0 +1,555 @@
+type col = Cvar of string | Cdup of int | Cconst of int * string | Cwild
+
+type source = { src_rel : string; src_cols : col array; src_hoist : bool }
+
+type constr =
+  | Cmp_vv of { left : string; op : Ast.cmp_op; right : string }
+  | Cmp_vc of { var : string; op : Ast.cmp_op; value : int; text : string }
+
+type step_op = Join of source | Subtract of source | Constrain of constr
+type step = { op : step_op; quantify : string list }
+
+type head = { hd_rel : string; hd_cols : col array }
+
+type plan = {
+  rule : Ast.rule;
+  var_doms : (string * string) list;
+  binding : (string * int) list;
+  steps : step array;
+  head : head;
+  deltas : int list;
+}
+
+exception Plan_error of { message : string; pos : Ast.pos option }
+
+let fail_rule (rule : Ast.rule) fmt =
+  Format.kasprintf (fun message -> raise (Plan_error { message; pos = rule.Ast.rule_pos })) fmt
+
+(* Storage layout: the k-th attribute of domain D within a relation is
+   stored in physical instance k of D. *)
+let storage_slots (res : Resolve.t) name =
+  let p = Resolve.pred res name in
+  let counts = Hashtbl.create 4 in
+  Array.map
+    (fun d ->
+      let dname = Domain.name d in
+      let seen = Option.value (Hashtbl.find_opt counts dname) ~default:0 in
+      Hashtbl.replace counts dname (seen + 1);
+      (dname, seen))
+    p.Resolve.doms
+
+(* Abstract assignment of rule variables to physical instances of their
+   domain.  The greedy mode is the paper's attributes-naming
+   optimization: most-occurring variables first, each preferring the
+   instance most of its storage positions vote for. *)
+let assign (res : Resolve.t) ~greedy (rule : Ast.rule) =
+  let var_doms = Resolve.var_domains res rule in
+  let atoms =
+    rule.Ast.head :: List.filter_map (function Ast.Pos a | Ast.Neg a -> Some a | Ast.Cmp _ -> None) rule.Ast.body
+  in
+  (* Preference votes: var |-> instances of the storage positions it
+     occupies. *)
+  let prefs : (string, int list ref) Hashtbl.t = Hashtbl.create 8 in
+  let occurrences : (string, int ref) Hashtbl.t = Hashtbl.create 8 in
+  let note_var v inst =
+    (match Hashtbl.find_opt prefs v with
+    | Some l -> l := inst :: !l
+    | None -> Hashtbl.add prefs v (ref [ inst ]));
+    match Hashtbl.find_opt occurrences v with
+    | Some c -> incr c
+    | None -> Hashtbl.add occurrences v (ref 1)
+  in
+  List.iter
+    (fun (a : Ast.atom) ->
+      let storage = storage_slots res a.Ast.pred in
+      List.iteri
+        (fun i arg ->
+          match arg with
+          | Ast.Var v ->
+            let _, inst = storage.(i) in
+            note_var v inst
+          | Ast.Const _ | Ast.Wildcard -> ())
+        a.Ast.args)
+    atoms;
+  (* Variables only mentioned in comparisons already occur in atoms
+     (safety), so [prefs] covers every variable. *)
+  let assignment : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let used : (string, (string, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 4 in
+  let used_of dname =
+    match Hashtbl.find_opt used dname with
+    | Some h -> h
+    | None ->
+      let h = Hashtbl.create 4 in
+      Hashtbl.add used dname h;
+      h
+  in
+  let take v inst =
+    let dname = Domain.name (Hashtbl.find var_doms v) in
+    Hashtbl.replace (used_of dname) (string_of_int inst) ();
+    Hashtbl.replace assignment v inst
+  in
+  let is_free v inst =
+    let dname = Domain.name (Hashtbl.find var_doms v) in
+    not (Hashtbl.mem (used_of dname) (string_of_int inst))
+  in
+  let all_vars = Ast.vars_of_rule rule in
+  let ordered =
+    if greedy then
+      List.stable_sort
+        (fun a b ->
+          let ca = !(Hashtbl.find occurrences a) and cb = !(Hashtbl.find occurrences b) in
+          if ca <> cb then compare cb ca else compare a b)
+        all_vars
+    else all_vars
+  in
+  List.iter
+    (fun v ->
+      let choice =
+        if greedy then begin
+          let votes = !(Hashtbl.find prefs v) in
+          (* Rank candidate instances by vote count (desc), then index. *)
+          let tally = Hashtbl.create 4 in
+          List.iter
+            (fun i ->
+              let c = Option.value (Hashtbl.find_opt tally i) ~default:0 in
+              Hashtbl.replace tally i (c + 1))
+            votes;
+          let candidates =
+            List.sort
+              (fun (i1, c1) (i2, c2) -> if c1 <> c2 then compare c2 c1 else compare i1 i2)
+              (Hashtbl.fold (fun i c acc -> (i, c) :: acc) tally [])
+          in
+          List.find_opt (fun (i, _) -> is_free v i) candidates |> Option.map fst
+        end
+        else None
+      in
+      match choice with
+      | Some i -> take v i
+      | None ->
+        let rec first_free i = if is_free v i then i else first_free (i + 1) in
+        take v (first_free 0))
+    ordered;
+  List.map (fun v -> (v, Hashtbl.find assignment v)) all_vars
+
+(* --- Lowering --- *)
+
+let cols_of_atom (res : Resolve.t) (rule : Ast.rule) ~in_head (a : Ast.atom) =
+  let p = Resolve.pred res a.Ast.pred in
+  let first_pos : (string, int) Hashtbl.t = Hashtbl.create 4 in
+  Array.of_list
+    (List.mapi
+       (fun i arg ->
+         match arg with
+         | Ast.Const c -> Cconst (Resolve.const_index p.Resolve.doms.(i) c, c)
+         | Ast.Wildcard ->
+           if in_head then fail_rule rule "wildcard in head: %a" Ast.pp_rule rule;
+           Cwild
+         | Ast.Var v -> (
+           match Hashtbl.find_opt first_pos v with
+           | None ->
+             Hashtbl.add first_pos v i;
+             Cvar v
+           | Some fp -> Cdup fp))
+       a.Ast.args)
+
+(* Execution sequence: positive atoms in order, each followed by any
+   deferred negations/comparisons that became fully bound. *)
+let schedule (rule : Ast.rule) body =
+  let bound : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  let is_bound_lit lit = List.for_all (fun v -> Hashtbl.mem bound v) (Ast.vars_of_literal lit) in
+  let pending = ref [] in
+  let seq = ref [] in
+  let flush () =
+    let rec go () =
+      let ready, still = List.partition is_bound_lit !pending in
+      if ready <> [] then begin
+        pending := still;
+        List.iter (fun l -> seq := l :: !seq) ready;
+        go ()
+      end
+    in
+    go ()
+  in
+  List.iter
+    (fun lit ->
+      match lit with
+      | Ast.Pos a ->
+        seq := lit :: !seq;
+        List.iter (fun v -> Hashtbl.replace bound v ()) (Ast.vars_of_atom a);
+        flush ()
+      | Ast.Neg _ | Ast.Cmp _ ->
+        pending := !pending @ [ lit ];
+        flush ())
+    body;
+  if !pending <> [] then fail_rule rule "rule has unbound negation or comparison: %a" Ast.pp_rule rule;
+  List.rev !seq
+
+let step_of_literal (res : Resolve.t) var_doms (rule : Ast.rule) lit =
+  let op =
+    match lit with
+    | Ast.Pos a -> Join { src_rel = a.Ast.pred; src_cols = cols_of_atom res rule ~in_head:false a; src_hoist = false }
+    | Ast.Neg a -> Subtract { src_rel = a.Ast.pred; src_cols = cols_of_atom res rule ~in_head:false a; src_hoist = false }
+    | Ast.Cmp (l, op, r) -> (
+      match (l, r) with
+      | Ast.Var a, Ast.Var b -> Constrain (Cmp_vv { left = a; op; right = b })
+      | Ast.Var a, Ast.Const c | Ast.Const c, Ast.Var a ->
+        let d = Hashtbl.find var_doms a in
+        Constrain (Cmp_vc { var = a; op; value = Resolve.const_index d c; text = c })
+      | (Ast.Const _ | Ast.Wildcard), (Ast.Const _ | Ast.Wildcard) | Ast.Var _, Ast.Wildcard | Ast.Wildcard, Ast.Var _
+        ->
+        fail_rule rule "unsupported comparison operands: %a" Ast.pp_rule rule)
+  in
+  { op; quantify = [] }
+
+(* All projection deferred to the last step (the early-quantification
+   pass redistributes it). *)
+let defer_quantify (rule : Ast.rule) steps =
+  let head_vars = Ast.vars_of_atom rule.Ast.head in
+  let nonhead =
+    List.sort_uniq compare (List.filter (fun v -> not (List.mem v head_vars)) (Ast.vars_of_rule rule))
+  in
+  let n = Array.length steps in
+  if n = 0 then steps
+  else
+    Array.mapi (fun i st -> { st with quantify = (if i = n - 1 then nonhead else []) }) steps
+
+let lower (res : Resolve.t) (rule : Ast.rule) =
+  let var_doms_tbl = Resolve.var_domains res rule in
+  let all_vars = Ast.vars_of_rule rule in
+  let var_doms = List.map (fun v -> (v, Domain.name (Hashtbl.find var_doms_tbl v))) all_vars in
+  let binding = assign res ~greedy:false rule in
+  let seq = schedule rule rule.Ast.body in
+  let steps = defer_quantify rule (Array.of_list (List.map (step_of_literal res var_doms_tbl rule) seq)) in
+  let hd = { hd_rel = rule.Ast.head.Ast.pred; hd_cols = cols_of_atom res rule ~in_head:true rule.Ast.head } in
+  { rule; var_doms; binding; steps; head = hd; deltas = [] }
+
+(* --- Passes --- *)
+
+(* Variables of a step in first-occurrence order — mirrors
+   [Ast.vars_of_literal] on the literal the step came from. *)
+let step_vars st =
+  match st.op with
+  | Join s | Subtract s ->
+    Array.to_list s.src_cols |> List.filter_map (function Cvar v -> Some v | Cdup _ | Cconst _ | Cwild -> None)
+  | Constrain (Cmp_vv { left; right; _ }) -> if left = right then [ left ] else [ left; right ]
+  | Constrain (Cmp_vc { var; _ }) -> [ var ]
+
+let pass_naming res plan = { plan with binding = assign res ~greedy:true plan.rule }
+
+(* Greedy subgoal reordering (bddbddb reorders joins): start from the
+   most-constrained atom (fewest distinct variables, most constants),
+   then repeatedly take the atom sharing the most already-bound
+   variables.  Rebuilds the schedule from the rule, so it must run
+   before the quantification/delta/hoist passes. *)
+let pass_reorder res plan =
+  let rule = plan.rule in
+  let positives, others = List.partition (function Ast.Pos _ -> true | Ast.Neg _ | Ast.Cmp _ -> false) rule.Ast.body in
+  let atom_of = function Ast.Pos a -> a | Ast.Neg _ | Ast.Cmp _ -> assert false in
+  let constants a = List.length (List.filter (function Ast.Const _ -> true | _ -> false) (atom_of a).Ast.args) in
+  let vars a = Ast.vars_of_atom (atom_of a) in
+  let bound_vars : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  let score a =
+    let vs = vars a in
+    let shared = List.length (List.filter (Hashtbl.mem bound_vars) vs) in
+    (* More shared bound vars first; then fewer free vars; then more
+       constants. *)
+    (-shared, List.length vs - shared, -constants a)
+  in
+  let rec pick acc remaining =
+    match remaining with
+    | [] -> List.rev acc
+    | _ ->
+      let best = List.fold_left (fun b a -> if score a < score b then a else b) (List.hd remaining) remaining in
+      List.iter (fun v -> Hashtbl.replace bound_vars v ()) (vars best);
+      pick (best :: acc) (List.filter (fun x -> x != best) remaining)
+  in
+  let body = pick [] positives @ others in
+  let var_doms_tbl = Resolve.var_domains res rule in
+  let seq = schedule rule body in
+  let steps = defer_quantify rule (Array.of_list (List.map (step_of_literal res var_doms_tbl rule) seq)) in
+  { plan with steps; deltas = [] }
+
+(* Early quantification: project each variable away right after its
+   last use (head variables live forever). *)
+let pass_pushdown _res plan =
+  let head_vars = Ast.vars_of_atom plan.rule.Ast.head in
+  let last_use : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  Array.iteri (fun i st -> List.iter (fun v -> Hashtbl.replace last_use v i) (step_vars st)) plan.steps;
+  List.iter (fun v -> Hashtbl.replace last_use v max_int) head_vars;
+  let steps =
+    Array.mapi
+      (fun i st ->
+        let dying = List.filter (fun v -> Hashtbl.find last_use v = i) (step_vars st) in
+        { st with quantify = List.sort_uniq compare dying })
+      plan.steps
+  in
+  { plan with steps }
+
+(* Semi-naive delta rewriting: recursive joins (against the rule's own
+   stratum) are each evaluated once per iteration against the tuples
+   new since the previous iteration. *)
+let pass_semi_naive ~stratum_preds _res plan =
+  let deltas =
+    List.filter_map
+      (fun i ->
+        match plan.steps.(i).op with
+        | Join s when List.mem s.src_rel stratum_preds -> Some i
+        | Join _ | Subtract _ | Constrain _ -> None)
+      (List.init (Array.length plan.steps) (fun i -> i))
+  in
+  { plan with deltas }
+
+(* Loop-invariant hoisting: cache each prepared operand while its
+   source relation is unchanged. *)
+let pass_hoist _res plan =
+  let steps =
+    Array.map
+      (fun st ->
+        match st.op with
+        | Join s -> { st with op = Join { s with src_hoist = true } }
+        | Subtract s -> { st with op = Subtract { s with src_hoist = true } }
+        | Constrain _ -> st)
+      plan.steps
+  in
+  { plan with steps }
+
+type toggles = { naming : bool; reorder : bool; pushdown : bool; semi_naive : bool; hoist : bool }
+
+let default_toggles = { naming = true; reorder = false; pushdown = true; semi_naive = true; hoist = true }
+
+type pass = { pass_name : string; pass_doc : string; pass_on : bool; pass_apply : Resolve.t -> plan -> plan }
+
+let pass_list toggles ~stratum_preds =
+  [
+    {
+      pass_name = "naming";
+      pass_doc = "greedy physical-instance assignment minimizing renames";
+      pass_on = toggles.naming;
+      pass_apply = pass_naming;
+    };
+    {
+      pass_name = "reorder";
+      pass_doc = "greedy join reordering, most-constrained atom first";
+      pass_on = toggles.reorder;
+      pass_apply = pass_reorder;
+    };
+    {
+      pass_name = "pushdown";
+      pass_doc = "existentially quantify each variable at its last use";
+      pass_on = toggles.pushdown;
+      pass_apply = pass_pushdown;
+    };
+    {
+      pass_name = "semi-naive";
+      pass_doc = "delta rewriting of joins against the rule's stratum";
+      pass_on = toggles.semi_naive;
+      pass_apply = pass_semi_naive ~stratum_preds;
+    };
+    {
+      pass_name = "hoist";
+      pass_doc = "cache prepared operands while their relation is unchanged";
+      pass_on = toggles.hoist;
+      pass_apply = pass_hoist;
+    };
+  ]
+
+(* --- Validation --- *)
+
+let check_plan (res : Resolve.t) plan =
+  let fail fmt = fail_rule plan.rule fmt in
+  let rule_str = Format.asprintf "%a" Ast.pp_rule plan.rule in
+  (* Binding: total over the rule's variables, injective per domain. *)
+  let all_vars = Ast.vars_of_rule plan.rule in
+  List.iter
+    (fun v ->
+      if not (List.mem_assoc v plan.binding) then fail "plan for %s: variable %s has no binding" rule_str v;
+      if not (List.mem_assoc v plan.var_doms) then fail "plan for %s: variable %s has no domain" rule_str v)
+    all_vars;
+  let seen : (string * int, string) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (v, inst) ->
+      let dname = List.assoc v plan.var_doms in
+      (match Hashtbl.find_opt seen (dname, inst) with
+      | Some v' when v' <> v -> fail "plan for %s: variables %s and %s share instance %s%d" rule_str v' v dname inst
+      | _ -> ());
+      Hashtbl.replace seen (dname, inst) v)
+    plan.binding;
+  let check_cols what rel_name cols ~in_head =
+    let p = Resolve.pred res rel_name in
+    if Array.length cols <> Array.length p.Resolve.doms then
+      fail "plan for %s: %s %s has %d columns, expected %d" rule_str what rel_name (Array.length cols)
+        (Array.length p.Resolve.doms);
+    Array.iteri
+      (fun i col ->
+        match col with
+        | Cvar v -> if not (List.mem_assoc v plan.binding) then fail "plan for %s: unbound column variable %s" rule_str v
+        | Cdup fp ->
+          if fp < 0 || fp >= i then fail "plan for %s: bad duplicate back-reference %d at column %d" rule_str fp i;
+          (match cols.(fp) with
+          | Cvar _ -> ()
+          | Cdup _ | Cconst _ | Cwild ->
+            fail "plan for %s: duplicate back-reference %d does not hit a variable" rule_str fp)
+        | Cconst (v, _) ->
+          if v < 0 || v >= Domain.size p.Resolve.doms.(i) then
+            fail "plan for %s: constant %d out of range at column %d of %s" rule_str v i rel_name
+        | Cwild -> if in_head then fail "plan for %s: wildcard in head" rule_str)
+      cols
+  in
+  Array.iter
+    (fun st ->
+      match st.op with
+      | Join s -> check_cols "source" s.src_rel s.src_cols ~in_head:false
+      | Subtract s -> check_cols "negated source" s.src_rel s.src_cols ~in_head:false
+      | Constrain _ -> ())
+    plan.steps;
+  check_cols "head" plan.head.hd_rel plan.head.hd_cols ~in_head:true;
+  (* Quantification: exactly the non-head variables, each exactly once,
+     never used by a later step. *)
+  let head_vars = Ast.vars_of_atom plan.rule.Ast.head in
+  let quantified : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  Array.iteri
+    (fun i st ->
+      List.iter
+        (fun v ->
+          if List.mem v head_vars then fail "plan for %s: head variable %s quantified at step %d" rule_str v i;
+          (match Hashtbl.find_opt quantified v with
+          | Some j -> fail "plan for %s: variable %s quantified twice (steps %d and %d)" rule_str v j i
+          | None -> ());
+          Hashtbl.add quantified v i)
+        st.quantify)
+    plan.steps;
+  Array.iteri
+    (fun i st ->
+      List.iter
+        (fun v ->
+          match Hashtbl.find_opt quantified v with
+          | Some j when j < i -> fail "plan for %s: variable %s used at step %d after quantification at %d" rule_str v i j
+          | _ -> ())
+        (step_vars st))
+    plan.steps;
+  List.iter
+    (fun v ->
+      if (not (List.mem v head_vars)) && not (Hashtbl.mem quantified v) then
+        fail "plan for %s: non-head variable %s is never quantified" rule_str v)
+    all_vars;
+  (* Deltas index join steps. *)
+  List.iter
+    (fun i ->
+      if i < 0 || i >= Array.length plan.steps then fail "plan for %s: delta index %d out of range" rule_str i;
+      match plan.steps.(i).op with
+      | Join _ -> ()
+      | Subtract _ | Constrain _ -> fail "plan for %s: delta index %d is not a join" rule_str i)
+    plan.deltas
+
+let optimize (res : Resolve.t) ?(toggles = default_toggles) ~stratum_preds plan =
+  let plan =
+    List.fold_left
+      (fun plan pass -> if pass.pass_on then pass.pass_apply res plan else plan)
+      plan
+      (pass_list toggles ~stratum_preds)
+  in
+  check_plan res plan;
+  plan
+
+(* --- Inspection --- *)
+
+let instance_demand (res : Resolve.t) plans =
+  let demand : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let note dname n =
+    let cur = Option.value (Hashtbl.find_opt demand dname) ~default:1 in
+    if n > cur then Hashtbl.replace demand dname n
+  in
+  List.iter (fun (dname, _) -> note dname 1) res.Resolve.domains;
+  Hashtbl.iter
+    (fun name _ -> Array.iter (fun (dname, inst) -> note dname (inst + 1)) (storage_slots res name))
+    res.Resolve.preds;
+  List.iter
+    (fun plan -> List.iter (fun (v, inst) -> note (List.assoc v plan.var_doms) (inst + 1)) plan.binding)
+    plans;
+  demand
+
+(* Renamed positions of one source or the head: first-occurrence
+   variable columns whose storage instance differs from the variable's
+   binding instance. *)
+let renamed_positions (res : Resolve.t) plan rel_name cols =
+  let slots = storage_slots res rel_name in
+  let n = ref 0 in
+  Array.iteri
+    (fun i col ->
+      match col with
+      | Cvar v -> if snd slots.(i) <> List.assoc v plan.binding then incr n
+      | Cdup _ | Cconst _ | Cwild -> ())
+    cols;
+  !n
+
+let rename_stats (res : Resolve.t) plan =
+  let positions = ref 0 and replaces = ref 0 in
+  let note n =
+    positions := !positions + n;
+    if n > 0 then incr replaces
+  in
+  Array.iter
+    (fun st ->
+      match st.op with
+      | Join s | Subtract s -> note (renamed_positions res plan s.src_rel s.src_cols)
+      | Constrain _ -> ())
+    plan.steps;
+  note (renamed_positions res plan plan.head.hd_rel plan.head.hd_cols);
+  (!positions, !replaces)
+
+let pp_plan (res : Resolve.t) fmt plan =
+  let phys dname inst = Format.sprintf "%s%d" dname inst in
+  let pp_cols target rel_name cols =
+    (* [target]: where a renamed column goes — for sources the binding
+       instance, for the head the storage instance. *)
+    let slots = storage_slots res rel_name in
+    let parts =
+      Array.to_list
+        (Array.mapi
+           (fun i col ->
+             let dname, sto = slots.(i) in
+             match col with
+             | Cvar v ->
+               let b = List.assoc v plan.binding in
+               if sto = b then Format.sprintf "%s@%s" v (phys dname sto)
+               else if target = `Binding then Format.sprintf "%s@%s->%s" v (phys dname sto) (phys dname b)
+               else Format.sprintf "%s@%s->%s" v (phys dname b) (phys dname sto)
+             | Cdup fp ->
+               let dup_v = match cols.(fp) with Cvar v -> v | _ -> "?" in
+               Format.sprintf "%s=#%d@%s" dup_v fp (phys dname sto)
+             | Cconst (_, text) -> Format.sprintf "%S@%s" text (phys dname sto)
+             | Cwild -> Format.sprintf "_@%s" (phys dname sto))
+           cols)
+    in
+    Format.sprintf "%s(%s)" rel_name (String.concat ", " parts)
+  in
+  Format.fprintf fmt "rule %a%a@\n" Ast.pp_pos_prefix plan.rule Ast.pp_rule plan.rule;
+  if plan.binding <> [] then begin
+    let parts =
+      List.map
+        (fun (v, inst) ->
+          let dname = List.assoc v plan.var_doms in
+          let bits = Domain.bits (List.assoc dname res.Resolve.domains) in
+          Format.sprintf "%s=%s/%db" v (phys dname inst) bits)
+        plan.binding
+    in
+    Format.fprintf fmt "  binding: %s@\n" (String.concat " " parts)
+  end;
+  Array.iteri
+    (fun i st ->
+      let opname, body =
+        match st.op with
+        | Join s -> ("join", pp_cols `Binding s.src_rel s.src_cols)
+        | Subtract s -> ("diff", pp_cols `Binding s.src_rel s.src_cols)
+        | Constrain (Cmp_vv { left; op; right }) ->
+          ("filter", Format.asprintf "%s %a %s" left Ast.pp_cmp_op op right)
+        | Constrain (Cmp_vc { var; op; text; _ }) ->
+          ("filter", Format.asprintf "%s %a %S" var Ast.pp_cmp_op op text)
+      in
+      let quant = if st.quantify = [] then "" else Format.sprintf " quantify {%s}" (String.concat "," st.quantify) in
+      let delta = if List.mem i plan.deltas then " [delta]" else "" in
+      Format.fprintf fmt "  step %d: %-6s %s%s%s@\n" (i + 1) opname body quant delta)
+    plan.steps;
+  Format.fprintf fmt "  head: %s@\n" (pp_cols `Storage plan.head.hd_rel plan.head.hd_cols);
+  let positions, replaces = rename_stats res plan in
+  Format.fprintf fmt "  renames: %d positions, %d replace ops@\n" positions replaces

@@ -10,6 +10,13 @@ exception Check_error of string
 
 let fail fmt = Format.kasprintf (fun s -> raise (Check_error s)) fmt
 
+(* Rule with its source position appended, for error messages. *)
+let pp_rule_loc fmt (r : Ast.rule) =
+  Ast.pp_rule fmt r;
+  match r.Ast.rule_pos with
+  | Some pos -> Format.fprintf fmt " (%a)" Ast.pp_pos pos
+  | None -> ()
+
 let const_index dom s =
   match Domain.element_index dom s with
   | Some i -> i
@@ -30,17 +37,17 @@ let rule_var_domains preds (r : Ast.rule) =
     | Some d ->
       if not (Domain.equal d dom) then
         fail "variable %s used at positions of domains %s and %s in rule: %a" v (Domain.name d) (Domain.name dom)
-          Ast.pp_rule rule
+          pp_rule_loc rule
   in
   let check_atom rule (a : Ast.atom) =
     let p =
       match Hashtbl.find_opt preds a.Ast.pred with
       | Some p -> p
-      | None -> fail "unknown relation %s in rule: %a" a.Ast.pred Ast.pp_rule rule
+      | None -> fail "unknown relation %s in rule: %a" a.Ast.pred pp_rule_loc rule
     in
     if List.length a.Ast.args <> Array.length p.doms then
       fail "relation %s expects %d arguments, got %d in rule: %a" a.Ast.pred (Array.length p.doms)
-        (List.length a.Ast.args) Ast.pp_rule rule;
+        (List.length a.Ast.args) pp_rule_loc rule;
     List.iteri
       (fun i arg ->
         match arg with
@@ -67,24 +74,24 @@ let rule_var_domains preds (r : Ast.rule) =
           | Ast.Const _ | Ast.Wildcard -> None
         in
         (match (l, rt) with
-        | Ast.Wildcard, _ | _, Ast.Wildcard -> fail "wildcard in comparison in rule: %a" Ast.pp_rule r
-        | Ast.Const _, Ast.Const _ -> fail "comparison between two constants in rule: %a" Ast.pp_rule r
+        | Ast.Wildcard, _ | _, Ast.Wildcard -> fail "wildcard in comparison in rule: %a" pp_rule_loc r
+        | Ast.Const _, Ast.Const _ -> fail "comparison between two constants in rule: %a" pp_rule_loc r
         | (Ast.Var _ | Ast.Const _), (Ast.Var _ | Ast.Const _) -> ());
         match (dom_of_term l, dom_of_term rt) with
         | Some dl, Some dr ->
           if not (Domain.equal dl dr) then
-            fail "comparison between domains %s and %s in rule: %a" (Domain.name dl) (Domain.name dr) Ast.pp_rule r
+            fail "comparison between domains %s and %s in rule: %a" (Domain.name dl) (Domain.name dr) pp_rule_loc r
         | Some d, None -> (
           match rt with
           | Ast.Const c -> ignore (const_index d c)
-          | Ast.Var v -> fail "variable %s in comparison is not bound by a positive atom in rule: %a" v Ast.pp_rule r
+          | Ast.Var v -> fail "variable %s in comparison is not bound by a positive atom in rule: %a" v pp_rule_loc r
           | Ast.Wildcard -> ())
         | None, Some d -> (
           match l with
           | Ast.Const c -> ignore (const_index d c)
-          | Ast.Var v -> fail "variable %s in comparison is not bound by a positive atom in rule: %a" v Ast.pp_rule r
+          | Ast.Var v -> fail "variable %s in comparison is not bound by a positive atom in rule: %a" v pp_rule_loc r
           | Ast.Wildcard -> ())
-        | None, None -> fail "comparison with no bound variable in rule: %a" Ast.pp_rule r)
+        | None, None -> fail "comparison with no bound variable in rule: %a" pp_rule_loc r)
       | Ast.Pos _ | Ast.Neg _ -> ())
     r.Ast.body;
   var_doms
@@ -103,8 +110,8 @@ let check_safety (r : Ast.rule) =
     (fun arg ->
       match arg with
       | Ast.Var v ->
-        if not (bound v) then fail "head variable %s is not bound by a positive body atom in rule: %a" v Ast.pp_rule r
-      | Ast.Wildcard -> fail "wildcard in rule head: %a" Ast.pp_rule r
+        if not (bound v) then fail "head variable %s is not bound by a positive body atom in rule: %a" v pp_rule_loc r
+      | Ast.Wildcard -> fail "wildcard in rule head: %a" pp_rule_loc r
       | Ast.Const _ -> ())
     r.Ast.head.Ast.args;
   List.iter
@@ -114,7 +121,7 @@ let check_safety (r : Ast.rule) =
         List.iter
           (fun v ->
             if not (bound v) then
-              fail "variable %s of negated atom is not bound by a positive body atom in rule: %a" v Ast.pp_rule r)
+              fail "variable %s of negated atom is not bound by a positive body atom in rule: %a" v pp_rule_loc r)
           (Ast.vars_of_atom a)
       | Ast.Cmp _ | Ast.Pos _ -> ())
     r.Ast.body
@@ -160,7 +167,7 @@ let resolve ?(element_names = fun _ -> None) (program : Ast.program) =
       check_safety r;
       (match Hashtbl.find_opt preds r.Ast.head.Ast.pred with
       | Some { decl = { Ast.rel_kind = Ast.Input; _ }; _ } ->
-        fail "input relation %s may not appear in a rule head: %a" r.Ast.head.Ast.pred Ast.pp_rule r
+        fail "input relation %s may not appear in a rule head: %a" r.Ast.head.Ast.pred pp_rule_loc r
       | Some _ -> ()
       | None -> fail "unknown relation %s" r.Ast.head.Ast.pred);
       if r.Ast.body = [] then
@@ -168,7 +175,7 @@ let resolve ?(element_names = fun _ -> None) (program : Ast.program) =
           (fun arg ->
             match arg with
             | Ast.Const _ -> ()
-            | Ast.Var _ | Ast.Wildcard -> fail "fact with non-constant argument: %a" Ast.pp_rule r)
+            | Ast.Var _ | Ast.Wildcard -> fail "fact with non-constant argument: %a" pp_rule_loc r)
           r.Ast.head.Ast.args)
     program.Ast.rules;
   { program; domains; preds }
@@ -179,4 +186,4 @@ let term_domain t (r : Ast.rule) v =
   let var_doms = rule_var_domains t.preds r in
   match Hashtbl.find_opt var_doms v with
   | Some d -> d
-  | None -> fail "variable %s not found in rule: %a" v Ast.pp_rule r
+  | None -> fail "variable %s not found in rule: %a" v pp_rule_loc r

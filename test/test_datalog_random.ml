@@ -151,7 +151,12 @@ let gen_rule =
                  return (Ast.Var v))
            head_doms)
     in
-    return { Ast.head = { Ast.pred = head_name; args = head_args }; body = List.map (fun a -> Ast.Pos a) atoms @ cmp @ neg })
+    return
+      {
+        Ast.head = { Ast.pred = head_name; args = head_args };
+        body = List.map (fun a -> Ast.Pos a) atoms @ cmp @ neg;
+        rule_pos = None;
+      })
 
 let gen_tuples arity sizes =
   Gen.(list_size (int_range 0 10) (flatten_l (List.init arity (fun i -> int_bound (List.nth sizes i - 1)))))
@@ -191,6 +196,31 @@ let make_prop name options =
       | exception Stratify.Not_stratified _ -> true
       | expected -> run_case options case = expected)
 
+(* IR-level differential: run the BDD executor and the tuple-level
+   reference executor over the *same* optimized IR (the plans the
+   engine compiled, via {!Engine.ir_plans}), and require identical
+   tuple sets — plus agreement with the independent naive oracle. *)
+let ir_case options (program, tuples) =
+  let eng = Engine.create ~options program in
+  List.iter (fun (name, ts) -> Engine.set_tuples eng name (List.map Array.of_list ts)) tuples;
+  ignore (Engine.run eng);
+  let bdd =
+    List.map
+      (fun name -> (name, List.sort compare (List.map Array.to_list (Relation.tuples (Engine.relation eng name)))))
+      derived
+  in
+  let r = Naive_eval.solve_ir ~plans:(Engine.ir_plans eng) program ~inputs:tuples in
+  let ref_exec = List.map (fun name -> (name, Naive_eval.tuples r name)) derived in
+  (bdd, ref_exec)
+
+let make_ir_prop name options =
+  Test.make ~name ~count:250 ~print:print_case gen_case (fun case ->
+      match naive_case case with
+      | exception Stratify.Not_stratified _ -> true
+      | expected ->
+        let bdd, ref_exec = ir_case options case in
+        bdd = ref_exec && bdd = expected)
+
 let default = Engine.default_options
 
 let prop_default = make_prop "random programs: engine = naive (default opts)" default
@@ -200,10 +230,39 @@ let prop_no_greedy = make_prop "random programs (no greedy blocks)" { default wi
 let prop_gc_every_rule = make_prop "random programs (gc every rule)" { default with Engine.gc_interval = 1 }
 let prop_reorder = make_prop "random programs (join reordering)" { default with Engine.reorder_joins = true }
 
+let ir_props =
+  [
+    make_ir_prop "same IR: bdd = reference (default opts)" default;
+    make_ir_prop "same IR (no naming)" { default with Engine.greedy_blocks = false };
+    make_ir_prop "same IR (join reordering)" { default with Engine.reorder_joins = true };
+    make_ir_prop "same IR (no pushdown)" { default with Engine.pushdown = false };
+    make_ir_prop "same IR (no semi-naive)" { default with Engine.semi_naive = false };
+    make_ir_prop "same IR (no hoisting)" { default with Engine.hoist = false };
+    make_ir_prop "same IR (all passes off)"
+      {
+        default with
+        Engine.greedy_blocks = false;
+        reorder_joins = false;
+        pushdown = false;
+        semi_naive = false;
+        hoist = false;
+      };
+    make_ir_prop "same IR (all passes on)"
+      {
+        default with
+        Engine.greedy_blocks = true;
+        reorder_joins = true;
+        pushdown = true;
+        semi_naive = true;
+        hoist = true;
+      };
+  ]
+
 let () =
   Alcotest.run "datalog_random"
     [
       ( "differential",
         List.map QCheck_alcotest.to_alcotest
           [ prop_default; prop_no_seminaive; prop_no_hoist; prop_no_greedy; prop_gc_every_rule; prop_reorder ] );
+      ("ir-differential", List.map QCheck_alcotest.to_alcotest ir_props);
     ]

@@ -1,0 +1,89 @@
+(* Golden-plan tests: the optimized query plans Engine.explain prints
+   for Algorithm 1 and Algorithm 5 over a fixed sample program are
+   committed under test/golden/.  A diff means the planner or a pass
+   changed — inspect it, and if intentional regenerate with
+
+     dune exec bin/ptacli.exe -- explain sample.jir --algo cha-nofilter \
+       > test/golden/explain_algo1.txt
+     dune exec bin/ptacli.exe -- explain sample.jir --algo cs \
+       > test/golden/explain_algo5.txt
+
+   where sample.jir holds the program text below. *)
+
+module Factgen = Jir.Factgen
+module Analyses = Pta.Analyses
+
+let sample_src =
+  {|
+class A extends Object {
+  field f : Object
+  method set(v : Object) : void {
+    this.f = v
+  }
+  method get() : Object {
+    var r : Object
+    r = this.f
+    return r
+  }
+}
+class W extends Thread {
+  method run() : void {
+    var o : Object
+    o = new Object() @ "TL"
+    sync o
+  }
+}
+class Main extends Object {
+  static method main() : void {
+    var a : A
+    var o : Object
+    var r : Object
+    var w : W
+    a = new A() @ "A0"
+    o = new Object() @ "O0"
+    a.set(o)
+    r = a.get()
+    w = new W() @ "W0"
+    w.start()
+  }
+}
+entry Main.main
+|}
+
+let fg () = Factgen.extract (Jir.Jparser.parse sample_src)
+
+let read_golden name =
+  let path = Filename.concat "golden" name in
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let check_golden name eng =
+  let actual = Format.asprintf "%a" Engine.explain eng in
+  let expected = read_golden name in
+  if actual <> expected then
+    Alcotest.failf "explain output differs from golden/%s; actual output:\n%s" name actual
+
+let test_algo1 () =
+  let eng, _ = Analyses.prepare_basic ~algo:Analyses.Algo1 (fg ()) in
+  check_golden "explain_algo1.txt" eng
+
+let test_algo5 () =
+  (* The same construction as `ptacli explain --algo cs`: discover the
+     call graph (Algorithm 3), number contexts, prepare Algorithm 5. *)
+  let fg = fg () in
+  let ci = Analyses.run_basic ~algo:Analyses.Algo3 fg in
+  let ctx = Analyses.make_context fg ~ie:(Analyses.ie_tuples ci) in
+  let eng, _ = Analyses.prepare_cs fg ctx in
+  check_golden "explain_algo5.txt" eng
+
+let () =
+  Alcotest.run "explain"
+    [
+      ( "golden",
+        [
+          Alcotest.test_case "algorithm 1 plans" `Quick test_algo1;
+          Alcotest.test_case "algorithm 5 plans" `Quick test_algo5;
+        ] );
+    ]
