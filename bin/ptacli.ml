@@ -553,59 +553,212 @@ let query_cmd =
           matches ($(b,--store)).")
     Term.(const run $ program_arg $ leak $ vuln $ refine $ modref $ pt_query $ alias_query $ store_dir_arg)
 
-(* --- serve --- *)
+(* --- serve ---
+
+   The fault-tolerant daemon driver.  `Pta.Serve.serve_line` does the
+   per-request work (budget, firewall, stats); this layer owns the
+   process lifecycle: stale-socket detection, a bounded concurrent
+   accept loop (one thread per connection, evaluation serialized by a
+   mutex because the BDD manager is single-threaded), `err busy`
+   backpressure at capacity, EINTR-safe accept, and SIGTERM/SIGINT
+   graceful shutdown that drains in-flight requests, removes the
+   socket file and prints final stats. *)
+
+(* Probe an existing socket path: connect succeeding means a live
+   daemon owns it (refuse to clobber); connection refused means the
+   previous daemon died without cleanup (unlink the stale file); a
+   non-socket at the path is never removed. *)
+let prepare_socket_path path =
+  if Sys.file_exists path then begin
+    match (Unix.stat path).Unix.st_kind with
+    | Unix.S_SOCK ->
+      let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      let alive =
+        try
+          Unix.connect probe (Unix.ADDR_UNIX path);
+          true
+        with Unix.Unix_error _ -> false
+      in
+      (try Unix.close probe with Unix.Unix_error _ -> ());
+      if alive then begin
+        Printf.eprintf "serve: a live daemon is already listening on %s; refusing to replace it\n%!" path;
+        exit 1
+      end
+      else begin
+        Printf.eprintf "serve: removing stale socket %s (no listener answered the probe)\n%!" path;
+        try Sys.remove path with Sys_error _ -> ()
+      end
+    | _ ->
+      Printf.eprintf "serve: %s exists and is not a socket; refusing to remove it\n%!" path;
+      exit 1
+  end
 
 let serve_cmd =
-  let run dir socket =
+  let run dir socket max_clients req_timeout req_max_allocs req_max_nodes =
     let st = Store.load ~dir in
     let srv = Pta.Serve.make st in
+    let stats = Pta.Serve.make_stats () in
+    let limits =
+      {
+        Pta.Serve.rq_timeout_s = (if req_timeout > 0.0 then Some req_timeout else None);
+        Pta.Serve.rq_max_allocs = (if req_max_allocs > 0 then Some req_max_allocs else None);
+        Pta.Serve.rq_max_nodes = (if req_max_nodes > 0 then Some req_max_nodes else None);
+      }
+    in
     Printf.eprintf "serve: loaded %d relations from %s/store (key %s)\n%!"
       (List.length (Store.relations st))
       dir
       (String.sub (Store.key st) 0 12);
+    let shutdown = ref false in
+    let in_request = ref false in
+    (* The BDD manager is single-threaded: connection threads overlap
+       on I/O but evaluation itself is serialized here. *)
+    let eval_mutex = Mutex.create () in
+    let serve_locked line =
+      Mutex.lock eval_mutex;
+      Fun.protect
+        ~finally:(fun () ->
+          in_request := false;
+          Mutex.unlock eval_mutex)
+        (fun () ->
+          in_request := true;
+          Pta.Serve.serve_line ~limits ~stats srv line)
+    in
     (* Per query: one header line "ok|err <command> <rows> <latency>"
        on stdout, then the result rows.  The banner and shutdown notes
        go to stderr so stdout stays a pure protocol stream. *)
     let handle_channel ic oc =
       let served = ref 0 in
       (try
-         while true do
+         let continue = ref true in
+         while !continue do
            let line = input_line ic in
-           if String.trim line = "quit" then raise Exit;
-           let t0 = Unix.gettimeofday () in
-           let o = Pta.Serve.handle srv line in
-           let dt_us = (Unix.gettimeofday () -. t0) *. 1e6 in
-           if not (o.Pta.Serve.command = "" && o.Pta.Serve.lines = []) then begin
-             incr served;
-             Printf.fprintf oc "%s %s %d %.0fus\n"
-               (if o.Pta.Serve.ok then "ok" else "err")
-               o.Pta.Serve.command o.Pta.Serve.count dt_us;
-             List.iter (fun l -> output_string oc (l ^ "\n")) o.Pta.Serve.lines
-           end;
-           flush oc
+           if String.trim line = "quit" then continue := false
+           else begin
+             let s = serve_locked line in
+             let o = s.Pta.Serve.outcome in
+             if not (o.Pta.Serve.command = "" && o.Pta.Serve.lines = []) then begin
+               incr served;
+               Printf.fprintf oc "%s %s %d %.0fus\n"
+                 (if o.Pta.Serve.ok then "ok" else "err")
+                 o.Pta.Serve.command o.Pta.Serve.count s.Pta.Serve.latency_us;
+               List.iter (fun l -> output_string oc (l ^ "\n")) o.Pta.Serve.lines
+             end;
+             flush oc;
+             if s.Pta.Serve.close || !shutdown then continue := false
+           end
          done
-       with End_of_file | Exit -> ());
+       with End_of_file | Sys_error _ -> ());
       !served
     in
+    let print_final () =
+      Printf.eprintf "serve: shutdown\n";
+      List.iter (fun l -> Printf.eprintf "serve:   %s\n" l) (Pta.Serve.stats_lines stats);
+      flush stderr
+    in
+    (* A peer hanging up mid-reply must error the write, not kill the
+       process with SIGPIPE. *)
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
     match socket with
     | None ->
+      (* stdin mode: one implicit connection.  A signal between
+         requests exits immediately; mid-request it drains first. *)
+      let handler _ =
+        shutdown := true;
+        if not !in_request then begin
+          print_final ();
+          exit 0
+        end
+      in
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle handler);
+      Sys.set_signal Sys.sigint (Sys.Signal_handle handler);
+      stats.Pta.Serve.s_connections <- 1;
       let n = handle_channel stdin stdout in
-      Printf.eprintf "serve: done (%d queries)\n%!" n
+      Printf.eprintf "serve: done (%d queries)\n%!" n;
+      print_final ()
     | Some path ->
-      if Sys.file_exists path then Sys.remove path;
+      let handler _ = shutdown := true in
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle handler);
+      Sys.set_signal Sys.sigint (Sys.Signal_handle handler);
+      prepare_socket_path path;
       let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
       Unix.bind fd (Unix.ADDR_UNIX path);
-      Unix.listen fd 8;
-      Printf.eprintf "serve: listening on %s (connections served one at a time; 'quit' ends a connection)\n%!"
-        path;
-      while true do
-        let cfd, _ = Unix.accept fd in
+      Unix.listen fd 16;
+      Printf.eprintf
+        "serve: listening on %s (max %d concurrent connections; 'quit' ends a connection; SIGTERM drains and exits)\n%!"
+        path max_clients;
+      let conn_mutex = Mutex.create () in
+      let active = ref 0 in
+      let conn_fds : (int, Unix.file_descr) Hashtbl.t = Hashtbl.create 8 in
+      let threads = ref [] in
+      let next_id = ref 0 in
+      let worker (id, cfd) =
         let ic = Unix.in_channel_of_descr cfd and oc = Unix.out_channel_of_descr cfd in
-        let n = try handle_channel ic oc with Sys_error _ -> 0 in
+        let n = handle_channel ic oc in
         Printf.eprintf "serve: connection closed (%d queries)\n%!" n;
         (try flush oc with Sys_error _ -> ());
+        Mutex.lock conn_mutex;
+        decr active;
+        Hashtbl.remove conn_fds id;
+        Mutex.unlock conn_mutex;
         try Unix.close cfd with Unix.Unix_error _ -> ()
-      done
+      in
+      (* EINTR-safe, shutdown-aware accept: select with a short timeout
+         so a signal that lands between syscalls is still noticed. *)
+      let rec accept_next () =
+        if !shutdown then None
+        else
+          match Unix.select [ fd ] [] [] 0.25 with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_next ()
+          | [], _, _ -> accept_next ()
+          | _ :: _, _, _ -> (
+            match Unix.accept fd with
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_next ()
+            | cfd, _ -> Some cfd)
+      in
+      let rec loop () =
+        match accept_next () with
+        | None -> ()
+        | Some cfd ->
+          Mutex.lock conn_mutex;
+          let full = !active >= max_clients in
+          if not full then incr active;
+          Mutex.unlock conn_mutex;
+          if full then begin
+            (* Backpressure: explicit err busy reply, then hang up. *)
+            stats.Pta.Serve.s_rejected <- stats.Pta.Serve.s_rejected + 1;
+            let oc = Unix.out_channel_of_descr cfd in
+            (try
+               Printf.fprintf oc "err busy 0 0us\nserver at capacity (%d connections); retry later\n" max_clients;
+               flush oc
+             with Sys_error _ -> ());
+            try Unix.close cfd with Unix.Unix_error _ -> ()
+          end
+          else begin
+            stats.Pta.Serve.s_connections <- stats.Pta.Serve.s_connections + 1;
+            incr next_id;
+            let id = !next_id in
+            Mutex.lock conn_mutex;
+            Hashtbl.replace conn_fds id cfd;
+            Mutex.unlock conn_mutex;
+            threads := Thread.create worker (id, cfd) :: !threads
+          end;
+          loop ()
+      in
+      loop ();
+      (* Graceful shutdown: stop accepting, half-close every live
+         connection so blocked readers see EOF once their in-flight
+         request has been answered, then drain the workers, remove the
+         socket file and print final stats. *)
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Mutex.lock conn_mutex;
+      Hashtbl.iter
+        (fun _ cfd -> try Unix.shutdown cfd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
+        conn_fds;
+      Mutex.unlock conn_mutex;
+      List.iter (fun t -> try Thread.join t with _ -> ()) !threads;
+      (try Sys.remove path with Sys_error _ -> ());
+      print_final ()
   in
   let dir =
     Arg.(
@@ -620,13 +773,102 @@ let serve_cmd =
       & info [ "socket" ] ~docv:"PATH"
           ~doc:"Listen on a Unix domain socket instead of reading queries from stdin.")
   in
+  let max_clients =
+    Arg.(
+      value
+      & opt int 8
+      & info [ "max-clients" ] ~docv:"N"
+          ~doc:"Concurrent connection cap; further clients get an explicit $(b,err busy) reply.")
+  in
+  let req_timeout =
+    Arg.(
+      value
+      & opt float 30.0
+      & info [ "request-timeout" ] ~docv:"SECONDS"
+          ~doc:"Per-request wall-clock budget; an over-budget query answers $(b,err budget) instead of wedging \
+                the daemon.  0 disables.")
+  in
+  let req_max_allocs =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "request-max-allocs" ] ~docv:"N"
+          ~doc:"Per-request cap on fresh BDD node allocations.  0 (default) disables.")
+  in
+  let req_max_nodes =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "request-max-nodes" ] ~docv:"N"
+          ~doc:"Per-request cap on live BDD node growth.  0 (default) disables.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Long-running query daemon: load a persistent store once, then answer line-delimited queries \
-          (points-to, alias, leak, modref, vuln, refine, ...) from the solved relations, printing per-query \
-          latency and row counts.  'help' lists the protocol.")
-    Term.(const run $ dir $ socket)
+          (points-to, alias, leak, modref, vuln, refine, health, stats, ...) from the solved relations, \
+          printing per-query latency and row counts.  Per-request budgets, an exception firewall, bounded \
+          concurrency with $(b,err busy) backpressure, and SIGTERM/SIGINT graceful shutdown keep one bad \
+          query or client from taking the daemon down.  'help' lists the protocol.")
+    Term.(const run $ dir $ socket $ max_clients $ req_timeout $ req_max_allocs $ req_max_nodes)
+
+(* --- store verify / repair --- *)
+
+let store_group_cmd =
+  let dir_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "store" ] ~docv:"DIR" ~doc:"Store directory to check (the parent of $(b,store/)).")
+  in
+  let print_checks checks =
+    List.iter
+      (fun (c : Store.check) ->
+        Printf.printf "%-16s %s  %s\n" c.Store.chk_name (if c.Store.chk_ok then "ok  " else "FAIL") c.Store.chk_detail)
+      checks
+  in
+  let healthy checks = checks <> [] && List.for_all (fun (c : Store.check) -> c.Store.chk_ok) checks in
+  let verify =
+    let run dir =
+      let checks = Store.verify ~dir in
+      print_checks checks;
+      if healthy checks then print_endline "store: valid"
+      else begin
+        print_endline "store: INVALID ('ptacli store repair' quarantines it; re-solving rebuilds it)";
+        exit 1
+      end
+    in
+    Cmd.v
+      (Cmd.info "verify"
+         ~doc:
+           "Health-check a persistent store: manifest parse (including its own checksum), per-file size and \
+            CRC-32 against the manifest, then a full structural load.  Exit 0 when every check passes, 1 \
+            otherwise.")
+      Term.(const run $ dir_arg)
+  in
+  let repair =
+    let run dir =
+      let checks = Store.verify ~dir in
+      if healthy checks then print_endline "store: healthy, nothing to repair"
+      else begin
+        print_checks checks;
+        match Store.quarantine ~dir with
+        | None -> print_endline "store: nothing on disk to repair"
+        | Some dest ->
+          Printf.printf "store: quarantined broken store to %s\n" dest;
+          print_endline "store: re-run 'ptacli analyze --save-store' or 'ptacli query --store' to rebuild"
+      end
+    in
+    Cmd.v
+      (Cmd.info "repair"
+         ~doc:
+           "Quarantine a broken store (move $(b,store/) to $(b,store.broken.<n>/)) so the next solve rebuilds \
+            it from scratch.  A healthy store is left untouched.")
+      Term.(const run $ dir_arg)
+  in
+  Cmd.group
+    (Cmd.info "store" ~doc:"Persistent store maintenance: $(b,verify) integrity, $(b,repair) by quarantine.")
+    [ verify; repair ]
 
 (* --- order-search --- *)
 
@@ -815,6 +1057,23 @@ let gen_cmd =
    input, 2 for budget exhaustion, 3 for internal errors.  No OCaml
    backtrace reaches the user unless PTACLI_DEBUG=1, in which case the
    exception propagates untouched. *)
+(* Deterministic kill injection for the CI robustness job:
+   PTACLI_CRASH_AT_FS_OP=N makes the N-th announced file-system
+   mutation of this process raise Faults.Crashed, simulating kill -9
+   at exactly that point of the store write path (no cleanup code
+   runs; temp files are left behind as a real kill would).  The
+   process exits 137 — the same code a real SIGKILL would yield. *)
+let () =
+  match Option.bind (Sys.getenv_opt "PTACLI_CRASH_AT_FS_OP") int_of_string_opt with
+  | Some n when n >= 1 ->
+    let seen = ref 0 in
+    Faults.set_fs_hook
+      (Some
+         (fun label ->
+           incr seen;
+           if !seen = n then raise (Faults.Crashed label)))
+  | _ -> ()
+
 let () =
   let debug = Sys.getenv_opt "PTACLI_DEBUG" = Some "1" in
   if debug then Printexc.record_backtrace true;
@@ -822,7 +1081,17 @@ let () =
   let info = Cmd.info "ptacli" ~version:"1.0" ~doc in
   let group =
     Cmd.group info
-      [ stats_cmd; analyze_cmd; query_cmd; serve_cmd; order_search_cmd; datalog_cmd; explain_cmd; gen_cmd ]
+      [
+        stats_cmd;
+        analyze_cmd;
+        query_cmd;
+        serve_cmd;
+        store_group_cmd;
+        order_search_cmd;
+        datalog_cmd;
+        explain_cmd;
+        gen_cmd;
+      ]
   in
   let die code msg =
     prerr_endline ("ptacli: " ^ msg);
@@ -831,6 +1100,7 @@ let () =
   let code =
     try Cmd.eval ~catch:false group with
     | e when debug -> raise e
+    | Faults.Crashed label -> die 137 (Printf.sprintf "simulated crash at fs op %S" label)
     | Solver_error.Error err -> die (Solver_error.exit_code err) (Solver_error.to_string err)
     | Bdd.Limit_exceeded reason -> die 2 ("budget exhausted: " ^ Budget.reason_to_string reason)
     | Jir.Jparser.Parse_error e -> die 1 (Printf.sprintf "line %d: %s" e.Jir.Jparser.line e.Jir.Jparser.message)

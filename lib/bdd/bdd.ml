@@ -818,21 +818,27 @@ let to_dot ?(var_name = fun i -> Printf.sprintf "x%d" i) m f =
    sub-functions across relations are written once (shared-structure
    persistence).  Layout, all integers unsigned 32-bit little-endian:
 
-     bytes 0-7    magic "WLBDD01\n"
+     bytes 0-7    magic "WLBDD02\n"
      bytes 8-19   nvars, node count N, root count R
      then N       (var, lo, hi) triples in topological (children-first)
                   order; node j has id j+2, ids 0/1 are the terminals,
                   and lo/hi must reference ids < j+2
      then R       root ids
+     last 4       CRC-32 of every preceding byte (checksummed framing)
 
-   Loading rebuilds through [mk], so hash consing re-establishes
-   canonicity in the target manager regardless of its current table
-   size, free-list state or GC history; validation rejects malformed
-   input ([Solver_error.Bad_input] carrying the byte offset) before any
-   node is interned from a bad triple. *)
+   Loading verifies the trailing checksum FIRST, so any bit rot or
+   truncation is reported as a checksum/size mismatch up front instead
+   of surfacing as a confusing structural error (or worse, decoding to
+   a wrong BDD); it then rebuilds through [mk], so hash consing
+   re-establishes canonicity in the target manager regardless of its
+   current table size, free-list state or GC history.  Structural
+   validation still rejects malformed-but-checksummed input
+   ([Solver_error.Bad_input] carrying the byte offset) before any node
+   is interned from a bad triple. *)
 
-let magic = "WLBDD01\n"
+let magic = "WLBDD02\n"
 let header_bytes = String.length magic + 12
+let trailer_bytes = 4 (* CRC-32 *)
 
 let serialize m roots =
   let buf = Buffer.create 4096 in
@@ -879,6 +885,8 @@ let serialize m roots =
   Buffer.add_int32_le buf (Int32.of_int (List.length roots));
   Buffer.add_buffer buf tri;
   List.iter (fun r -> Buffer.add_int32_le buf (Int32.of_int (Hashtbl.find ids r))) roots;
+  let body = Buffer.contents buf in
+  Buffer.add_int32_le buf (Int32.of_int (Crc32.string body));
   Buffer.contents buf
 
 let deserialize ?(source = "<bdd>") m data =
@@ -890,14 +898,21 @@ let deserialize ?(source = "<bdd>") m data =
     if v < 0 then fail off "negative field %d" v;
     v
   in
-  if len < header_bytes then fail 0 "truncated header (%d bytes)" len;
+  if len < header_bytes + trailer_bytes then fail 0 "truncated header (%d bytes)" len;
   if String.sub data 0 (String.length magic) <> magic then fail 0 "bad magic (not a %s dump)" (String.trim magic);
   let base = String.length magic in
   let nvars = u32 base in
   let nnodes = u32 (base + 4) in
   let nroots = u32 (base + 8) in
-  let expect = header_bytes + (12 * nnodes) + (4 * nroots) in
+  let expect = header_bytes + (12 * nnodes) + (4 * nroots) + trailer_bytes in
   if len <> expect then fail len "size mismatch: %d nodes + %d roots need %d bytes, file has %d" nnodes nroots expect len;
+  (* Verify the trailing CRC before trusting a single triple: bit rot
+     anywhere in the dump is one uniform, early error. *)
+  let stored_crc = Int32.to_int (String.get_int32_le data (len - trailer_bytes)) land 0xFFFFFFFF in
+  let actual_crc = Crc32.update 0 data ~pos:0 ~len:(len - trailer_bytes) in
+  if stored_crc <> actual_crc then
+    fail (len - trailer_bytes) "checksum mismatch: dump says crc32 %s, content is %s (corrupt or torn write)"
+      (Crc32.to_hex stored_crc) (Crc32.to_hex actual_crc);
   if nvars > m.nvars then extend_vars m nvars;
   let handles = Array.make (nnodes + 2) bdd_false in
   handles.(1) <- bdd_true;

@@ -148,10 +148,11 @@ val equal_blocks : man -> src:int array -> dst:int array -> t
 
 (** {2 Serialization}
 
-    A reduced shared-DAG binary dump (BuDDy [bdd_save]-style): magic,
-    variable count, node count, topologically-ordered [(var, lo, hi)]
-    triples, then root ids.  Many roots share one DAG, so a set of
-    relations persists with every common sub-function written once. *)
+    A reduced shared-DAG binary dump (BuDDy [bdd_save]-style): magic
+    [WLBDD02], variable count, node count, topologically-ordered
+    [(var, lo, hi)] triples, root ids, then a trailing CRC-32 of the
+    whole frame.  Many roots share one DAG, so a set of relations
+    persists with every common sub-function written once. *)
 
 val serialize : man -> t list -> string
 (** Dump the shared DAG reachable from [roots].  Root order is
@@ -166,6 +167,8 @@ val deserialize : ?source:string -> man -> string -> t list
 
     Raises [Solver_error.Error (Bad_input _)] — with [source] as the
     file and the byte offset in the message — on truncation, bad magic,
+    a CRC-32 mismatch (verified before any triple is parsed, so bit
+    rot and torn writes surface as one early checksum error),
     out-of-range variables or edges, non-topological or non-reduced
     triples, and variable-order violations.  No partial result escapes:
     already-interned nodes are unreachable garbage for the next

@@ -2,10 +2,25 @@
 
    The manifest is a small line-oriented text file; the BDD payload is
    one Bdd.serialize dump whose roots are the relations in manifest
-   order.  Write protocol for crash safety: every file goes through
-   temp + rename, data files are written before the manifest, and an
-   existing manifest is removed first when overwriting — the manifest's
-   presence is the commit point of the whole store. *)
+   order.  Write protocol for crash safety:
+
+   - every file goes through temp + fsync + rename + directory fsync
+     (a write barrier: the rename only becomes the commit of that file
+     once its content is durable, and the rename itself is durable
+     once the directory is);
+   - data files are written before the manifest, and an existing
+     manifest is removed first (and the removal fsynced) when
+     overwriting — the manifest's presence is the commit point of the
+     whole store;
+   - the manifest records a CRC-32 + size for every data file and a
+     CRC-32 of itself (the [selfsum] line), so any corruption between
+     save and load is reported as a structured checksum error instead
+     of a deserializer crash or, worse, silently wrong answers.
+
+   Every file-system mutation is announced through [Faults.fs_op]
+   immediately before it happens, which lets the robustness suite
+   enumerate the crash points of a save and simulate a kill at each
+   one (see test/test_store.ml's crash matrix). *)
 
 type t = {
   st_key : string;
@@ -15,12 +30,15 @@ type t = {
   st_rels : (string * Relation.t) list; (* manifest order *)
 }
 
-let format_version = 1
+(* v2: checksummed manifest + WLBDD02 checksummed BDD framing. *)
+let format_version = 2
 
 let subdir dir = Filename.concat dir "store"
 let manifest_path dir = Filename.concat (subdir dir) "manifest"
-let bdd_path dir = Filename.concat (subdir dir) "relations.bdd"
-let map_path dir dom_name = Filename.concat (subdir dir) (dom_name ^ ".map")
+let bdd_file = "relations.bdd"
+let bdd_path dir = Filename.concat (subdir dir) bdd_file
+let map_file dom_name = dom_name ^ ".map"
+let map_path dir dom_name = Filename.concat (subdir dir) (map_file dom_name)
 
 let bad ~path ~line fmt = Solver_error.raise_bad_input ~file:path ~line fmt
 
@@ -30,16 +48,62 @@ let rec mkdir_p path =
     try Sys.mkdir path 0o755 with Sys_error _ when Sys.is_directory path -> ()
   end
 
-(* Atomic write: the destination either keeps its old content or gets
-   the complete new content, never a prefix. *)
-let write_atomic path f =
+(* Directory fsync: makes a completed rename/remove durable.  Best
+   effort — some filesystems refuse to fsync a directory fd; the
+   in-file checksums still catch whatever such a crash leaves. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+
+(* Atomic durable write: the destination either keeps its old content
+   or gets the complete new content, never a prefix — and once the
+   rename is visible, the content is already on disk (fsync before
+   rename, directory fsync after).  The [Faults.fs_op] announcements
+   split the path into its crash points; a simulated kill
+   ([Faults.Crashed]) stops the protocol dead, leaving the temp file
+   behind exactly as a real kill would. *)
+let write_atomic path content =
   let tmp = path ^ ".tmp" in
-  let oc = open_out_bin tmp in
-  (try Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> f oc)
-   with e ->
+  Faults.fs_op ("create " ^ tmp);
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  let write_slice pos len =
+    let b = Bytes.unsafe_of_string content in
+    let rec go pos len =
+      if len > 0 then begin
+        let n = Unix.write fd b pos len in
+        go (pos + n) (len - n)
+      end
+    in
+    go pos len
+  in
+  (try
+     let n = String.length content in
+     let half = n / 2 in
+     Faults.fs_op ("write " ^ tmp);
+     write_slice 0 half;
+     if half < n then Faults.fs_op ("write-rest " ^ tmp);
+     write_slice half (n - half);
+     Faults.fs_op ("fsync " ^ tmp);
+     Unix.fsync fd;
+     Unix.close fd
+   with
+   | Faults.Crashed _ as e ->
+     (* Simulated process death: the kernel reclaims the descriptor
+        and nothing else runs — the partial temp file stays. *)
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e
+   | e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
      (try Sys.remove tmp with Sys_error _ -> ());
      raise e);
-  Sys.rename tmp path
+  Faults.fs_op ("rename " ^ path);
+  Sys.rename tmp path;
+  Faults.fs_op ("fsync-dir " ^ Filename.dirname path);
+  fsync_dir (Filename.dirname path)
 
 let check_name what s =
   if s = "" || String.exists (fun c -> c = ' ' || c = ':' || c = '\n' || c = '\t' || c = '/') s then
@@ -60,53 +124,82 @@ let save ~dir ~key ~config ~space ~relations =
       if String.contains v '\n' then invalid_arg "Store.save: config value contains newline")
     config;
   let doms = Space.domains space in
-  mkdir_p (subdir dir);
-  (* Invalidate any previous store before touching its data files. *)
-  (try Sys.remove (manifest_path dir) with Sys_error _ -> ());
-  List.iter
-    (fun d ->
-      check_name "domain" (Domain.name d);
-      match Domain.element_names d with
-      | None -> ()
-      | Some names ->
-        write_atomic (map_path dir (Domain.name d)) (fun oc ->
-            for i = 0 to Domain.size d - 1 do
-              output_string oc names.(i);
-              output_char oc '\n'
-            done))
-    doms;
+  List.iter (fun d -> check_name "domain" (Domain.name d)) doms;
+  (* Render every data file up front so the checksums the manifest
+     records are over the exact bytes written. *)
+  let maps =
+    List.filter_map
+      (fun d ->
+        match Domain.element_names d with
+        | None -> None
+        | Some names ->
+          let b = Buffer.create 1024 in
+          for i = 0 to Domain.size d - 1 do
+            Buffer.add_string b names.(i);
+            Buffer.add_char b '\n'
+          done;
+          Some (Domain.name d, Buffer.contents b))
+      doms
+  in
   let dump = Bdd.serialize (Space.man space) (List.map Relation.bdd relations) in
-  write_atomic (bdd_path dir) (fun oc -> output_string oc dump);
-  write_atomic (manifest_path dir) (fun oc ->
-      Printf.fprintf oc "whalelam-store %d\n" format_version;
-      Printf.fprintf oc "key %s\n" key;
-      List.iter (fun (k, v) -> Printf.fprintf oc "config %s %s\n" k v) config;
-      Printf.fprintf oc "nvars %d\n" (Space.num_vars space);
-      List.iter
-        (fun d ->
-          Printf.fprintf oc "domain %s %d %d\n" (Domain.name d) (Domain.size d)
-            (if Domain.element_names d = None then 0 else 1))
-        doms;
-      List.iter
-        (fun d ->
-          List.iter
-            (fun (b : Space.block) ->
-              Printf.fprintf oc "block %s %d %s\n" (Domain.name d) b.Space.instance
-                (String.concat " " (List.map string_of_int (Array.to_list b.Space.bits))))
-            (Space.instances space d))
-        doms;
-      List.iter
-        (fun r ->
-          Printf.fprintf oc "relation %s %s\n" (Relation.name r)
-            (String.concat " "
-               (List.map
-                  (fun (a : Relation.attr) ->
-                    Printf.sprintf "%s:%s:%d" a.Relation.attr_name
-                      (Domain.name a.Relation.block.Space.dom)
-                      a.Relation.block.Space.instance)
-                  (Relation.attrs r))))
-        relations;
-      output_string oc "end\n")
+  let checksums =
+    (bdd_file, String.length dump, Crc32.string dump)
+    :: List.map (fun (dn, content) -> (map_file dn, String.length content, Crc32.string content)) maps
+  in
+  let manifest =
+    let b = Buffer.create 1024 in
+    Printf.bprintf b "whalelam-store %d\n" format_version;
+    Printf.bprintf b "key %s\n" key;
+    List.iter (fun (k, v) -> Printf.bprintf b "config %s %s\n" k v) config;
+    Printf.bprintf b "nvars %d\n" (Space.num_vars space);
+    List.iter
+      (fun d ->
+        Printf.bprintf b "domain %s %d %d\n" (Domain.name d) (Domain.size d)
+          (if Domain.element_names d = None then 0 else 1))
+      doms;
+    List.iter
+      (fun d ->
+        List.iter
+          (fun (blk : Space.block) ->
+            Printf.bprintf b "block %s %d %s\n" (Domain.name d) blk.Space.instance
+              (String.concat " " (List.map string_of_int (Array.to_list blk.Space.bits))))
+          (Space.instances space d))
+      doms;
+    List.iter
+      (fun r ->
+        Printf.bprintf b "relation %s %s\n" (Relation.name r)
+          (String.concat " "
+             (List.map
+                (fun (a : Relation.attr) ->
+                  Printf.sprintf "%s:%s:%d" a.Relation.attr_name
+                    (Domain.name a.Relation.block.Space.dom)
+                    a.Relation.block.Space.instance)
+                (Relation.attrs r))))
+      relations;
+    List.iter
+      (fun (file, size, crc) -> Printf.bprintf b "checksum %s %d %s\n" file size (Crc32.to_hex crc))
+      checksums;
+    (* Self-checksum over every preceding byte: a flipped bit anywhere
+       above is caught before any field is believed. *)
+    Printf.bprintf b "selfsum %s\n" (Crc32.to_hex (Crc32.string (Buffer.contents b)));
+    Buffer.add_string b "end\n";
+    Buffer.contents b
+  in
+  mkdir_p (subdir dir);
+  (* Invalidate any previous store before touching its data files, and
+     make the invalidation durable: a crash after this point must read
+     as "no store", never as the old manifest over new data files. *)
+  let mpath = manifest_path dir in
+  if Sys.file_exists mpath then begin
+    Faults.fs_op ("remove " ^ mpath);
+    (try Sys.remove mpath with Sys_error _ -> ());
+    Faults.fs_op ("fsync-dir " ^ subdir dir);
+    fsync_dir (subdir dir)
+  end;
+  List.iter (fun (dn, content) -> write_atomic (map_path dir dn) content) maps;
+  write_atomic (bdd_path dir) dump;
+  (* Manifest written last = the commit point of the whole store. *)
+  write_atomic mpath manifest
 
 (* --- Manifest parsing --- *)
 
@@ -130,9 +223,36 @@ type manifest = {
   m_domains : (string * int * bool) list; (* name, size, has map *)
   m_blocks : (string * int * int array) list; (* dom, instance, bits *)
   m_relations : (string * (string * string * int) list) list; (* rel, attrs (name, dom, instance) *)
+  m_checksums : (string * int * int) list; (* file, size, crc32 *)
 }
 
 let split_ws s = String.split_on_char ' ' s |> List.filter (fun f -> f <> "")
+
+(* The manifest self-checksum: the second-to-last line must be
+   [selfsum <crc>] where <crc> is the CRC-32 of every line before it
+   (each with its '\n' back).  Verified before any field is
+   interpreted, so a corrupted manifest is one uniform structured
+   error rather than whichever field-level symptom the flip causes. *)
+let verify_selfsum path lines =
+  let arr = Array.of_list lines in
+  let n = Array.length arr in
+  if n < 3 then bad ~path ~line:n "manifest too short (%d lines)" n;
+  match split_ws arr.(n - 2) with
+  | [ "selfsum"; hex ] -> (
+    match Crc32.of_hex hex with
+    | None -> bad ~path ~line:(n - 1) "malformed selfsum value %s" hex
+    | Some recorded ->
+      let b = Buffer.create 512 in
+      for i = 0 to n - 3 do
+        Buffer.add_string b arr.(i);
+        Buffer.add_char b '\n'
+      done;
+      let actual = Crc32.string (Buffer.contents b) in
+      if actual <> recorded then
+        bad ~path ~line:(n - 1)
+          "manifest checksum mismatch: selfsum says crc32 %s, content is %s (corrupt manifest)"
+          (Crc32.to_hex recorded) (Crc32.to_hex actual))
+  | _ -> bad ~path ~line:(n - 1) "missing selfsum line before the end trailer (truncated manifest)"
 
 let parse_manifest path =
   let lines = read_lines path in
@@ -148,12 +268,14 @@ let parse_manifest path =
   (match List.rev lines with
   | "end" :: _ -> ()
   | _ -> bad ~path ~line:(List.length lines) "missing end trailer (truncated manifest)");
+  verify_selfsum path lines;
   let key = ref None
   and config = ref []
   and nvars = ref None
   and domains = ref []
   and blocks = ref []
-  and relations = ref [] in
+  and relations = ref []
+  and checksums = ref [] in
   List.iteri
     (fun i line ->
       let line_no = i + 1 in
@@ -184,6 +306,11 @@ let parse_manifest path =
             | _ -> bad ~path ~line:line_no "malformed attribute spec %s" spec
           in
           relations := (rname, List.map parse_attr attrs) :: !relations
+        | [ "checksum"; file; size; crc ] -> (
+          match Crc32.of_hex crc with
+          | Some c -> checksums := (file, int_field ~line:line_no "checksum size" size, c) :: !checksums
+          | None -> bad ~path ~line:line_no "malformed checksum value %s" crc)
+        | [ "selfsum"; _ ] -> () (* verified up front by [verify_selfsum] *)
         | _ -> bad ~path ~line:line_no "unrecognized manifest line: %s" line)
     lines;
   let require what = function
@@ -197,6 +324,7 @@ let parse_manifest path =
     m_domains = List.rev !domains;
     m_blocks = List.rev !blocks;
     m_relations = List.rev !relations;
+    m_checksums = List.rev !checksums;
   }
 
 let exists ~dir = Sys.file_exists (manifest_path dir)
@@ -214,6 +342,28 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+(* Read a data file and verify it against the manifest's recorded size
+   and CRC-32 before a single byte of it is interpreted. *)
+let verified_read ~mpath m dir file =
+  let path = Filename.concat (subdir dir) file in
+  match List.find_opt (fun (f, _, _) -> f = file) m.m_checksums with
+  | None -> bad ~path:mpath ~line:0 "no checksum recorded for %s" file
+  | Some (_, size, crc) ->
+    let data = read_file path in
+    if String.length data <> size then
+      bad ~path ~line:0 "size mismatch: manifest says %d bytes, file has %d (corrupt or torn write)" size
+        (String.length data);
+    let actual = Crc32.string data in
+    if actual <> crc then
+      bad ~path ~line:0 "checksum mismatch: manifest says crc32 %s, content is %s (corrupt store)"
+        (Crc32.to_hex crc) (Crc32.to_hex actual);
+    data
+
+let lines_of_string s =
+  match List.rev (String.split_on_char '\n' s) with
+  | "" :: rest -> List.rev rest (* drop the final newline's empty split *)
+  | _ -> String.split_on_char '\n' s
+
 let load ~dir =
   let mpath = manifest_path dir in
   if not (Sys.file_exists mpath) then bad ~path:mpath ~line:0 "no store at %s" dir;
@@ -226,7 +376,7 @@ let load ~dir =
           if not mapped then None
           else begin
             let path = map_path dir name in
-            let names = Array.of_list (read_lines path) in
+            let names = Array.of_list (lines_of_string (verified_read ~mpath m dir (map_file name))) in
             if Array.length names < size then
               bad ~path ~line:(Array.length names) "map has %d entries, domain %s needs %d" (Array.length names)
                 name size;
@@ -269,12 +419,60 @@ let load ~dir =
       m.m_relations
   in
   let bpath = bdd_path dir in
-  let roots = Bdd.deserialize ~source:bpath (Space.man space) (read_file bpath) in
+  let roots = Bdd.deserialize ~source:bpath (Space.man space) (verified_read ~mpath m dir bdd_file) in
   if List.length roots <> List.length rels then
     bad ~path:bpath ~line:0 "dump has %d roots, manifest lists %d relations" (List.length roots)
       (List.length rels);
   List.iter2 (fun (_, r) root -> Relation.set_bdd r root) rels roots;
   { st_key = m.m_key; st_config = m.m_config; st_space = space; st_domains = domains; st_rels = rels }
+
+(* --- Verification and repair --- *)
+
+type check = { chk_name : string; chk_ok : bool; chk_detail : string }
+
+let verify ~dir =
+  let checks = ref [] in
+  let push name ok detail = checks := { chk_name = name; chk_ok = ok; chk_detail = detail } :: !checks in
+  let mpath = manifest_path dir in
+  if not (Sys.file_exists mpath) then push "manifest" false (Printf.sprintf "no store at %s" dir)
+  else begin
+    (match parse_manifest mpath with
+    | exception Solver_error.Error e -> push "manifest" false (Solver_error.to_string e)
+    | m ->
+      push "manifest" true
+        (Printf.sprintf "key %s, %d relations, %d checksummed files" m.m_key (List.length m.m_relations)
+           (List.length m.m_checksums));
+      List.iter
+        (fun (file, _, _) ->
+          match verified_read ~mpath m dir file with
+          | exception Solver_error.Error e -> push file false (Solver_error.to_string e)
+          | data -> push file true (Printf.sprintf "crc32 %s, %d bytes" (Crc32.to_hex (Crc32.string data)) (String.length data)))
+        m.m_checksums);
+    if List.for_all (fun c -> c.chk_ok) !checks then
+      match load ~dir with
+      | exception Solver_error.Error e -> push "structural load" false (Solver_error.to_string e)
+      | exception e -> push "structural load" false (Printexc.to_string e)
+      | st ->
+        push "structural load" true
+          (Printf.sprintf "%d relations, %d live BDD nodes" (List.length st.st_rels)
+             (Bdd.live_nodes (Space.man st.st_space)))
+  end;
+  List.rev !checks
+
+let quarantine ~dir =
+  let sd = subdir dir in
+  if not (Sys.file_exists sd) then None
+  else begin
+    let rec fresh i =
+      let cand = Printf.sprintf "%s.broken.%d" sd i in
+      if Sys.file_exists cand then fresh (i + 1) else cand
+    in
+    let dest = fresh 1 in
+    Faults.fs_op ("rename " ^ dest);
+    Sys.rename sd dest;
+    fsync_dir dir;
+    Some dest
+  end
 
 let key t = t.st_key
 let config t = t.st_config

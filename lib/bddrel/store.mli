@@ -17,11 +17,23 @@
     The manifest carries a [key]: a content hash of the analysis
     inputs (program bytes + configuration), computed by the caller.  A
     re-run whose key matches can skip solving entirely and answer from
-    the store.  Every file is written atomically (temp file + rename)
-    and the manifest is written {e last} and removed {e first} when
-    overwriting, so an interrupted save can never leave a manifest
-    describing missing or mismatched data: the store is either
-    complete or treated as absent/invalid.
+    the store.
+
+    {b Crash safety (write barriers).}  Every file is written through
+    temp + [fsync] + rename + directory [fsync], so a visible rename
+    implies durable content; the manifest is written {e last} and
+    removed {e first} (removal fsynced) when overwriting, so an
+    interrupted or killed save can never leave a manifest describing
+    missing or mismatched data: the store is either complete or
+    treated as absent/invalid.  Every mutation is announced through
+    {!Faults.fs_op} just before it happens, so the robustness suite
+    can enumerate the crash points and simulate a kill at each one.
+
+    {b Integrity (checksums).}  The manifest records a CRC-32 and byte
+    size for each data file — verified on {!load} before a byte is
+    interpreted — plus a [selfsum] CRC-32 of the manifest itself.  Any
+    corruption is a structured checksum error naming the file and the
+    expected/actual CRC, never a crash deep in [Bdd.deserialize].
 
     Load errors are reported as [Solver_error.Error (Bad_input _)]
     with the offending file and line (or byte offset for the BDD
@@ -54,8 +66,31 @@ val read_key : dir:string -> string option
 val load : dir:string -> t
 (** Rebuild the store into a fresh {!Space}: domains (with element
     names), blocks at their saved variable ids, and every relation
-    BDD-exact.  Raises [Solver_error.Error (Bad_input _)] on a missing
-    or malformed store. *)
+    BDD-exact.  Every data file's size and CRC-32 are verified against
+    the manifest before it is parsed.  Raises
+    [Solver_error.Error (Bad_input _)] on a missing or malformed
+    store. *)
+
+(** {2 Verification and repair} *)
+
+type check = {
+  chk_name : string;  (** ["manifest"], a data file name, or ["structural load"] *)
+  chk_ok : bool;
+  chk_detail : string;  (** human-readable outcome (sizes, CRCs, or the error) *)
+}
+
+val verify : dir:string -> check list
+(** Full health check, cheapest first: manifest parse (including its
+    selfsum), per-file size + CRC-32, and — only when those pass — a
+    complete structural load.  Never raises; a store is healthy iff
+    every {!check} has [chk_ok = true].  The [ptacli store verify]
+    subcommand prints this list. *)
+
+val quarantine : dir:string -> string option
+(** Move a (presumably broken) store directory aside to
+    [<dir>/store.broken.<n>] so the next save starts clean, returning
+    the quarantine path, or [None] when there is nothing at [dir].
+    The [ptacli store repair] subcommand drives this. *)
 
 val key : t -> string
 val config : t -> (string * string) list

@@ -1,0 +1,26 @@
+(** CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) — the
+    content checksum used by the persistence layer.
+
+    Dependency-free and allocation-free after the first call (the
+    lookup table is built lazily).  Values are non-negative 32-bit
+    integers carried in OCaml [int]s; {!to_hex}/{!of_hex} give the
+    8-digit lowercase form recorded in store manifests.
+
+    Detection properties relied on by the store's corruption tests:
+    CRC-32 detects every single-byte error and every burst error up to
+    32 bits, so a random byte flip in a checksummed file is always
+    caught. *)
+
+val update : int -> string -> pos:int -> len:int -> int
+(** [update crc s ~pos ~len] extends [crc] over [s.[pos .. pos+len-1]].
+    Start from [0]; chaining [update] over consecutive slices equals
+    one pass over the concatenation. *)
+
+val string : string -> int
+(** [string s = update 0 s ~pos:0 ~len:(String.length s)]. *)
+
+val to_hex : int -> string
+(** 8 lowercase hex digits, zero-padded. *)
+
+val of_hex : string -> int option
+(** Inverse of {!to_hex}; [None] unless exactly 8 hex digits. *)

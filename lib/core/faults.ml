@@ -19,3 +19,37 @@ let corrupt_file path ~at garbage =
       ignore (Unix.lseek fd at Unix.SEEK_SET);
       let b = Bytes.of_string garbage in
       ignore (Unix.write fd b 0 (Bytes.length b)))
+
+(* --- Crash-point injection on the file-system write path --- *)
+
+exception Crashed of string
+
+let fs_hook : (string -> unit) option ref = ref None
+
+let set_fs_hook h = fs_hook := h
+
+let fs_op label =
+  match !fs_hook with
+  | Some f -> f label
+  | None -> ()
+
+let record_fs_ops f =
+  let ops = ref [] in
+  set_fs_hook (Some (fun l -> ops := l :: !ops));
+  Fun.protect
+    ~finally:(fun () -> set_fs_hook None)
+    (fun () ->
+      f ();
+      List.rev !ops)
+
+let crash_at_fs_op n f =
+  if n < 1 then invalid_arg "Faults.crash_at_fs_op: crash points are 1-based";
+  let seen = ref 0 in
+  set_fs_hook
+    (Some
+       (fun l ->
+         incr seen;
+         if !seen = n then raise (Crashed l)));
+  Fun.protect
+    ~finally:(fun () -> set_fs_hook None)
+    (fun () -> match f () with _ -> None | exception Crashed l -> Some l)

@@ -19,7 +19,10 @@ let help_lines =
     "refine                 stored refinement ratios";
     "count <relation>       tuple count of a stored relation";
     "relations              list stored relations";
+    "health                 liveness probe (uptime, key, pid)";
+    "stats                  served-query counters and per-command latency";
     "help                   this summary";
+    "quit                   end this connection";
   ]
 
 let attr_domain rel name = (Relation.find_attr rel name).Relation.block.Space.dom
@@ -116,10 +119,12 @@ let relations t =
          Printf.sprintf "%s/%d %.0f" (Relation.name rel) (Relation.arity rel) (Relation.count rel))
        (Store.relations t.store))
 
+let split_ws line =
+  String.split_on_char ' ' line |> List.concat_map (String.split_on_char '\t') |> List.filter (fun s -> s <> "")
+
 let handle t line =
   let line = match String.index_opt line '#' with Some i -> String.sub line 0 i | None -> line in
-  let toks = String.split_on_char ' ' line |> List.concat_map (String.split_on_char '\t') in
-  match List.filter (fun s -> s <> "") toks with
+  match split_ws line with
   | [] -> ok "" []
   | [ "points-to"; v ] -> resolve "points-to" t.vdom "variable" v (points_to t)
   | [ "alias"; v1; v2 ] ->
@@ -135,3 +140,147 @@ let handle t line =
   | [ "relations" ] -> relations t
   | [ "help" ] -> ok "help" help_lines
   | cmd :: _ -> err "error" "unknown or malformed query %S (try: help)" cmd
+
+(* --- Request isolation, stats, and lifecycle ------------------------
+
+   The hardened entry point the daemon drivers use: [serve_line] wraps
+   [handle] with a per-request resource budget (installed on the
+   store's BDD manager for the duration of the request), an exception
+   firewall, latency accounting, and the [health]/[stats] protocol
+   commands.  [handle] itself stays pure so the §5 evaluation logic
+   remains directly testable. *)
+
+type limits = {
+  rq_timeout_s : float option;  (** wall-clock per request *)
+  rq_max_allocs : int option;  (** fresh BDD node allocations per request *)
+  rq_max_nodes : int option;  (** live-node growth allowed per request *)
+}
+
+let no_limits = { rq_timeout_s = None; rq_max_allocs = None; rq_max_nodes = None }
+
+type latency = { mutable l_count : int; mutable l_total_us : float; mutable l_max_us : float }
+
+type server_stats = {
+  s_started : float;
+  mutable s_queries : int;
+  mutable s_ok : int;
+  mutable s_err : int;
+  mutable s_budget_kills : int;
+  mutable s_firewall_trips : int;
+  mutable s_connections : int;
+  mutable s_rejected : int;
+  s_latency : (string, latency) Hashtbl.t;
+}
+
+let make_stats () =
+  {
+    s_started = Unix.gettimeofday ();
+    s_queries = 0;
+    s_ok = 0;
+    s_err = 0;
+    s_budget_kills = 0;
+    s_firewall_trips = 0;
+    s_connections = 0;
+    s_rejected = 0;
+    s_latency = Hashtbl.create 16;
+  }
+
+let record_latency stats cmd us =
+  let l =
+    match Hashtbl.find_opt stats.s_latency cmd with
+    | Some l -> l
+    | None ->
+      let l = { l_count = 0; l_total_us = 0.0; l_max_us = 0.0 } in
+      Hashtbl.add stats.s_latency cmd l;
+      l
+  in
+  l.l_count <- l.l_count + 1;
+  l.l_total_us <- l.l_total_us +. us;
+  if us > l.l_max_us then l.l_max_us <- us
+
+let health t stats =
+  ok "health"
+    [
+      "status ok";
+      Printf.sprintf "uptime %.1fs" (Unix.gettimeofday () -. stats.s_started);
+      Printf.sprintf "pid %d" (Unix.getpid ());
+      Printf.sprintf "key %s" (Store.key t.store);
+      Printf.sprintf "relations %d" (List.length (Store.relations t.store));
+    ]
+
+let stats_lines stats =
+  let totals =
+    [
+      Printf.sprintf "uptime %.1fs" (Unix.gettimeofday () -. stats.s_started);
+      Printf.sprintf "connections %d" stats.s_connections;
+      Printf.sprintf "rejected-busy %d" stats.s_rejected;
+      Printf.sprintf "queries %d" stats.s_queries;
+      Printf.sprintf "ok %d" stats.s_ok;
+      Printf.sprintf "err %d" stats.s_err;
+      Printf.sprintf "budget-exceeded %d" stats.s_budget_kills;
+      Printf.sprintf "internal-errors %d" stats.s_firewall_trips;
+    ]
+  in
+  let per_command =
+    Hashtbl.fold (fun cmd l acc -> (cmd, l) :: acc) stats.s_latency []
+    |> List.sort compare
+    |> List.map (fun (cmd, l) ->
+           Printf.sprintf "command %s %d %.0fus avg %.0fus max" cmd l.l_count
+             (l.l_total_us /. float_of_int l.l_count)
+             l.l_max_us)
+  in
+  totals @ per_command
+
+(* GC the store's manager occasionally: query evaluation disposes its
+   intermediate relations, but their dead nodes stay in the table until
+   a collection, and a long-lived daemon must not let them pile up. *)
+let gc_every = 512
+
+type served = { outcome : outcome; latency_us : float; close : bool }
+
+let serve_line ?(limits = no_limits) ~stats t line =
+  let t0 = Unix.gettimeofday () in
+  let man = Space.man (Store.space t.store) in
+  let stripped = match String.index_opt line '#' with Some i -> String.sub line 0 i | None -> line in
+  let outcome, close =
+    match split_ws stripped with
+    | [ "health" ] -> (health t stats, false)
+    | [ "stats" ] -> (ok "stats" (stats_lines stats), false)
+    | first_tokens -> (
+      let budget =
+        if limits = no_limits then None
+        else
+          Some
+            (Budget.make ?timeout_s:limits.rq_timeout_s
+               ?max_allocations:(Option.map (fun c -> Bdd.allocations man + c) limits.rq_max_allocs)
+               ?max_live_nodes:(Option.map (fun c -> Bdd.live_nodes man + c) limits.rq_max_nodes)
+               ())
+      in
+      Bdd.set_budget man budget;
+      match Fun.protect ~finally:(fun () -> Bdd.set_budget man None) (fun () -> handle t line) with
+      | o -> (o, false)
+      | exception Bdd.Limit_exceeded reason ->
+        (* The aborted query's intermediates are already disposed
+           (evaluators use Fun.protect); collect their dead nodes now
+           so one pathological request does not inflate the live-node
+           baseline of the next. *)
+        Bdd.gc man;
+        stats.s_budget_kills <- stats.s_budget_kills + 1;
+        (err "budget" "request aborted: %s" (Budget.reason_to_string reason), false)
+      | exception Solver_error.Error e ->
+        (err "error" "%s" (Solver_error.to_string e), false)
+      | exception e ->
+        (* Exception firewall: an unexpected raise poisons only this
+           connection, never the daemon. *)
+        stats.s_firewall_trips <- stats.s_firewall_trips + 1;
+        let cmd = match first_tokens with c :: _ -> c | [] -> "?" in
+        (err "internal" "unexpected exception in %S: %s (closing this connection)" cmd (Printexc.to_string e), true))
+  in
+  let latency_us = (Unix.gettimeofday () -. t0) *. 1e6 in
+  if not (outcome.command = "" && outcome.lines = []) then begin
+    stats.s_queries <- stats.s_queries + 1;
+    if outcome.ok then stats.s_ok <- stats.s_ok + 1 else stats.s_err <- stats.s_err + 1;
+    record_latency stats (if outcome.command = "" then "?" else outcome.command) latency_us;
+    if stats.s_queries mod gc_every = 0 then Bdd.gc man
+  end;
+  { outcome; latency_us; close }

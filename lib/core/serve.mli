@@ -50,3 +50,69 @@ val handle : t -> string -> outcome
     [#] comments yield an empty successful outcome. *)
 
 val help_lines : string list
+
+(** {2 Request isolation and daemon lifecycle}
+
+    {!serve_line} is what the daemon drivers call per request: it
+    wraps {!handle} with a per-request resource budget, an exception
+    firewall, latency/error accounting, and the [health]/[stats]
+    liveness commands, so one pathological or malformed query can
+    never wedge or kill the daemon. *)
+
+type limits = {
+  rq_timeout_s : float option;  (** wall-clock seconds per request *)
+  rq_max_allocs : int option;
+      (** fresh BDD node allocations one request may make (enforced on
+          the store's manager at its amortized check sites) *)
+  rq_max_nodes : int option;  (** live-node growth one request may cause *)
+}
+
+val no_limits : limits
+
+type server_stats = {
+  s_started : float;
+  mutable s_queries : int;  (** protocol queries answered (ok or err) *)
+  mutable s_ok : int;
+  mutable s_err : int;
+  mutable s_budget_kills : int;  (** requests aborted by the per-request budget *)
+  mutable s_firewall_trips : int;  (** unexpected exceptions caught by the firewall *)
+  mutable s_connections : int;  (** maintained by the socket driver *)
+  mutable s_rejected : int;  (** connections refused with [err busy] *)
+  s_latency : (string, latency) Hashtbl.t;  (** per-command latency *)
+}
+
+and latency = { mutable l_count : int; mutable l_total_us : float; mutable l_max_us : float }
+
+val make_stats : unit -> server_stats
+
+val stats_lines : server_stats -> string list
+(** The [stats] command body: totals then per-command
+    count/avg/max latency lines; also printed at graceful shutdown. *)
+
+type served = {
+  outcome : outcome;
+  latency_us : float;
+  close : bool;
+      (** the firewall tripped: send the outcome, then close this
+          connection (the daemon itself lives on) *)
+}
+
+val serve_line : ?limits:limits -> stats:server_stats -> t -> string -> served
+(** Evaluate one request under isolation:
+
+    - [health] / [stats] are answered from [stats] without touching
+      the store;
+    - any other line runs through {!handle} with a fresh
+      {!Budget.t} (from [limits], resolved against the manager's
+      current counters) installed on the store's BDD manager —
+      exceeding it yields an [err budget] outcome, with the aborted
+      request's dead nodes collected so the next request starts from a
+      clean baseline;
+    - a structured loader error yields [err error];
+    - any other exception is the firewall case: [err internal] with
+      [close = true].
+
+    Latency and outcome counters are recorded into [stats]; the
+    manager is additionally collected every few hundred queries so a
+    long-running daemon's node table does not accumulate query
+    garbage.  Never raises. *)

@@ -1,0 +1,210 @@
+(* Soak test for the hardened request path ([Pta.Serve.serve_line]):
+   a mid-size hand-built points-to store takes ~1k mixed queries —
+   valid, malformed, unknown names, budget-blowing, and one that
+   raises an unexpected exception — and the server must
+
+   - answer every valid query identically to an independent tuple-list
+     oracle,
+   - kill over-budget requests with [err budget] and answer the very
+     next query correctly,
+   - contain unexpected exceptions to [err internal] + connection
+     close (the firewall), never a crash,
+   - keep its file-descriptor count flat, and
+   - keep its stats counters consistent with what was served. *)
+
+module Serve = Pta.Serve
+
+let tmp_dir name =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) (Printf.sprintf "whalelam-%s-%d" name (Unix.getpid ())) in
+  ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)));
+  dir
+
+let count_fds () =
+  if Sys.file_exists "/proc/self/fd" then Some (Array.length (Sys.readdir "/proc/self/fd")) else None
+
+let nv = 48
+let nh = 131072
+
+(* The oracle: plain (var, heap) tuple lists, built once, queried with
+   list operations — no BDDs anywhere near it. *)
+let heaps_of = Array.make nv []
+
+let tuples =
+  let rng = Random.State.make [| 0x5EED; 42 |] in
+  let tbl = Hashtbl.create 4096 in
+  (* v0 and v1 each point to 60k random heaps in a sparse 128k domain: [alias v0 v1]
+     must then build a large fresh intersection BDD — the
+     budget-blowing query (warm point lookups barely allocate). *)
+  for v = 0 to 1 do
+    let start = Hashtbl.length tbl in
+    while Hashtbl.length tbl - start < 60000 do
+      Hashtbl.replace tbl (v, Random.State.int rng nh) ()
+    done
+  done;
+  (* Every other variable points to a handful. *)
+  for v = 2 to nv - 1 do
+    for _ = 1 to 1 + Random.State.int rng 8 do
+      Hashtbl.replace tbl (v, Random.State.int rng nh) ()
+    done
+  done;
+  let all = List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) tbl []) in
+  List.iter (fun (v, h) -> heaps_of.(v) <- h :: heaps_of.(v)) all;
+  all
+
+let store_dir =
+  lazy
+    (let dir = tmp_dir "serve-soak" in
+     let sp = Space.create () in
+     let vdom = Domain.make ~name:"V" ~size:nv ~element_names:(Array.init nv (Printf.sprintf "v%d")) () in
+     let hdom = Domain.make ~name:"H" ~size:nh ~element_names:(Array.init nh (Printf.sprintf "h%d")) () in
+     let vb = Space.alloc sp vdom and hb = Space.alloc sp hdom in
+     let vp =
+       Relation.of_tuples sp ~name:"vP"
+         [ { Relation.attr_name = "variable"; block = vb }; { Relation.attr_name = "heap"; block = hb } ]
+         (List.map (fun (v, h) -> [| v; h |]) tuples)
+     in
+     (* A "modset" relation *without* a "method" attribute: [modref]
+        queries against it raise Not_found deep inside [handle] — the
+        protocol-reachable trigger for the exception firewall. *)
+     let modset =
+       Relation.of_tuples sp ~name:"modset"
+         [ { Relation.attr_name = "x"; block = vb }; { Relation.attr_name = "y"; block = hb } ]
+         [ [| 1; 2 |] ]
+     in
+     Store.save ~dir ~key:"soak-key" ~config:[] ~space:sp ~relations:[ vp; modset ];
+     dir)
+
+let heap_names hs = List.map (Printf.sprintf "h%d") hs
+let sorted = List.sort compare
+
+(* Generous budgets that every request runs under without tripping;
+   tight ones that the v0 fan-out must blow. *)
+let roomy = { Serve.rq_timeout_s = Some 30.0; rq_max_allocs = Some 2_000_000; rq_max_nodes = None }
+let tight = { Serve.rq_timeout_s = Some 30.0; rq_max_allocs = Some 64; rq_max_nodes = None }
+
+let check_valid (o : Serve.outcome) q =
+  if not o.Serve.ok then Alcotest.failf "query %S failed: %s" q (String.concat " | " o.Serve.lines)
+
+let check_points_to (o : Serve.outcome) q v =
+  check_valid o q;
+  Alcotest.(check (list string)) ("answer: " ^ q) (sorted (heap_names heaps_of.(v))) (sorted o.Serve.lines)
+
+let check_alias (o : Serve.outcome) q v1 v2 =
+  check_valid o q;
+  let shared = List.filter (fun h -> List.mem h heaps_of.(v2)) heaps_of.(v1) in
+  (match o.Serve.lines with
+  | head :: rest ->
+    Alcotest.(check string) ("verdict: " ^ q) (if shared = [] then "no" else "yes") head;
+    Alcotest.(check (list string)) ("heaps: " ^ q) (sorted (heap_names shared)) (sorted rest)
+  | [] -> Alcotest.failf "query %S: empty reply" q)
+
+let check_leak (o : Serve.outcome) q h =
+  check_valid o q;
+  let vars = List.filter (fun v -> List.mem h heaps_of.(v)) (List.init nv Fun.id) in
+  Alcotest.(check (list string)) ("answer: " ^ q) (sorted (List.map (Printf.sprintf "v%d") vars)) (sorted o.Serve.lines)
+
+let test_soak () =
+  let st = Store.load ~dir:(Lazy.force store_dir) in
+  let srv = Serve.make st in
+  let stats = Serve.make_stats () in
+  let ask ?(limits = roomy) line = Serve.serve_line ~limits ~stats srv line in
+  let fd0 = count_fds () in
+  let rng = Random.State.make [| 0xBADCAFE |] in
+  let malformed =
+    [| ""; "   "; "# just a comment"; "bogus"; "points-to"; "alias v1"; "points-to nosuchvar"; "leak h999999"; "count nope"; "vuln"; "refine" |]
+  in
+  let expected_served = ref 0 in
+  let soak_rounds = 1000 in
+  for i = 1 to soak_rounds do
+    (* Normal-pool variables exclude the two fan-out ones. *)
+    let rv ?(lo = 2) () = lo + Random.State.int rng (nv - lo) in
+    match i mod 10 with
+    | 0 | 1 | 2 ->
+      let v = rv () in
+      let q = Printf.sprintf "points-to v%d" v in
+      incr expected_served;
+      check_points_to (ask q).Serve.outcome q v
+    | 3 | 4 ->
+      let v1 = rv () and v2 = rv () in
+      let q = Printf.sprintf "alias v%d v%d" v1 v2 in
+      incr expected_served;
+      check_alias (ask q).Serve.outcome q v1 v2
+    | 5 ->
+      (* A heap some variable really points to, so leak lists are
+         usually non-empty. *)
+      let v = rv () in
+      let h = List.nth heaps_of.(v) (Random.State.int rng (List.length heaps_of.(v))) in
+      let q = Printf.sprintf "leak h%d" h in
+      incr expected_served;
+      check_leak (ask q).Serve.outcome q h
+    | 6 ->
+      incr expected_served;
+      let o = (ask "count vP").Serve.outcome in
+      check_valid o "count vP";
+      Alcotest.(check (list string)) "count vP" [ Printf.sprintf "vP %d" (List.length tuples) ] o.Serve.lines
+    | 7 | 8 ->
+      (* Malformed / unknown input: the reply is an error, the server
+         survives, and the connection stays open. *)
+      let q = malformed.(Random.State.int rng (Array.length malformed)) in
+      let s = ask q in
+      if not (s.Serve.outcome.Serve.command = "" && s.Serve.outcome.Serve.lines = []) then begin
+        incr expected_served;
+        Alcotest.(check bool) (Printf.sprintf "%S is an error" q) false s.Serve.outcome.Serve.ok
+      end;
+      Alcotest.(check bool) (Printf.sprintf "%S does not close" q) false s.Serve.close
+    | _ ->
+      incr expected_served;
+      let q = if i mod 2 = 0 then "health" else "stats" in
+      let o = (ask q).Serve.outcome in
+      check_valid o q;
+      if q = "health" then
+        Alcotest.(check string) "health status" "status ok" (List.hd o.Serve.lines)
+  done;
+  (* Budget isolation: the fan-out query dies with [err budget] under
+     tight limits, and the very next (normal) query still answers
+     correctly off a clean baseline. *)
+  for _ = 1 to 25 do
+    let s = ask ~limits:tight "alias v0 v1" in
+    incr expected_served;
+    Alcotest.(check string) "budget kill" "budget" s.Serve.outcome.Serve.command;
+    Alcotest.(check bool) "budget kill is an error" false s.Serve.outcome.Serve.ok;
+    Alcotest.(check bool) "budget kill keeps the connection" false s.Serve.close;
+    let v = 2 + Random.State.int rng (nv - 2) in
+    let q = Printf.sprintf "points-to v%d" v in
+    incr expected_served;
+    check_points_to (ask q).Serve.outcome q v
+  done;
+  Alcotest.(check bool) "budget kills recorded" true (stats.Serve.s_budget_kills >= 25);
+  (* The untight fan-out still works: correctness is not sacrificed. *)
+  incr expected_served;
+  check_points_to (ask "points-to v0").Serve.outcome "points-to v0" 0;
+  (* Firewall: the crafted modset relation makes [modref] raise
+     Not_found inside evaluation; the reply is [err internal] with a
+     connection close, and the server keeps answering. *)
+  for _ = 1 to 3 do
+    let s = ask "modref v1" in
+    incr expected_served;
+    Alcotest.(check string) "firewall reply" "internal" s.Serve.outcome.Serve.command;
+    Alcotest.(check bool) "firewall closes the connection" true s.Serve.close;
+    incr expected_served;
+    check_points_to (ask "points-to v3").Serve.outcome "points-to v3" 3
+  done;
+  Alcotest.(check int) "firewall trips recorded" 3 stats.Serve.s_firewall_trips;
+  (* Descriptor stability across the whole soak. *)
+  (match (fd0, count_fds ()) with
+  | Some before, Some after -> Alcotest.(check int) "fd count stable" before after
+  | _ -> ());
+  (* Stats consistency. *)
+  Alcotest.(check int) "queries counted" !expected_served stats.Serve.s_queries;
+  Alcotest.(check int) "ok + err = queries" stats.Serve.s_queries (stats.Serve.s_ok + stats.Serve.s_err);
+  let latency_total =
+    Hashtbl.fold (fun _ (l : Serve.latency) acc -> acc + l.Serve.l_count) stats.Serve.s_latency 0
+  in
+  Alcotest.(check int) "latency rows cover every query" stats.Serve.s_queries latency_total;
+  let lines = Serve.stats_lines stats in
+  Alcotest.(check bool) "stats_lines mentions budget kills" true
+    (List.exists (fun l -> l = Printf.sprintf "budget-exceeded %d" stats.Serve.s_budget_kills) lines)
+
+let () =
+  Alcotest.run "serve"
+    [ ("soak", [ Alcotest.test_case "1k mixed queries: correct, isolated, fd-stable" `Quick test_soak ]) ]

@@ -172,16 +172,16 @@ let test_corruption () =
   List.iteri (fun i l -> if i < List.length lines - 1 then output_string oc (l ^ "\n")) lines;
   close_out oc;
   expect_bad_input "truncated manifest" (fun () -> Store.load ~dir);
-  (* Flipped byte in the middle of the BDD dump. *)
+  (* Flipped byte in the middle of the BDD dump: the manifest CRC must
+     reject it before the deserializer sees a single triple. *)
   let dir = copy "store-badbdd" in
   let bddfile = Filename.concat (Filename.concat dir "store") "relations.bdd" in
   let data = In_channel.with_open_bin bddfile In_channel.input_all in
   let b = Bytes.of_string data in
-  Bytes.set b (String.length data / 2) '\xff';
+  let mid = String.length data / 2 in
+  Bytes.set b mid (Char.chr (Char.code (Bytes.get b mid) lxor 0x5A));
   Out_channel.with_open_bin bddfile (fun oc -> Out_channel.output_bytes oc b);
-  (match Store.load ~dir with
-  | _ -> () (* a byte flip may still decode to some valid BDD... *)
-  | exception Solver_error.Error (Solver_error.Bad_input _) -> ());
+  expect_bad_input "flipped BDD dump byte" (fun () -> Store.load ~dir);
   (* Missing manifest = no store at all. *)
   let dir = copy "store-nomanifest" in
   Sys.remove (Filename.concat (Filename.concat dir "store") "manifest");
@@ -211,6 +211,173 @@ let test_overwrite () =
   | None -> Alcotest.fail "new relation missing"
   | Some r -> Alcotest.(check (float 0.0)) "new relation contents" 1.0 (Relation.count r)
 
+(* --- Crash-point matrix ---------------------------------------------
+
+   Two small hand-built stores, A then B, saved to the same directory.
+   [Faults.record_fs_ops] enumerates every file-system mutation the
+   B-save makes; then, for each op index, we re-prime the directory
+   with A and simulate a kill exactly there ([Faults.crash_at_fs_op]).
+   Reopening after the crash must yield exactly A, exactly B, or a
+   cleanly absent store — never a hang, a partial load, or a mix — and
+   a subsequent save must recover to a healthy B despite whatever temp
+   debris the crash left. *)
+
+let named_domain name size =
+  Domain.make ~name ~size
+    ~element_names:(Array.init size (Printf.sprintf "%s%d" (String.lowercase_ascii name)))
+    ()
+
+let save_a dir =
+  let sp = Space.create () in
+  let b = Space.alloc sp (named_domain "D" 8) in
+  let one = Relation.of_tuples sp ~name:"one" [ { Relation.attr_name = "x"; block = b } ] [ [| 3 |]; [| 5 |] ] in
+  Store.save ~dir ~key:"kA" ~config:[ ("gen", "A") ] ~space:sp ~relations:[ one ]
+
+let save_b dir =
+  let sp = Space.create () in
+  let bd = Space.alloc sp (named_domain "D" 8) in
+  let be = Space.alloc sp (named_domain "E" 4) in
+  let two = Relation.of_tuples sp ~name:"two" [ { Relation.attr_name = "x"; block = bd } ] [ [| 1 |] ] in
+  let three =
+    Relation.of_tuples sp ~name:"three"
+      [ { Relation.attr_name = "x"; block = bd }; { Relation.attr_name = "y"; block = be } ]
+      [ [| 0; 2 |]; [| 7; 3 |]; [| 4; 1 |] ]
+  in
+  Store.save ~dir ~key:"kB" ~config:[ ("gen", "B") ] ~space:sp ~relations:[ two; three ]
+
+let check_store_is ctx which dir =
+  let st = Store.load ~dir in
+  let count name = match Store.find st name with Some r -> Relation.count r | None -> -1.0 in
+  (match which with
+  | `A ->
+    Alcotest.(check string) (ctx ^ ": key") "kA" (Store.key st);
+    Alcotest.(check (float 0.0)) (ctx ^ ": one") 2.0 (count "one");
+    Alcotest.(check bool) (ctx ^ ": no two") true (Store.find st "two" = None)
+  | `B ->
+    Alcotest.(check string) (ctx ^ ": key") "kB" (Store.key st);
+    Alcotest.(check (float 0.0)) (ctx ^ ": two") 1.0 (count "two");
+    Alcotest.(check (float 0.0)) (ctx ^ ": three") 3.0 (count "three");
+    Alcotest.(check bool) (ctx ^ ": no one") true (Store.find st "one" = None));
+  (* A loadable store must also be fully healthy under verify. *)
+  List.iter
+    (fun (c : Store.check) ->
+      if not c.Store.chk_ok then Alcotest.failf "%s: verify check %s failed: %s" ctx c.Store.chk_name c.Store.chk_detail)
+    (Store.verify ~dir)
+
+let starts_with prefix s = String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
+
+let test_crash_matrix () =
+  (* Enumerate the crash points of an overwriting save on a scratch
+     directory (the recording run really performs the save). *)
+  let scratch = tmp_dir "store-crash-scratch" in
+  save_a scratch;
+  let ops = Faults.record_fs_ops (fun () -> save_b scratch) in
+  let n = List.length ops in
+  Printf.printf "crash matrix: %d crash points\n%!" n;
+  Alcotest.(check bool) "save exposes a real crash surface (>= 20 ops)" true (n >= 20);
+  (* Ordering invariants of the write protocol itself. *)
+  let arr = Array.of_list ops in
+  Alcotest.(check bool) "overwrite invalidates the old manifest first" true
+    (starts_with "remove " arr.(0) && Filename.basename arr.(0) = "manifest");
+  Alcotest.(check bool) "manifest removal is fsynced" true (starts_with "fsync-dir " arr.(1));
+  Alcotest.(check bool) "manifest rename is the commit point (second-to-last op)" true
+    (starts_with "rename " arr.(n - 2) && Filename.basename arr.(n - 2) = "manifest");
+  Alcotest.(check bool) "commit rename is made durable (last op)" true (starts_with "fsync-dir " arr.(n - 1));
+  Array.iteri
+    (fun i op ->
+      if starts_with "rename " op then begin
+        let target = String.sub op 7 (String.length op - 7) in
+        Alcotest.(check string)
+          (Printf.sprintf "op %d: rename of %s preceded by its temp fsync" (i + 1) target)
+          ("fsync " ^ target ^ ".tmp") arr.(i - 1)
+      end)
+    arr;
+  (* The matrix: kill at every single crash point, then reopen. *)
+  let dir = tmp_dir "store-crash" in
+  for i = 1 to n do
+    ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)));
+    save_a dir;
+    (match Faults.crash_at_fs_op i (fun () -> save_b dir) with
+    | None -> Alcotest.failf "crash point %d/%d never fired" i n
+    | Some label ->
+      let ctx = Printf.sprintf "crash %d/%d (%s)" i n label in
+      (match Store.read_key ~dir with
+      | None ->
+        (* Cleanly absent: exists agrees and load fails structurally. *)
+        Alcotest.(check bool) (ctx ^ ": absent store does not exist") false (Store.exists ~dir);
+        expect_bad_input (ctx ^ ": absent load") (fun () -> Store.load ~dir)
+      | Some "kA" -> check_store_is ctx `A dir
+      | Some "kB" -> check_store_is ctx `B dir
+      | Some other -> Alcotest.failf "%s: impossible store key %S" ctx other);
+      (* Recovery: a fresh save over the debris must yield a healthy B. *)
+      save_b dir;
+      check_store_is (ctx ^ ": recovery save") `B dir)
+  done
+
+(* --- Byte-flip fuzz -------------------------------------------------
+   Every single-byte corruption of every store file must surface as a
+   structured [Bad_input] — never an assert, a deserializer crash, or
+   a silently wrong load. *)
+
+let test_byte_flip_fuzz () =
+  let dir = tmp_dir "store-fuzz" in
+  save_b dir;
+  let sd = Filename.concat dir "store" in
+  let files = [ "manifest"; "relations.bdd"; "D.map"; "E.map" ] in
+  let rng = Random.State.make [| 0xC0FFEE |] in
+  List.iter
+    (fun file ->
+      let path = Filename.concat sd file in
+      let pristine = In_channel.with_open_bin path In_channel.input_all in
+      let len = String.length pristine in
+      for _ = 1 to 25 do
+        let pos = Random.State.int rng len in
+        let flip = 1 + Random.State.int rng 255 in
+        let b = Bytes.of_string pristine in
+        Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor flip));
+        Out_channel.with_open_bin path (fun oc -> Out_channel.output_bytes oc b);
+        let ctx = Printf.sprintf "%s byte %d xor %#x" file pos flip in
+        (match Store.load ~dir with
+        | _ -> Alcotest.failf "%s: corruption loaded successfully" ctx
+        | exception Solver_error.Error (Solver_error.Bad_input _) -> ()
+        | exception e -> Alcotest.failf "%s: unstructured failure %s" ctx (Printexc.to_string e));
+        Alcotest.(check bool) (ctx ^ ": verify flags it") true
+          (List.exists (fun (c : Store.check) -> not c.Store.chk_ok) (Store.verify ~dir));
+        (* Restore the pristine bytes for the next flip. *)
+        Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc pristine)
+      done)
+    files;
+  check_store_is "pristine after fuzz" `B dir
+
+(* --- verify / quarantine -------------------------------------------- *)
+
+let test_verify_quarantine () =
+  let dir = tmp_dir "store-verify" in
+  save_b dir;
+  let checks = Store.verify ~dir in
+  (* manifest + relations.bdd + D.map + E.map + structural load *)
+  Alcotest.(check int) "check count" 5 (List.length checks);
+  Alcotest.(check bool) "healthy" true (List.for_all (fun (c : Store.check) -> c.Store.chk_ok) checks);
+  Alcotest.(check bool) "nothing to quarantine elsewhere" true (Store.quarantine ~dir:(dir ^ "-none") = None);
+  (match Store.verify ~dir:(dir ^ "-none") with
+  | [ c ] -> Alcotest.(check bool) "missing store is one failing check" false c.Store.chk_ok
+  | l -> Alcotest.failf "missing store: expected one check, got %d" (List.length l));
+  Faults.corrupt_file (Filename.concat (Filename.concat dir "store") "relations.bdd") ~at:10 "XYZ";
+  Alcotest.(check bool) "corruption detected" true
+    (List.exists (fun (c : Store.check) -> not c.Store.chk_ok) (Store.verify ~dir));
+  (match Store.quarantine ~dir with
+  | None -> Alcotest.fail "expected a quarantine destination"
+  | Some dest ->
+    Alcotest.(check bool) "quarantine dir exists" true (Sys.is_directory dest);
+    Alcotest.(check bool) "store gone after quarantine" false (Store.exists ~dir));
+  (* The next save starts clean and is healthy again; a second
+     quarantine picks a fresh suffix. *)
+  save_b dir;
+  check_store_is "rebuilt after quarantine" `B dir;
+  match Store.quarantine ~dir with
+  | Some dest2 -> Alcotest.(check bool) "fresh quarantine suffix" true (Filename.check_suffix dest2 ".broken.2")
+  | None -> Alcotest.fail "second quarantine refused"
+
 let () =
   Alcotest.run "store"
     [
@@ -219,4 +386,10 @@ let () =
       ("serving", [ Alcotest.test_case "100+ warm queries match fresh answers, 10x faster" `Quick test_warm_serve_batch ]);
       ("robustness", [ Alcotest.test_case "corrupt stores rejected" `Quick test_corruption ]);
       ("overwrite", [ Alcotest.test_case "re-save replaces the store atomically" `Quick test_overwrite ]);
+      ( "crash-safety",
+        [
+          Alcotest.test_case "kill at every fs op: reopen is old, new, or cleanly absent" `Quick test_crash_matrix;
+          Alcotest.test_case "every byte flip in every file is a structured error" `Quick test_byte_flip_fuzz;
+          Alcotest.test_case "verify and quarantine" `Quick test_verify_quarantine;
+        ] );
     ]
