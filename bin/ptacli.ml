@@ -558,26 +558,37 @@ let query_cmd =
    The fault-tolerant daemon driver.  `Pta.Serve.serve_line` does the
    per-request work (budget, firewall, stats); this layer owns the
    process lifecycle: stale-socket detection, a bounded concurrent
-   accept loop (one thread per connection, evaluation serialized by a
-   mutex because the BDD manager is single-threaded), `err busy`
-   backpressure at capacity, EINTR-safe accept, and SIGTERM/SIGINT
-   graceful shutdown that drains in-flight requests, removes the
-   socket file and prints final stats. *)
+   accept loop (one thread per connection doing I/O, evaluation
+   dispatched onto a pool of worker domains each owning a private
+   evaluation ctx over the frozen store), `err busy` backpressure at
+   capacity, EINTR-safe accept, and SIGTERM/SIGINT graceful shutdown
+   that drains in-flight requests, joins the pool, removes the socket
+   file and prints final stats. *)
 
 (* Probe an existing socket path: connect succeeding means a live
    daemon owns it (refuse to clobber); connection refused means the
    previous daemon died without cleanup (unlink the stale file); a
-   non-socket at the path is never removed. *)
+   non-socket at the path is never removed.
+
+   The connect is EINTR-safe: a signal (e.g. a SIGTERM aimed at a
+   previous instance mid-restart) interrupting the probe must not
+   misclassify a live daemon as stale.  After EINTR the connection may
+   complete asynchronously, so a retry answering EALREADY/EISCONN also
+   means alive. *)
 let prepare_socket_path path =
   if Sys.file_exists path then begin
     match (Unix.stat path).Unix.st_kind with
     | Unix.S_SOCK ->
       let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
       let alive =
-        try
-          Unix.connect probe (Unix.ADDR_UNIX path);
-          true
-        with Unix.Unix_error _ -> false
+        let rec connect_probe () =
+          match Unix.connect probe (Unix.ADDR_UNIX path) with
+          | () -> true
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> connect_probe ()
+          | exception Unix.Unix_error ((Unix.EALREADY | Unix.EISCONN), _, _) -> true
+          | exception Unix.Unix_error _ -> false
+        in
+        connect_probe ()
       in
       (try Unix.close probe with Unix.Unix_error _ -> ());
       if alive then begin
@@ -594,7 +605,7 @@ let prepare_socket_path path =
   end
 
 let serve_cmd =
-  let run dir socket max_clients req_timeout req_max_allocs req_max_nodes =
+  let run dir socket max_clients workers req_timeout req_max_allocs req_max_nodes =
     let st = Store.load ~dir in
     let srv = Pta.Serve.make st in
     let stats = Pta.Serve.make_stats () in
@@ -610,19 +621,16 @@ let serve_cmd =
       dir
       (String.sub (Store.key st) 0 12);
     let shutdown = ref false in
-    let in_request = ref false in
-    (* The BDD manager is single-threaded: connection threads overlap
-       on I/O but evaluation itself is serialized here. *)
-    let eval_mutex = Mutex.create () in
-    let serve_locked line =
-      Mutex.lock eval_mutex;
+    (* Evaluation runs on a pool of worker domains, each with a
+       private ctx over the frozen store; connection threads only do
+       I/O and block in [Pool.run] until their answer is ready. *)
+    let pool = Pta.Serve.Pool.create ~limits ~stats ~workers srv in
+    let in_flight = Atomic.make 0 in
+    let serve_pooled line =
+      Atomic.incr in_flight;
       Fun.protect
-        ~finally:(fun () ->
-          in_request := false;
-          Mutex.unlock eval_mutex)
-        (fun () ->
-          in_request := true;
-          Pta.Serve.serve_line ~limits ~stats srv line)
+        ~finally:(fun () -> Atomic.decr in_flight)
+        (fun () -> Pta.Serve.Pool.run pool line)
     in
     (* Per query: one header line "ok|err <command> <rows> <latency>"
        on stdout, then the result rows.  The banner and shutdown notes
@@ -635,7 +643,7 @@ let serve_cmd =
            let line = input_line ic in
            if String.trim line = "quit" then continue := false
            else begin
-             let s = serve_locked line in
+             let s = serve_pooled line in
              let o = s.Pta.Serve.outcome in
              if not (o.Pta.Serve.command = "" && o.Pta.Serve.lines = []) then begin
                incr served;
@@ -665,15 +673,16 @@ let serve_cmd =
          requests exits immediately; mid-request it drains first. *)
       let handler _ =
         shutdown := true;
-        if not !in_request then begin
+        if Atomic.get in_flight = 0 then begin
           print_final ();
           exit 0
         end
       in
       Sys.set_signal Sys.sigterm (Sys.Signal_handle handler);
       Sys.set_signal Sys.sigint (Sys.Signal_handle handler);
-      stats.Pta.Serve.s_connections <- 1;
+      Atomic.incr stats.Pta.Serve.s_connections;
       let n = handle_channel stdin stdout in
+      Pta.Serve.Pool.shutdown pool;
       Printf.eprintf "serve: done (%d queries)\n%!" n;
       print_final ()
     | Some path ->
@@ -685,8 +694,14 @@ let serve_cmd =
       Unix.bind fd (Unix.ADDR_UNIX path);
       Unix.listen fd 16;
       Printf.eprintf
-        "serve: listening on %s (max %d concurrent connections; 'quit' ends a connection; SIGTERM drains and exits)\n%!"
-        path max_clients;
+        "serve: listening on %s (max %d concurrent connections, %d worker domain%s; 'quit' ends a connection; \
+         SIGTERM drains and exits)\n%!"
+        path max_clients
+        (Pta.Serve.Pool.workers pool)
+        (if Pta.Serve.Pool.workers pool = 1 then "" else "s");
+      (* conn_mutex guards all of: active, conn_fds, threads.  The
+         shutdown path reads them from the main thread while
+         connection workers mutate them. *)
       let conn_mutex = Mutex.create () in
       let active = ref 0 in
       let conn_fds : (int, Unix.file_descr) Hashtbl.t = Hashtbl.create 8 in
@@ -726,7 +741,7 @@ let serve_cmd =
           Mutex.unlock conn_mutex;
           if full then begin
             (* Backpressure: explicit err busy reply, then hang up. *)
-            stats.Pta.Serve.s_rejected <- stats.Pta.Serve.s_rejected + 1;
+            Atomic.incr stats.Pta.Serve.s_rejected;
             let oc = Unix.out_channel_of_descr cfd in
             (try
                Printf.fprintf oc "err busy 0 0us\nserver at capacity (%d connections); retry later\n" max_clients;
@@ -735,28 +750,34 @@ let serve_cmd =
             try Unix.close cfd with Unix.Unix_error _ -> ()
           end
           else begin
-            stats.Pta.Serve.s_connections <- stats.Pta.Serve.s_connections + 1;
+            Atomic.incr stats.Pta.Serve.s_connections;
             incr next_id;
             let id = !next_id in
             Mutex.lock conn_mutex;
             Hashtbl.replace conn_fds id cfd;
-            Mutex.unlock conn_mutex;
-            threads := Thread.create worker (id, cfd) :: !threads
+            threads := Thread.create worker (id, cfd) :: !threads;
+            Mutex.unlock conn_mutex
           end;
           loop ()
       in
       loop ();
-      (* Graceful shutdown: stop accepting, half-close every live
-         connection so blocked readers see EOF once their in-flight
-         request has been answered, then drain the workers, remove the
-         socket file and print final stats. *)
+      (* Graceful shutdown, in order: stop accepting; half-close every
+         live connection so blocked readers see EOF once their
+         in-flight request has been answered; join the connection
+         threads (each drains through [Pool.run] first); only then
+         shut the pool down and join the worker domains; finally
+         remove the socket file and print stats.  The pool must
+         outlive the connection threads or an in-flight [Pool.run]
+         would bounce with [err shutdown]. *)
       (try Unix.close fd with Unix.Unix_error _ -> ());
       Mutex.lock conn_mutex;
       Hashtbl.iter
         (fun _ cfd -> try Unix.shutdown cfd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
         conn_fds;
+      let conn_threads = !threads in
       Mutex.unlock conn_mutex;
-      List.iter (fun t -> try Thread.join t with _ -> ()) !threads;
+      List.iter (fun t -> try Thread.join t with _ -> ()) conn_threads;
+      Pta.Serve.Pool.shutdown pool;
       (try Sys.remove path with Sys_error _ -> ());
       print_final ()
   in
@@ -779,6 +800,16 @@ let serve_cmd =
       & opt int 8
       & info [ "max-clients" ] ~docv:"N"
           ~doc:"Concurrent connection cap; further clients get an explicit $(b,err busy) reply.")
+  in
+  let workers =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Worker domains evaluating queries in parallel over the frozen store (each with a private \
+             operation cache and node arena).  1 (default) serializes evaluation as before; values up to \
+             the core count scale warm-query throughput near-linearly.")
   in
   let req_timeout =
     Arg.(
@@ -809,8 +840,9 @@ let serve_cmd =
           (points-to, alias, leak, modref, vuln, refine, health, stats, ...) from the solved relations, \
           printing per-query latency and row counts.  Per-request budgets, an exception firewall, bounded \
           concurrency with $(b,err busy) backpressure, and SIGTERM/SIGINT graceful shutdown keep one bad \
-          query or client from taking the daemon down.  'help' lists the protocol.")
-    Term.(const run $ dir $ socket $ max_clients $ req_timeout $ req_max_allocs $ req_max_nodes)
+          query or client from taking the daemon down.  $(b,--workers N) evaluates queries on a pool of \
+          worker domains over the frozen store.  'help' lists the protocol.")
+    Term.(const run $ dir $ socket $ max_clients $ workers $ req_timeout $ req_max_allocs $ req_max_nodes)
 
 (* --- store verify / repair --- *)
 

@@ -237,3 +237,89 @@ val to_dot : ?var_name:(int -> string) -> man -> t -> string
 (** Graphviz rendering of the DAG: solid edges for high (1) branches,
     dashed for low (0); terminals as boxes.  [var_name] labels the
     decision nodes (default ["x<i>"]). *)
+
+(** {2 Frozen spaces and per-domain evaluation contexts}
+
+    Multicore warm-query serving: {!freeze} snapshots the manager into
+    an immutable value that any number of domains may read in parallel,
+    and {!eval_ctx} gives one domain a private arena for the fresh
+    nodes its queries allocate.  Freezing never renumbers, so every
+    live handle (a relation root, a cube) denotes exactly the same
+    function in the frozen space — frozen evaluation is bit-identical
+    to the live evaluator.
+
+    Ownership rules: a [frozen] is immutable and freely shareable; a
+    [ctx] belongs to exactly one domain at a time and must not be used
+    concurrently.  Handles returned by ctx operations are meaningful
+    only together with that ctx (handles below the frozen base are
+    also valid against the frozen space and any other ctx over it).
+    No ctx operation writes shared state, takes a lock, or touches the
+    originating manager. *)
+
+type frozen
+(** An immutable snapshot of a manager: packed node array compacted by
+    GC, read-only unique table. *)
+
+val freeze : man -> frozen
+(** [freeze m] collects [m] (dropping garbage) and snapshots the node
+    table.  Handles that were live at freeze time remain valid frozen
+    handles; the manager itself stays fully usable afterwards, and its
+    later mutations do not affect the snapshot. *)
+
+val frozen_nvars : frozen -> int
+
+val frozen_live_nodes : frozen -> int
+(** Live nodes captured by the snapshot (terminals excluded). *)
+
+type ctx
+(** A per-domain evaluation context over one frozen space: its own
+    operation cache and node arena for query-local intermediates,
+    disposed wholesale by {!ctx_reset}. *)
+
+val eval_ctx : ?node_hint:int -> ?cache_bits:int -> frozen -> ctx
+(** [node_hint] sizes the initial arena (default 4K nodes); the arena
+    grows by doubling.  [cache_bits] sizes the ctx operation cache at
+    [2^cache_bits] stride-6 entries (default 14). *)
+
+val ctx_frozen : ctx -> frozen
+
+val ctx_reset : ctx -> unit
+(** Dispose every node allocated in the ctx since the last reset — the
+    per-request wholesale disposal the query daemon relies on.  O(ctx
+    live nodes).  Cache entries whose operands and result are all
+    frozen survive (repeated warm queries stay cached across
+    requests); entries touching disposed ctx nodes are invalidated by
+    a generation stamp. *)
+
+val ctx_set_budget : ctx -> Budget.t option -> unit
+(** Per-ctx budget, enforced like {!set_budget}: tested on the ctx's
+    fresh-allocation path every {!budget_check_interval} allocations,
+    raising {!Limit_exceeded}.  Aborting leaves the ctx consistent;
+    {!ctx_reset} reclaims the partial work. *)
+
+val ctx_allocations : ctx -> int
+(** Total ctx-local fresh-node allocations since creation (never
+    reset; the analogue of {!allocations}). *)
+
+val ctx_live_nodes : ctx -> int
+(** Ctx-local nodes allocated since the last {!ctx_reset}. *)
+
+val ctx_cache_stats : ctx -> int * int
+(** (hits, misses) of this ctx's operation cache. *)
+
+val ctx_ithvar : ctx -> int -> t
+val ctx_nithvar : ctx -> int -> t
+val ctx_not : ctx -> t -> t
+val ctx_and : ctx -> t -> t -> t
+val ctx_or : ctx -> t -> t -> t
+val ctx_diff : ctx -> t -> t -> t
+val ctx_exist : ctx -> cube:t -> t -> t
+val ctx_relprod : ctx -> cube:t -> t -> t -> t
+val ctx_cube_of_vars : ctx -> int list -> t
+val ctx_const_value : ctx -> bits:int array -> int -> t
+
+val ctx_satcount : ctx -> vars:int array -> t -> float
+(** As {!satcount}, against the ctx's view of the space. *)
+
+val ctx_iter_sat : ctx -> vars:int array -> (bool array -> unit) -> t -> unit
+(** As {!iter_sat}, against the ctx's view of the space. *)

@@ -229,3 +229,85 @@ let compose a b away =
   let r = make a.sp ~name:(a.rel_name ^ "*" ^ b.rel_name) keep in
   set_bdd r (Bdd.relprod (man a) ~cube !(a.root) !(b.root));
   r
+
+(* --- Frozen relation handles ---------------------------------------
+
+   A [frozen] is a relation value against a frozen space: name, attrs,
+   root handle.  It is immutable and shareable across domains; the
+   _ctx operations below mirror the live algebra but allocate only in
+   the caller's ctx, so any number of domains can evaluate over the
+   same frozen relations with no shared-state writes and no disposal
+   bookkeeping (a ctx_reset reclaims everything at once). *)
+
+type frozen = { fr_name : string; fr_attrs : attr array; fr_bdd : Bdd.t }
+
+let freeze r = { fr_name = r.rel_name; fr_attrs = r.attributes; fr_bdd = !(r.root) }
+
+let frozen_name fr = fr.fr_name
+let frozen_attrs fr = Array.to_list fr.fr_attrs
+let frozen_arity fr = Array.length fr.fr_attrs
+let frozen_bdd fr = fr.fr_bdd
+
+let frozen_find_attr fr n =
+  match Array.find_opt (fun a -> a.attr_name = n) fr.fr_attrs with
+  | Some a -> a
+  | None -> raise Not_found
+
+let select_ctx ctx fr attr_name v =
+  let a = frozen_find_attr fr attr_name in
+  { fr with fr_bdd = Bdd.ctx_and ctx fr.fr_bdd (Space.const_ctx ctx a.block v) }
+
+let project_ctx ctx fr keep =
+  let kept = List.map (fun n -> frozen_find_attr fr n) keep in
+  let away =
+    List.filter (fun a -> not (List.exists (fun k -> k.attr_name = a.attr_name) kept)) (frozen_attrs fr)
+  in
+  let cube = Space.cube_of_blocks_ctx ctx (List.map (fun a -> a.block) away) in
+  { fr_name = fr.fr_name; fr_attrs = Array.of_list kept; fr_bdd = Bdd.ctx_exist ctx ~cube fr.fr_bdd }
+
+let inter_ctx ctx a b =
+  let same =
+    Array.length a.fr_attrs = Array.length b.fr_attrs
+    && Array.for_all2 (fun (x : attr) (y : attr) -> x.attr_name = y.attr_name && x.block == y.block) a.fr_attrs
+         b.fr_attrs
+  in
+  if not same then invalid_arg "Relation.inter_ctx: schema mismatch";
+  { a with fr_bdd = Bdd.ctx_and ctx a.fr_bdd b.fr_bdd }
+
+(* Mirror of [var_layout] over the frozen attribute array. *)
+let frozen_var_layout fr =
+  let all = Array.concat (Array.to_list (Array.map (fun a -> a.block.Space.bits) fr.fr_attrs)) in
+  let sorted = Array.copy all in
+  Array.sort compare sorted;
+  let pos = Hashtbl.create (Array.length sorted) in
+  Array.iteri (fun i v -> Hashtbl.replace pos v i) sorted;
+  let index = Array.map (fun a -> Array.map (fun v -> Hashtbl.find pos v) a.block.Space.bits) fr.fr_attrs in
+  (sorted, index)
+
+let iter_tuples_ctx ctx fr yield =
+  let sorted, index = frozen_var_layout fr in
+  let n_attrs = Array.length fr.fr_attrs in
+  Bdd.ctx_iter_sat ctx ~vars:sorted
+    (fun assignment ->
+      let tuple = Array.make n_attrs 0 in
+      let in_range = ref true in
+      for i = 0 to n_attrs - 1 do
+        let bits = index.(i) in
+        let v = ref 0 in
+        for b = Array.length bits - 1 downto 0 do
+          v := (!v * 2) lor if assignment.(bits.(b)) then 1 else 0
+        done;
+        tuple.(i) <- !v;
+        if !v >= Domain.size fr.fr_attrs.(i).block.Space.dom then in_range := false
+      done;
+      if !in_range then yield tuple)
+    fr.fr_bdd
+
+let tuples_ctx ctx fr =
+  let acc = ref [] in
+  iter_tuples_ctx ctx fr (fun t -> acc := t :: !acc);
+  List.rev !acc
+
+let count_ctx ctx fr =
+  let sorted, _ = frozen_var_layout fr in
+  Bdd.ctx_satcount ctx ~vars:sorted fr.fr_bdd

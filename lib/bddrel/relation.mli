@@ -87,3 +87,32 @@ val join : t -> t -> t
 val compose : t -> t -> string list -> t
 (** [compose r1 r2 away] = [project_away (join r1 r2) away], fused via
     [Bdd.relprod]. *)
+
+(** {2 Frozen relation handles}
+
+    Immutable relation values against a {!Space.frozen}: shareable
+    across domains, evaluated with the [_ctx] operations below, which
+    allocate only in the caller's {!Bdd.ctx} — no disposal needed, a
+    {!Bdd.ctx_reset} reclaims every intermediate at once. *)
+
+type frozen
+
+val freeze : t -> frozen
+(** Capture the relation's current contents.  Must be taken before the
+    owning space is frozen (the root handle must be live at
+    {!Space.freeze} time for the snapshot to contain it). *)
+
+val frozen_name : frozen -> string
+val frozen_attrs : frozen -> attr list
+val frozen_arity : frozen -> int
+val frozen_bdd : frozen -> Bdd.t
+
+val frozen_find_attr : frozen -> string -> attr
+(** Raises [Not_found], like {!find_attr}. *)
+
+val select_ctx : Bdd.ctx -> frozen -> string -> int -> frozen
+val project_ctx : Bdd.ctx -> frozen -> string list -> frozen
+val inter_ctx : Bdd.ctx -> frozen -> frozen -> frozen
+val iter_tuples_ctx : Bdd.ctx -> frozen -> (int array -> unit) -> unit
+val tuples_ctx : Bdd.ctx -> frozen -> int array list
+val count_ctx : Bdd.ctx -> frozen -> float

@@ -163,3 +163,30 @@ vuln(c, i) :- IEC(c, i, _, %S), actual(i, 1, v), vPC(c, v, h), fromString(h).
 |}
         init_method;
   }
+
+(* --- Frozen-space evaluation (parallel warm queries) ---------------
+
+   The same evaluators over frozen relation handles, parameterized by
+   a per-domain Bdd.ctx.  No disposal: every intermediate lives in the
+   ctx and is reclaimed wholesale by the caller's ctx_reset, so these
+   are safe to run from many domains at once over one frozen store. *)
+
+let select_project_ctx ctx rel ~fix ~value ~keep =
+  let sel = Relation.select_ctx ctx rel fix value in
+  let proj = Relation.project_ctx ctx sel keep in
+  List.sort_uniq compare (List.map (fun t -> t.(0)) (Relation.tuples_ctx ctx proj))
+
+let points_to_ctx ctx pt ~var = select_project_ctx ctx pt ~fix:"variable" ~value:var ~keep:[ "heap" ]
+
+let pointed_by_ctx ctx pt ~heap = select_project_ctx ctx pt ~fix:"heap" ~value:heap ~keep:[ "variable" ]
+
+let alias_heaps_ctx ctx pt ~v1 ~v2 =
+  let h1 = Relation.project_ctx ctx (Relation.select_ctx ctx pt "variable" v1) [ "heap" ] in
+  let h2 = Relation.project_ctx ctx (Relation.select_ctx ctx pt "variable" v2) [ "heap" ] in
+  let shared = Relation.inter_ctx ctx h1 h2 in
+  List.sort_uniq compare (List.map (fun t -> t.(0)) (Relation.tuples_ctx ctx shared))
+
+let mod_ref_sites_ctx ctx rel ~meth =
+  let sel = Relation.select_ctx ctx rel "method" meth in
+  let proj = Relation.project_ctx ctx sel [ "heap"; "field" ] in
+  List.sort_uniq compare (List.map (fun t -> (t.(0), t.(1))) (Relation.tuples_ctx ctx proj))

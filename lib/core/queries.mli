@@ -70,3 +70,16 @@ val alias_heaps : Bddrel.Relation.t -> v1:int -> v2:int -> int list
 val mod_ref_sites : Bddrel.Relation.t -> meth:int -> (int * int) list
 (** [(heap, field)] pairs the method may modify (pass [modset]) or
     read (pass [refset]), in any calling context. *)
+
+(** {2 Frozen-space evaluation}
+
+    The same four evaluators over {!Bddrel.Relation.frozen} handles,
+    parameterized by a per-domain {!Bdd.ctx}: intermediates
+    live in the ctx (no disposal — the caller's [ctx_reset] reclaims
+    them wholesale), so many domains can evaluate concurrently over
+    one frozen store.  Results are identical to the live versions. *)
+
+val points_to_ctx : Bdd.ctx -> Bddrel.Relation.frozen -> var:int -> int list
+val pointed_by_ctx : Bdd.ctx -> Bddrel.Relation.frozen -> heap:int -> int list
+val alias_heaps_ctx : Bdd.ctx -> Bddrel.Relation.frozen -> v1:int -> v2:int -> int list
+val mod_ref_sites_ctx : Bdd.ctx -> Bddrel.Relation.frozen -> meth:int -> (int * int) list

@@ -1,6 +1,20 @@
+(* Warm-query evaluation over a *frozen* store.
+
+   [make] projects the points-to relation once, then freezes the whole
+   space: the packed node arrays and unique table become an immutable
+   snapshot ([Space.frozen] / [Relation.frozen]) that any number of
+   domains may read concurrently.  Every evaluator takes a [Bdd.ctx] —
+   a per-domain operation cache plus allocation arena for query-local
+   intermediates — so the hot apply/relprod path does no cross-domain
+   writes and takes no locks.  One ctx belongs to exactly one domain;
+   [serve_line] resets it after every request, reclaiming all
+   intermediates wholesale. *)
+
 type t = {
   store : Store.t;
-  pt : Relation.t;  (* "variable", "heap"; context already projected away *)
+  fspace : Space.frozen;
+  fpt : Relation.frozen;  (* "variable", "heap"; context already projected away *)
+  frels : (string * Relation.frozen) list;  (* store order *)
   vdom : Domain.t;
   hdom : Domain.t;
 }
@@ -25,10 +39,10 @@ let help_lines =
     "quit                   end this connection";
   ]
 
-let attr_domain rel name = (Relation.find_attr rel name).Relation.block.Space.dom
+let attr_domain fr name = (Relation.frozen_find_attr fr name).Relation.block.Space.dom
 
 let make store =
-  let pt =
+  let pt_live =
     match Store.find store "vPC" with
     | Some vpc -> Relation.project vpc [ "variable"; "heap" ]
     | None -> (
@@ -38,7 +52,15 @@ let make store =
         Solver_error.raise_bad_input ~file:"<store>" ~line:0
           "store has neither vPC nor vP: not a solved points-to store")
   in
-  { store; pt; vdom = attr_domain pt "variable"; hdom = attr_domain pt "heap" }
+  (* Relation roots must be captured before the space freeze so the GC
+     inside [Space.freeze] keeps them; after the freeze the live
+     manager is never touched again. *)
+  let fpt = Relation.freeze pt_live in
+  let frels = List.map (fun r -> (Relation.name r, Relation.freeze r)) (Store.relations store) in
+  let fspace = Space.freeze (Store.space store) in
+  { store; fspace; fpt; frels; vdom = attr_domain fpt "variable"; hdom = attr_domain fpt "heap" }
+
+let new_ctx t = Space.eval_ctx t.fspace
 
 (* --- answers --- *)
 
@@ -51,22 +73,26 @@ let resolve command dom what token k =
   | None -> err command "unknown %s %S (domain %s)" what token (Domain.name dom)
 
 let require command t name k =
-  match Store.find t.store name with
+  match List.assoc_opt name t.frels with
   | Some r -> k r
   | None ->
     err command "relation %s is not in this store (re-solve with the matching query suffix)" name
 
-let points_to t v =
-  ok "points-to" (List.map (Domain.element_name t.hdom) (Queries.points_to t.pt ~var:v))
+let points_to t ctx v =
+  ok "points-to" (List.map (Domain.element_name t.hdom) (Queries.points_to_ctx ctx t.fpt ~var:v))
 
-let alias t v1 v2 =
-  let shared = Queries.alias_heaps t.pt ~v1 ~v2 in
-  let o = ok "alias" (List.map (Domain.element_name t.hdom) shared) in
-  { o with lines = (if shared = [] then "no" else "yes") :: o.lines }
+let alias t ctx v1 v2 =
+  let shared = Queries.alias_heaps_ctx ctx t.fpt ~v1 ~v2 in
+  (* The yes/no verdict is a reply line like any other: it must be part
+     of the advertised row count or length-prefixed clients desync. *)
+  ok "alias"
+    ((if shared = [] then "no" else "yes")
+    :: List.map (Domain.element_name t.hdom) shared)
 
-let leak t h = ok "leak" (List.map (Domain.element_name t.vdom) (Queries.pointed_by t.pt ~heap:h))
+let leak t ctx h =
+  ok "leak" (List.map (Domain.element_name t.vdom) (Queries.pointed_by_ctx ctx t.fpt ~heap:h))
 
-let modref t m =
+let modref t ctx m =
   require "modref" t "modset" @@ fun modset ->
   require "modref" t "refset" @@ fun refset ->
   let hdom = attr_domain modset "heap" and fdom = attr_domain modset "field" in
@@ -74,23 +100,23 @@ let modref t m =
     Printf.sprintf "%s %s.%s" tag (Domain.element_name hdom h) (Domain.element_name fdom f)
   in
   ok "modref"
-    (List.map (row "mod") (Queries.mod_ref_sites modset ~meth:m)
-    @ List.map (row "ref") (Queries.mod_ref_sites refset ~meth:m))
+    (List.map (row "mod") (Queries.mod_ref_sites_ctx ctx modset ~meth:m)
+    @ List.map (row "ref") (Queries.mod_ref_sites_ctx ctx refset ~meth:m))
 
-let vuln t =
+let vuln t ctx =
   require "vuln" t "vuln" @@ fun rel ->
-  let doms = List.map (fun (a : Relation.attr) -> a.Relation.block.Space.dom) (Relation.attrs rel) in
+  let doms = List.map (fun (a : Relation.attr) -> a.Relation.block.Space.dom) (Relation.frozen_attrs rel) in
   let row tup =
     String.concat " " (List.mapi (fun i d -> Domain.element_name d tup.(i)) doms)
   in
-  ok "vuln" (List.map row (List.sort compare (Relation.tuples rel)))
+  ok "vuln" (List.map row (List.sort compare (Relation.tuples_ctx ctx rel)))
 
 (* Same arithmetic as [Analyses.refinement_ratios], over whichever
    refinement family (per-variable or per-clone) the store holds. *)
-let refine t =
+let refine t ctx =
   let family =
-    if Store.find t.store "activeC" <> None then Some ("activeC", "multiC", "refinableC")
-    else if Store.find t.store "activeV" <> None then Some ("activeV", "multiT", "refinable")
+    if List.mem_assoc "activeC" t.frels then Some ("activeC", "multiC", "refinableC")
+    else if List.mem_assoc "activeV" t.frels then Some ("activeV", "multiT", "refinable")
     else None
   in
   match family with
@@ -99,45 +125,45 @@ let refine t =
     require "refine" t active @@ fun a ->
     require "refine" t multi @@ fun m ->
     require "refine" t refinable @@ fun r ->
-    let population = Relation.count a in
+    let population = Relation.count_ctx ctx a in
     let pct x = if population = 0.0 then 0.0 else 100.0 *. x /. population in
     ok "refine"
       [
         Printf.sprintf "population %.0f" population;
-        Printf.sprintf "multi-type %.2f%%" (pct (Relation.count m));
-        Printf.sprintf "refinable %.2f%%" (pct (Relation.count r));
+        Printf.sprintf "multi-type %.2f%%" (pct (Relation.count_ctx ctx m));
+        Printf.sprintf "refinable %.2f%%" (pct (Relation.count_ctx ctx r));
       ]
 
-let count t name =
+let count t ctx name =
   require "count" t name @@ fun rel ->
-  ok "count" [ Printf.sprintf "%s %.0f" name (Relation.count rel) ]
+  ok "count" [ Printf.sprintf "%s %.0f" name (Relation.count_ctx ctx rel) ]
 
-let relations t =
+let relations t ctx =
   ok "relations"
     (List.map
-       (fun rel ->
-         Printf.sprintf "%s/%d %.0f" (Relation.name rel) (Relation.arity rel) (Relation.count rel))
-       (Store.relations t.store))
+       (fun (name, rel) ->
+         Printf.sprintf "%s/%d %.0f" name (Relation.frozen_arity rel) (Relation.count_ctx ctx rel))
+       t.frels)
 
 let split_ws line =
   String.split_on_char ' ' line |> List.concat_map (String.split_on_char '\t') |> List.filter (fun s -> s <> "")
 
-let handle t line =
+let handle t ctx line =
   let line = match String.index_opt line '#' with Some i -> String.sub line 0 i | None -> line in
   match split_ws line with
   | [] -> ok "" []
-  | [ "points-to"; v ] -> resolve "points-to" t.vdom "variable" v (points_to t)
+  | [ "points-to"; v ] -> resolve "points-to" t.vdom "variable" v (points_to t ctx)
   | [ "alias"; v1; v2 ] ->
     resolve "alias" t.vdom "variable" v1 (fun a ->
-        resolve "alias" t.vdom "variable" v2 (fun b -> alias t a b))
-  | [ "leak"; h ] -> resolve "leak" t.hdom "heap" h (leak t)
+        resolve "alias" t.vdom "variable" v2 (fun b -> alias t ctx a b))
+  | [ "leak"; h ] -> resolve "leak" t.hdom "heap" h (leak t ctx)
   | [ "modref"; m ] ->
     require "modref" t "modset" @@ fun modset ->
-    resolve "modref" (attr_domain modset "method") "method" m (modref t)
-  | [ "vuln" ] -> vuln t
-  | [ "refine" ] -> refine t
-  | [ "count"; name ] -> count t name
-  | [ "relations" ] -> relations t
+    resolve "modref" (attr_domain modset "method") "method" m (modref t ctx)
+  | [ "vuln" ] -> vuln t ctx
+  | [ "refine" ] -> refine t ctx
+  | [ "count"; name ] -> count t ctx name
+  | [ "relations" ] -> relations t ctx
   | [ "help" ] -> ok "help" help_lines
   | cmd :: _ -> err "error" "unknown or malformed query %S (try: help)" cmd
 
@@ -145,10 +171,14 @@ let handle t line =
 
    The hardened entry point the daemon drivers use: [serve_line] wraps
    [handle] with a per-request resource budget (installed on the
-   store's BDD manager for the duration of the request), an exception
+   caller's ctx for the duration of the request), an exception
    firewall, latency accounting, and the [health]/[stats] protocol
    commands.  [handle] itself stays pure so the §5 evaluation logic
-   remains directly testable. *)
+   remains directly testable.
+
+   Counters are [Atomic.t] and the latency table is mutex-guarded:
+   with a worker pool, many domains record into one [server_stats]
+   while [health]/[stats] read it. *)
 
 type limits = {
   rq_timeout_s : float option;  (** wall-clock per request *)
@@ -162,30 +192,33 @@ type latency = { mutable l_count : int; mutable l_total_us : float; mutable l_ma
 
 type server_stats = {
   s_started : float;
-  mutable s_queries : int;
-  mutable s_ok : int;
-  mutable s_err : int;
-  mutable s_budget_kills : int;
-  mutable s_firewall_trips : int;
-  mutable s_connections : int;
-  mutable s_rejected : int;
-  s_latency : (string, latency) Hashtbl.t;
+  s_queries : int Atomic.t;
+  s_ok : int Atomic.t;
+  s_err : int Atomic.t;
+  s_budget_kills : int Atomic.t;
+  s_firewall_trips : int Atomic.t;
+  s_connections : int Atomic.t;
+  s_rejected : int Atomic.t;
+  s_lat_mutex : Mutex.t;
+  s_latency : (string, latency) Hashtbl.t;  (* guarded by s_lat_mutex *)
 }
 
 let make_stats () =
   {
     s_started = Unix.gettimeofday ();
-    s_queries = 0;
-    s_ok = 0;
-    s_err = 0;
-    s_budget_kills = 0;
-    s_firewall_trips = 0;
-    s_connections = 0;
-    s_rejected = 0;
+    s_queries = Atomic.make 0;
+    s_ok = Atomic.make 0;
+    s_err = Atomic.make 0;
+    s_budget_kills = Atomic.make 0;
+    s_firewall_trips = Atomic.make 0;
+    s_connections = Atomic.make 0;
+    s_rejected = Atomic.make 0;
+    s_lat_mutex = Mutex.create ();
     s_latency = Hashtbl.create 16;
   }
 
 let record_latency stats cmd us =
+  Mutex.lock stats.s_lat_mutex;
   let l =
     match Hashtbl.find_opt stats.s_latency cmd with
     | Some l -> l
@@ -196,7 +229,8 @@ let record_latency stats cmd us =
   in
   l.l_count <- l.l_count + 1;
   l.l_total_us <- l.l_total_us +. us;
-  if us > l.l_max_us then l.l_max_us <- us
+  if us > l.l_max_us then l.l_max_us <- us;
+  Mutex.unlock stats.s_lat_mutex
 
 let health t stats =
   ok "health"
@@ -205,22 +239,23 @@ let health t stats =
       Printf.sprintf "uptime %.1fs" (Unix.gettimeofday () -. stats.s_started);
       Printf.sprintf "pid %d" (Unix.getpid ());
       Printf.sprintf "key %s" (Store.key t.store);
-      Printf.sprintf "relations %d" (List.length (Store.relations t.store));
+      Printf.sprintf "relations %d" (List.length t.frels);
     ]
 
 let stats_lines stats =
   let totals =
     [
       Printf.sprintf "uptime %.1fs" (Unix.gettimeofday () -. stats.s_started);
-      Printf.sprintf "connections %d" stats.s_connections;
-      Printf.sprintf "rejected-busy %d" stats.s_rejected;
-      Printf.sprintf "queries %d" stats.s_queries;
-      Printf.sprintf "ok %d" stats.s_ok;
-      Printf.sprintf "err %d" stats.s_err;
-      Printf.sprintf "budget-exceeded %d" stats.s_budget_kills;
-      Printf.sprintf "internal-errors %d" stats.s_firewall_trips;
+      Printf.sprintf "connections %d" (Atomic.get stats.s_connections);
+      Printf.sprintf "rejected-busy %d" (Atomic.get stats.s_rejected);
+      Printf.sprintf "queries %d" (Atomic.get stats.s_queries);
+      Printf.sprintf "ok %d" (Atomic.get stats.s_ok);
+      Printf.sprintf "err %d" (Atomic.get stats.s_err);
+      Printf.sprintf "budget-exceeded %d" (Atomic.get stats.s_budget_kills);
+      Printf.sprintf "internal-errors %d" (Atomic.get stats.s_firewall_trips);
     ]
   in
+  Mutex.lock stats.s_lat_mutex;
   let per_command =
     Hashtbl.fold (fun cmd l acc -> (cmd, l) :: acc) stats.s_latency []
     |> List.sort compare
@@ -229,18 +264,13 @@ let stats_lines stats =
              (l.l_total_us /. float_of_int l.l_count)
              l.l_max_us)
   in
+  Mutex.unlock stats.s_lat_mutex;
   totals @ per_command
-
-(* GC the store's manager occasionally: query evaluation disposes its
-   intermediate relations, but their dead nodes stay in the table until
-   a collection, and a long-lived daemon must not let them pile up. *)
-let gc_every = 512
 
 type served = { outcome : outcome; latency_us : float; close : bool }
 
-let serve_line ?(limits = no_limits) ~stats t line =
+let serve_line ?(limits = no_limits) ~stats t ctx line =
   let t0 = Unix.gettimeofday () in
-  let man = Space.man (Store.space t.store) in
   let stripped = match String.index_opt line '#' with Some i -> String.sub line 0 i | None -> line in
   let outcome, close =
     match split_ws stripped with
@@ -252,35 +282,168 @@ let serve_line ?(limits = no_limits) ~stats t line =
         else
           Some
             (Budget.make ?timeout_s:limits.rq_timeout_s
-               ?max_allocations:(Option.map (fun c -> Bdd.allocations man + c) limits.rq_max_allocs)
-               ?max_live_nodes:(Option.map (fun c -> Bdd.live_nodes man + c) limits.rq_max_nodes)
+               ?max_allocations:
+                 (Option.map (fun c -> Bdd.ctx_allocations ctx + c) limits.rq_max_allocs)
+               ?max_live_nodes:(Option.map (fun c -> Bdd.ctx_live_nodes ctx + c) limits.rq_max_nodes)
                ())
       in
-      Bdd.set_budget man budget;
-      match Fun.protect ~finally:(fun () -> Bdd.set_budget man None) (fun () -> handle t line) with
+      Bdd.ctx_set_budget ctx budget;
+      (* The reset in [finally] reclaims every query-local node at
+         once — aborted or not, the next request on this ctx starts
+         from an empty arena.  (The frozen snapshot is untouched.) *)
+      match
+        Fun.protect
+          ~finally:(fun () ->
+            Bdd.ctx_set_budget ctx None;
+            Bdd.ctx_reset ctx)
+          (fun () -> handle t ctx line)
+      with
       | o -> (o, false)
       | exception Bdd.Limit_exceeded reason ->
-        (* The aborted query's intermediates are already disposed
-           (evaluators use Fun.protect); collect their dead nodes now
-           so one pathological request does not inflate the live-node
-           baseline of the next. *)
-        Bdd.gc man;
-        stats.s_budget_kills <- stats.s_budget_kills + 1;
+        Atomic.incr stats.s_budget_kills;
         (err "budget" "request aborted: %s" (Budget.reason_to_string reason), false)
       | exception Solver_error.Error e ->
         (err "error" "%s" (Solver_error.to_string e), false)
       | exception e ->
         (* Exception firewall: an unexpected raise poisons only this
            connection, never the daemon. *)
-        stats.s_firewall_trips <- stats.s_firewall_trips + 1;
+        Atomic.incr stats.s_firewall_trips;
         let cmd = match first_tokens with c :: _ -> c | [] -> "?" in
         (err "internal" "unexpected exception in %S: %s (closing this connection)" cmd (Printexc.to_string e), true))
   in
   let latency_us = (Unix.gettimeofday () -. t0) *. 1e6 in
   if not (outcome.command = "" && outcome.lines = []) then begin
-    stats.s_queries <- stats.s_queries + 1;
-    if outcome.ok then stats.s_ok <- stats.s_ok + 1 else stats.s_err <- stats.s_err + 1;
-    record_latency stats (if outcome.command = "" then "?" else outcome.command) latency_us;
-    if stats.s_queries mod gc_every = 0 then Bdd.gc man
+    Atomic.incr stats.s_queries;
+    Atomic.incr (if outcome.ok then stats.s_ok else stats.s_err);
+    record_latency stats (if outcome.command = "" then "?" else outcome.command) latency_us
   end;
   { outcome; latency_us; close }
+
+(* --- Worker pool ----------------------------------------------------
+
+   A fixed set of OCaml domains, each owning one ctx over the shared
+   frozen space, pulling requests off a bounded queue.  [run] blocks
+   the calling (connection) thread until its request's worker is done,
+   so backpressure propagates naturally: the queue bound caps how far
+   accepted connections can run ahead of evaluation. *)
+
+module Pool = struct
+  type job = {
+    j_line : string;
+    j_mutex : Mutex.t;
+    j_cond : Condition.t;
+    mutable j_result : served option;
+  }
+
+  type pool = {
+    p_srv : t;
+    p_jobs : job Queue.t;
+    p_mutex : Mutex.t;
+    p_can_pop : Condition.t;
+    p_can_push : Condition.t;
+    p_capacity : int;
+    p_workers : int;
+    mutable p_closed : bool;
+    mutable p_domains : unit Stdlib.Domain.t list;
+  }
+
+  let draining =
+    {
+      outcome = err "shutdown" "daemon is draining; connection closing";
+      latency_us = 0.0;
+      close = true;
+    }
+
+  let finish job result =
+    Mutex.lock job.j_mutex;
+    job.j_result <- Some result;
+    Condition.signal job.j_cond;
+    Mutex.unlock job.j_mutex
+
+  (* [serve_line] never raises by contract; the extra match is a
+     belt-and-braces guard so a worker bug can never leave a
+     connection thread blocked on a job that will not complete. *)
+  let worker ?limits ~stats p () =
+    let ctx = new_ctx p.p_srv in
+    let rec loop () =
+      Mutex.lock p.p_mutex;
+      while Queue.is_empty p.p_jobs && not p.p_closed do
+        Condition.wait p.p_can_pop p.p_mutex
+      done;
+      if Queue.is_empty p.p_jobs then Mutex.unlock p.p_mutex (* closed: drain done *)
+      else begin
+        let job = Queue.pop p.p_jobs in
+        Condition.signal p.p_can_push;
+        Mutex.unlock p.p_mutex;
+        (match serve_line ?limits ~stats p.p_srv ctx job.j_line with
+        | result -> finish job result
+        | exception e ->
+          finish job
+            {
+              outcome =
+                err "internal" "worker failure: %s (closing this connection)" (Printexc.to_string e);
+              latency_us = 0.0;
+              close = true;
+            });
+        loop ()
+      end
+    in
+    loop ()
+
+  let create ?limits ~stats ~workers srv =
+    let workers = max 1 workers in
+    let p =
+      {
+        p_srv = srv;
+        p_jobs = Queue.create ();
+        p_mutex = Mutex.create ();
+        p_can_pop = Condition.create ();
+        p_can_push = Condition.create ();
+        p_capacity = max 16 (4 * workers);
+        p_workers = workers;
+        p_closed = false;
+        p_domains = [];
+      }
+    in
+    p.p_domains <- List.init workers (fun _ -> Stdlib.Domain.spawn (worker ?limits ~stats p));
+    p
+
+  let workers p = p.p_workers
+
+  let run p line =
+    let job =
+      { j_line = line; j_mutex = Mutex.create (); j_cond = Condition.create (); j_result = None }
+    in
+    Mutex.lock p.p_mutex;
+    while Queue.length p.p_jobs >= p.p_capacity && not p.p_closed do
+      Condition.wait p.p_can_push p.p_mutex
+    done;
+    if p.p_closed then begin
+      Mutex.unlock p.p_mutex;
+      draining
+    end
+    else begin
+      Queue.push job p.p_jobs;
+      Condition.signal p.p_can_pop;
+      Mutex.unlock p.p_mutex;
+      Mutex.lock job.j_mutex;
+      while job.j_result = None do
+        Condition.wait job.j_cond job.j_mutex
+      done;
+      let r = Option.get job.j_result in
+      Mutex.unlock job.j_mutex;
+      r
+    end
+
+  (* Drain order: mark closed (new [run]s bounce with [draining]),
+     wake everyone, then join.  Workers finish jobs already queued
+     before exiting, so every accepted request gets its answer. *)
+  let shutdown p =
+    Mutex.lock p.p_mutex;
+    p.p_closed <- true;
+    Condition.broadcast p.p_can_pop;
+    Condition.broadcast p.p_can_push;
+    Mutex.unlock p.p_mutex;
+    List.iter Stdlib.Domain.join p.p_domains;
+    p.p_domains <- []
+end

@@ -3,10 +3,12 @@
 
     A {!t} wraps a persisted analysis result and answers the §5
     questions with {!Queries} relational algebra only — no Datalog
-    engine, no re-solve.  The driver (CLI or socket loop) feeds one
-    line per query to {!handle} and prints the outcome; this module is
-    pure protocol + evaluation so it can be exercised directly in
-    tests.
+    engine, no re-solve.  At {!make} time the solved space is
+    {e frozen}: an immutable snapshot any number of OCaml domains can
+    read concurrently.  Each evaluation runs against a per-domain
+    {!Bdd.ctx} (operation cache + arena for query-local nodes), so a
+    {!Pool} of worker domains serves queries genuinely in parallel
+    with no locks on the evaluation path.
 
     Protocol (whitespace-separated tokens, one query per line):
 
@@ -29,12 +31,17 @@ type t
 
 val make : Bddrel.Store.t -> t
 (** Prepare the server: locates the points-to relation ([vPC], whose
-    context attribute is projected away once up front, or [vP]) and
-    the optional query relations.  Raises
+    context attribute is projected away once up front, or [vP]),
+    freezes every stored relation, then freezes the space.  The live
+    manager is never touched again after this.  Raises
     [Solver_error.Error (Bad_input _)] when the store has neither
     [vPC] nor [vP]. *)
 
 val store : t -> Bddrel.Store.t
+
+val new_ctx : t -> Bdd.ctx
+(** A fresh evaluation context over the frozen space.  One ctx belongs
+    to exactly one domain at a time; make one per worker. *)
 
 type outcome = {
   ok : bool;  (** false: parse/lookup error, [lines] is the message *)
@@ -43,11 +50,13 @@ type outcome = {
   count : int;  (** number of result rows ([0] when [ok] is false) *)
 }
 
-val handle : t -> string -> outcome
-(** Evaluate one protocol line.  Never raises on bad input — unknown
-    commands, unknown element names, and missing stored relations come
-    back as [ok = false] with an explanatory message.  Blank lines and
-    [#] comments yield an empty successful outcome. *)
+val handle : t -> Bdd.ctx -> string -> outcome
+(** Evaluate one protocol line in the given ctx.  Never raises on bad
+    input — unknown commands, unknown element names, and missing
+    stored relations come back as [ok = false] with an explanatory
+    message.  Blank lines and [#] comments yield an empty successful
+    outcome.  Intermediates accumulate in the ctx; the caller decides
+    when to {!Bdd.ctx_reset} ({!serve_line} does it per request). *)
 
 val help_lines : string list
 
@@ -63,21 +72,25 @@ type limits = {
   rq_timeout_s : float option;  (** wall-clock seconds per request *)
   rq_max_allocs : int option;
       (** fresh BDD node allocations one request may make (enforced on
-          the store's manager at its amortized check sites) *)
-  rq_max_nodes : int option;  (** live-node growth one request may cause *)
+          the worker's ctx at its amortized check sites) *)
+  rq_max_nodes : int option;  (** ctx live-node growth one request may cause *)
 }
 
 val no_limits : limits
 
+(** Counters are atomic and the latency table mutex-guarded: with a
+    worker pool, many domains record into one [server_stats] while
+    [health]/[stats] read it. *)
 type server_stats = {
   s_started : float;
-  mutable s_queries : int;  (** protocol queries answered (ok or err) *)
-  mutable s_ok : int;
-  mutable s_err : int;
-  mutable s_budget_kills : int;  (** requests aborted by the per-request budget *)
-  mutable s_firewall_trips : int;  (** unexpected exceptions caught by the firewall *)
-  mutable s_connections : int;  (** maintained by the socket driver *)
-  mutable s_rejected : int;  (** connections refused with [err busy] *)
+  s_queries : int Atomic.t;  (** protocol queries answered (ok or err) *)
+  s_ok : int Atomic.t;
+  s_err : int Atomic.t;
+  s_budget_kills : int Atomic.t;  (** requests aborted by the per-request budget *)
+  s_firewall_trips : int Atomic.t;  (** unexpected exceptions caught by the firewall *)
+  s_connections : int Atomic.t;  (** maintained by the socket driver *)
+  s_rejected : int Atomic.t;  (** connections refused with [err busy] *)
+  s_lat_mutex : Mutex.t;  (** guards [s_latency] *)
   s_latency : (string, latency) Hashtbl.t;  (** per-command latency *)
 }
 
@@ -97,22 +110,53 @@ type served = {
           connection (the daemon itself lives on) *)
 }
 
-val serve_line : ?limits:limits -> stats:server_stats -> t -> string -> served
-(** Evaluate one request under isolation:
+val serve_line : ?limits:limits -> stats:server_stats -> t -> Bdd.ctx -> string -> served
+(** Evaluate one request under isolation, in the caller's ctx:
 
     - [health] / [stats] are answered from [stats] without touching
       the store;
     - any other line runs through {!handle} with a fresh
-      {!Budget.t} (from [limits], resolved against the manager's
-      current counters) installed on the store's BDD manager —
-      exceeding it yields an [err budget] outcome, with the aborted
-      request's dead nodes collected so the next request starts from a
-      clean baseline;
+      {!Budget.t} (from [limits], resolved against the ctx's current
+      counters) installed on the ctx — exceeding it yields an
+      [err budget] outcome;
     - a structured loader error yields [err error];
     - any other exception is the firewall case: [err internal] with
       [close = true].
 
-    Latency and outcome counters are recorded into [stats]; the
-    manager is additionally collected every few hundred queries so a
-    long-running daemon's node table does not accumulate query
-    garbage.  Never raises. *)
+    Whatever the outcome, the ctx is reset afterwards: every
+    query-local node is reclaimed wholesale and the next request on
+    this ctx starts from an empty arena.  Latency and outcome counters
+    are recorded into [stats].  Never raises.
+
+    Determinism: over one frozen space, a given query sequence on a
+    fresh ctx is fully deterministic — allocation trajectory, cache
+    behaviour, and budget-kill messages included — which is what makes
+    parallel answers bit-comparable to a single-threaded run. *)
+
+(** {2 Worker pool}
+
+    A fixed set of OCaml domains, each owning one ctx over the shared
+    frozen space, pulling requests off a bounded queue.  Connection
+    threads call {!Pool.run} and block until their answer is ready, so
+    the queue bound is natural backpressure. *)
+module Pool : sig
+  type pool
+
+  val create : ?limits:limits -> stats:server_stats -> workers:int -> t -> pool
+  (** Spawn [workers] (at least 1) domains, each with its own ctx.
+      The queue holds at most [max 16 (4 * workers)] pending
+      requests. *)
+
+  val workers : pool -> int
+
+  val run : pool -> string -> served
+  (** Enqueue one request line and wait for its result.  Blocks while
+      the queue is full.  After {!shutdown} has begun, returns an
+      [err shutdown] outcome with [close = true] instead of
+      enqueueing.  Safe to call from many threads. *)
+
+  val shutdown : pool -> unit
+  (** Drain and join: new {!run}s bounce, already-queued requests are
+      still answered, then the worker domains exit and are joined.
+      Idempotent. *)
+end

@@ -1,0 +1,281 @@
+(* Differential unit suite for [Bdd.freeze] / [Bdd.eval_ctx]: the
+   frozen snapshot plus per-domain evaluation contexts that back the
+   parallel warm-query daemon.
+
+   Ground truth is the *live* manager: every ctx operation is mirrored
+   by the corresponding live kernel and both results are compared as
+   explicit satisfying-assignment sets (14 variables, so full
+   enumeration is cheap).  Covered:
+
+   - frozen handles evaluate identically before and after the live
+     manager is mutated and collected (snapshot isolation);
+   - a long random op sequence (and/or/diff/not/exist/relprod) in a
+     ctx matches the live kernels, across [ctx_reset]s, with the
+     sequence replayed twice to pin determinism;
+   - >= 3 ctxs over one frozen space evaluate the same op sequence
+     concurrently (one domain each) and agree bit-for-bit;
+   - [ctx_satcount] / [ctx_const_value] / [ctx_cube_of_vars]
+     differentials, and the per-ctx budget kill + recovery. *)
+
+let nvars = 14
+let all_vars = Array.init nvars Fun.id
+
+(* Semantic fingerprint: sorted satisfying assignments as bitmasks. *)
+let mask_of bits =
+  let m = ref 0 in
+  Array.iteri (fun i b -> if b then m := !m lor (1 lsl i)) bits;
+  !m
+
+let sats_live man f =
+  let acc = ref [] in
+  Bdd.iter_sat man ~vars:all_vars (fun bits -> acc := mask_of bits :: !acc) f;
+  List.sort compare !acc
+
+let sats_ctx ctx f =
+  let acc = ref [] in
+  Bdd.ctx_iter_sat ctx ~vars:all_vars (fun bits -> acc := mask_of bits :: !acc) f;
+  List.sort compare !acc
+
+(* A pool of rooted BDDs over a fresh manager: all literals plus
+   [extra] random combinations. *)
+let build_pool rng man extra =
+  let pool = ref [] in
+  let add f = pool := f :: !pool in
+  for i = 0 to nvars - 1 do
+    add (Bdd.ithvar man i);
+    add (Bdd.nithvar man i)
+  done;
+  for _ = 1 to extra do
+    let pick () = List.nth !pool (Random.State.int rng (List.length !pool)) in
+    add
+      (match Random.State.int rng 5 with
+      | 0 -> Bdd.mk_and man (pick ()) (pick ())
+      | 1 -> Bdd.mk_or man (pick ()) (pick ())
+      | 2 -> Bdd.mk_diff man (pick ()) (pick ())
+      | 3 -> Bdd.mk_xor man (pick ()) (pick ())
+      | _ -> Bdd.mk_not man (pick ()))
+  done;
+  Bdd.add_root_fn man (fun () -> !pool);
+  pool
+
+let setup ?(extra = 60) seed =
+  let rng = Random.State.make [| seed |] in
+  let man = Bdd.create ~node_hint:256 ~nvars () in
+  let pool = build_pool rng man extra in
+  (rng, man, Array.of_list !pool)
+
+(* --- snapshot isolation --------------------------------------------- *)
+
+let test_frozen_matches_live () =
+  let rng, man, pool = setup 0xF7EE2E in
+  (* Unrooted garbage, so the freeze-time GC has something to sweep. *)
+  for _ = 1 to 50 do
+    ignore (Bdd.mk_and man pool.(Random.State.int rng (Array.length pool)) (Bdd.ithvar man 0))
+  done;
+  let reference = Array.map (sats_live man) pool in
+  let fz = Bdd.freeze man in
+  Alcotest.(check int) "frozen nvars" nvars (Bdd.frozen_nvars fz);
+  Alcotest.(check bool) "frozen live nodes positive" true (Bdd.frozen_live_nodes fz > 0);
+  let ctx = Bdd.eval_ctx fz in
+  Array.iteri
+    (fun i f -> Alcotest.(check (list int)) (Printf.sprintf "pool %d via ctx" i) reference.(i) (sats_ctx ctx f))
+    pool;
+  (* Mutate and collect the live manager: the snapshot must not move. *)
+  for _ = 1 to 200 do
+    ignore
+      (Bdd.mk_or man
+         pool.(Random.State.int rng (Array.length pool))
+         (Bdd.mk_not man pool.(Random.State.int rng (Array.length pool))))
+  done;
+  Bdd.gc man;
+  Array.iteri
+    (fun i f ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "pool %d via ctx after live churn+gc" i)
+        reference.(i) (sats_ctx ctx f))
+    pool;
+  (* And the live handles still answer the same too (roots held). *)
+  Array.iteri
+    (fun i f -> Alcotest.(check (list int)) (Printf.sprintf "pool %d live" i) reference.(i) (sats_live man f))
+    pool
+
+(* --- random op differential, live kernels as oracle ------------------ *)
+
+(* One op described abstractly so it can be interpreted against the
+   live manager, a ctx, or several ctxs in different domains. *)
+type op =
+  | Op2 of int * int * int (* kernel 0=and 1=or 2=diff, operand indices *)
+  | Op_not of int
+  | Op_exist of int * int list (* operand, cube vars *)
+  | Op_relprod of int * int * int list
+
+let random_ops rng pool_len count =
+  (* Operand indices may also point at results of earlier ops:
+     index < pool_len + k for the k-th op. *)
+  List.init count (fun k ->
+      let pick () = Random.State.int rng (pool_len + k) in
+      let cube () =
+        List.sort_uniq compare (List.init (1 + Random.State.int rng 3) (fun _ -> Random.State.int rng nvars))
+      in
+      match Random.State.int rng 6 with
+      | 0 -> Op2 (0, pick (), pick ())
+      | 1 -> Op2 (1, pick (), pick ())
+      | 2 -> Op2 (2, pick (), pick ())
+      | 3 -> Op_not (pick ())
+      | 4 -> Op_exist (pick (), cube ())
+      | _ -> Op_relprod (pick (), pick (), cube ()))
+
+let run_ops_live man pool ops =
+  let results = ref [] in
+  Bdd.add_root_fn man (fun () -> !results);
+  let vals = ref (Array.to_list pool) in
+  let get i = List.nth !vals i in
+  List.iter
+    (fun op ->
+      let f =
+        match op with
+        | Op2 (0, i, j) -> Bdd.mk_and man (get i) (get j)
+        | Op2 (1, i, j) -> Bdd.mk_or man (get i) (get j)
+        | Op2 (_, i, j) -> Bdd.mk_diff man (get i) (get j)
+        | Op_not i -> Bdd.mk_not man (get i)
+        | Op_exist (i, vs) -> Bdd.exist man ~cube:(Bdd.cube_of_vars man vs) (get i)
+        | Op_relprod (i, j, vs) -> Bdd.relprod man ~cube:(Bdd.cube_of_vars man vs) (get i) (get j)
+      in
+      results := f :: !results;
+      vals := !vals @ [ f ])
+    ops;
+  List.map (sats_live man) (List.rev !results)
+
+let run_ops_ctx ctx pool ops =
+  let vals = ref (Array.to_list pool) in
+  let get i = List.nth !vals i in
+  let sats = ref [] in
+  List.iter
+    (fun op ->
+      let f =
+        match op with
+        | Op2 (0, i, j) -> Bdd.ctx_and ctx (get i) (get j)
+        | Op2 (1, i, j) -> Bdd.ctx_or ctx (get i) (get j)
+        | Op2 (_, i, j) -> Bdd.ctx_diff ctx (get i) (get j)
+        | Op_not i -> Bdd.ctx_not ctx (get i)
+        | Op_exist (i, vs) -> Bdd.ctx_exist ctx ~cube:(Bdd.ctx_cube_of_vars ctx vs) (get i)
+        | Op_relprod (i, j, vs) ->
+          Bdd.ctx_relprod ctx ~cube:(Bdd.ctx_cube_of_vars ctx vs) (get i) (get j)
+      in
+      sats := sats_ctx ctx f :: !sats;
+      vals := !vals @ [ f ])
+    ops;
+  List.rev !sats
+
+let test_ctx_differential () =
+  let rng, man, pool = setup 0xD1FF in
+  let fz = Bdd.freeze man in
+  let ctx = Bdd.eval_ctx fz in
+  (* Three rounds against the live oracle, resetting the ctx between
+     rounds: every round restarts from frozen handles only, so reset
+     correctness (dead arena, swept cache) is on the line each time. *)
+  for round = 1 to 3 do
+    let ops = random_ops rng (Array.length pool) 70 in
+    let live = run_ops_live man pool ops in
+    let via_ctx = run_ops_ctx ctx pool ops in
+    List.iteri
+      (fun i (l, c) ->
+        Alcotest.(check (list int)) (Printf.sprintf "round %d op %d" round i) l c)
+      (List.combine live via_ctx);
+    (* Determinism: replaying the identical sequence on a fresh ctx
+       reproduces the same answers. *)
+    let fresh = Bdd.eval_ctx fz in
+    Alcotest.(check bool)
+      (Printf.sprintf "round %d replay on fresh ctx identical" round)
+      true
+      (run_ops_ctx fresh pool ops = via_ctx);
+    Bdd.ctx_reset ctx
+  done;
+  Alcotest.(check int) "reset leaves no ctx-local nodes" 0 (Bdd.ctx_live_nodes ctx)
+
+(* --- concurrent ctxs -------------------------------------------------- *)
+
+let test_concurrent_ctxs () =
+  let rng, man, pool = setup 0xC0C0 in
+  let fz = Bdd.freeze man in
+  let ops = random_ops rng (Array.length pool) 60 in
+  let reference = run_ops_live man pool ops in
+  let n_ctxs = 4 in
+  let domains =
+    List.init n_ctxs (fun _ ->
+        Stdlib.Domain.spawn (fun () ->
+            let ctx = Bdd.eval_ctx fz in
+            run_ops_ctx ctx pool ops))
+  in
+  let transcripts = List.map Stdlib.Domain.join domains in
+  List.iteri
+    (fun d transcript ->
+      Alcotest.(check bool) (Printf.sprintf "ctx %d agrees with live oracle" d) true (transcript = reference))
+    transcripts
+
+(* --- counting, constants, budget ------------------------------------- *)
+
+let test_ctx_counting_and_budget () =
+  let rng, man, pool = setup ~extra:40 0x5A7C0 in
+  let fz = Bdd.freeze man in
+  let ctx = Bdd.eval_ctx fz in
+  Array.iteri
+    (fun i f ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "satcount pool %d" i)
+        (Bdd.satcount man ~vars:all_vars f)
+        (Bdd.ctx_satcount ctx ~vars:all_vars f))
+    pool;
+  (* const_value over a random 6-bit block agrees with the live one. *)
+  let bits = Array.init 6 (fun i -> 2 * i) in
+  for v = 0 to 63 do
+    ignore (Random.State.int rng 2);
+    Alcotest.(check (list int))
+      (Printf.sprintf "const_value %d" v)
+      (sats_live man (Bdd.const_value man ~bits v))
+      (sats_ctx ctx (Bdd.ctx_const_value ctx ~bits v))
+  done;
+  (* Budget: a cap resolved against the ctx's counters kills a fresh
+     build at the amortized check site; after reset + uncapping the
+     same build succeeds, from a clean arena. *)
+  let build c =
+    (* A deliberately wide disjunction of two-block value pairs:
+       thousands of fresh intermediate nodes, enough to cross the
+       amortized budget-check interval several times. *)
+    let evens = Array.init 7 (fun k -> 2 * k) and odds = Array.init 7 (fun k -> (2 * k) + 1) in
+    let acc = ref Bdd.bdd_false in
+    for i = 0 to 2999 do
+      (* A mixed 14-bit value per step: ~3k distinct points, so the
+         growing union keeps allocating instead of cache-hitting. *)
+      let v = i * 2654435761 land 16383 in
+      let pair =
+        Bdd.ctx_and c
+          (Bdd.ctx_const_value c ~bits:evens (v land 127))
+          (Bdd.ctx_const_value c ~bits:odds (v lsr 7))
+      in
+      acc := Bdd.ctx_or c !acc pair
+    done;
+    !acc
+  in
+  Bdd.ctx_set_budget ctx (Some (Budget.make ~max_allocations:(Bdd.ctx_allocations ctx + 8) ()));
+  let killed = match build ctx with _ -> false | exception Bdd.Limit_exceeded _ -> true in
+  Alcotest.(check bool) "tight ctx budget kills the build" true killed;
+  Bdd.ctx_set_budget ctx None;
+  Bdd.ctx_reset ctx;
+  let full = build ctx in
+  Alcotest.(check bool) "recovered build is non-trivial" true (Bdd.ctx_satcount ctx ~vars:all_vars full > 0.0)
+
+let () =
+  Alcotest.run "freeze"
+    [
+      ( "frozen",
+        [ Alcotest.test_case "frozen eval matches live, isolated from churn" `Quick test_frozen_matches_live ] );
+      ( "ctx",
+        [
+          Alcotest.test_case "random ops vs live kernels across resets" `Quick test_ctx_differential;
+          Alcotest.test_case "satcount/const_value differential + budget kill" `Quick
+            test_ctx_counting_and_budget;
+        ] );
+      ( "concurrent",
+        [ Alcotest.test_case "4 ctxs, 1 frozen space, identical answers" `Quick test_concurrent_ctxs ] );
+    ]

@@ -107,7 +107,8 @@ let test_soak () =
   let st = Store.load ~dir:(Lazy.force store_dir) in
   let srv = Serve.make st in
   let stats = Serve.make_stats () in
-  let ask ?(limits = roomy) line = Serve.serve_line ~limits ~stats srv line in
+  let ctx = Serve.new_ctx srv in
+  let ask ?(limits = roomy) line = Serve.serve_line ~limits ~stats srv ctx line in
   let fd0 = count_fds () in
   let rng = Random.State.make [| 0xBADCAFE |] in
   let malformed =
@@ -174,7 +175,7 @@ let test_soak () =
     incr expected_served;
     check_points_to (ask q).Serve.outcome q v
   done;
-  Alcotest.(check bool) "budget kills recorded" true (stats.Serve.s_budget_kills >= 25);
+  Alcotest.(check bool) "budget kills recorded" true (Atomic.get stats.Serve.s_budget_kills >= 25);
   (* The untight fan-out still works: correctness is not sacrificed. *)
   incr expected_served;
   check_points_to (ask "points-to v0").Serve.outcome "points-to v0" 0;
@@ -189,22 +190,211 @@ let test_soak () =
     incr expected_served;
     check_points_to (ask "points-to v3").Serve.outcome "points-to v3" 3
   done;
-  Alcotest.(check int) "firewall trips recorded" 3 stats.Serve.s_firewall_trips;
+  Alcotest.(check int) "firewall trips recorded" 3 (Atomic.get stats.Serve.s_firewall_trips);
   (* Descriptor stability across the whole soak. *)
   (match (fd0, count_fds ()) with
   | Some before, Some after -> Alcotest.(check int) "fd count stable" before after
   | _ -> ());
   (* Stats consistency. *)
-  Alcotest.(check int) "queries counted" !expected_served stats.Serve.s_queries;
-  Alcotest.(check int) "ok + err = queries" stats.Serve.s_queries (stats.Serve.s_ok + stats.Serve.s_err);
+  Alcotest.(check int) "queries counted" !expected_served (Atomic.get stats.Serve.s_queries);
+  Alcotest.(check int) "ok + err = queries" (Atomic.get stats.Serve.s_queries)
+    (Atomic.get stats.Serve.s_ok + Atomic.get stats.Serve.s_err);
   let latency_total =
     Hashtbl.fold (fun _ (l : Serve.latency) acc -> acc + l.Serve.l_count) stats.Serve.s_latency 0
   in
-  Alcotest.(check int) "latency rows cover every query" stats.Serve.s_queries latency_total;
+  Alcotest.(check int) "latency rows cover every query" (Atomic.get stats.Serve.s_queries) latency_total;
   let lines = Serve.stats_lines stats in
   Alcotest.(check bool) "stats_lines mentions budget kills" true
-    (List.exists (fun l -> l = Printf.sprintf "budget-exceeded %d" stats.Serve.s_budget_kills) lines)
+    (List.exists
+       (fun l -> l = Printf.sprintf "budget-exceeded %d" (Atomic.get stats.Serve.s_budget_kills))
+       lines)
+
+(* --- Parallel soak --------------------------------------------------
+
+   Eight concurrent "clients" (domains), each with its own evaluation
+   ctx, run the *same* deterministic 1k mixed valid/malformed query
+   mix plus a tail of budget-kill and firewall pairs.  Over a frozen
+   space a given query sequence on a fresh ctx is fully deterministic
+   — including budget-kill messages — so every domain's full answer
+   transcript must be bit-identical to the single-threaded reference
+   run, the shared stats must add up exactly, and the fd count must
+   stay flat (no hidden per-domain descriptors). *)
+
+let n_clients = 8
+let kill_pairs = 5
+let firewall_pairs = 2
+
+(* The deterministic mix: (line, use_tight_limits).  No [health] or
+   [stats] here — their replies embed wall-clock uptime, which would
+   break bit-identical comparison.  Malformed entries are all
+   non-silent so the served-query count per run is deterministic. *)
+let parallel_mix =
+  lazy
+    (let rng = Random.State.make [| 0xC0FFEE |] in
+     let rv ?(lo = 2) () = lo + Random.State.int rng (nv - lo) in
+     let malformed =
+       [| "bogus"; "points-to"; "alias v1"; "points-to nosuchvar"; "leak h999999"; "count nope"; "refine" |]
+     in
+     let base =
+       List.init 1000 (fun i ->
+           let q =
+             match (i + 1) mod 10 with
+             | 0 | 1 | 2 -> Printf.sprintf "points-to v%d" (rv ())
+             | 3 | 4 -> Printf.sprintf "alias v%d v%d" (rv ()) (rv ())
+             | 5 ->
+               let v = rv () in
+               Printf.sprintf "leak h%d" (List.nth heaps_of.(v) (Random.State.int rng (List.length heaps_of.(v))))
+             | 6 -> "count vP"
+             | 7 | 8 -> malformed.(Random.State.int rng (Array.length malformed))
+             | _ -> "help"
+           in
+           (q, false))
+     in
+     let kills =
+       List.concat (List.init kill_pairs (fun _ -> [ ("alias v0 v1", true); ("points-to v7", false) ]))
+     in
+     let trips =
+       List.concat (List.init firewall_pairs (fun _ -> [ ("modref v1", false); ("points-to v3", false) ]))
+     in
+     (base, base @ kills @ trips))
+
+(* One client: a fresh ctx, the whole sequence, raw result tuples out.
+   No Alcotest inside (this runs inside spawned domains). *)
+let run_mix srv stats queries =
+  let ctx = Serve.new_ctx srv in
+  List.map
+    (fun (line, tight_q) ->
+      let s = Serve.serve_line ~limits:(if tight_q then tight else roomy) ~stats srv ctx line in
+      (s.Serve.outcome.Serve.ok, s.Serve.outcome.Serve.command, s.Serve.outcome.Serve.lines, s.Serve.close))
+    queries
+
+(* Check one (query, result) pair against the tuple oracle. *)
+let oracle_check (line, tight_q) (ok_, cmd, lines, close_) =
+  let var_ord v = int_of_string (String.sub v 1 (String.length v - 1)) in
+  if tight_q then begin
+    Alcotest.(check string) ("budget kill: " ^ line) "budget" cmd;
+    Alcotest.(check bool) "budget kill is an error" false ok_;
+    Alcotest.(check bool) "budget kill keeps the connection" false close_
+  end
+  else
+    match String.split_on_char ' ' line with
+    | [ "modref"; "v1" ] ->
+      Alcotest.(check string) ("firewall: " ^ line) "internal" cmd;
+      Alcotest.(check bool) "firewall closes the connection" true close_
+    | [ "points-to"; v ] when ok_ ->
+      Alcotest.(check (list string)) ("answer: " ^ line)
+        (sorted (heap_names heaps_of.(var_ord v)))
+        (sorted lines)
+    | [ "alias"; v1; v2 ] when ok_ ->
+      let shared = List.filter (fun h -> List.mem h heaps_of.(var_ord v2)) heaps_of.(var_ord v1) in
+      (match lines with
+      | head :: rest ->
+        Alcotest.(check string) ("verdict: " ^ line) (if shared = [] then "no" else "yes") head;
+        Alcotest.(check (list string)) ("heaps: " ^ line) (sorted (heap_names shared)) (sorted rest)
+      | [] -> Alcotest.failf "query %S: empty reply" line)
+    | [ "leak"; h ] when ok_ ->
+      let h = var_ord h in
+      let vars = List.filter (fun v -> List.mem h heaps_of.(v)) (List.init nv Fun.id) in
+      Alcotest.(check (list string)) ("answer: " ^ line)
+        (sorted (List.map (Printf.sprintf "v%d") vars))
+        (sorted lines)
+    | [ "count"; "vP" ] ->
+      Alcotest.(check (list string)) "count vP" [ Printf.sprintf "vP %d" (List.length tuples) ] lines
+    | "points-to" :: _ | "alias" :: _ | "leak" :: _ ->
+      (* Valid-shape query that failed: only the malformed pool may do
+         that, and those carry out-of-domain names by construction. *)
+      Alcotest.(check bool) ("expected failure is an error: " ^ line) false ok_
+    | _ -> ()
+
+let test_parallel_soak () =
+  let st = Store.load ~dir:(Lazy.force store_dir) in
+  let srv = Serve.make st in
+  let _base, queries = Lazy.force parallel_mix in
+  (* Single-threaded reference run, oracle-checked. *)
+  let ref_stats = Serve.make_stats () in
+  let reference = run_mix srv ref_stats queries in
+  List.iter2 oracle_check queries reference;
+  let per_run_queries = Atomic.get ref_stats.Serve.s_queries in
+  Alcotest.(check bool) "reference run counts every query" true (per_run_queries >= List.length queries);
+  Alcotest.(check int) "reference budget kills" kill_pairs (Atomic.get ref_stats.Serve.s_budget_kills);
+  Alcotest.(check int) "reference firewall trips" firewall_pairs (Atomic.get ref_stats.Serve.s_firewall_trips);
+  (* The concurrent run: n_clients domains, one shared stats. *)
+  let fd0 = count_fds () in
+  let stats = Serve.make_stats () in
+  let domains =
+    List.init n_clients (fun _ -> Stdlib.Domain.spawn (fun () -> run_mix srv stats queries))
+  in
+  let transcripts = List.map Stdlib.Domain.join domains in
+  (match (fd0, count_fds ()) with
+  | Some before, Some after -> Alcotest.(check int) "fd count stable across parallel soak" before after
+  | _ -> ());
+  List.iteri
+    (fun i transcript ->
+      Alcotest.(check bool)
+        (Printf.sprintf "client %d transcript bit-identical to single-threaded run" i)
+        true (transcript = reference))
+    transcripts;
+  (* Stats are exactly consistent: every counter is the single-run
+     value times the number of clients, with no lost updates. *)
+  Alcotest.(check int) "parallel queries counted" (n_clients * per_run_queries) (Atomic.get stats.Serve.s_queries);
+  Alcotest.(check int) "parallel ok + err = queries" (Atomic.get stats.Serve.s_queries)
+    (Atomic.get stats.Serve.s_ok + Atomic.get stats.Serve.s_err);
+  Alcotest.(check int) "parallel budget kills" (n_clients * kill_pairs) (Atomic.get stats.Serve.s_budget_kills);
+  Alcotest.(check int) "parallel firewall trips" (n_clients * firewall_pairs)
+    (Atomic.get stats.Serve.s_firewall_trips);
+  let latency_total =
+    Hashtbl.fold (fun _ (l : Serve.latency) acc -> acc + l.Serve.l_count) stats.Serve.s_latency 0
+  in
+  Alcotest.(check int) "parallel latency rows cover every query" (Atomic.get stats.Serve.s_queries) latency_total
+
+(* The daemon-shaped path: a Serve.Pool with 4 worker domains takes
+   the same 1k valid/malformed mix from 8 concurrent client threads.
+   Which worker (hence which ctx, with which history) answers a given
+   query is scheduling-dependent, so budget-kill tails are excluded;
+   every remaining answer is history-independent and must equal the
+   reference, and nothing may be dropped.  After [shutdown], further
+   requests bounce with [err shutdown]. *)
+let test_pool () =
+  let st = Store.load ~dir:(Lazy.force store_dir) in
+  let srv = Serve.make st in
+  let base, _queries = Lazy.force parallel_mix in
+  let ref_stats = Serve.make_stats () in
+  let reference = run_mix srv ref_stats base in
+  let stats = Serve.make_stats () in
+  let pool = Serve.Pool.create ~limits:roomy ~stats ~workers:4 srv in
+  let client () =
+    List.map
+      (fun (line, _) ->
+        let s = Serve.Pool.run pool line in
+        (s.Serve.outcome.Serve.ok, s.Serve.outcome.Serve.command, s.Serve.outcome.Serve.lines, s.Serve.close))
+      base
+  in
+  let results = Array.make n_clients [] in
+  let clients = List.init n_clients (fun i -> Thread.create (fun () -> results.(i) <- client ()) ()) in
+  List.iter Thread.join clients;
+  let transcripts = Array.to_list results in
+  List.iteri
+    (fun i transcript ->
+      Alcotest.(check int) (Printf.sprintf "pool client %d: nothing dropped" i) (List.length base)
+        (List.length transcript);
+      Alcotest.(check bool) (Printf.sprintf "pool client %d answers match reference" i) true
+        (transcript = reference))
+    transcripts;
+  Alcotest.(check int) "pool queries counted"
+    (n_clients * Atomic.get ref_stats.Serve.s_queries)
+    (Atomic.get stats.Serve.s_queries);
+  Serve.Pool.shutdown pool;
+  let s = Serve.Pool.run pool "points-to v3" in
+  Alcotest.(check string) "post-shutdown requests bounce" "shutdown" s.Serve.outcome.Serve.command;
+  Alcotest.(check bool) "post-shutdown bounce closes" true s.Serve.close
 
 let () =
   Alcotest.run "serve"
-    [ ("soak", [ Alcotest.test_case "1k mixed queries: correct, isolated, fd-stable" `Quick test_soak ]) ]
+    [
+      ("soak", [ Alcotest.test_case "1k mixed queries: correct, isolated, fd-stable" `Quick test_soak ]);
+      ( "parallel",
+        [
+          Alcotest.test_case "8 domains, bit-identical transcripts, exact stats" `Quick test_parallel_soak;
+          Alcotest.test_case "worker pool: 8 clients x 4 domains, nothing dropped" `Quick test_pool;
+        ] );
+    ]

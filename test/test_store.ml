@@ -114,7 +114,8 @@ let test_warm_serve_batch () =
     time (fun () ->
         let st = Store.load ~dir:(Lazy.force saved_dir) in
         let srv = Serve.make st in
-        (srv, List.map (Serve.handle srv) queries))
+        let ctx = Serve.new_ctx srv in
+        (srv, List.map (Serve.handle srv ctx) queries))
   in
   ignore srv;
   List.iter (fun (o : Serve.outcome) -> Alcotest.(check bool) ("served ok: " ^ o.Serve.command) true o.Serve.ok) outcomes;
