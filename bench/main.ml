@@ -1,7 +1,7 @@
 (* Benchmark harness: regenerates every table and figure of the
    paper's evaluation (§6) over the 21 scaled synthetic benchmarks.
 
-     dune exec bench/main.exe -- [--table fig3|fig4|fig5|fig6|scaling|ablations|persist|serve|example1|bechamel|all]
+     dune exec bench/main.exe -- [--table fig3|fig4|fig5|fig6|scaling|ablations|persist|serve|swap|example1|bechamel|all]
                                  (comma-separate to run several, e.g. --table fig4,persist)
                                  [--scale S] [--benchmarks a,b,c]
                                  [--json OUT.json]
@@ -585,6 +585,128 @@ let serve_bench () =
   print_endline "store load are excluded; answers are bit-identical at every width (the";
   print_endline "test_serve parallel soak asserts that)."
 
+(* --- Hot-swap: follower swap latency + serving under snapshot churn ---
+   The replicated serving tier's two costs: how long a follower's
+   verify + load + freeze + swap takes (the window during which it
+   serves the *old* snapshot, never nothing), and what snapshot churn
+   does to warm-query throughput (workers rebuild their ctx per swap,
+   so some cache warmth is lost but the request path never blocks on a
+   load). *)
+
+let swap_bench () =
+  header "Hot swap: follower swap latency and throughput under snapshot churn";
+  let nv = 48 and nh = 16384 in
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "whalelam-bench-swap" in
+  ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)));
+  (* Content encodes its version ([v2] -> h(32+version)); a ~5k-tuple
+     filler relation gives load + freeze something real to chew on. *)
+  let save_version version =
+    let sp = Space.create () in
+    let vdom = Domain.make ~name:"V" ~size:nv ~element_names:(Array.init nv (Printf.sprintf "v%d")) () in
+    let hdom = Domain.make ~name:"H" ~size:nh ~element_names:(Array.init nh (Printf.sprintf "h%d")) () in
+    let vb = Space.alloc sp vdom and hb = Space.alloc sp hdom in
+    let tuples =
+      List.concat_map
+        (fun v -> if v = 2 then [ [| 2; 32 + version |] ] else [ [| v; v |]; [| v; v + 8 |] ])
+        (List.init nv Fun.id)
+    in
+    let vp =
+      Relation.of_tuples sp ~name:"vP"
+        [ { Relation.attr_name = "variable"; block = vb }; { Relation.attr_name = "heap"; block = hb } ]
+        tuples
+    in
+    let hb2 = Space.alloc sp hdom in
+    let rng = Random.State.make [| 0xF111; version |] in
+    let filler =
+      Relation.of_tuples sp ~name:"filler"
+        [ { Relation.attr_name = "a"; block = hb }; { Relation.attr_name = "b"; block = hb2 } ]
+        (List.init 5_000 (fun _ -> [| Random.State.int rng nh; Random.State.int rng nh |]))
+    in
+    Bddrel.Store.save ~dir ~key:"bench-swap-0123" ~config:[] ~space:sp ~relations:[ vp; filler ]
+  in
+  save_version 1;
+  let source = Pta.Serve.Source.create (Pta.Serve.make (Bddrel.Store.load ~dir)) in
+  let stats = Pta.Serve.make_stats () in
+  let pool = Pta.Serve.Pool.create ~stats ~workers:4 source in
+  let follow = Pta.Serve.Follow.make ~dir source in
+  let next_version = ref 2 in
+  let one_swap () =
+    save_version !next_version;
+    incr next_version;
+    match Pta.Serve.Follow.poll follow with
+    | Pta.Serve.Follow.Swapped { seconds; _ } ->
+      Pta.Serve.Pool.poke pool;
+      seconds
+    | Pta.Serve.Follow.Unchanged | Pta.Serve.Follow.Rejected _ -> failwith "bench swap did not happen"
+  in
+  (* Swap latency over 10 swaps (save cost excluded: [seconds] is the
+     follower's own verify + load + freeze + swap). *)
+  let lats = List.init 10 (fun _ -> one_swap ()) in
+  let avg = List.fold_left ( +. ) 0.0 lats /. 10.0 in
+  let worst = List.fold_left max 0.0 lats in
+  record ~table:"swap" ~bench:"synthetic-48v-16kh" ~algo:"swap-latency-avg" (timed_stats avg);
+  record ~table:"swap" ~bench:"synthetic-48v-16kh" ~algo:"swap-latency-max" (timed_stats worst);
+  Printf.printf "swap latency (verify+load+freeze+swap): avg %.1fms  max %.1fms over 10 swaps\n\n"
+    (avg *. 1e3) (worst *. 1e3);
+  (* Throughput: the same 8k-query warm batch, steady vs. continuous
+     snapshot churn (ctx teardown + cache refill on every worker per
+     swap). *)
+  let queries =
+    let qrng = Random.State.make [| 0x5A5A |] in
+    Array.init 16000 (fun i ->
+        let rv () = Random.State.int qrng nv in
+        match i mod 4 with
+        | 0 -> Printf.sprintf "points-to v%d" (rv ())
+        | 1 -> Printf.sprintf "alias v%d v%d" (rv ()) (rv ())
+        | 2 -> Printf.sprintf "leak h%d" (Random.State.int qrng nv)
+        | _ -> "count vP")
+  in
+  let swaps_done = ref 0 in
+  let run_batch ~churn =
+    let idx = Atomic.make 0 in
+    let done_ = Atomic.make false in
+    let client () =
+      let rec go () =
+        let i = Atomic.fetch_and_add idx 1 in
+        if i < Array.length queries then begin
+          ignore (Pta.Serve.Pool.run pool queries.(i));
+          go ()
+        end
+      in
+      go ()
+    in
+    (* One churner domain owns the save -> poll -> poke sequence (saves
+       must not race each other); clients only ever query. *)
+    let churner () =
+      swaps_done := 0;
+      while not (Atomic.get done_) do
+        ignore (one_swap ());
+        incr swaps_done;
+        Unix.sleepf 0.005
+      done
+    in
+    let t0 = Unix.gettimeofday () in
+    let ch = if churn then Some (Stdlib.Domain.spawn churner) else None in
+    let domains = List.init 4 (fun _ -> Stdlib.Domain.spawn client) in
+    List.iter Stdlib.Domain.join domains;
+    Atomic.set done_ true;
+    Option.iter Stdlib.Domain.join ch;
+    Unix.gettimeofday () -. t0
+  in
+  ignore (run_batch ~churn:false) (* warm-up *);
+  let steady = run_batch ~churn:false in
+  let churned = run_batch ~churn:true in
+  record ~table:"swap" ~bench:"synthetic-48v-16kh" ~algo:"steady-batch" (timed_stats steady);
+  record ~table:"swap" ~bench:"synthetic-48v-16kh" ~algo:"churn-batch" (timed_stats churned);
+  Printf.printf "%-16s %10s %12s\n" "mode" "seconds" "queries/sec";
+  Printf.printf "%-16s %9.3fs %12.0f\n" "steady" steady (float_of_int (Array.length queries) /. steady);
+  Printf.printf "%-16s %9.3fs %12.0f\n" (Printf.sprintf "churn (%d swaps)" !swaps_done) churned
+    (float_of_int (Array.length queries) /. churned);
+  Pta.Serve.Pool.shutdown pool;
+  print_endline "\nShape to check: swap latency is load-bound (milliseconds for this store,";
+  print_endline "seconds only for paper-scale ones) and the churn batch pays the swap +";
+  print_endline "cache-refill tax without ever blocking a request on a load."
+
 (* --- The paper's running example --- *)
 
 let example1 () =
@@ -657,6 +779,7 @@ let () =
   run "ablations" ablations;
   run "persist" persist;
   run "serve" serve_bench;
+  run "swap" swap_bench;
   run "bechamel" bechamel;
   (match !json_path with
   | Some path -> write_json path

@@ -605,7 +605,11 @@ let prepare_socket_path path =
   end
 
 let serve_cmd =
-  let run dir socket max_clients workers req_timeout req_max_allocs req_max_nodes =
+  let run dir socket max_clients workers req_timeout req_max_allocs req_max_nodes follow poll_interval =
+    (* The initial load happens before any socket work on purpose: a
+       follower pointed at a missing or broken store must exit with a
+       structured error (code 1) without ever binding — leaving no
+       socket file behind for a router to trip over. *)
     let st = Store.load ~dir in
     let srv = Pta.Serve.make st in
     let stats = Pta.Serve.make_stats () in
@@ -616,15 +620,50 @@ let serve_cmd =
         Pta.Serve.rq_max_nodes = (if req_max_nodes > 0 then Some req_max_nodes else None);
       }
     in
-    Printf.eprintf "serve: loaded %d relations from %s/store (key %s)\n%!"
+    Printf.eprintf "serve: loaded %d relations from %s/store (key %s snapshot %d)\n%!"
       (List.length (Store.relations st))
       dir
-      (String.sub (Store.key st) 0 12);
+      (String.sub (Store.key st) 0 12)
+      (Store.snapshot st);
     let shutdown = ref false in
     (* Evaluation runs on a pool of worker domains, each with a
        private ctx over the frozen store; connection threads only do
-       I/O and block in [Pool.run] until their answer is ready. *)
-    let pool = Pta.Serve.Pool.create ~limits ~stats ~workers srv in
+       I/O and block in [Pool.run] until their answer is ready.  The
+       pool reads the server through a swappable source so a follower
+       can hot-swap snapshots underneath it. *)
+    let source = Pta.Serve.Source.create srv in
+    let pool = Pta.Serve.Pool.create ~limits ~stats ~workers source in
+    (* --follow: watch the store directory and hot-swap on a new
+       committed save.  The watcher never touches the serving path —
+       a rejected (torn/corrupt) candidate logs one structured line
+       and the old snapshot keeps answering. *)
+    let watcher_thread =
+      if not follow then None
+      else begin
+        let fstate = Pta.Serve.Follow.make ~dir source in
+        let watcher () =
+          while not !shutdown do
+            Thread.delay poll_interval;
+            if not !shutdown then
+              match Pta.Serve.Follow.poll fstate with
+              | Pta.Serve.Follow.Unchanged -> ()
+              | Pta.Serve.Follow.Swapped { snapshot; key; seconds } ->
+                Pta.Serve.Pool.poke pool;
+                Printf.eprintf "serve: swap ok key=%s snapshot=%d (%.2fs)\n%!"
+                  (String.sub key 0 12) snapshot seconds
+              | Pta.Serve.Follow.Rejected { reason } ->
+                Printf.eprintf "serve: swap rejected: %s\n%!" reason
+          done
+        in
+        Printf.eprintf "serve: following %s (poll every %.2fs)\n%!" dir poll_interval;
+        Some (Thread.create watcher ())
+      end
+    in
+    let join_watcher () =
+      match watcher_thread with
+      | Some t -> ( try Thread.join t with _ -> ())
+      | None -> ()
+    in
     let in_flight = Atomic.make 0 in
     let serve_pooled line =
       Atomic.incr in_flight;
@@ -682,6 +721,8 @@ let serve_cmd =
       Sys.set_signal Sys.sigint (Sys.Signal_handle handler);
       Atomic.incr stats.Pta.Serve.s_connections;
       let n = handle_channel stdin stdout in
+      shutdown := true;
+      join_watcher ();
       Pta.Serve.Pool.shutdown pool;
       Printf.eprintf "serve: done (%d queries)\n%!" n;
       print_final ()
@@ -777,6 +818,7 @@ let serve_cmd =
       let conn_threads = !threads in
       Mutex.unlock conn_mutex;
       List.iter (fun t -> try Thread.join t with _ -> ()) conn_threads;
+      join_watcher ();
       Pta.Serve.Pool.shutdown pool;
       (try Sys.remove path with Sys_error _ -> ());
       print_final ()
@@ -833,6 +875,23 @@ let serve_cmd =
       & info [ "request-max-nodes" ] ~docv:"N"
           ~doc:"Per-request cap on live BDD node growth.  0 (default) disables.")
   in
+  let follow =
+    Arg.(
+      value & flag
+      & info [ "follow" ]
+          ~doc:
+            "Follower mode: watch the store directory and hot-swap to each new committed save with zero \
+             downtime — in-flight queries finish against the old snapshot, later ones answer from the new \
+             one.  A torn or corrupt candidate is rejected with a structured log line and the old snapshot \
+             keeps serving.")
+  in
+  let poll_interval =
+    Arg.(
+      value
+      & opt float 0.5
+      & info [ "poll-interval" ] ~docv:"SECONDS"
+          ~doc:"How often $(b,--follow) checks the store manifest for a new save (one stat when unchanged).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -841,8 +900,197 @@ let serve_cmd =
           printing per-query latency and row counts.  Per-request budgets, an exception firewall, bounded \
           concurrency with $(b,err busy) backpressure, and SIGTERM/SIGINT graceful shutdown keep one bad \
           query or client from taking the daemon down.  $(b,--workers N) evaluates queries on a pool of \
-          worker domains over the frozen store.  'help' lists the protocol.")
-    Term.(const run $ dir $ socket $ max_clients $ workers $ req_timeout $ req_max_allocs $ req_max_nodes)
+          worker domains over the frozen store.  $(b,--follow) hot-swaps to new saves of the store with \
+          zero downtime.  'help' lists the protocol.")
+    Term.(
+      const run $ dir $ socket $ max_clients $ workers $ req_timeout $ req_max_allocs $ req_max_nodes
+      $ follow $ poll_interval)
+
+(* --- route: fault-tolerant router over serve backends --------------
+
+   The accept-loop shell around [Pta.Router]: same socket lifecycle as
+   `serve` (stale-socket reclaim, EINTR-safe accept, --max-clients
+   with err busy, SIGTERM/SIGINT drain), one thread per client
+   connection doing I/O, plus a prober thread health-checking the
+   backends every --probe-interval.  All forwarding policy — retries,
+   backoff + jitter, failover, circuit breakers — lives in the library
+   module. *)
+
+let route_cmd =
+  let run socket backends max_clients request_timeout retries probe_interval =
+    if backends = [] then begin
+      Printf.eprintf "route: at least one --backend socket is required\n%!";
+      exit 1
+    end;
+    let policy =
+      {
+        Pta.Router.default_policy with
+        Pta.Router.request_timeout_s = (if request_timeout > 0.0 then request_timeout else 86400.0);
+        Pta.Router.retries = max 0 retries;
+      }
+    in
+    let router = Pta.Router.create ~policy backends in
+    (* First probe before accepting: health/stats answered from the
+       very first connection reflect a real fleet view. *)
+    Pta.Router.probe_all router;
+    let shutdown = ref false in
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let handler _ = shutdown := true in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle handler);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle handler);
+    let prober =
+      Thread.create
+        (fun () ->
+          while not !shutdown do
+            Thread.delay probe_interval;
+            if not !shutdown then Pta.Router.probe_all router
+          done)
+        ()
+    in
+    prepare_socket_path socket;
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.bind fd (Unix.ADDR_UNIX socket);
+    Unix.listen fd 16;
+    Printf.eprintf "route: listening on %s over %d backend(s) (max %d clients, %d retries)\n%!" socket
+      (List.length backends) max_clients (max 0 retries);
+    let conn_mutex = Mutex.create () in
+    let active = ref 0 in
+    let conn_fds : (int, Unix.file_descr) Hashtbl.t = Hashtbl.create 8 in
+    let threads = ref [] in
+    let next_id = ref 0 in
+    let worker (id, cfd) =
+      let ic = Unix.in_channel_of_descr cfd and oc = Unix.out_channel_of_descr cfd in
+      let sess = Pta.Router.session ~seed:id in
+      (try
+         let continue = ref true in
+         while !continue do
+           let line = input_line ic in
+           if String.trim line = "quit" then continue := false
+           else begin
+             (match Pta.Router.handle router sess line with
+             | None -> ()
+             | Some r ->
+               output_string oc (r.Pta.Router.rp_header ^ "\n");
+               List.iter (fun l -> output_string oc (l ^ "\n")) r.Pta.Router.rp_body);
+             flush oc;
+             if !shutdown then continue := false
+           end
+         done
+       with End_of_file | Sys_error _ -> ());
+      Pta.Router.close_session sess;
+      (try flush oc with Sys_error _ -> ());
+      Mutex.lock conn_mutex;
+      decr active;
+      Hashtbl.remove conn_fds id;
+      Mutex.unlock conn_mutex;
+      try Unix.close cfd with Unix.Unix_error _ -> ()
+    in
+    let rec accept_next () =
+      if !shutdown then None
+      else
+        match Unix.select [ fd ] [] [] 0.25 with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_next ()
+        | [], _, _ -> accept_next ()
+        | _ :: _, _, _ -> (
+          match Unix.accept fd with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_next ()
+          | cfd, _ -> Some cfd)
+    in
+    let rec loop () =
+      match accept_next () with
+      | None -> ()
+      | Some cfd ->
+        Mutex.lock conn_mutex;
+        let full = !active >= max_clients in
+        if not full then incr active;
+        Mutex.unlock conn_mutex;
+        if full then begin
+          let oc = Unix.out_channel_of_descr cfd in
+          (try
+             Printf.fprintf oc "err busy 0 0us\nrouter at capacity (%d connections); retry later\n"
+               max_clients;
+             flush oc
+           with Sys_error _ -> ());
+          try Unix.close cfd with Unix.Unix_error _ -> ()
+        end
+        else begin
+          incr next_id;
+          let id = !next_id in
+          Mutex.lock conn_mutex;
+          Hashtbl.replace conn_fds id cfd;
+          threads := Thread.create worker (id, cfd) :: !threads;
+          Mutex.unlock conn_mutex
+        end;
+        loop ()
+    in
+    loop ();
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Mutex.lock conn_mutex;
+    Hashtbl.iter
+      (fun _ cfd -> try Unix.shutdown cfd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
+      conn_fds;
+    let conn_threads = !threads in
+    Mutex.unlock conn_mutex;
+    List.iter (fun t -> try Thread.join t with _ -> ()) conn_threads;
+    (try Thread.join prober with _ -> ());
+    (try Sys.remove socket with Sys_error _ -> ());
+    Printf.eprintf "route: shutdown\n";
+    List.iter (fun l -> Printf.eprintf "route:   %s\n" l) (Pta.Router.stats_lines router);
+    flush stderr
+  in
+  let socket =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Unix domain socket the router listens on.")
+  in
+  let backends =
+    Arg.(
+      value & opt_all string []
+      & info [ "backend" ] ~docv:"SOCK"
+          ~doc:"A backend daemon socket (repeatable).  Queries are load-balanced round-robin across \
+                healthy backends.")
+  in
+  let max_clients =
+    Arg.(
+      value
+      & opt int 16
+      & info [ "max-clients" ] ~docv:"N"
+          ~doc:"Concurrent client connection cap; further clients get an explicit $(b,err busy) reply.")
+  in
+  let request_timeout =
+    Arg.(
+      value
+      & opt float 30.0
+      & info [ "request-timeout" ] ~docv:"SECONDS"
+          ~doc:"Per-attempt timeout for one forwarded request (send + full reply).  0 disables.")
+  in
+  let retries =
+    Arg.(
+      value
+      & opt int 3
+      & info [ "retries" ] ~docv:"N"
+          ~doc:"Extra attempts after the first on connect failure, mid-stream EOF, timeout, or \
+                $(b,err busy): each retry backs off exponentially with jitter and prefers a different \
+                backend (failover).")
+  in
+  let probe_interval =
+    Arg.(
+      value
+      & opt float 1.0
+      & info [ "probe-interval" ] ~docv:"SECONDS"
+          ~doc:"How often the prober thread health-checks every backend; a successful probe closes an \
+                open circuit breaker.")
+  in
+  Cmd.v
+    (Cmd.info "route"
+       ~doc:
+         "Fault-tolerant query router over $(b,serve) backends: relays the line protocol to healthy \
+          backends with round-robin load balancing, per-backend circuit breakers, bounded retry with \
+          exponential backoff + jitter, and failover — clients see $(b,err unavailable) only when every \
+          backend is down.  $(b,stats) and $(b,health) are answered by the router itself with \
+          per-backend breaker state and snapshot identity.")
+    Term.(const run $ socket $ backends $ max_clients $ request_timeout $ retries $ probe_interval)
 
 (* --- store verify / repair --- *)
 
@@ -862,7 +1110,7 @@ let store_group_cmd =
   let healthy checks = checks <> [] && List.for_all (fun (c : Store.check) -> c.Store.chk_ok) checks in
   let verify =
     let run dir =
-      let checks = Store.verify ~dir in
+      let checks = Store.verify ~dir () in
       print_checks checks;
       if healthy checks then print_endline "store: valid"
       else begin
@@ -880,7 +1128,7 @@ let store_group_cmd =
   in
   let repair =
     let run dir =
-      let checks = Store.verify ~dir in
+      let checks = Store.verify ~dir () in
       if healthy checks then print_endline "store: healthy, nothing to repair"
       else begin
         print_checks checks;
@@ -1118,6 +1366,7 @@ let () =
         analyze_cmd;
         query_cmd;
         serve_cmd;
+        route_cmd;
         store_group_cmd;
         order_search_cmd;
         datalog_cmd;

@@ -1112,6 +1112,20 @@ let ctx_reset c =
      by the lookup's cross-generation check. *)
   c.c_gen <- c.c_gen + 1
 
+let ctx_dispose c =
+  ctx_reset c;
+  (* Drop the arena and unique table so the only remaining retained
+     storage is the (shared) frozen space and the fixed-size op cache;
+     a follower swapping snapshots can therefore release an old space
+     by disposing its ctxs and dropping the [frozen] value — both are
+     then ordinary unreachable heap blocks for the GC.  A disposed ctx
+     must not be used again: the first fresh allocation through it
+     lands in [ctx_grow]'s zero-capacity guard and raises. *)
+  c.c_nodes <- [||];
+  c.c_buckets <- [| -1 |];
+  c.c_mask <- 0;
+  c.c_budget <- None
+
 (* Field reads dispatch on the handle range; terminals live in the
    frozen arrays (slots 0/1, var = terminal_var), so [cvar] orders
    levels correctly without a terminal test. *)
@@ -1133,6 +1147,7 @@ let ctx_budget_check c =
 
 let ctx_grow c =
   let cap = Array.length c.c_nodes / 4 in
+  if cap = 0 then failwith "Bdd: eval_ctx used after ctx_dispose";
   let cap' = cap * 2 in
   c.c_nodes <- Array.append c.c_nodes (Array.make (cap * 4) (-1));
   c.c_buckets <- Array.make cap' (-1);

@@ -258,7 +258,17 @@ val to_dot : ?var_name:(int -> string) -> man -> t -> string
 
 type frozen
 (** An immutable snapshot of a manager: packed node array compacted by
-    GC, read-only unique table. *)
+    GC, read-only unique table.
+
+    {b Lifecycle.}  A [frozen] value owns no external resources — it
+    is a handful of plain OCaml arrays.  There is no [unfreeze]:
+    releasing a snapshot is simply dropping the last reference to it
+    (and to every {!ctx} built over it, each of which retains its
+    frozen space through {!ctx_frozen}); the GC then reclaims the node
+    arrays like any other heap block.  A long-running follower that
+    hot-swaps snapshots must therefore (a) {!ctx_dispose} or drop each
+    old ctx and (b) drop the old [frozen] — the soak suite pins
+    RSS/heap stability across ≥20 such swaps. *)
 
 val freeze : man -> frozen
 (** [freeze m] collects [m] (dropping garbage) and snapshots the node
@@ -290,6 +300,15 @@ val ctx_reset : ctx -> unit
     frozen survive (repeated warm queries stay cached across
     requests); entries touching disposed ctx nodes are invalidated by
     a generation stamp. *)
+
+val ctx_dispose : ctx -> unit
+(** Eager teardown for snapshot hot-swap: {!ctx_reset}, then drop the
+    arena and unique table, leaving the ctx retaining only its (shared)
+    frozen space and a fixed-size cache.  Once every ctx over an old
+    snapshot is disposed and the [frozen] value itself is dropped, the
+    whole old space is unreachable and GC-reclaimed.  A disposed ctx
+    must not be used again: the first fresh allocation through it
+    raises [Failure]. *)
 
 val ctx_set_budget : ctx -> Budget.t option -> unit
 (** Per-ctx budget, enforced like {!set_budget}: tested on the ctx's

@@ -24,14 +24,18 @@
 
 type t = {
   st_key : string;
+  st_snapshot : int;
   st_config : (string * string) list;
   st_space : Space.t;
   st_domains : (string * Domain.t) list;
   st_rels : (string * Relation.t) list; (* manifest order *)
 }
 
-(* v2: checksummed manifest + WLBDD02 checksummed BDD framing. *)
-let format_version = 2
+(* v2: checksummed manifest + WLBDD02 checksummed BDD framing.
+   v3: a [snapshot <n>] identity line — a per-directory save counter
+   that lets followers (and their routers) tell two saves of the same
+   content key apart and assert exactly which snapshot answered. *)
+let format_version = 3
 
 let subdir dir = Filename.concat dir "store"
 let manifest_path dir = Filename.concat (subdir dir) "manifest"
@@ -109,6 +113,52 @@ let check_name what s =
   if s = "" || String.exists (fun c -> c = ' ' || c = ':' || c = '\n' || c = '\t' || c = '/') s then
     invalid_arg (Printf.sprintf "Store: %s name %S must be non-empty without spaces, colons or slashes" what s)
 
+(* The snapshot counter's durable home: a one-line [serial] file next
+   to the manifest, committed (atomically, before the old manifest is
+   even touched) at the start of every save.  A save that crashes at
+   any later point — including the torn window where the manifest has
+   been removed but the new one is not yet committed — therefore never
+   resets the counter: the next save reads the serial file and keeps
+   counting.  The manifest scan below is only a fallback for stores
+   written before the serial file existed. *)
+let serial_path dir = Filename.concat (subdir dir) "serial"
+
+let read_serial path =
+  match open_in path with
+  | exception Sys_error _ -> None
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        match input_line ic with
+        | l -> (match int_of_string_opt (String.trim l) with Some n when n >= 0 -> Some n | _ -> None)
+        | exception End_of_file -> None)
+
+(* The previous save's snapshot counter, scanned with a plain line
+   match (no full parse: the old manifest may be torn or corrupt, and
+   a save must still go through — it starts a fresh history then). *)
+let scan_snapshot path =
+  if not (Sys.file_exists path) then None
+  else
+    match
+      let ic = open_in path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let found = ref None in
+          (try
+             while !found = None do
+               match String.split_on_char ' ' (input_line ic) with
+               | [ "snapshot"; n ] -> found := int_of_string_opt n
+               | _ -> ()
+             done
+           with End_of_file -> ());
+          !found)
+    with
+    | Some n when n >= 0 -> Some n
+    | Some _ | None -> None
+    | exception Sys_error _ -> None
+
 let save ~dir ~key ~config ~space ~relations =
   List.iter
     (fun r ->
@@ -146,10 +196,30 @@ let save ~dir ~key ~config ~space ~relations =
     (bdd_file, String.length dump, Crc32.string dump)
     :: List.map (fun (dn, content) -> (map_file dn, String.length content, Crc32.string content)) maps
   in
+  let mpath = manifest_path dir in
+  mkdir_p (subdir dir);
+  (* Monotonic per-directory save counter: the follower swap protocol
+     distinguishes "same key, re-saved" (snapshot bumps) from "nothing
+     changed" (identical key and snapshot).  Allocated from the
+     dedicated serial file (max'd against the manifest for stores
+     predating it) and committed durably *before* the old manifest is
+     invalidated, so a save torn at any later crash point cannot make
+     the counter go backwards. *)
+  let snapshot =
+    let prev =
+      List.fold_left
+        (fun acc o -> match o with Some n -> max acc n | None -> acc)
+        0
+        [ read_serial (serial_path dir); scan_snapshot mpath ]
+    in
+    prev + 1
+  in
+  write_atomic (serial_path dir) (string_of_int snapshot ^ "\n");
   let manifest =
     let b = Buffer.create 1024 in
     Printf.bprintf b "whalelam-store %d\n" format_version;
     Printf.bprintf b "key %s\n" key;
+    Printf.bprintf b "snapshot %d\n" snapshot;
     List.iter (fun (k, v) -> Printf.bprintf b "config %s %s\n" k v) config;
     Printf.bprintf b "nvars %d\n" (Space.num_vars space);
     List.iter
@@ -185,11 +255,9 @@ let save ~dir ~key ~config ~space ~relations =
     Buffer.add_string b "end\n";
     Buffer.contents b
   in
-  mkdir_p (subdir dir);
   (* Invalidate any previous store before touching its data files, and
      make the invalidation durable: a crash after this point must read
      as "no store", never as the old manifest over new data files. *)
-  let mpath = manifest_path dir in
   if Sys.file_exists mpath then begin
     Faults.fs_op ("remove " ^ mpath);
     (try Sys.remove mpath with Sys_error _ -> ());
@@ -218,6 +286,7 @@ let read_lines path =
 
 type manifest = {
   m_key : string;
+  m_snapshot : int;
   m_config : (string * string) list;
   m_nvars : int;
   m_domains : (string * int * bool) list; (* name, size, has map *)
@@ -270,6 +339,7 @@ let parse_manifest path =
   | _ -> bad ~path ~line:(List.length lines) "missing end trailer (truncated manifest)");
   verify_selfsum path lines;
   let key = ref None
+  and snapshot = ref None
   and config = ref []
   and nvars = ref None
   and domains = ref []
@@ -282,6 +352,7 @@ let parse_manifest path =
       if i > 0 && line <> "end" then
         match split_ws line with
         | [ "key"; k ] -> key := Some k
+        | [ "snapshot"; n ] -> snapshot := Some (int_field ~line:line_no "snapshot" n)
         | "config" :: k :: _ ->
           (* The value is everything after the key, spaces included. *)
           let prefix = "config " ^ k ^ " " in
@@ -319,6 +390,7 @@ let parse_manifest path =
   in
   {
     m_key = require "key" !key;
+    m_snapshot = require "snapshot" !snapshot;
     m_config = List.rev !config;
     m_nvars = require "nvars" !nvars;
     m_domains = List.rev !domains;
@@ -335,6 +407,17 @@ let read_key ~dir =
     match parse_manifest (manifest_path dir) with
     | m -> Some m.m_key
     | exception Solver_error.Error _ -> None
+
+(* The (key, snapshot) pair is the identity followers watch: equal
+   pairs mean the manifest describes the same committed save. *)
+let read_ident ~dir =
+  if not (exists ~dir) then None
+  else
+    match parse_manifest (manifest_path dir) with
+    | m -> Some (m.m_key, m.m_snapshot)
+    | exception Solver_error.Error _ -> None
+
+let read_snapshot ~dir = Option.map snd (read_ident ~dir)
 
 let read_file path =
   let ic = try open_in_bin path with Sys_error msg -> bad ~path ~line:0 "%s" msg in
@@ -424,13 +507,20 @@ let load ~dir =
     bad ~path:bpath ~line:0 "dump has %d roots, manifest lists %d relations" (List.length roots)
       (List.length rels);
   List.iter2 (fun (_, r) root -> Relation.set_bdd r root) rels roots;
-  { st_key = m.m_key; st_config = m.m_config; st_space = space; st_domains = domains; st_rels = rels }
+  {
+    st_key = m.m_key;
+    st_snapshot = m.m_snapshot;
+    st_config = m.m_config;
+    st_space = space;
+    st_domains = domains;
+    st_rels = rels;
+  }
 
 (* --- Verification and repair --- *)
 
 type check = { chk_name : string; chk_ok : bool; chk_detail : string }
 
-let verify ~dir =
+let verify ?(structural = true) ~dir () =
   let checks = ref [] in
   let push name ok detail = checks := { chk_name = name; chk_ok = ok; chk_detail = detail } :: !checks in
   let mpath = manifest_path dir in
@@ -448,7 +538,7 @@ let verify ~dir =
           | exception Solver_error.Error e -> push file false (Solver_error.to_string e)
           | data -> push file true (Printf.sprintf "crc32 %s, %d bytes" (Crc32.to_hex (Crc32.string data)) (String.length data)))
         m.m_checksums);
-    if List.for_all (fun c -> c.chk_ok) !checks then
+    if structural && List.for_all (fun c -> c.chk_ok) !checks then
       match load ~dir with
       | exception Solver_error.Error e -> push "structural load" false (Solver_error.to_string e)
       | exception e -> push "structural load" false (Printexc.to_string e)
@@ -475,6 +565,7 @@ let quarantine ~dir =
   end
 
 let key t = t.st_key
+let snapshot t = t.st_snapshot
 let config t = t.st_config
 let config_value t k = List.assoc_opt k t.st_config
 let space t = t.st_space

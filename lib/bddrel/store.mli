@@ -59,9 +59,23 @@ val save :
 val exists : dir:string -> bool
 (** A complete store (manifest present) exists at [dir]. *)
 
+val manifest_path : string -> string
+(** [manifest_path dir] is the manifest file's path under the store
+    root [dir] — the single commit point of a save.  Followers [stat]
+    it as a cheap has-anything-changed probe before reading. *)
+
 val read_key : dir:string -> string option
 (** The saved key, reading only the manifest header; [None] when there
     is no complete, well-formed store at [dir].  Cheap: no BDD load. *)
+
+val read_snapshot : dir:string -> int option
+(** The saved snapshot counter (see {!snapshot}); [None] when there is
+    no complete, well-formed store at [dir].  Cheap: no BDD load. *)
+
+val read_ident : dir:string -> (string * int) option
+(** The [(key, snapshot)] identity pair of the committed store at
+    [dir], or [None].  Two equal pairs describe the same save: this is
+    what a follower daemon polls to decide whether to hot-swap. *)
 
 val load : dir:string -> t
 (** Rebuild the store into a fresh {!Space}: domains (with element
@@ -79,12 +93,14 @@ type check = {
   chk_detail : string;  (** human-readable outcome (sizes, CRCs, or the error) *)
 }
 
-val verify : dir:string -> check list
+val verify : ?structural:bool -> dir:string -> unit -> check list
 (** Full health check, cheapest first: manifest parse (including its
     selfsum), per-file size + CRC-32, and — only when those pass — a
     complete structural load.  Never raises; a store is healthy iff
     every {!check} has [chk_ok = true].  The [ptacli store verify]
-    subcommand prints this list. *)
+    subcommand prints this list.  [~structural:false] skips the final
+    load (manifest + checksums only) — the cheap pre-check a follower
+    runs before committing to a hot-swap load. *)
 
 val quarantine : dir:string -> string option
 (** Move a (presumably broken) store directory aside to
@@ -93,6 +109,18 @@ val quarantine : dir:string -> string option
     The [ptacli store repair] subcommand drives this. *)
 
 val key : t -> string
+
+val snapshot : t -> int
+(** Monotonic per-directory save counter, written as the manifest's
+    [snapshot] line: each {!save} over the same directory records the
+    previous counter plus one (1 for a fresh directory).  Unlike
+    {!key} — a content hash of the analysis inputs — the snapshot
+    distinguishes two saves of identical content, so followers and
+    routers can assert exactly which save answered a query.  The
+    counter lives in a dedicated [serial] file committed before the
+    old manifest is invalidated, so it survives saves torn by a crash
+    and never goes backwards over a directory's lifetime. *)
+
 val config : t -> (string * string) list
 val config_value : t -> string -> string option
 val space : t -> Space.t

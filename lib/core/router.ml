@@ -1,0 +1,494 @@
+(* Fault-tolerant query router: the thin tier in front of a fleet of
+   [ptacli serve] followers.
+
+   The router speaks the same line protocol as the daemons on both
+   sides: a client line is relayed to one healthy backend and the
+   backend's reply (header + body rows) is relayed back verbatim.  All
+   the robustness lives around that relay:
+
+   - per-backend circuit breaker (closed / open / half-open): a
+     backend failing [breaker_threshold] consecutive attempts is
+     opened and skipped until [breaker_cooldown_s] elapses, after
+     which one trial request (half-open) decides whether it closes
+     again or re-opens;
+   - bounded retry with exponential backoff + jitter: connect
+     failures, mid-stream EOF, per-attempt timeouts, and explicit
+     [err busy]/[err shutdown] replies are retryable — each retry
+     prefers a different backend (failover) and sleeps
+     [backoff_base_s * 2^i], jittered, capped at [backoff_max_s];
+   - only when every attempt is exhausted does the client see
+     [err unavailable] — semantic errors (unknown variable, missing
+     relation) are relayed immediately and never retried, because the
+     backend answered them authoritatively.
+
+   Wire framing (one reply): header [ok|err <cmd> <rows> <latency>],
+   then [<rows>] body lines after an [ok] header and exactly one
+   message line after an [err] header (every server error is a single
+   explanatory line; the row count of an error is 0).
+
+   This module is deliberately thread-free (Unix + Mutex/Atomic only):
+   the pta library does not link threads.posix.  The accept loop and
+   the periodic [probe_all] prober thread live in the ptacli driver;
+   every function here is safe to call from many threads at once. *)
+
+type policy = {
+  connect_timeout_s : float;
+  request_timeout_s : float;  (* per forwarded attempt, send + full reply *)
+  health_timeout_s : float;  (* per [probe_all] probe *)
+  retries : int;  (* extra attempts after the first *)
+  backoff_base_s : float;
+  backoff_max_s : float;
+  breaker_threshold : int;  (* consecutive failures that open the breaker *)
+  breaker_cooldown_s : float;
+}
+
+let default_policy =
+  {
+    connect_timeout_s = 2.0;
+    request_timeout_s = 30.0;
+    health_timeout_s = 2.0;
+    retries = 3;
+    backoff_base_s = 0.02;
+    backoff_max_s = 0.5;
+    breaker_threshold = 3;
+    breaker_cooldown_s = 1.0;
+  }
+
+type breaker = Closed | Open_until of float | Half_open
+
+type backend = {
+  b_addr : string;  (* unix socket path *)
+  b_mu : Mutex.t;  (* guards every mutable field below *)
+  mutable b_state : breaker;
+  mutable b_consec : int;  (* consecutive failed attempts *)
+  mutable b_trips : int;  (* times the breaker opened *)
+  mutable b_probe_ok : bool;  (* last health probe outcome *)
+  mutable b_ident : (string * int) option;  (* (key, snapshot) from last probe *)
+  mutable b_relayed : int;  (* successful relays through this backend *)
+  mutable b_failures : int;  (* failed attempts (all causes) *)
+}
+
+type t = {
+  r_policy : policy;
+  r_backends : backend array;
+  r_cursor : int Atomic.t;  (* round-robin start point *)
+  r_started : float;
+  r_requests : int Atomic.t;  (* client lines accepted for forwarding *)
+  r_relayed : int Atomic.t;  (* replies relayed back *)
+  r_retries : int Atomic.t;
+  r_failovers : int Atomic.t;  (* retries that switched backend *)
+  r_trips : int Atomic.t;
+  r_unavailable : int Atomic.t;  (* requests that exhausted every attempt *)
+}
+
+let create ?(policy = default_policy) addrs =
+  if addrs = [] then invalid_arg "Router.create: no backends";
+  {
+    r_policy = policy;
+    r_backends =
+      Array.of_list
+        (List.map
+           (fun addr ->
+             {
+               b_addr = addr;
+               b_mu = Mutex.create ();
+               b_state = Closed;
+               b_consec = 0;
+               b_trips = 0;
+               b_probe_ok = false;
+               b_ident = None;
+               b_relayed = 0;
+               b_failures = 0;
+             })
+           addrs);
+    r_cursor = Atomic.make 0;
+    r_started = Unix.gettimeofday ();
+    r_requests = Atomic.make 0;
+    r_relayed = Atomic.make 0;
+    r_retries = Atomic.make 0;
+    r_failovers = Atomic.make 0;
+    r_trips = Atomic.make 0;
+    r_unavailable = Atomic.make 0;
+  }
+
+(* --- breaker transitions --- *)
+
+(* May this backend take a request now?  An open breaker whose cooldown
+   has elapsed moves to half-open and admits exactly this trial. *)
+let admit t b now =
+  Mutex.lock b.b_mu;
+  let yes =
+    match b.b_state with
+    | Closed | Half_open -> true
+    | Open_until until when now >= until ->
+      b.b_state <- Half_open;
+      true
+    | Open_until _ -> false
+  in
+  ignore t;
+  Mutex.unlock b.b_mu;
+  yes
+
+let record_success b =
+  Mutex.lock b.b_mu;
+  b.b_state <- Closed;
+  b.b_consec <- 0;
+  b.b_relayed <- b.b_relayed + 1;
+  Mutex.unlock b.b_mu
+
+let record_failure t b now =
+  Mutex.lock b.b_mu;
+  b.b_failures <- b.b_failures + 1;
+  b.b_consec <- b.b_consec + 1;
+  (match b.b_state with
+  | Half_open ->
+    (* The half-open trial failed: straight back to open. *)
+    b.b_state <- Open_until (now +. t.r_policy.breaker_cooldown_s);
+    b.b_trips <- b.b_trips + 1;
+    Atomic.incr t.r_trips
+  | Closed when b.b_consec >= t.r_policy.breaker_threshold ->
+    b.b_state <- Open_until (now +. t.r_policy.breaker_cooldown_s);
+    b.b_trips <- b.b_trips + 1;
+    Atomic.incr t.r_trips
+  | Closed | Open_until _ -> ());
+  Mutex.unlock b.b_mu
+
+(* --- buffered line I/O over a raw fd with kernel-level timeouts --- *)
+
+exception Attempt_failed of string
+
+type conn = {
+  c_addr : string;
+  c_fd : Unix.file_descr;
+  c_buf : Bytes.t;
+  mutable c_len : int;  (* bytes buffered but not yet consumed *)
+}
+
+let conn_close c = try Unix.close c.c_fd with Unix.Unix_error _ -> ()
+
+let connect ~timeout_s addr =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match
+    Unix.connect fd (Unix.ADDR_UNIX addr);
+    Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout_s;
+    Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout_s
+  with
+  | () -> { c_addr = addr; c_fd = fd; c_buf = Bytes.create 65536; c_len = 0 }
+  | exception Unix.Unix_error (e, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise (Attempt_failed (Printf.sprintf "connect %s: %s" addr (Unix.error_message e)))
+
+let set_timeouts c timeout_s =
+  Unix.setsockopt_float c.c_fd Unix.SO_RCVTIMEO timeout_s;
+  Unix.setsockopt_float c.c_fd Unix.SO_SNDTIMEO timeout_s
+
+let send_line c line =
+  let msg = Bytes.of_string (line ^ "\n") in
+  let len = Bytes.length msg in
+  let rec go off =
+    if off < len then begin
+      match Unix.write c.c_fd msg off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        raise (Attempt_failed (Printf.sprintf "%s: send timeout" c.c_addr))
+      | exception Unix.Unix_error (e, _, _) ->
+        raise (Attempt_failed (Printf.sprintf "%s: send: %s" c.c_addr (Unix.error_message e)))
+    end
+  in
+  go 0
+
+(* One protocol line, without the newline.  EOF and timeouts are
+   attempt failures: the caller closes the conn and (if retryable)
+   fails over — a half-relayed reply must never reach the client. *)
+let recv_line c =
+  let rec find_nl i = if i >= c.c_len then -1 else if Bytes.get c.c_buf i = '\n' then i else find_nl (i + 1) in
+  let rec go () =
+    match find_nl 0 with
+    | nl when nl >= 0 ->
+      let line = Bytes.sub_string c.c_buf 0 nl in
+      Bytes.blit c.c_buf (nl + 1) c.c_buf 0 (c.c_len - nl - 1);
+      c.c_len <- c.c_len - nl - 1;
+      line
+    | _ ->
+      if c.c_len = Bytes.length c.c_buf then
+        raise (Attempt_failed (Printf.sprintf "%s: reply line over %d bytes" c.c_addr (Bytes.length c.c_buf)));
+      (match Unix.read c.c_fd c.c_buf c.c_len (Bytes.length c.c_buf - c.c_len) with
+      | 0 -> raise (Attempt_failed (Printf.sprintf "%s: connection closed mid-reply" c.c_addr))
+      | n ->
+        c.c_len <- c.c_len + n;
+        go ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        raise (Attempt_failed (Printf.sprintf "%s: reply timeout" c.c_addr))
+      | exception Unix.Unix_error (e, _, _) ->
+        raise (Attempt_failed (Printf.sprintf "%s: recv: %s" c.c_addr (Unix.error_message e))))
+  in
+  go ()
+
+(* --- one reply, framed --- *)
+
+type reply = { rp_header : string; rp_body : string list }
+
+let split_ws line = String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+
+(* Read a full reply off [c].  Raises [Attempt_failed] on framing
+   violations too: a malformed header means we cannot know how many
+   body lines follow, so the connection is poisoned. *)
+let recv_reply c =
+  let header = recv_line c in
+  match split_ws header with
+  | status :: _cmd :: rows :: _ when status = "ok" || status = "err" ->
+    let n =
+      match int_of_string_opt rows with
+      | Some n when n >= 0 -> if status = "ok" then n else 1
+      | _ -> raise (Attempt_failed (Printf.sprintf "%s: malformed reply header %S" c.c_addr header))
+    in
+    (* Explicit loop: body lines must be read in order (List.init's
+       application order is unspecified). *)
+    let rec read_n k acc = if k = 0 then List.rev acc else read_n (k - 1) (recv_line c :: acc) in
+    { rp_header = header; rp_body = read_n n [] }
+  | _ -> raise (Attempt_failed (Printf.sprintf "%s: malformed reply header %S" c.c_addr header))
+
+(* --- per-client session --- *)
+
+type session = {
+  s_rng : Random.State.t;  (* private jitter source: no locks, no global state *)
+  mutable s_conn : conn option;  (* cached backend connection (stickiness) *)
+}
+
+let session ~seed = { s_rng = Random.State.make [| seed; 0x5eed |]; s_conn = None }
+
+let close_session s =
+  (match s.s_conn with Some c -> conn_close c | None -> ());
+  s.s_conn <- None
+
+(* --- forwarding --- *)
+
+let err_reply fmt =
+  Printf.ksprintf (fun msg -> { rp_header = "err unavailable 0 0us"; rp_body = [ msg ] }) fmt
+
+(* Pick the next admitted backend, round-robin from the shared cursor,
+   preferring one different from [avoid] (the backend that just
+   failed) when the fleet has an alternative. *)
+let pick t ~now ~avoid =
+  let n = Array.length t.r_backends in
+  let start = Atomic.fetch_and_add t.r_cursor 1 in
+  let candidate i = t.r_backends.((start + i) mod n) in
+  let rec first_admitted i ~skip_avoided =
+    if i >= n then None
+    else
+      let b = candidate i in
+      if skip_avoided && avoid = Some b.b_addr then first_admitted (i + 1) ~skip_avoided
+      else if admit t b now then Some b
+      else first_admitted (i + 1) ~skip_avoided
+  in
+  match first_admitted 0 ~skip_avoided:(avoid <> None && n > 1) with
+  | Some b -> Some b
+  | None -> first_admitted 0 ~skip_avoided:false
+
+let is_retryable_err header =
+  match split_ws header with
+  | "err" :: cmd :: _ -> cmd = "busy" || cmd = "shutdown"
+  | _ -> false
+
+let is_internal_err header =
+  match split_ws header with "err" :: "internal" :: _ -> true | _ -> false
+
+(* Relay [line] with retry/failover.  Never raises. *)
+let forward t sess line =
+  Atomic.incr t.r_requests;
+  let p = t.r_policy in
+  let last_failure = ref "no backend admitted a connection" in
+  let rec attempt i prev_addr =
+    if i > p.retries then begin
+      Atomic.incr t.r_unavailable;
+      err_reply "all %d backend(s) unavailable after %d attempts (last: %s)"
+        (Array.length t.r_backends) (p.retries + 1) !last_failure
+    end
+    else begin
+      if i > 0 then begin
+        Atomic.incr t.r_retries;
+        let backoff = min p.backoff_max_s (p.backoff_base_s *. (2.0 ** float_of_int (i - 1))) in
+        (* Full jitter: a fleet of clients retrying a common failure
+           must not stampede the surviving backends in lockstep. *)
+        Unix.sleepf (backoff *. (0.5 +. Random.State.float sess.s_rng 0.5))
+      end;
+      let now = Unix.gettimeofday () in
+      (* Stickiness: reuse the cached connection when its backend is
+         still admitted; otherwise pick (and connect) fresh. *)
+      let reusable =
+        match sess.s_conn with
+        | Some c when Some c.c_addr <> prev_addr ->
+          let b = Array.to_seq t.r_backends |> Seq.find (fun b -> b.b_addr = c.c_addr) in
+          (match b with Some b when admit t b now -> Some (c, b) | _ -> None)
+        | _ -> None
+      in
+      match reusable with
+      | Some (c, b) -> attempt_on i prev_addr c b ~fresh:false
+      | None -> (
+        (match sess.s_conn with Some c -> conn_close c | None -> ());
+        sess.s_conn <- None;
+        match pick t ~now ~avoid:prev_addr with
+        | None ->
+          last_failure := "every breaker open";
+          (* Nothing admitted right now; back off and re-examine
+             (cooldowns expire, half-open trials become available). *)
+          attempt (i + 1) prev_addr
+        | Some b -> (
+          match connect ~timeout_s:p.request_timeout_s b.b_addr with
+          | c ->
+            sess.s_conn <- Some c;
+            attempt_on i prev_addr c b ~fresh:true
+          | exception Attempt_failed msg ->
+            last_failure := msg;
+            record_failure t b now;
+            if prev_addr <> None && prev_addr <> Some b.b_addr then Atomic.incr t.r_failovers;
+            attempt (i + 1) (Some b.b_addr)))
+    end
+  and attempt_on i prev_addr c b ~fresh =
+    if prev_addr <> None && prev_addr <> Some b.b_addr then Atomic.incr t.r_failovers;
+    ignore fresh;
+    match
+      set_timeouts c t.r_policy.request_timeout_s;
+      send_line c line;
+      recv_reply c
+    with
+    | reply when is_retryable_err reply.rp_header ->
+      (* The backend is full or draining: its answer is valid but not
+         final — close, count the failure, try elsewhere. *)
+      last_failure := Printf.sprintf "%s: %s" c.c_addr reply.rp_header;
+      conn_close c;
+      sess.s_conn <- None;
+      record_failure t b (Unix.gettimeofday ());
+      attempt (i + 1) (Some b.b_addr)
+    | reply ->
+      (* Success — including semantic errors, which the backend
+         answered authoritatively.  [err internal] closes the backend
+         connection on the server side, so drop the cached conn. *)
+      record_success b;
+      Atomic.incr t.r_relayed;
+      if is_internal_err reply.rp_header then begin
+        conn_close c;
+        sess.s_conn <- None
+      end;
+      reply
+    | exception Attempt_failed msg ->
+      last_failure := msg;
+      conn_close c;
+      sess.s_conn <- None;
+      record_failure t b (Unix.gettimeofday ());
+      attempt (i + 1) (Some b.b_addr)
+  in
+  attempt 0 None
+
+(* --- health probing (driven by the ptacli prober thread) --- *)
+
+(* Probe one backend with [health]: refreshes [b_probe_ok] and the
+   advertised (key, snapshot) identity, and doubles as the breaker's
+   recovery path — a successful probe closes an open breaker without
+   waiting for a client request to trial it. *)
+let probe t b =
+  let now = Unix.gettimeofday () in
+  let fail () =
+    Mutex.lock b.b_mu;
+    b.b_probe_ok <- false;
+    Mutex.unlock b.b_mu;
+    record_failure t b now
+  in
+  match
+    let c = connect ~timeout_s:t.r_policy.health_timeout_s b.b_addr in
+    Fun.protect
+      ~finally:(fun () -> conn_close c)
+      (fun () ->
+        send_line c "health";
+        recv_reply c)
+  with
+  | reply when String.length reply.rp_header >= 2 && String.sub reply.rp_header 0 2 = "ok" ->
+    let find prefix =
+      List.find_map
+        (fun l ->
+          match split_ws l with
+          | [ p; v ] when p = prefix -> Some v
+          | _ -> None)
+        reply.rp_body
+    in
+    Mutex.lock b.b_mu;
+    b.b_probe_ok <- true;
+    b.b_state <- Closed;
+    b.b_consec <- 0;
+    (match (find "key", Option.bind (find "snapshot") int_of_string_opt) with
+    | Some k, Some s -> b.b_ident <- Some (k, s)
+    | _ -> ());
+    Mutex.unlock b.b_mu
+  | _ -> fail ()
+  | exception Attempt_failed _ -> fail ()
+
+let probe_all t = Array.iter (probe t) t.r_backends
+
+(* --- local protocol commands --- *)
+
+let breaker_name = function
+  | Closed -> "closed"
+  | Open_until _ -> "open"
+  | Half_open -> "half-open"
+
+let backend_lines t =
+  Array.to_list t.r_backends
+  |> List.map (fun b ->
+         Mutex.lock b.b_mu;
+         let line =
+           Printf.sprintf "backend %s state=%s probe=%s%s relayed=%d failures=%d trips=%d" b.b_addr
+             (breaker_name b.b_state)
+             (if b.b_probe_ok then "ok" else "fail")
+             (match b.b_ident with
+             | Some (k, s) -> Printf.sprintf " key=%s snapshot=%d" k s
+             | None -> "")
+             b.b_relayed b.b_failures b.b_trips
+         in
+         Mutex.unlock b.b_mu;
+         line)
+
+let stats_lines t =
+  [
+    Printf.sprintf "uptime %.1fs" (Unix.gettimeofday () -. t.r_started);
+    Printf.sprintf "backends %d" (Array.length t.r_backends);
+    Printf.sprintf "requests %d" (Atomic.get t.r_requests);
+    Printf.sprintf "relayed %d" (Atomic.get t.r_relayed);
+    Printf.sprintf "retries %d" (Atomic.get t.r_retries);
+    Printf.sprintf "failovers %d" (Atomic.get t.r_failovers);
+    Printf.sprintf "breaker-trips %d" (Atomic.get t.r_trips);
+    Printf.sprintf "unavailable %d" (Atomic.get t.r_unavailable);
+  ]
+  @ backend_lines t
+
+let health_lines t =
+  let live =
+    Array.to_list t.r_backends
+    |> List.filter (fun b ->
+           Mutex.lock b.b_mu;
+           let ok = b.b_state = Closed in
+           Mutex.unlock b.b_mu;
+           ok)
+    |> List.length
+  in
+  [
+    Printf.sprintf "status %s" (if live > 0 then "ok" else "degraded");
+    Printf.sprintf "uptime %.1fs" (Unix.gettimeofday () -. t.r_started);
+    Printf.sprintf "pid %d" (Unix.getpid ());
+    Printf.sprintf "live %d/%d" live (Array.length t.r_backends);
+  ]
+  @ backend_lines t
+
+let local_reply cmd lines =
+  { rp_header = Printf.sprintf "ok %s %d 0us" cmd (List.length lines); rp_body = lines }
+
+(* The router's own entry point per client line: [stats] and [health]
+   are answered locally (the router's view of the fleet — per-backend
+   identity, breaker state, retry/failover/trip counters); everything
+   else is relayed.  Never raises. *)
+let handle t sess line =
+  let stripped = match String.index_opt line '#' with Some i -> String.sub line 0 i | None -> line in
+  match split_ws (String.split_on_char '\t' stripped |> String.concat " ") with
+  | [] -> None
+  | [ "stats" ] -> Some (local_reply "stats" (stats_lines t))
+  | [ "health" ] -> Some (local_reply "health" (health_lines t))
+  | _ -> Some (forward t sess line)

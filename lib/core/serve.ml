@@ -33,7 +33,7 @@ let help_lines =
     "refine                 stored refinement ratios";
     "count <relation>       tuple count of a stored relation";
     "relations              list stored relations";
-    "health                 liveness probe (uptime, key, pid)";
+    "health                 liveness probe (uptime, key, snapshot, pid)";
     "stats                  served-query counters and per-command latency";
     "help                   this summary";
     "quit                   end this connection";
@@ -239,6 +239,11 @@ let health t stats =
       Printf.sprintf "uptime %.1fs" (Unix.gettimeofday () -. stats.s_started);
       Printf.sprintf "pid %d" (Unix.getpid ());
       Printf.sprintf "key %s" (Store.key t.store);
+      (* Snapshot identity: with followers hot-swapping stores, a
+         router or soak test must be able to ask "which save answered
+         this?" — key alone cannot distinguish two saves of identical
+         content. *)
+      Printf.sprintf "snapshot %d" (Store.snapshot t.store);
       Printf.sprintf "relations %d" (List.length t.frels);
     ]
 
@@ -319,13 +324,59 @@ let serve_line ?(limits = no_limits) ~stats t ctx line =
   end;
   { outcome; latency_us; close }
 
+(* --- Swappable server source ----------------------------------------
+
+   The replication layer's hinge: a [Source.source] is a mutable cell
+   holding the current frozen server, with a generation counter that
+   lets readers detect a swap without taking the mutex on every
+   request.  [swap] installs a new server atomically; workers notice
+   the generation change at their next check, dispose their ctx over
+   the old space, and rebuild over the new one.  Once the last worker
+   has moved on (and the follower has dropped its own reference), the
+   old frozen space is unreachable and the GC reclaims it — see the
+   lifecycle notes on [Bdd.frozen]. *)
+
+module Source = struct
+  type source = {
+    mutable s_srv : t;  (* guarded by s_mu *)
+    s_gen : int Atomic.t;
+    s_mu : Mutex.t;
+  }
+
+  let create srv = { s_srv = srv; s_gen = Atomic.make 0; s_mu = Mutex.create () }
+  let generation s = Atomic.get s.s_gen
+
+  let get s =
+    Mutex.lock s.s_mu;
+    let v = (Atomic.get s.s_gen, s.s_srv) in
+    Mutex.unlock s.s_mu;
+    v
+
+  let current s = snd (get s)
+
+  let swap s srv =
+    Mutex.lock s.s_mu;
+    s.s_srv <- srv;
+    (* Bumped inside the mutex: a reader seeing the new generation is
+       guaranteed to read the new server under [get]. *)
+    Atomic.incr s.s_gen;
+    Mutex.unlock s.s_mu
+end
+
 (* --- Worker pool ----------------------------------------------------
 
    A fixed set of OCaml domains, each owning one ctx over the shared
    frozen space, pulling requests off a bounded queue.  [run] blocks
    the calling (connection) thread until its request's worker is done,
    so backpressure propagates naturally: the queue bound caps how far
-   accepted connections can run ahead of evaluation. *)
+   accepted connections can run ahead of evaluation.
+
+   The pool reads its server through a [Source.source]: before every
+   request (and whenever poked awake while idle) a worker compares the
+   source generation with its own; on mismatch it disposes its ctx
+   over the old space and rebuilds over the new one.  A request
+   already executing when a swap lands completes against the old
+   snapshot — the swap is between requests, never under one. *)
 
 module Pool = struct
   type job = {
@@ -336,7 +387,7 @@ module Pool = struct
   }
 
   type pool = {
-    p_srv : t;
+    p_source : Source.source;
     p_jobs : job Queue.t;
     p_mutex : Mutex.t;
     p_can_pop : Condition.t;
@@ -364,18 +415,36 @@ module Pool = struct
      belt-and-braces guard so a worker bug can never leave a
      connection thread blocked on a job that will not complete. *)
   let worker ?limits ~stats p () =
-    let ctx = new_ctx p.p_srv in
+    let gen0, srv0 = Source.get p.p_source in
+    let gen = ref gen0 and srv = ref srv0 in
+    let ctx = ref (new_ctx srv0) in
+    (* On a generation change: tear down this worker's arena over the
+       old space and rebuild over the new server.  Called between
+       requests and from the idle wait loop (after [poke]), so an old
+       snapshot is released promptly even by workers with nothing to
+       do. *)
+    let refresh () =
+      if Source.generation p.p_source <> !gen then begin
+        Bdd.ctx_dispose !ctx;
+        let g, s = Source.get p.p_source in
+        gen := g;
+        srv := s;
+        ctx := new_ctx s
+      end
+    in
     let rec loop () =
       Mutex.lock p.p_mutex;
       while Queue.is_empty p.p_jobs && not p.p_closed do
-        Condition.wait p.p_can_pop p.p_mutex
+        Condition.wait p.p_can_pop p.p_mutex;
+        if Queue.is_empty p.p_jobs then refresh ()
       done;
       if Queue.is_empty p.p_jobs then Mutex.unlock p.p_mutex (* closed: drain done *)
       else begin
         let job = Queue.pop p.p_jobs in
         Condition.signal p.p_can_push;
         Mutex.unlock p.p_mutex;
-        (match serve_line ?limits ~stats p.p_srv ctx job.j_line with
+        refresh ();
+        (match serve_line ?limits ~stats !srv !ctx job.j_line with
         | result -> finish job result
         | exception e ->
           finish job
@@ -390,11 +459,11 @@ module Pool = struct
     in
     loop ()
 
-  let create ?limits ~stats ~workers srv =
+  let create ?limits ~stats ~workers source =
     let workers = max 1 workers in
     let p =
       {
-        p_srv = srv;
+        p_source = source;
         p_jobs = Queue.create ();
         p_mutex = Mutex.create ();
         p_can_pop = Condition.create ();
@@ -409,6 +478,15 @@ module Pool = struct
     p
 
   let workers p = p.p_workers
+  let source p = p.p_source
+
+  (* Wake idle workers so they notice a source swap now instead of at
+     their next request: without this, a quiet follower would retain
+     the old frozen space until traffic arrives. *)
+  let poke p =
+    Mutex.lock p.p_mutex;
+    Condition.broadcast p.p_can_pop;
+    Mutex.unlock p.p_mutex
 
   let run p line =
     let job =
@@ -446,4 +524,97 @@ module Pool = struct
     Mutex.unlock p.p_mutex;
     List.iter Stdlib.Domain.join p.p_domains;
     p.p_domains <- []
+end
+
+(* --- Snapshot follower ----------------------------------------------
+
+   The watch half of `ptacli serve --follow`: poll the store directory
+   for a new committed save and hot-swap the pool's source to it.
+
+   Change detection is two-tier.  The fast path [stat]s the manifest —
+   the single commit point of a save, always renamed into place, so
+   any new save changes its (inode, mtime, size) triple — and does no
+   file reads when the triple is unchanged.  On a triple change the
+   (key, snapshot) identity pair is read from the manifest and
+   compared with what is currently served; only a genuinely different
+   save proceeds to verification and load.
+
+   Swap protocol, per candidate:
+
+     verify (manifest + checksums, no structural load)
+       -> load (itself CRC- and structure-checked)
+       -> make (project + freeze)
+       -> Source.swap
+
+   Any failure — torn manifest, checksum mismatch, structural error —
+   yields [Rejected] and the old snapshot keeps serving; the failed
+   disk state's stat triple is remembered so one broken save is
+   reported once, not every poll tick.  A later, complete save changes
+   the triple again and is re-examined from scratch. *)
+
+module Follow = struct
+  (* The top-level server constructor; [Follow.make] below shadows the
+     name. *)
+  let server_of_store = make
+
+  type outcome =
+    | Unchanged
+    | Swapped of { snapshot : int; key : string; seconds : float }
+    | Rejected of { reason : string }
+
+  type state = {
+    f_dir : string;
+    f_source : Source.source;
+    mutable f_seen : string * int;  (* identity currently served *)
+    mutable f_stat : (int * float * int) option;  (* manifest (ino, mtime, size) *)
+  }
+
+  let manifest_stat dir =
+    match Unix.stat (Store.manifest_path dir) with
+    | st -> Some (st.Unix.st_ino, st.Unix.st_mtime, st.Unix.st_size)
+    | exception Unix.Unix_error _ -> None
+
+  let make ~dir source =
+    let srv = Source.current source in
+    {
+      f_dir = dir;
+      f_source = source;
+      f_seen = (Store.key srv.store, Store.snapshot srv.store);
+      f_stat = manifest_stat dir;
+    }
+
+  let served_ident st = st.f_seen
+
+  let reject st stat reason =
+    (* Remember the broken state's stat triple: polls seeing the same
+       bytes stay [Unchanged] instead of re-reporting. *)
+    st.f_stat <- stat;
+    Rejected { reason }
+
+  let poll st =
+    let stat = manifest_stat st.f_dir in
+    if stat = st.f_stat then Unchanged
+    else
+      match Store.read_ident ~dir:st.f_dir with
+      | None -> reject st stat "manifest missing or unreadable (save in progress or torn?)"
+      | Some ident when ident = st.f_seen ->
+        (* Same save re-examined (e.g. the manifest was touched):
+           nothing to do. *)
+        st.f_stat <- stat;
+        Unchanged
+      | Some (key, snapshot) -> (
+        let t0 = Unix.gettimeofday () in
+        let checks = Store.verify ~structural:false ~dir:st.f_dir () in
+        match List.find_opt (fun (c : Store.check) -> not c.Store.chk_ok) checks with
+        | Some bad ->
+          reject st stat (Printf.sprintf "%s: %s" bad.Store.chk_name bad.Store.chk_detail)
+        | None -> (
+          match server_of_store (Store.load ~dir:st.f_dir) with
+          | srv ->
+            Source.swap st.f_source srv;
+            st.f_seen <- (Store.key srv.store, Store.snapshot srv.store);
+            st.f_stat <- stat;
+            Swapped { snapshot; key; seconds = Unix.gettimeofday () -. t0 }
+          | exception Solver_error.Error e ->
+            reject st stat (Solver_error.to_string e)))
 end

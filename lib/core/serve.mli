@@ -133,21 +133,56 @@ val serve_line : ?limits:limits -> stats:server_stats -> t -> Bdd.ctx -> string 
     behaviour, and budget-kill messages included — which is what makes
     parallel answers bit-comparable to a single-threaded run. *)
 
+(** {2 Swappable server source}
+
+    The replication hinge: a mutable cell holding the currently-served
+    {!t}, with a generation counter so pool workers detect a swap with
+    one atomic read per request.  {!Source.swap} is what a follower
+    calls after loading and freezing a new snapshot; in-flight
+    requests finish against the old server, every later request runs
+    against the new one, and the old frozen space is GC-reclaimed once
+    the last worker has rebuilt its ctx (see {!Bdd.ctx_dispose}). *)
+module Source : sig
+  type source
+
+  val create : t -> source
+
+  val generation : source -> int
+  (** Incremented by every {!swap}; starts at 0. *)
+
+  val get : source -> int * t
+  (** The current (generation, server) pair, read consistently. *)
+
+  val current : source -> t
+
+  val swap : source -> t -> unit
+  (** Atomically install a new server and bump the generation.  Safe
+      against concurrent {!get}/{!current} from any thread. *)
+end
+
 (** {2 Worker pool}
 
     A fixed set of OCaml domains, each owning one ctx over the shared
     frozen space, pulling requests off a bounded queue.  Connection
     threads call {!Pool.run} and block until their answer is ready, so
-    the queue bound is natural backpressure. *)
+    the queue bound is natural backpressure.
+
+    Workers read the server through a {!Source.source}: before each
+    request (and when {!Pool.poke}d while idle) they compare
+    generations and, on a swap, dispose their old-space ctx and
+    rebuild over the new server — the hot-swap is always between
+    requests, never under one. *)
 module Pool : sig
   type pool
 
-  val create : ?limits:limits -> stats:server_stats -> workers:int -> t -> pool
-  (** Spawn [workers] (at least 1) domains, each with its own ctx.
-      The queue holds at most [max 16 (4 * workers)] pending
-      requests. *)
+  val create : ?limits:limits -> stats:server_stats -> workers:int -> Source.source -> pool
+  (** Spawn [workers] (at least 1) domains, each with its own ctx over
+      the source's current server.  The queue holds at most
+      [max 16 (4 * workers)] pending requests. *)
 
   val workers : pool -> int
+
+  val source : pool -> Source.source
 
   val run : pool -> string -> served
   (** Enqueue one request line and wait for its result.  Blocks while
@@ -155,8 +190,48 @@ module Pool : sig
       [err shutdown] outcome with [close = true] instead of
       enqueueing.  Safe to call from many threads. *)
 
+  val poke : pool -> unit
+  (** Wake idle workers so they notice a {!Source.swap} immediately
+      (and release the old frozen space) instead of at their next
+      request. *)
+
   val shutdown : pool -> unit
   (** Drain and join: new {!run}s bounce, already-queued requests are
       still answered, then the worker domains exit and are joined.
       Idempotent. *)
+end
+
+(** {2 Snapshot follower}
+
+    The watch half of [ptacli serve --follow]: poll the store
+    directory and hot-swap the source when a new committed save
+    appears.  Change detection stats the manifest (the save's single
+    commit point) and compares the [(key, snapshot)] identity before
+    doing any real work; a candidate is verified
+    ({!Bddrel.Store.verify} [~structural:false]) and loaded (itself
+    checksum- and structure-checked) before {!Source.swap} — any
+    failure leaves the old snapshot serving and reports [Rejected]
+    once per distinct broken disk state. *)
+module Follow : sig
+  type outcome =
+    | Unchanged
+    | Swapped of { snapshot : int; key : string; seconds : float }
+        (** [seconds] = verify + load + freeze wall time *)
+    | Rejected of { reason : string }
+
+  type state
+
+  val make : dir:string -> Source.source -> state
+  (** Start following [dir]; the source's current server is assumed to
+      be the store currently on disk there (the driver loads it before
+      calling this). *)
+
+  val served_ident : state -> string * int
+  (** The [(key, snapshot)] identity last swapped in (or initial). *)
+
+  val poll : state -> outcome
+  (** One poll tick.  Cheap when nothing changed (one [stat]).  On
+      [Swapped] the source already holds the new server — the driver
+      should {!Pool.poke} and log; on [Rejected] the old server keeps
+      serving.  Never raises. *)
 end

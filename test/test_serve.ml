@@ -361,7 +361,7 @@ let test_pool () =
   let ref_stats = Serve.make_stats () in
   let reference = run_mix srv ref_stats base in
   let stats = Serve.make_stats () in
-  let pool = Serve.Pool.create ~limits:roomy ~stats ~workers:4 srv in
+  let pool = Serve.Pool.create ~limits:roomy ~stats ~workers:4 (Serve.Source.create srv) in
   let client () =
     List.map
       (fun (line, _) ->

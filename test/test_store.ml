@@ -58,8 +58,12 @@ let test_manifest () =
   Alcotest.(check (option string)) "read_key" (Some "test-key") (Store.read_key ~dir);
   Alcotest.(check bool) "no store elsewhere" false (Store.exists ~dir:(dir ^ "-nope"));
   Alcotest.(check (option string)) "no key elsewhere" None (Store.read_key ~dir:(dir ^ "-nope"));
+  Alcotest.(check (option int)) "read_snapshot" (Some 1) (Store.read_snapshot ~dir);
+  Alcotest.(check bool) "read_ident" true (Store.read_ident ~dir = Some ("test-key", 1));
+  Alcotest.(check (option int)) "no snapshot elsewhere" None (Store.read_snapshot ~dir:(dir ^ "-nope"));
   let st = Store.load ~dir in
   Alcotest.(check string) "key" "test-key" (Store.key st);
+  Alcotest.(check int) "snapshot counter" 1 (Store.snapshot st);
   Alcotest.(check (option string)) "config" (Some "gantt") (Store.config_value st "bench")
 
 (* BDD-semantic equality across managers: re-dump each side under its
@@ -263,7 +267,7 @@ let check_store_is ctx which dir =
   List.iter
     (fun (c : Store.check) ->
       if not c.Store.chk_ok then Alcotest.failf "%s: verify check %s failed: %s" ctx c.Store.chk_name c.Store.chk_detail)
-    (Store.verify ~dir)
+    (Store.verify ~dir ())
 
 let starts_with prefix s = String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
 
@@ -278,9 +282,29 @@ let test_crash_matrix () =
   Alcotest.(check bool) "save exposes a real crash surface (>= 20 ops)" true (n >= 20);
   (* Ordering invariants of the write protocol itself. *)
   let arr = Array.of_list ops in
-  Alcotest.(check bool) "overwrite invalidates the old manifest first" true
-    (starts_with "remove " arr.(0) && Filename.basename arr.(0) = "manifest");
-  Alcotest.(check bool) "manifest removal is fsynced" true (starts_with "fsync-dir " arr.(1));
+  (* The snapshot serial must be durable before the old store is
+     invalidated: a crash in the torn window must not reset the
+     counter.  So every op before the manifest removal touches only
+     the serial file (or its directory fsync), and the removal itself
+     is the first manifest-touching op. *)
+  let idx_remove =
+    let found = ref (-1) in
+    Array.iteri
+      (fun i op -> if !found < 0 && starts_with "remove " op && Filename.basename op = "manifest" then found := i)
+      arr;
+    !found
+  in
+  Alcotest.(check bool) "overwrite removes the old manifest" true (idx_remove >= 0);
+  for i = 0 to idx_remove - 1 do
+    let op = arr.(i) in
+    let about_serial =
+      let base = Filename.basename op in
+      base = "serial" || base = "serial.tmp" || starts_with "fsync-dir " op
+    in
+    if not about_serial then
+      Alcotest.failf "op %d (%s) precedes manifest removal but is not the serial commit" (i + 1) op
+  done;
+  Alcotest.(check bool) "manifest removal is fsynced" true (starts_with "fsync-dir " arr.(idx_remove + 1));
   Alcotest.(check bool) "manifest rename is the commit point (second-to-last op)" true
     (starts_with "rename " arr.(n - 2) && Filename.basename arr.(n - 2) = "manifest");
   Alcotest.(check bool) "commit rename is made durable (last op)" true (starts_with "fsync-dir " arr.(n - 1));
@@ -343,29 +367,131 @@ let test_byte_flip_fuzz () =
         | exception Solver_error.Error (Solver_error.Bad_input _) -> ()
         | exception e -> Alcotest.failf "%s: unstructured failure %s" ctx (Printexc.to_string e));
         Alcotest.(check bool) (ctx ^ ": verify flags it") true
-          (List.exists (fun (c : Store.check) -> not c.Store.chk_ok) (Store.verify ~dir));
+          (List.exists (fun (c : Store.check) -> not c.Store.chk_ok) (Store.verify ~dir ()));
         (* Restore the pristine bytes for the next flip. *)
         Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc pristine)
       done)
     files;
   check_store_is "pristine after fuzz" `B dir
 
+(* --- Reader-side race -----------------------------------------------
+   [Store.load] racing a concurrent writer's re-saves must yield the
+   old store, the new store, or a structured [Bad_input] (the window
+   where the old manifest is already invalidated) — never a silent
+   mix.  The manifest commit point plus per-file checksums carry the
+   whole argument: a manifest that parses describes exactly one save,
+   and data replaced underneath it fails its recorded CRC.  [verify]
+   and [read_ident] must never raise under the same churn, and the
+   snapshot counter observed by successful loads must be
+   nondecreasing. *)
+
+let test_reader_race () =
+  let dir = tmp_dir "store-race" in
+  save_a dir;
+  let stop = Atomic.make false in
+  let writes = Atomic.make 0 in
+  let writer =
+    Stdlib.Domain.spawn (fun () ->
+        let i = ref 0 in
+        while not (Atomic.get stop) do
+          incr i;
+          if !i land 1 = 0 then save_a dir else save_b dir;
+          Atomic.incr writes
+        done)
+  in
+  let loads = ref 0 and saw_a = ref 0 and saw_b = ref 0 and torn = ref 0 in
+  let last_snapshot = ref 0 in
+  let deadline = Unix.gettimeofday () +. 3.0 in
+  (while Unix.gettimeofday () < deadline do
+     incr loads;
+     match Store.load ~dir with
+     | st ->
+       let count name = match Store.find st name with Some r -> Relation.count r | None -> -1.0 in
+       (match Store.key st with
+       | "kA" ->
+         incr saw_a;
+         Alcotest.(check (float 0.0)) "A: one" 2.0 (count "one");
+         Alcotest.(check bool) "A: no two" true (Store.find st "two" = None)
+       | "kB" ->
+         incr saw_b;
+         Alcotest.(check (float 0.0)) "B: two" 1.0 (count "two");
+         Alcotest.(check (float 0.0)) "B: three" 3.0 (count "three");
+         Alcotest.(check bool) "B: no one" true (Store.find st "one" = None)
+       | k -> Alcotest.failf "impossible store key %S (a mixed load?)" k);
+       if Store.snapshot st < !last_snapshot then
+         Alcotest.failf "snapshot went backwards: %d after %d" (Store.snapshot st) !last_snapshot;
+       last_snapshot := Store.snapshot st
+     | exception Solver_error.Error (Solver_error.Bad_input _) -> incr torn
+     | exception e -> Alcotest.failf "unstructured racing-load failure: %s" (Printexc.to_string e)
+   done);
+  Atomic.set stop true;
+  Stdlib.Domain.join writer;
+  Printf.printf "reader race: %d writes, %d loads (%d A, %d B, %d torn), last snapshot %d\n%!"
+    (Atomic.get writes) !loads !saw_a !saw_b !torn !last_snapshot;
+  Alcotest.(check bool) "raced against real churn (>= 10 writes)" true (Atomic.get writes >= 10);
+  Alcotest.(check bool) "saw both generations" true (!saw_a > 0 && !saw_b > 0);
+  (* The dir settles to the writer's final save and is healthy. *)
+  match Store.read_key ~dir with
+  | Some "kA" -> check_store_is "settled" `A dir
+  | Some "kB" -> check_store_is "settled" `B dir
+  | other -> Alcotest.failf "settled store unreadable: key %s" (Option.value other ~default:"<none>")
+
+(* [verify] under the same swap churn: whatever instant it samples, it
+   must return a well-formed check list — healthy or cleanly failing —
+   and never raise.  Same for the cheap identity readers a follower
+   polls with. *)
+let test_verify_under_swap () =
+  let dir = tmp_dir "store-verify-swap" in
+  save_b dir;
+  let stop = Atomic.make false in
+  let writer =
+    Stdlib.Domain.spawn (fun () ->
+        let i = ref 0 in
+        while not (Atomic.get stop) do
+          incr i;
+          if !i land 1 = 0 then save_a dir else save_b dir
+        done)
+  in
+  let verdicts = ref 0 and healthy = ref 0 and unhealthy = ref 0 in
+  let deadline = Unix.gettimeofday () +. 2.0 in
+  (while Unix.gettimeofday () < deadline do
+     incr verdicts;
+     (match Store.verify ~dir () with
+     | [] -> Alcotest.fail "verify returned an empty check list"
+     | checks ->
+       if List.for_all (fun (c : Store.check) -> c.Store.chk_ok) checks then incr healthy
+       else incr unhealthy
+     | exception e -> Alcotest.failf "verify raised under swap: %s" (Printexc.to_string e));
+     (* The follower's cheap pre-checks obey the same contract. *)
+     (match Store.verify ~structural:false ~dir () with
+     | _ -> ()
+     | exception e -> Alcotest.failf "non-structural verify raised: %s" (Printexc.to_string e));
+     match Store.read_ident ~dir with
+     | Some _ | None -> ()
+     | exception e -> Alcotest.failf "read_ident raised under swap: %s" (Printexc.to_string e)
+   done);
+  Atomic.set stop true;
+  Stdlib.Domain.join writer;
+  Printf.printf "verify under swap: %d verdicts (%d healthy, %d transiently unhealthy)\n%!" !verdicts
+    !healthy !unhealthy;
+  Alcotest.(check bool) "caught at least one healthy instant" true (!healthy > 0)
+
 (* --- verify / quarantine -------------------------------------------- *)
 
 let test_verify_quarantine () =
   let dir = tmp_dir "store-verify" in
   save_b dir;
-  let checks = Store.verify ~dir in
+  let checks = Store.verify ~dir () in
   (* manifest + relations.bdd + D.map + E.map + structural load *)
   Alcotest.(check int) "check count" 5 (List.length checks);
   Alcotest.(check bool) "healthy" true (List.for_all (fun (c : Store.check) -> c.Store.chk_ok) checks);
   Alcotest.(check bool) "nothing to quarantine elsewhere" true (Store.quarantine ~dir:(dir ^ "-none") = None);
-  (match Store.verify ~dir:(dir ^ "-none") with
+  (match Store.verify ~dir:(dir ^ "-none") () with
   | [ c ] -> Alcotest.(check bool) "missing store is one failing check" false c.Store.chk_ok
   | l -> Alcotest.failf "missing store: expected one check, got %d" (List.length l));
   Faults.corrupt_file (Filename.concat (Filename.concat dir "store") "relations.bdd") ~at:10 "XYZ";
   Alcotest.(check bool) "corruption detected" true
-    (List.exists (fun (c : Store.check) -> not c.Store.chk_ok) (Store.verify ~dir));
+    (List.exists (fun (c : Store.check) -> not c.Store.chk_ok) (Store.verify ~dir ()));
   (match Store.quarantine ~dir with
   | None -> Alcotest.fail "expected a quarantine destination"
   | Some dest ->
@@ -392,5 +518,10 @@ let () =
           Alcotest.test_case "kill at every fs op: reopen is old, new, or cleanly absent" `Quick test_crash_matrix;
           Alcotest.test_case "every byte flip in every file is a structured error" `Quick test_byte_flip_fuzz;
           Alcotest.test_case "verify and quarantine" `Quick test_verify_quarantine;
+        ] );
+      ( "replication",
+        [
+          Alcotest.test_case "load racing a writer: old, new, or structured error" `Quick test_reader_race;
+          Alcotest.test_case "verify under swap churn never raises" `Quick test_verify_under_swap;
         ] );
     ]
