@@ -1,7 +1,7 @@
 (* Benchmark harness: regenerates every table and figure of the
    paper's evaluation (§6) over the 21 scaled synthetic benchmarks.
 
-     dune exec bench/main.exe -- [--table fig3|fig4|fig5|fig6|scaling|ablations|persist|serve|swap|example1|bechamel|all]
+     dune exec bench/main.exe -- [--table fig3|fig4|fig5|fig6|scaling|ablations|persist|update|serve|swap|example1|bechamel|all]
                                  (comma-separate to run several, e.g. --table fig4,persist)
                                  [--scale S] [--benchmarks a,b,c]
                                  [--json OUT.json]
@@ -124,9 +124,11 @@ let json_rules (rules : Engine.rule_stat list) =
 
 let write_json path =
   let oc = open_out path in
-  Printf.fprintf oc "{\n  \"schema\": \"whalelam-bench-v4\",\n";
+  Printf.fprintf oc "{\n  \"schema\": \"whalelam-bench-v5\",\n";
   Printf.fprintf oc
-    "  \"schema_note\": \"v4 adds the serve table: algo workers-N rows record wall seconds for the 1k-query \
+    "  \"schema_note\": \"v5 adds the update table: cold-solve vs incremental-update rows time a one-method \
+     edit re-solved through the delta-layer store, and load-N-layers/load-compacted rows sweep chain length.  \
+     v4 added the serve table: algo workers-N rows record wall seconds for the 1k-query \
      test_serve mix on N worker domains over a frozen space (queries/sec = 1000/seconds; cold solve and \
      store load excluded).  v3 added per-rule attribution: each engine-backed row carries a rules array \
      (rule = file:line of the Datalog rule, head predicate, seconds, applications, bdd_cache_lookups); \
@@ -482,6 +484,88 @@ let persist () =
   print_endline "beats re-solving (cs-solve + cold batch) by well over an order of magnitude;";
   print_endline "save/load cost is a small fraction of one solve."
 
+(* --- Incremental update: single-edit re-solve vs cold --- *)
+
+let update_bench () =
+  header "Incremental update: single-edit re-solve vs cold (algo3)";
+  Gc.compact ();
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "whalelam-bench-update" in
+  Printf.printf "%-11s %10s %10s %9s %9s\n" "name" "cold" "update" "verdict" "speedup";
+  List.iter
+    (fun name ->
+      match Synth.Profiles.find name with
+      | None -> ()
+      | Some profile ->
+        let gen () = Synth.Generator.generate (Synth.Profiles.params ~scale:!scale profile) in
+        let fg = Factgen.extract (gen ()) in
+        let cold, t_cold = time_run (fun () -> Analyses.run_basic ~algo:Analyses.Algo3 fg) in
+        record ~table:"update" ~bench:name ~algo:"cold-solve" cold.Analyses.stats;
+        ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)));
+        Bddrel.Store.save ~dir ~key:"bench-update" ~config:[]
+          ~space:(Engine.space cold.Analyses.engine)
+          ~relations:(Engine.declared_relations cold.Analyses.engine);
+        (* One appended method — the incremental-friendly edit shape
+           [ptacli update] is built for. *)
+        let edited = gen () in
+        ignore (Synth.Edits.apply edited { Synth.Edits.kind = Synth.Edits.Add_method; seed = 0 });
+        let fg2 = Factgen.extract edited in
+        let o, t_upd =
+          time_run (fun () ->
+              let st = Bddrel.Store.load ~dir in
+              match Pta.Incr.update ~algo:Analyses.Algo3 ~store:st fg2 with
+              | Ok o -> o
+              | Error e -> failwith (Solver_error.to_string e))
+        in
+        (match o.Pta.Incr.stats with
+        | Some s -> record ~table:"update" ~bench:name ~algo:"incremental-update" s
+        | None -> record ~table:"update" ~bench:name ~algo:"incremental-update" (timed_stats t_upd));
+        Printf.printf "%-11s %9.3fs %9.3fs %9s %8.1fx\n" name t_cold t_upd
+          (match o.Pta.Incr.verdict with
+          | Pta.Incr.Incremental -> "incr"
+          | Pta.Incr.Unchanged -> "unchanged"
+          | Pta.Incr.Cold _ -> "cold")
+          (t_cold /. t_upd))
+    [ "gantt"; "gruntspud" ];
+  (* Chain-length sweep: load cost as delta layers stack up, then
+     after compaction — the ops question "how often should a watch
+     loop compact?". *)
+  (match Synth.Profiles.find "gantt" with
+  | None -> ()
+  | Some profile ->
+    Printf.printf "\n%-22s %10s %9s\n" "chain state" "load" "layers";
+    let gen () = Synth.Generator.generate (Synth.Profiles.params ~scale:!scale profile) in
+    let base = gen () in
+    let fg = Factgen.extract base in
+    let cold = Analyses.run_basic ~algo:Analyses.Algo3 fg in
+    ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)));
+    Bddrel.Store.save ~dir ~key:"chain-0" ~config:[]
+      ~space:(Engine.space cold.Analyses.engine)
+      ~relations:(Engine.declared_relations cold.Analyses.engine);
+    let measure label =
+      let _, t = time_run (fun () -> Bddrel.Store.load ~dir) in
+      let layers = Option.value (Bddrel.Store.read_layers ~dir) ~default:0 in
+      record ~table:"update" ~bench:"gantt" ~algo:label (timed_stats t);
+      Printf.printf "%-22s %9.3fs %9d\n" label t layers
+    in
+    measure "load-base";
+    for i = 1 to 8 do
+      ignore (Synth.Edits.apply base { Synth.Edits.kind = Synth.Edits.Add_method; seed = i });
+      let fgi = Factgen.extract base in
+      let st = Bddrel.Store.load ~dir in
+      (match Pta.Incr.update ~algo:Analyses.Algo3 ~store:st fgi with
+      | Ok o ->
+        ignore
+          (Bddrel.Store.save_delta ~dir ~key:(Printf.sprintf "chain-%d" i) ~config:[]
+             ~space:(Engine.space o.Pta.Incr.engine) ~deltas:o.Pta.Incr.deltas)
+      | Error e -> failwith (Solver_error.to_string e));
+      if i = 1 || i = 4 || i = 8 then measure (Printf.sprintf "load-%d-layers" i)
+    done;
+    ignore (Bddrel.Store.compact ~dir);
+    measure "load-compacted");
+  print_endline "\nShape to check: a one-method edit re-solves several times faster than cold";
+  print_endline "with an \"incr\" verdict; chain load cost grows mildly with layer count and";
+  print_endline "compaction restores base-load cost."
+
 (* --- Warm-query serving: frozen space, worker domains --- *)
 
 (* The test_serve synthetic store: 48 variables over a sparse 128k
@@ -778,6 +862,7 @@ let () =
   run "scaling" scaling;
   run "ablations" ablations;
   run "persist" persist;
+  run "update" update_bench;
   run "serve" serve_bench;
   run "swap" swap_bench;
   run "bechamel" bechamel;

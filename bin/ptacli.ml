@@ -99,14 +99,14 @@ let store_key ~program_bytes ~algo ~(query : Pta.Programs.query_suffix) =
             string_of_int Store.format_version;
           ]))
 
+(* Stores persist every declared relation, internals included: an
+   incremental [ptacli update] restarts the fixpoint from the previous
+   run's working relations, which the interface-only set cannot seed. *)
 let save_store ~dir ~key ~config (result : Analyses.result) =
   let eng = result.Analyses.engine in
-  Store.save ~dir ~key ~config ~space:(Datalog.Engine.space eng)
-    ~relations:(Datalog.Engine.exported_relations eng);
-  Printf.printf "store: saved %d relations to %s/store (key %s)\n"
-    (List.length (Datalog.Engine.exported_relations eng))
-    dir
-    (String.sub key 0 12)
+  let rels = Datalog.Engine.declared_relations eng in
+  Store.save ~dir ~key ~config ~space:(Datalog.Engine.space eng) ~relations:rels;
+  Printf.printf "store: saved %d relations to %s/store (key %s)\n" (List.length rels) dir (String.sub key 0 12)
 
 let store_dir_arg =
   Arg.(
@@ -461,8 +461,16 @@ let query_cmd =
           | None -> s
         in
         let key = store_key ~program_bytes:(read_file_bytes path) ~algo:"algo5" ~query:suffix in
-        if Store.exists ~dir && Store.read_key ~dir = Some key then begin
-          Printf.printf "query path: store hit (%s/store)\n" dir;
+        (* The warm-hit test compares against the {e chain tip}
+           identity, not the base manifest: after a `ptacli update`
+           appended delta layers, the base key still matches the old
+           program, but the store's contents are the folded tip — a
+           stale base must read as a miss, and a current tip as a hit
+           with its snapshot serial named. *)
+        let tip = Store.read_ident ~dir in
+        if (match tip with Some (k, _) -> k = key | None -> false) then begin
+          let snapshot = match tip with Some (_, s) -> s | None -> 0 in
+          Printf.printf "query path: store hit (%s/store, snapshot %d)\n" dir snapshot;
           let st = Store.load ~dir in
           (match leak with
           | Some _ ->
@@ -552,6 +560,157 @@ let query_cmd =
          "Run the §5 queries over the context-sensitive results, answering from a persistent store when one \
           matches ($(b,--store)).")
     Term.(const run $ program_arg $ leak $ vuln $ refine $ modref $ pt_query $ alias_query $ store_dir_arg)
+
+(* --- update: incremental re-analysis against a stored solve --- *)
+
+let basic_of_tag = function
+  | "algo1" -> Some Analyses.Algo1
+  | "algo2" -> Some Analyses.Algo2
+  | "algo3" -> Some Analyses.Algo3
+  | _ -> None
+
+let update_cmd =
+  let run path dir budget stats watch poll_interval compact_every =
+    let options = options_of_budget budget in
+    (* One update cycle: compare the program against the chain tip,
+       re-solve by the cheapest sound route (Pta.Incr), and commit the
+       result as a delta layer (incremental/unchanged) or a fresh base
+       (cold).  Re-loads the store each time so a watch loop always
+       diffs against the latest tip. *)
+    let update_once () =
+      if not (Store.exists ~dir) then begin
+        prerr_endline
+          (Printf.sprintf "ptacli: no store at %s/store (run 'analyze --save-store %s' first)" dir dir);
+        exit 1
+      end;
+      let st = Store.load ~dir in
+      let tag = Option.value (Store.config_value st "algo") ~default:"(unrecorded)" in
+      match basic_of_tag tag with
+      | None ->
+        prerr_endline
+          (Printf.sprintf
+             "ptacli: store was saved by %s; update supports algo1/algo2/algo3 (analyze --algo \
+              cha-nofilter|cha|otf)"
+             tag);
+        exit 1
+      | Some algo ->
+        let program_bytes = read_file_bytes path in
+        let key = store_key ~program_bytes ~algo:tag ~query:Pta.Programs.no_query in
+        if Store.key st = key then
+          Printf.printf "update: store already current (key %s, snapshot %d, %d layers)\n%!"
+            (String.sub key 0 12) (Store.snapshot st) (Store.layers st)
+        else begin
+          let p = or_die (read_program path) in
+          let fg = Factgen.extract p in
+          let t0 = Unix.gettimeofday () in
+          let o = solved (Pta.Incr.update ~options ~algo ~store:st fg) in
+          let eng = o.Pta.Incr.engine in
+          let config = [ ("program", Filename.basename path); ("algo", tag) ] in
+          (match o.Pta.Incr.verdict with
+          | Pta.Incr.Cold _ ->
+            Store.save ~dir ~key ~config ~space:(Datalog.Engine.space eng)
+              ~relations:(Datalog.Engine.declared_relations eng)
+          | Pta.Incr.Incremental | Pta.Incr.Unchanged ->
+            ignore
+              (Store.save_delta ~dir ~key ~config ~space:(Datalog.Engine.space eng)
+                 ~deltas:o.Pta.Incr.deltas));
+          let layers = Option.value (Store.read_layers ~dir) ~default:0 in
+          let snapshot = match Store.read_ident ~dir with Some (_, s) -> s | None -> 0 in
+          Printf.printf "update: %s in %.3fs (%d relations changed; snapshot %d, %d layer%s)\n%!"
+            (Pta.Incr.verdict_to_string o.Pta.Incr.verdict)
+            (Unix.gettimeofday () -. t0)
+            (List.length o.Pta.Incr.deltas)
+            snapshot layers
+            (if layers = 1 then "" else "s");
+          (if compact_every > 0 && layers >= compact_every then
+             match Store.compact ~dir with
+             | 0 -> ()
+             | n ->
+               Printf.printf "update: compacted %d layer%s into a new base (snapshot %d)\n%!" n
+                 (if n = 1 then "" else "s")
+                 (Option.value (Store.read_snapshot ~dir) ~default:0));
+          match (stats, o.Pta.Incr.stats) with
+          | true, Some s ->
+            print_stats s;
+            print_extended_stats s
+          | _ -> ()
+        end
+    in
+    if not watch then update_once ()
+    else begin
+      (* Writer loop: re-run an update whenever the .jir file changes.
+         The program file should be replaced atomically (write + rename)
+         — exactly what `gen -o` does — so a poll never reads a torn
+         program.  SIGTERM/SIGINT stop cleanly after the in-flight
+         update commits, which a downstream `serve --follow` then picks
+         up whole or not at all. *)
+      let stop = ref false in
+      let handler _ = stop := true in
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle handler);
+      Sys.set_signal Sys.sigint (Sys.Signal_handle handler);
+      let file_stat () =
+        match Unix.stat path with
+        | s -> Some (s.Unix.st_ino, s.Unix.st_mtime, s.Unix.st_size)
+        | exception Unix.Unix_error _ -> None
+      in
+      update_once ();
+      let seen = ref (file_stat ()) in
+      Printf.eprintf "update: watching %s (poll every %.2fs; SIGTERM stops)\n%!" path poll_interval;
+      while not !stop do
+        Thread.delay poll_interval;
+        if not !stop then begin
+          let cur = file_stat () in
+          if cur <> !seen && cur <> None then begin
+            seen := cur;
+            try update_once () with
+            | Solver_error.Error e -> Printf.eprintf "update: failed: %s\n%!" (Solver_error.to_string e)
+          end
+        end
+      done;
+      prerr_endline "update: watch stopped"
+    end
+  in
+  let store_dir =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "store" ] ~docv:"DIR"
+          ~doc:"Store directory written by $(b,analyze --save-store) (and updated in place by this command).")
+  in
+  let watch =
+    Arg.(
+      value & flag
+      & info [ "watch" ]
+          ~doc:
+            "Writer-loop mode: after the first update, keep watching the program file and re-update on every \
+             change, feeding $(b,serve --follow) daemons a stream of incremental snapshots.  SIGTERM/SIGINT \
+             stop cleanly.")
+  in
+  let poll_interval =
+    Arg.(
+      value
+      & opt float 0.5
+      & info [ "poll-interval" ] ~docv:"SECONDS" ~doc:"How often $(b,--watch) stats the program file.")
+  in
+  let compact_every =
+    Arg.(
+      value
+      & opt int 16
+      & info [ "compact-every" ] ~docv:"N"
+          ~doc:
+            "Compact the delta chain back to a single base once it reaches $(docv) layers (LSM-style), \
+             bounding load-time fold work for followers.  0 never compacts.")
+  in
+  Cmd.v
+    (Cmd.info "update"
+       ~doc:
+         "Incrementally re-analyze a modified program against a persistent store: diff the extracted input \
+          relations against the stored ones (BDD diffs), re-solve from only the added tuples, and append \
+          the result as a delta layer — bit-identical to a cold solve at a fraction of the cost.  Removals \
+          or negation fall back to a cold solve and a fresh base (sound by construction, never wrong).  \
+          $(b,--watch) turns this into a long-running writer for an evolving codebase.")
+    Term.(
+      const run $ program_arg $ store_dir $ budget_term $ stats_flag $ watch $ poll_interval $ compact_every)
 
 (* --- serve ---
 
@@ -1132,23 +1291,57 @@ let store_group_cmd =
       if healthy checks then print_endline "store: healthy, nothing to repair"
       else begin
         print_checks checks;
-        match Store.quarantine ~dir with
-        | None -> print_endline "store: nothing on disk to repair"
-        | Some dest ->
-          Printf.printf "store: quarantined broken store to %s\n" dest;
-          print_endline "store: re-run 'ptacli analyze --save-store' or 'ptacli query --store' to rebuild"
+        (* When the base snapshot itself is sound and only the delta
+           chain is damaged, amputate the broken tail: the base and any
+           earlier intact layers keep serving while the writer re-applies
+           its updates. *)
+        match Store.first_broken_layer checks with
+        | Some n -> (
+          match Store.quarantine_layers ~dir ~from_layer:n with
+          | None -> print_endline "store: nothing on disk to repair"
+          | Some dest ->
+            Printf.printf "store: quarantined delta layers >= %d to %s\n" n dest;
+            print_endline "store: base snapshot and earlier layers keep serving; re-run 'ptacli update' to re-apply")
+        | None -> (
+          match Store.quarantine ~dir with
+          | None -> print_endline "store: nothing on disk to repair"
+          | Some dest ->
+            Printf.printf "store: quarantined broken store to %s\n" dest;
+            print_endline "store: re-run 'ptacli analyze --save-store' or 'ptacli query --store' to rebuild")
       end
     in
     Cmd.v
       (Cmd.info "repair"
          ~doc:
-           "Quarantine a broken store (move $(b,store/) to $(b,store.broken.<n>/)) so the next solve rebuilds \
-            it from scratch.  A healthy store is left untouched.")
+           "Quarantine the broken part of a store.  When only the delta-layer chain is damaged, the broken \
+            tail moves to $(b,store/layers.broken.<n>/) and the base snapshot keeps serving; otherwise the \
+            whole $(b,store/) moves to $(b,store.broken.<n>/) so the next solve rebuilds it from scratch.  A \
+            healthy store is left untouched.")
+      Term.(const run $ dir_arg)
+  in
+  let compact =
+    let run dir =
+      match Store.compact ~dir with
+      | 0 -> print_endline "store: no delta layers to compact"
+      | n ->
+        Printf.printf "store: compacted %d layer%s into a new base (snapshot %d)\n" n
+          (if n = 1 then "" else "s")
+          (Option.value (Store.read_snapshot ~dir) ~default:0)
+    in
+    Cmd.v
+      (Cmd.info "compact"
+         ~doc:
+           "Squash the delta-layer chain into a single base snapshot (load the folded store, save it whole, \
+            drop the layer files).  Readers racing the compaction see either the old chain or the new base — \
+            never a mix.")
       Term.(const run $ dir_arg)
   in
   Cmd.group
-    (Cmd.info "store" ~doc:"Persistent store maintenance: $(b,verify) integrity, $(b,repair) by quarantine.")
-    [ verify; repair ]
+    (Cmd.info "store"
+       ~doc:
+         "Persistent store maintenance: $(b,verify) integrity across the delta chain, $(b,repair) by \
+          quarantine, $(b,compact) the chain into a fresh base.")
+    [ verify; repair; compact ]
 
 (* --- order-search --- *)
 
@@ -1304,7 +1497,7 @@ let explain_cmd =
 (* --- gen --- *)
 
 let gen_cmd =
-  let run profile scale seed out =
+  let run profile scale seed edits out =
     match Synth.Profiles.find profile with
     | None ->
       prerr_endline
@@ -1315,12 +1508,26 @@ let gen_cmd =
       let params = Synth.Profiles.params ~scale prof in
       let params = { params with Synth.Generator.seed = Option.value seed ~default:params.Synth.Generator.seed } in
       let p = Synth.Generator.generate params in
+      (* Edit descriptions go to stderr: with no -o the program itself
+         owns stdout. *)
+      List.iter
+        (fun spec_text ->
+          match Synth.Edits.parse spec_text with
+          | Error msg ->
+            prerr_endline ("ptacli: " ^ msg);
+            exit 1
+          | Ok spec -> Printf.eprintf "gen: %s\n%!" (Synth.Edits.apply p spec))
+        edits;
       let text = Jir.Jprinter.to_string p in
       (match out with
       | Some path ->
-        let oc = open_out path in
+        (* Write-then-rename so an `update --watch` polling this path
+           never reads a torn program. *)
+        let tmp = path ^ ".tmp" in
+        let oc = open_out tmp in
         output_string oc text;
         close_out oc;
+        Sys.rename tmp path;
         Printf.printf "wrote %s: %d classes, %d methods, %d statements\n" path (Ir.num_classes p) (Ir.num_methods p)
           (Ir.stmt_count p)
       | None -> print_string text)
@@ -1328,10 +1535,20 @@ let gen_cmd =
   let profile = Arg.(required & pos 0 (some string) None & info [] ~docv:"PROFILE" ~doc:"Benchmark profile name.") in
   let scale = Arg.(value & opt float 0.04 & info [ "scale" ] ~docv:"S" ~doc:"Size scale factor.") in
   let seed = Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"N" ~doc:"Override the profile seed.") in
+  let edits =
+    Arg.(
+      value & opt_all string []
+      & info [ "edit" ] ~docv:"SPEC"
+          ~doc:
+            "Apply a scripted edit after generation (repeatable, applied in order).  $(docv) is \
+             $(i,name)[:$(i,seed)] with name one of add-method | add-alloc | remove-alloc; deterministic in \
+             (program, spec), so the same flags reproduce the same edited program — the raw material for \
+             exercising $(b,ptacli update).")
+  in
   let out = Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file.") in
   Cmd.v
     (Cmd.info "gen" ~doc:"Generate a synthetic benchmark program in the textual IR format.")
-    Term.(const run $ profile $ scale $ seed $ out)
+    Term.(const run $ profile $ scale $ seed $ edits $ out)
 
 (* Top-level error protocol: one-line message on stderr, exit 1 for bad
    input, 2 for budget exhaustion, 3 for internal errors.  No OCaml
@@ -1365,6 +1582,7 @@ let () =
         stats_cmd;
         analyze_cmd;
         query_cmd;
+        update_cmd;
         serve_cmd;
         route_cmd;
         store_group_cmd;

@@ -889,6 +889,25 @@ let serialize m roots =
   Buffer.add_int32_le buf (Int32.of_int (Crc32.string body));
   Buffer.contents buf
 
+(* Cross-manager transfer without the byte-string detour: re-intern the
+   reachable DAG into [dst], memoised per source node.  Recursion depth
+   is bounded by the variable count (vars strictly increase downward). *)
+let copy src dst roots =
+  extend_vars dst src.nvars;
+  let memo = Hashtbl.create 1024 in
+  Hashtbl.add memo bdd_false bdd_false;
+  Hashtbl.add memo bdd_true bdd_true;
+  let rec go n =
+    match Hashtbl.find_opt memo n with
+    | Some r -> r
+    | None ->
+      let l = go src.nodes.((n * 4) + 1) and h = go src.nodes.((n * 4) + 2) in
+      let r = mk dst src.nodes.(n * 4) l h in
+      Hashtbl.add memo n r;
+      r
+  in
+  List.map go roots
+
 let deserialize ?(source = "<bdd>") m data =
   let fail off fmt = Solver_error.raise_bad_input ~file:source ~line:0 ("byte %d: " ^^ fmt) off in
   let len = String.length data in

@@ -158,6 +158,13 @@ val serialize : man -> t list -> string
 (** Dump the shared DAG reachable from [roots].  Root order is
     preserved by {!deserialize}. *)
 
+val copy : man -> man -> t list -> t list
+(** [copy src dst roots] re-interns the shared DAG reachable from
+    [roots] directly into [dst] — semantically [serialize] piped into
+    [deserialize], minus the intermediate byte string.  Both managers
+    must agree on what the variable ids mean; [dst]'s variable space is
+    extended if needed.  The results are unrooted in [dst]. *)
+
 val deserialize : ?source:string -> man -> string -> t list
 (** Rebuild the dumped functions in [m] (which need not be the dumping
     manager: nodes are re-interned through the constructor, so the

@@ -66,9 +66,62 @@ let tuple_bdd r values =
 let add_tuple r values = set_bdd r (Bdd.mk_or (man r) !(r.root) (tuple_bdd r values))
 let mem_tuple r values = Bdd.mk_and (man r) !(r.root) (tuple_bdd r values) <> Bdd.bdd_false
 
+(* Bulk tuple load.  OR-ing tuple cubes into the root one at a time
+   rebuilds an ever-growing BDD once per tuple, and every union walks
+   structure the variable order does not share with the cube —
+   quadratic-ish on big inputs.  Instead: write each tuple as its
+   bit row in global variable order, sort the rows, and build the BDD
+   as a trie aligned with that order, bottom-up.  Every [mk_ite]
+   constructs one node over already-built children (the branch
+   variable sits above both), so the whole load is linear in trie
+   nodes.  The intermediates are unrooted, which is safe: GC only runs
+   when asked ([Bdd.gc]), never inside an operation. *)
+let set_tuples r tuples =
+  match tuples with
+  | [] -> ()
+  | _ ->
+    let m = man r in
+    (* (variable, attribute index, bit index), globally order-sorted. *)
+    let slots =
+      Array.of_list
+        (List.sort compare
+           (List.concat
+              (List.mapi
+                 (fun ai a -> Array.to_list (Array.mapi (fun bi v -> (v, ai, bi)) a.block.Space.bits))
+                 (Array.to_list r.attributes))))
+    in
+    let nbits = Array.length slots in
+    let nattrs = Array.length r.attributes in
+    let row values =
+      if Array.length values <> nattrs then invalid_arg "Relation: tuple arity mismatch";
+      Array.iteri
+        (fun i a ->
+          if values.(i) < 0 || values.(i) >= Domain.size a.block.Space.dom then
+            invalid_arg (Printf.sprintf "Relation %s: %d out of range for %s" r.rel_name values.(i) a.attr_name))
+        r.attributes;
+      Array.init nbits (fun j ->
+          let _, ai, bi = slots.(j) in
+          (values.(ai) lsr bi) land 1 = 1)
+    in
+    let rows = List.sort_uniq compare (List.map row tuples) in
+    let rec build depth rows =
+      match rows with
+      | [] -> Bdd.bdd_false
+      | _ ->
+        if depth = nbits then Bdd.bdd_true
+        else
+          let zeros, ones = List.partition (fun (rw : bool array) -> not rw.(depth)) rows in
+          let lo = build (depth + 1) zeros and hi = build (depth + 1) ones in
+          if lo = hi then lo
+          else
+            let v, _, _ = slots.(depth) in
+            Bdd.mk_ite m (Bdd.ithvar m v) hi lo
+    in
+    set_bdd r (Bdd.mk_or m !(r.root) (build 0 rows))
+
 let of_tuples sp ~name attrs tuples =
   let r = make sp ~name attrs in
-  List.iter (add_tuple r) tuples;
+  set_tuples r tuples;
   r
 
 (* Sorted variable array covering all attributes, plus for each

@@ -40,6 +40,12 @@ val add_tuple : t -> int array -> unit
 (** Values in attribute order.  Raises [Invalid_argument] on arity or
     range errors. *)
 
+val set_tuples : t -> int array list -> unit
+(** Union a whole tuple list into the relation at once: tuples are
+    written as bit rows in global variable order and the BDD is built
+    bottom-up as a trie aligned with that order — much faster than
+    repeated {!add_tuple} on large inputs. *)
+
 val of_tuples : Space.t -> name:string -> attr list -> int array list -> t
 val mem_tuple : t -> int array -> bool
 val iter_tuples : t -> (int array -> unit) -> unit

@@ -29,13 +29,21 @@ type t = {
   st_space : Space.t;
   st_domains : (string * Domain.t) list;
   st_rels : (string * Relation.t) list; (* manifest order *)
+  st_layers : int; (* delta layers folded into this load *)
 }
 
 (* v2: checksummed manifest + WLBDD02 checksummed BDD framing.
    v3: a [snapshot <n>] identity line — a per-directory save counter
    that lets followers (and their routers) tell two saves of the same
-   content key apart and assert exactly which snapshot answered. *)
+   content key apart and assert exactly which snapshot answered.
+
+   Independent of the base format, a store may carry a chain of delta
+   layers ([layer.<n>.*] files, format [whalelam-layer 1]): each layer
+   is a self-committed append describing per-relation added/removed
+   tuple sets against the state below it.  [load] folds the chain;
+   [save] and [compact] squash it back to a single base. *)
 let format_version = 3
+let layer_format_version = 1
 
 let subdir dir = Filename.concat dir "store"
 let manifest_path dir = Filename.concat (subdir dir) "manifest"
@@ -43,6 +51,22 @@ let bdd_file = "relations.bdd"
 let bdd_path dir = Filename.concat (subdir dir) bdd_file
 let map_file dom_name = dom_name ^ ".map"
 let map_path dir dom_name = Filename.concat (subdir dir) (map_file dom_name)
+
+(* Delta-layer files live next to the base under numeric names; the
+   layer manifest is each layer's single commit point, exactly as the
+   base manifest is for the whole store. *)
+let layer_manifest_file n = Printf.sprintf "layer.%d.manifest" n
+let layer_manifest_path dir n = Filename.concat (subdir dir) (layer_manifest_file n)
+let layer_bdd_file n = Printf.sprintf "layer.%d.bdd" n
+let layer_map_file n dom_name = Printf.sprintf "layer.%d.%s.map" n dom_name
+
+(* [layer.<n>.<rest>] → [Some n]; anything else → [None]. *)
+let layer_file_index f =
+  if String.length f > 6 && String.sub f 0 6 = "layer." then
+    match String.index_from_opt f 6 '.' with
+    | Some dot -> int_of_string_opt (String.sub f 6 (dot - 6))
+    | None -> None
+  else None
 
 let bad ~path ~line fmt = Solver_error.raise_bad_input ~file:path ~line fmt
 
@@ -122,6 +146,30 @@ let check_name what s =
    counting.  The manifest scan below is only a fallback for stores
    written before the serial file existed. *)
 let serial_path dir = Filename.concat (subdir dir) "serial"
+
+(* Best-effort removal of every delta-layer file.  Called after the
+   commit point of a full [save] (which orphans any chain the
+   directory carried) and by [compact]: correctness never depends on
+   it, because a layer whose [base-snapshot] does not match the
+   current base is ignored by the chain walk — this only reclaims the
+   disk.  Layer manifests go first so a crash mid-cleanup cannot leave
+   a committed layer manifest pointing at removed data. *)
+let remove_layer_files dir =
+  match Sys.readdir (subdir dir) with
+  | exception Sys_error _ -> ()
+  | entries ->
+    let files = Array.to_list entries |> List.filter (fun f -> layer_file_index f <> None) in
+    if files <> [] then begin
+      let manifests, rest = List.partition (fun f -> Filename.check_suffix f ".manifest") files in
+      List.iter
+        (fun f ->
+          let path = Filename.concat (subdir dir) f in
+          Faults.fs_op ("remove " ^ path);
+          try Sys.remove path with Sys_error _ -> ())
+        (manifests @ rest);
+      Faults.fs_op ("fsync-dir " ^ subdir dir);
+      fsync_dir (subdir dir)
+    end
 
 let read_serial path =
   match open_in path with
@@ -267,7 +315,10 @@ let save ~dir ~key ~config ~space ~relations =
   List.iter (fun (dn, content) -> write_atomic (map_path dir dn) content) maps;
   write_atomic (bdd_path dir) dump;
   (* Manifest written last = the commit point of the whole store. *)
-  write_atomic mpath manifest
+  write_atomic mpath manifest;
+  (* The new base orphans any delta chain the directory carried (its
+     layers name the previous base's snapshot); reclaim the files. *)
+  remove_layer_files dir
 
 (* --- Manifest parsing --- *)
 
@@ -401,23 +452,191 @@ let parse_manifest path =
 
 let exists ~dir = Sys.file_exists (manifest_path dir)
 
+(* --- Layer manifests and the chain walk --- *)
+
+type layer = {
+  l_index : int;
+  l_key : string; (* content key of the chain up to and including this layer *)
+  l_snapshot : int;
+  l_base_snapshot : int; (* the base save this layer extends *)
+  l_prev_snapshot : int; (* the element directly below (base or layer n-1) *)
+  l_config : (string * string) list;
+  l_nvars : int;
+  l_domains : (string * int * bool) list; (* name, final size, carries replacement map *)
+  l_deltas : string list; (* relation names; dump roots are (added, removed) pairs in this order *)
+  l_checksums : (string * int * int) list;
+}
+
+let parse_layer_manifest path =
+  let lines = read_lines path in
+  let int_field ~line what s =
+    match int_of_string_opt s with
+    | Some v when v >= 0 -> v
+    | Some _ | None -> bad ~path ~line "%s: not a non-negative integer: %s" what s
+  in
+  (match lines with
+  | first :: _ when first = Printf.sprintf "whalelam-layer %d" layer_format_version -> ()
+  | first :: _ -> bad ~path ~line:1 "unsupported layer format: %s" first
+  | [] -> bad ~path ~line:1 "empty layer manifest");
+  (match List.rev lines with
+  | "end" :: _ -> ()
+  | _ -> bad ~path ~line:(List.length lines) "missing end trailer (truncated layer manifest)");
+  verify_selfsum path lines;
+  let index = ref None
+  and key = ref None
+  and snapshot = ref None
+  and base_snapshot = ref None
+  and prev_snapshot = ref None
+  and config = ref []
+  and nvars = ref None
+  and domains = ref []
+  and deltas = ref []
+  and checksums = ref [] in
+  List.iteri
+    (fun i line ->
+      let line_no = i + 1 in
+      if i > 0 && line <> "end" then
+        match split_ws line with
+        | [ "layer"; n ] -> index := Some (int_field ~line:line_no "layer" n)
+        | [ "key"; k ] -> key := Some k
+        | [ "snapshot"; n ] -> snapshot := Some (int_field ~line:line_no "snapshot" n)
+        | [ "base-snapshot"; n ] -> base_snapshot := Some (int_field ~line:line_no "base-snapshot" n)
+        | [ "prev-snapshot"; n ] -> prev_snapshot := Some (int_field ~line:line_no "prev-snapshot" n)
+        | "config" :: k :: _ ->
+          let prefix = "config " ^ k ^ " " in
+          let v =
+            if String.length line >= String.length prefix then
+              String.sub line (String.length prefix) (String.length line - String.length prefix)
+            else ""
+          in
+          config := (k, v) :: !config
+        | [ "nvars"; n ] -> nvars := Some (int_field ~line:line_no "nvars" n)
+        | [ "domain"; name; size; mapped ] ->
+          domains := (name, int_field ~line:line_no "domain size" size, mapped = "1") :: !domains
+        | [ "delta"; rname ] -> deltas := rname :: !deltas
+        | [ "checksum"; file; size; crc ] -> (
+          match Crc32.of_hex crc with
+          | Some c -> checksums := (file, int_field ~line:line_no "checksum size" size, c) :: !checksums
+          | None -> bad ~path ~line:line_no "malformed checksum value %s" crc)
+        | [ "selfsum"; _ ] -> ()
+        | _ -> bad ~path ~line:line_no "unrecognized layer manifest line: %s" line)
+    lines;
+  let require what = function
+    | Some v -> v
+    | None -> bad ~path ~line:0 "layer manifest is missing its %s line" what
+  in
+  {
+    l_index = require "layer" !index;
+    l_key = require "key" !key;
+    l_snapshot = require "snapshot" !snapshot;
+    l_base_snapshot = require "base-snapshot" !base_snapshot;
+    l_prev_snapshot = require "prev-snapshot" !prev_snapshot;
+    l_config = List.rev !config;
+    l_nvars = require "nvars" !nvars;
+    l_domains = List.rev !domains;
+    l_deltas = List.rev !deltas;
+    l_checksums = List.rev !checksums;
+  }
+
+(* Walk the committed chain above a base manifest.  The walk stops
+   cleanly at the first missing layer manifest (a torn [save_delta]
+   never commits one, so its debris is invisible) and at the first
+   {e orphan} — a layer whose [base-snapshot] is not the current
+   base's, i.e. a leftover from before a [compact] or full [save]
+   whose cleanup did not finish.  A layer that is committed but does
+   not parse, misnumbers itself, or breaks the prev-snapshot link is
+   {e corruption}: the walk reports it instead of silently serving a
+   shorter chain. *)
+let read_chain dir (m : manifest) =
+  let rec go n prev acc =
+    let path = layer_manifest_path dir n in
+    if not (Sys.file_exists path) then (List.rev acc, None)
+    else
+      match parse_layer_manifest path with
+      | exception Solver_error.Error e -> (List.rev acc, Some (n, Solver_error.to_string e))
+      | l ->
+        if l.l_base_snapshot <> m.m_snapshot then (List.rev acc, None) (* orphan: ignore *)
+        else if l.l_index <> n then
+          (List.rev acc, Some (n, Printf.sprintf "%s: layer line says %d, file name says %d" path l.l_index n))
+        else if l.l_prev_snapshot <> prev then
+          ( List.rev acc,
+            Some
+              ( n,
+                Printf.sprintf "%s: prev-snapshot %d does not match the element below (snapshot %d)" path
+                  l.l_prev_snapshot prev ) )
+        else go (n + 1) l.l_snapshot (l :: acc)
+  in
+  go 1 m.m_snapshot []
+
+(* The identity and config of the chain tip: the last committed layer,
+   or the base itself when there is none. *)
+let tip_of_chain (m : manifest) layers =
+  match List.rev layers with
+  | [] -> (m.m_key, m.m_snapshot, m.m_config)
+  | l :: _ -> (l.l_key, l.l_snapshot, l.l_config)
+
 let read_key ~dir =
   if not (exists ~dir) then None
   else
     match parse_manifest (manifest_path dir) with
-    | m -> Some m.m_key
+    | m -> (
+      match read_chain dir m with
+      | _, Some _ -> None
+      | layers, None ->
+        let k, _, _ = tip_of_chain m layers in
+        Some k)
     | exception Solver_error.Error _ -> None
 
 (* The (key, snapshot) pair is the identity followers watch: equal
-   pairs mean the manifest describes the same committed save. *)
+   pairs mean the same committed chain tip.  Chain-aware, so a base
+   that has since been extended by [save_delta] can never masquerade
+   as current: the tip's key and snapshot are returned, and a corrupt
+   (not merely torn) chain reads as no identity at all. *)
 let read_ident ~dir =
   if not (exists ~dir) then None
   else
     match parse_manifest (manifest_path dir) with
-    | m -> Some (m.m_key, m.m_snapshot)
+    | m -> (
+      match read_chain dir m with
+      | _, Some _ -> None
+      | layers, None ->
+        let k, s, _ = tip_of_chain m layers in
+        Some (k, s))
     | exception Solver_error.Error _ -> None
 
 let read_snapshot ~dir = Option.map snd (read_ident ~dir)
+
+let read_layers ~dir =
+  if not (exists ~dir) then None
+  else
+    match parse_manifest (manifest_path dir) with
+    | m -> (
+      match read_chain dir m with
+      | _, Some _ -> None
+      | layers, None -> Some (List.length layers))
+    | exception Solver_error.Error _ -> None
+
+(* Stat triples (inode, mtime, size) of the base manifest followed by
+   every consecutive layer manifest on disk: the cheap
+   has-anything-changed probe a follower compares between polls.  No
+   parsing, no checksums — a changed list only means "look closer".
+   The walk does not validate chain links, so orphaned tails appear
+   here too; that is fine, the slow path sorts them out. *)
+let tip_stat ~dir =
+  let stat path =
+    match Unix.stat path with
+    | st -> Some (st.Unix.st_ino, st.Unix.st_mtime, st.Unix.st_size)
+    | exception Unix.Unix_error _ -> None
+  in
+  match stat (manifest_path dir) with
+  | None -> []
+  | Some base ->
+    let rec go n acc =
+      match stat (layer_manifest_path dir n) with
+      | None -> List.rev acc
+      | Some s -> go (n + 1) (s :: acc)
+    in
+    go 1 [ base ]
 
 let read_file path =
   let ic = try open_in_bin path with Sys_error msg -> bad ~path ~line:0 "%s" msg in
@@ -425,11 +644,12 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-(* Read a data file and verify it against the manifest's recorded size
-   and CRC-32 before a single byte of it is interpreted. *)
-let verified_read ~mpath m dir file =
+(* Read a data file and verify it against its manifest's recorded size
+   and CRC-32 before a single byte of it is interpreted.  [mpath] is
+   the manifest (base or layer) whose [checksums] vouch for the file. *)
+let verified_read_in ~mpath ~checksums dir file =
   let path = Filename.concat (subdir dir) file in
-  match List.find_opt (fun (f, _, _) -> f = file) m.m_checksums with
+  match List.find_opt (fun (f, _, _) -> f = file) checksums with
   | None -> bad ~path:mpath ~line:0 "no checksum recorded for %s" file
   | Some (_, size, crc) ->
     let data = read_file path in
@@ -442,6 +662,8 @@ let verified_read ~mpath m dir file =
         (Crc32.to_hex crc) (Crc32.to_hex actual);
     data
 
+let verified_read ~mpath m dir file = verified_read_in ~mpath ~checksums:m.m_checksums dir file
+
 let lines_of_string s =
   match List.rev (String.split_on_char '\n' s) with
   | "" :: rest -> List.rev rest (* drop the final newline's empty split *)
@@ -451,6 +673,42 @@ let load ~dir =
   let mpath = manifest_path dir in
   if not (Sys.file_exists mpath) then bad ~path:mpath ~line:0 "no store at %s" dir;
   let m = parse_manifest mpath in
+  let layers =
+    match read_chain dir m with
+    | layers, None -> layers
+    | _, Some (n, msg) -> bad ~path:(layer_manifest_path dir n) ~line:0 "broken delta chain: %s" msg
+  in
+  let tip_key, tip_snapshot, tip_config = tip_of_chain m layers in
+  (* Domains are created at their {e final} sizes (the tip's domain
+     lines), and each mapped domain's element names come from the
+     {e latest} element that carries a replacement map — the base, or
+     the topmost layer whose edit grew or renamed the domain. *)
+  let final_domains =
+    match List.rev layers with
+    | [] -> m.m_domains
+    | top :: _ ->
+      List.map
+        (fun (name, _, base_mapped) ->
+          match List.find_opt (fun (n, _, _) -> n = name) top.l_domains with
+          | Some (_, final_size, _) -> (name, final_size, base_mapped)
+          | None ->
+            bad ~path:(layer_manifest_path dir top.l_index) ~line:0 "layer %d is missing domain %s" top.l_index
+              name)
+        m.m_domains
+  in
+  let map_names name =
+    (* Topmost provider wins. *)
+    let rec from_layers = function
+      | [] -> lines_of_string (verified_read ~mpath m dir (map_file name))
+      | l :: below ->
+        if List.exists (fun (n, _, carries) -> n = name && carries) l.l_domains then
+          lines_of_string
+            (verified_read_in ~mpath:(layer_manifest_path dir l.l_index) ~checksums:l.l_checksums dir
+               (layer_map_file l.l_index name))
+        else from_layers below
+    in
+    from_layers (List.rev layers)
+  in
   let space = Space.create () in
   let domains =
     List.map
@@ -458,16 +716,15 @@ let load ~dir =
         let element_names =
           if not mapped then None
           else begin
-            let path = map_path dir name in
-            let names = Array.of_list (lines_of_string (verified_read ~mpath m dir (map_file name))) in
+            let names = Array.of_list (map_names name) in
             if Array.length names < size then
-              bad ~path ~line:(Array.length names) "map has %d entries, domain %s needs %d" (Array.length names)
-                name size;
+              bad ~path:(map_path dir name) ~line:(Array.length names) "map has %d entries, domain %s needs %d"
+                (Array.length names) name size;
             Some names
           end
         in
         (name, Domain.make ?element_names ~name ~size ()))
-      m.m_domains
+      final_domains
   in
   let find_domain ~line name =
     match List.assoc_opt name domains with
@@ -486,7 +743,7 @@ let load ~dir =
     m.m_blocks;
   if Space.num_vars space > m.m_nvars then
     bad ~path:mpath ~line:0 "blocks use %d variables but nvars says %d" (Space.num_vars space) m.m_nvars;
-  Bdd.extend_vars (Space.man space) m.m_nvars;
+  Bdd.extend_vars (Space.man space) (List.fold_left (fun acc l -> max acc l.l_nvars) m.m_nvars layers);
   let rels =
     List.map
       (fun (rname, attr_specs) ->
@@ -507,14 +764,180 @@ let load ~dir =
     bad ~path:bpath ~line:0 "dump has %d roots, manifest lists %d relations" (List.length roots)
       (List.length rels);
   List.iter2 (fun (_, r) root -> Relation.set_bdd r root) rels roots;
+  (* Fold each layer over the state below it:
+     rel := (rel \ removed) ∪ added, per delta line. *)
+  let man = Space.man space in
+  List.iter
+    (fun l ->
+      let lmpath = layer_manifest_path dir l.l_index in
+      let data = verified_read_in ~mpath:lmpath ~checksums:l.l_checksums dir (layer_bdd_file l.l_index) in
+      let lpath = Filename.concat (subdir dir) (layer_bdd_file l.l_index) in
+      let roots = Bdd.deserialize ~source:lpath man data in
+      if List.length roots <> 2 * List.length l.l_deltas then
+        bad ~path:lpath ~line:0 "layer dump has %d roots, manifest lists %d delta relations" (List.length roots)
+          (List.length l.l_deltas);
+      let rec fold names roots =
+        match (names, roots) with
+        | [], [] -> ()
+        | name :: names, added :: removed :: roots ->
+          (match List.assoc_opt name rels with
+          | None -> bad ~path:lmpath ~line:0 "layer %d: delta for unknown relation %s" l.l_index name
+          | Some r -> Relation.set_bdd r (Bdd.mk_or man (Bdd.mk_diff man (Relation.bdd r) removed) added));
+          fold names roots
+        | _ -> bad ~path:lpath ~line:0 "layer %d: root/delta count mismatch" l.l_index
+      in
+      fold l.l_deltas roots)
+    layers;
   {
-    st_key = m.m_key;
-    st_snapshot = m.m_snapshot;
-    st_config = m.m_config;
+    st_key = tip_key;
+    st_snapshot = tip_snapshot;
+    st_config = tip_config;
     st_space = space;
     st_domains = domains;
     st_rels = rels;
+    st_layers = List.length layers;
   }
+
+(* --- Delta layers: append and squash --- *)
+
+(* Append one delta layer to the chain at [dir].  The layer is
+   committed exactly like a base save: serial first (so the snapshot
+   counter survives any tear), data files next, the layer manifest
+   last — its rename is the commit point, and a crash anywhere earlier
+   leaves the previous chain tip serving unchanged. *)
+let save_delta ~dir ~key ~config ~space ~deltas =
+  let mpath = manifest_path dir in
+  if not (Sys.file_exists mpath) then
+    invalid_arg (Printf.sprintf "Store.save_delta: no base store at %s" dir);
+  let m = parse_manifest mpath in
+  let layers =
+    match read_chain dir m with
+    | layers, None -> layers
+    | _, Some (n, msg) ->
+      bad ~path:(layer_manifest_path dir n) ~line:0 "cannot append to a broken delta chain: %s" msg
+  in
+  (* The layer's BDDs only mean anything under the base's variable
+     layout; refuse to append across a layout change. *)
+  let doms = Space.domains space in
+  let space_blocks =
+    List.concat_map
+      (fun d ->
+        List.map (fun (b : Space.block) -> (Domain.name d, b.Space.instance, b.Space.bits)) (Space.instances space d))
+      doms
+  in
+  let block_eq (n1, i1, b1) (n2, i2, b2) = n1 = n2 && i1 = i2 && b1 = b2 in
+  if
+    List.length space_blocks <> List.length m.m_blocks
+    || not (List.for_all (fun sb -> List.exists (block_eq sb) m.m_blocks) space_blocks)
+  then invalid_arg "Store.save_delta: variable layout differs from the base store (cold save required)";
+  List.iter
+    (fun (name, _, _) ->
+      check_name "relation" name;
+      if not (List.mem_assoc name m.m_relations) then
+        invalid_arg (Printf.sprintf "Store.save_delta: relation %s is not in the base store" name))
+    deltas;
+  List.iter
+    (fun (k, v) ->
+      check_name "config" k;
+      if String.contains v '\n' then invalid_arg "Store.save_delta: config value contains newline")
+    config;
+  let n = List.length layers + 1 in
+  (* Element-name maps: a layer carries a replacement map for a domain
+     only when the rendered content differs from what the chain below
+     already provides (detected by CRC against the latest provider's
+     recorded checksum) — growth or renames write a full new map,
+     untouched domains write nothing. *)
+  let current_map_crc name =
+    let rec from_layers = function
+      | [] ->
+        List.find_map
+          (fun (f, _, crc) -> if f = map_file name then Some crc else None)
+          m.m_checksums
+      | l :: below ->
+        if List.exists (fun (dn, _, carries) -> dn = name && carries) l.l_domains then
+          List.find_map
+            (fun (f, _, crc) -> if f = layer_map_file l.l_index name then Some crc else None)
+            l.l_checksums
+        else from_layers below
+    in
+    from_layers (List.rev layers)
+  in
+  let maps =
+    List.filter_map
+      (fun d ->
+        match Domain.element_names d with
+        | None -> None
+        | Some names ->
+          let b = Buffer.create 1024 in
+          for i = 0 to Domain.size d - 1 do
+            Buffer.add_string b names.(i);
+            Buffer.add_char b '\n'
+          done;
+          let content = Buffer.contents b in
+          if current_map_crc (Domain.name d) = Some (Crc32.string content) then None
+          else Some (Domain.name d, content))
+      doms
+  in
+  let dump = Bdd.serialize (Space.man space) (List.concat_map (fun (_, a, r) -> [ a; r ]) deltas) in
+  let checksums =
+    (layer_bdd_file n, String.length dump, Crc32.string dump)
+    :: List.map (fun (dn, content) -> (layer_map_file n dn, String.length content, Crc32.string content)) maps
+  in
+  let prev_snapshot =
+    match List.rev layers with [] -> m.m_snapshot | l :: _ -> l.l_snapshot
+  in
+  let snapshot =
+    let prev =
+      List.fold_left
+        (fun acc o -> match o with Some x -> max acc x | None -> acc)
+        prev_snapshot
+        [ read_serial (serial_path dir); scan_snapshot mpath ]
+    in
+    prev + 1
+  in
+  write_atomic (serial_path dir) (string_of_int snapshot ^ "\n");
+  let manifest =
+    let b = Buffer.create 1024 in
+    Printf.bprintf b "whalelam-layer %d\n" layer_format_version;
+    Printf.bprintf b "layer %d\n" n;
+    Printf.bprintf b "key %s\n" key;
+    Printf.bprintf b "snapshot %d\n" snapshot;
+    Printf.bprintf b "base-snapshot %d\n" m.m_snapshot;
+    Printf.bprintf b "prev-snapshot %d\n" prev_snapshot;
+    List.iter (fun (k, v) -> Printf.bprintf b "config %s %s\n" k v) config;
+    Printf.bprintf b "nvars %d\n" (Space.num_vars space);
+    List.iter
+      (fun d ->
+        Printf.bprintf b "domain %s %d %d\n" (Domain.name d) (Domain.size d)
+          (if List.mem_assoc (Domain.name d) maps then 1 else 0))
+      doms;
+    List.iter (fun (name, _, _) -> Printf.bprintf b "delta %s\n" name) deltas;
+    List.iter
+      (fun (file, size, crc) -> Printf.bprintf b "checksum %s %d %s\n" file size (Crc32.to_hex crc))
+      checksums;
+    Printf.bprintf b "selfsum %s\n" (Crc32.to_hex (Crc32.string (Buffer.contents b)));
+    Buffer.add_string b "end\n";
+    Buffer.contents b
+  in
+  List.iter (fun (dn, content) -> write_atomic (Filename.concat (subdir dir) (layer_map_file n dn)) content) maps;
+  write_atomic (Filename.concat (subdir dir) (layer_bdd_file n)) dump;
+  (* Layer manifest written last = the commit point of the layer. *)
+  write_atomic (layer_manifest_path dir n) manifest;
+  n
+
+(* Squash the chain back to a single base (LSM compaction): load the
+   folded state, full-save it under the tip's key and config — which
+   both orphans and then removes the old layers — and report how many
+   layers were squashed.  Crash-safe by construction: every
+   intermediate state is either the old chain (before the new base
+   manifest commits) or the new base plus ignorable orphans. *)
+let compact ~dir =
+  let st = load ~dir in
+  if st.st_layers = 0 then 0
+  else begin
+    save ~dir ~key:st.st_key ~config:st.st_config ~space:st.st_space ~relations:(List.map snd st.st_rels);
+    st.st_layers
+  end
 
 (* --- Verification and repair --- *)
 
@@ -537,17 +960,78 @@ let verify ?(structural = true) ~dir () =
           match verified_read ~mpath m dir file with
           | exception Solver_error.Error e -> push file false (Solver_error.to_string e)
           | data -> push file true (Printf.sprintf "crc32 %s, %d bytes" (Crc32.to_hex (Crc32.string data)) (String.length data)))
-        m.m_checksums);
+        m.m_checksums;
+      (* Walk the delta chain: per-layer parse + selfsum, link
+         validity, and per-layer data-file checksums.  A broken layer
+         condemns only the tail from that index up — the base (and any
+         layers below it) stay healthy and [quarantine_layers] can cut
+         the tail off.  Orphaned layers (a base-snapshot from before a
+         compact) and uncommitted debris (layer data with no manifest)
+         are ignorable by construction and reported as healthy. *)
+      let layers, chain_err = read_chain dir m in
+      List.iter
+        (fun l ->
+          let name = layer_manifest_file l.l_index in
+          push name true
+            (Printf.sprintf "key %s, snapshot %d, %d delta relations" l.l_key l.l_snapshot
+               (List.length l.l_deltas));
+          List.iter
+            (fun (file, _, _) ->
+              match
+                verified_read_in ~mpath:(layer_manifest_path dir l.l_index) ~checksums:l.l_checksums dir file
+              with
+              | exception Solver_error.Error e -> push file false (Solver_error.to_string e)
+              | data ->
+                push file true
+                  (Printf.sprintf "crc32 %s, %d bytes" (Crc32.to_hex (Crc32.string data)) (String.length data)))
+            l.l_checksums)
+        layers;
+      (match chain_err with
+      | Some (n, msg) -> push (layer_manifest_file n) false msg
+      | None -> ());
+      (* Anything with a layer index beyond the valid chain that is
+         not condemned above is orphaned/uncommitted debris. *)
+      let chain_end = List.length layers in
+      let broken_at = match chain_err with Some (n, _) -> Some n | None -> None in
+      (match Sys.readdir (subdir dir) with
+      | exception Sys_error _ -> ()
+      | entries ->
+        Array.iter
+          (fun f ->
+            match layer_file_index f with
+            | Some i when i > chain_end && broken_at = None ->
+              push f true "orphaned or uncommitted layer debris (ignored by load)"
+            | _ -> ())
+          entries));
     if structural && List.for_all (fun c -> c.chk_ok) !checks then
       match load ~dir with
       | exception Solver_error.Error e -> push "structural load" false (Solver_error.to_string e)
       | exception e -> push "structural load" false (Printexc.to_string e)
       | st ->
         push "structural load" true
-          (Printf.sprintf "%d relations, %d live BDD nodes" (List.length st.st_rels)
+          (Printf.sprintf "%d relations, %d delta layers, %d live BDD nodes" (List.length st.st_rels)
+             st.st_layers
              (Bdd.live_nodes (Space.man st.st_space)))
   end;
   List.rev !checks
+
+(* The smallest layer index named by a failing check, when the base
+   itself is healthy — the cut point for [quarantine_layers]. *)
+let first_broken_layer checks =
+  let base_broken =
+    List.exists (fun c -> (not c.chk_ok) && layer_file_index c.chk_name = None) checks
+  in
+  if base_broken then None
+  else
+    List.fold_left
+      (fun acc c ->
+        if c.chk_ok then acc
+        else
+          match (layer_file_index c.chk_name, acc) with
+          | Some i, Some j -> Some (min i j)
+          | Some i, None -> Some i
+          | None, _ -> acc)
+      None checks
 
 let quarantine ~dir =
   let sd = subdir dir in
@@ -564,8 +1048,48 @@ let quarantine ~dir =
     Some dest
   end
 
+(* Cut a broken tail off the delta chain: move every layer file with
+   index >= [from_layer] into a fresh [store/layers.broken.<k>/]
+   directory.  The base and the layers below the cut keep serving —
+   this is the surgical repair for a corrupted append, where full
+   [quarantine] would throw away a healthy base. *)
+let quarantine_layers ~dir ~from_layer =
+  let sd = subdir dir in
+  if not (Sys.file_exists sd) then None
+  else begin
+    let victims =
+      match Sys.readdir sd with
+      | exception Sys_error _ -> []
+      | entries ->
+        Array.to_list entries
+        |> List.filter (fun f -> match layer_file_index f with Some i -> i >= from_layer | None -> false)
+    in
+    if victims = [] then None
+    else begin
+      let rec fresh i =
+        let cand = Filename.concat sd (Printf.sprintf "layers.broken.%d" i) in
+        if Sys.file_exists cand then fresh (i + 1) else cand
+      in
+      let dest = fresh 1 in
+      mkdir_p dest;
+      (* Manifests first: once a layer's manifest is gone it is
+         uncommitted, so a crash mid-quarantine can only make the
+         chain shorter, never inconsistent. *)
+      let manifests, rest = List.partition (fun f -> Filename.check_suffix f ".manifest") victims in
+      List.iter
+        (fun f ->
+          let src = Filename.concat sd f in
+          Faults.fs_op ("rename " ^ Filename.concat dest f);
+          try Sys.rename src (Filename.concat dest f) with Sys_error _ -> ())
+        (manifests @ rest);
+      fsync_dir sd;
+      Some dest
+    end
+  end
+
 let key t = t.st_key
 let snapshot t = t.st_snapshot
+let layers t = t.st_layers
 let config t = t.st_config
 let config_value t k = List.assoc_opt k t.st_config
 let space t = t.st_space

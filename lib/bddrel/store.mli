@@ -43,6 +43,10 @@ type t
 
 val format_version : int
 
+val layer_format_version : int
+(** Format of the delta-layer manifests ([layer.<n>.manifest]); the
+    chain format evolves independently of the base store format. *)
+
 val save :
   dir:string ->
   key:string ->
@@ -56,6 +60,39 @@ val save :
     space/newline-free, values newline-free.  Relation and domain
     names must be unique.  Overwrites any previous store at [dir]. *)
 
+val save_delta :
+  dir:string ->
+  key:string ->
+  config:(string * string) list ->
+  space:Space.t ->
+  deltas:(string * Bdd.t * Bdd.t) list ->
+  int
+(** Append one delta layer to the chain at [dir] and return its index
+    (1 for the first layer over a fresh base).  Each [(name, added,
+    removed)] entry describes one relation's change against the
+    current chain tip: on {!load} the fold is
+    [rel := (rel \ removed) ∪ added], applied base-upward.  [key] and
+    [config] describe the {e new} tip (a subsequent {!read_ident}
+    reports them); [space] must carry the exact variable layout of the
+    base store — the BDDs are meaningless under any other layout, and
+    a layout change must go through a full {!save}.  Domains may have
+    {e grown} within their bit widths (appended program entities): the
+    layer records the final sizes and a full replacement element-name
+    map for any mapped domain whose names changed.  The same write
+    barriers as {!save} apply — serial first, data files next, the
+    layer manifest last as the commit point — so a torn append leaves
+    the previous tip serving unchanged.  An empty [deltas] list is
+    legal and re-keys the tip (a byte-level program change with no
+    semantic diff). *)
+
+val compact : dir:string -> int
+(** Squash the delta chain back to a single base: load the folded
+    state, full-save it under the tip's key and config, and remove the
+    (now orphaned) layer files.  Returns the number of layers
+    squashed (0 = nothing to do).  Crash-safe: interrupted, the
+    directory reads as either the old chain or the new base plus
+    orphaned layers that {!load} ignores. *)
+
 val exists : dir:string -> bool
 (** A complete store (manifest present) exists at [dir]. *)
 
@@ -65,7 +102,9 @@ val manifest_path : string -> string
     it as a cheap has-anything-changed probe before reading. *)
 
 val read_key : dir:string -> string option
-(** The saved key, reading only the manifest header; [None] when there
+(** The {e chain-tip} key — the topmost delta layer's key, or the base
+    key when no layers exist — so a stale base can never masquerade as
+    the current save.  Reads only manifest headers; [None] when there
     is no complete, well-formed store at [dir].  Cheap: no BDD load. *)
 
 val read_snapshot : dir:string -> int option
@@ -73,9 +112,23 @@ val read_snapshot : dir:string -> int option
     no complete, well-formed store at [dir].  Cheap: no BDD load. *)
 
 val read_ident : dir:string -> (string * int) option
-(** The [(key, snapshot)] identity pair of the committed store at
-    [dir], or [None].  Two equal pairs describe the same save: this is
-    what a follower daemon polls to decide whether to hot-swap. *)
+(** The [(key, snapshot)] identity pair of the committed {e chain tip}
+    at [dir], or [None].  Two equal pairs describe the same state:
+    this is what a follower daemon polls to decide whether to
+    hot-swap.  Chain-aware: after a {!save_delta} the tip's key and
+    snapshot are reported, so a stale base can never masquerade as
+    current; a corrupt (not merely torn) chain reads as [None]. *)
+
+val read_layers : dir:string -> int option
+(** Number of committed delta layers above the base; [None] when there
+    is no well-formed store (or the chain is corrupt). *)
+
+val tip_stat : dir:string -> (int * float * int) list
+(** [stat] triples (inode, mtime, size) of the base manifest followed
+    by every consecutive layer manifest — the cheap
+    has-anything-changed probe a follower compares between polls
+    before paying for {!read_ident}.  Empty when there is no base
+    manifest. *)
 
 val load : dir:string -> t
 (** Rebuild the store into a fresh {!Space}: domains (with element
@@ -108,6 +161,20 @@ val quarantine : dir:string -> string option
     the quarantine path, or [None] when there is nothing at [dir].
     The [ptacli store repair] subcommand drives this. *)
 
+val quarantine_layers : dir:string -> from_layer:int -> string option
+(** Cut a broken tail off the delta chain: move every layer file with
+    index >= [from_layer] into a fresh [store/layers.broken.<k>/]
+    directory, returning its path ([None] when there was nothing to
+    move).  The base and the layers below the cut keep serving — the
+    surgical repair when {!verify} blames a layer but the base is
+    healthy. *)
+
+val first_broken_layer : check list -> int option
+(** The smallest layer index named by a failing check, provided the
+    base checks themselves all pass — i.e. the [from_layer] to hand
+    {!quarantine_layers}.  [None] when the store is healthy or the
+    base itself is broken (full {!quarantine} territory). *)
+
 val key : t -> string
 
 val snapshot : t -> int
@@ -120,6 +187,9 @@ val snapshot : t -> int
     counter lives in a dedicated [serial] file committed before the
     old manifest is invalidated, so it survives saves torn by a crash
     and never goes backwards over a directory's lifetime. *)
+
+val layers : t -> int
+(** Delta layers folded into this load (0 for a plain base). *)
 
 val config : t -> (string * string) list
 val config_value : t -> string -> string option

@@ -566,13 +566,13 @@ module Follow = struct
     f_dir : string;
     f_source : Source.source;
     mutable f_seen : string * int;  (* identity currently served *)
-    mutable f_stat : (int * float * int) option;  (* manifest (ino, mtime, size) *)
+    mutable f_stat : (int * float * int) list;
+        (* (ino, mtime, size) of the base manifest and every committed
+           layer manifest — so an incremental [save_delta], which never
+           touches the base manifest, still changes the cheap probe *)
   }
 
-  let manifest_stat dir =
-    match Unix.stat (Store.manifest_path dir) with
-    | st -> Some (st.Unix.st_ino, st.Unix.st_mtime, st.Unix.st_size)
-    | exception Unix.Unix_error _ -> None
+  let manifest_stat dir = Store.tip_stat ~dir
 
   let make ~dir source =
     let srv = Source.current source in

@@ -205,9 +205,12 @@ end
 
     The watch half of [ptacli serve --follow]: poll the store
     directory and hot-swap the source when a new committed save
-    appears.  Change detection stats the manifest (the save's single
-    commit point) and compares the [(key, snapshot)] identity before
-    doing any real work; a candidate is verified
+    appears.  Change detection stats the base manifest {e and} every
+    committed delta-layer manifest ({!Bddrel.Store.tip_stat}) — each
+    one is its save's single commit point, so both full saves and
+    incremental [save_delta] appends are noticed — then compares the
+    chain-tip [(key, snapshot)] identity before doing any real work; a
+    candidate is verified
     ({!Bddrel.Store.verify} [~structural:false]) and loaded (itself
     checksum- and structure-checked) before {!Source.swap} — any
     failure leaves the old snapshot serving and reports [Rejected]
@@ -230,7 +233,8 @@ module Follow : sig
   (** The [(key, snapshot)] identity last swapped in (or initial). *)
 
   val poll : state -> outcome
-  (** One poll tick.  Cheap when nothing changed (one [stat]).  On
+  (** One poll tick.  Cheap when nothing changed (one [stat] per chain
+      manifest).  On
       [Swapped] the source already holds the new server — the driver
       should {!Pool.poke} and log; on [Rejected] the old server keeps
       serving.  Never raises. *)

@@ -110,6 +110,12 @@ type t = {
   mutable stats : stats option;
   mutable budget : Budget.t option;
   mutable cur_iterations : int; (* rounds completed by the current/last [run] *)
+  incr_fresh : (string, Bdd.t) Hashtbl.t;
+      (* per-relation union of tuples that are new this run — seeded
+         with the external input deltas by [run_incremental] and grown
+         by every commit while [track_fresh] is on.  Downstream strata
+         read it to decide which body positions changed. *)
+  mutable track_fresh : bool;
 }
 
 let space t = t.sp
@@ -139,10 +145,44 @@ let exported_relations t =
       | Ast.Internal -> None)
     t.res.Resolve.program.Ast.relations
 
+(* Every declared relation, internals included, in declaration order.
+   An update-capable store saves these: an incremental re-solve needs
+   the previous run's internal working relations (e.g. [assign]) as its
+   starting point, not just the interface. *)
+let declared_relations t =
+  List.map (fun (decl : Ast.rel_decl) -> relation t decl.Ast.rel_name) t.res.Resolve.program.Ast.relations
+
+let input_relations t =
+  List.filter_map
+    (fun (decl : Ast.rel_decl) ->
+      match decl.Ast.rel_kind with
+      | Ast.Input -> Some (relation t decl.Ast.rel_name)
+      | Ast.Output | Ast.Internal -> None)
+    t.res.Resolve.program.Ast.relations
+
+(* Relations read under negation (subtracted) by some plan.  Additions
+   to them can retract derived facts, so an incremental driver must
+   fall back to a cold solve when any of these changed. *)
+let negated_relations t =
+  let seen = Hashtbl.create 4 in
+  List.iter
+    (fun (once, loop) ->
+      List.iter
+        (fun (ir : Ralg.plan) ->
+          Array.iter
+            (fun (st : Ralg.step) ->
+              match st.Ralg.op with
+              | Ralg.Subtract s -> Hashtbl.replace seen s.Ralg.src_rel ()
+              | Ralg.Join _ | Ralg.Constrain _ -> ())
+            ir.Ralg.steps)
+        (once @ loop))
+    t.ir_plans;
+  Hashtbl.fold (fun name () acc -> name :: acc) seen []
+
 let set_tuples t name tuples =
   let r = relation t name in
   Relation.set_bdd r Bdd.bdd_false;
-  List.iter (Relation.add_tuple r) tuples
+  Relation.set_tuples r tuples
 
 let add_tuple t name tu = Relation.add_tuple (relation t name) tu
 
@@ -291,6 +331,8 @@ let create ?(options = default_options) ?element_names ?domain_order (program : 
       stats = None;
       budget = options.budget;
       cur_iterations = 0;
+      incr_fresh = Hashtbl.create 8;
+      track_fresh = false;
     }
   in
   Bdd.set_budget (Space.man sp) options.budget;
@@ -368,6 +410,7 @@ let create ?(options = default_options) ?element_names ?domain_order (program : 
     t.plans;
   Bdd.add_root_fn (Space.man sp) (fun () ->
       t.plan_consts
+      @ Hashtbl.fold (fun _ b acc -> b :: acc) t.incr_fresh []
       @ List.map (fun r -> snd !r) !full_refs
       @ List.map
           (fun r ->
@@ -393,12 +436,13 @@ let prepare t prep ~delta =
     | None -> ());
     !b
   in
-  if delta then begin
-    (* Deltas have no version counter; key the cache on the delta BDD
-       handle itself (stable within an iteration because the delta ref
-       only changes between iterations), guarded by the GC stamp since
-       a collection can free the old delta and reuse its handle. *)
-    let d = !(Hashtbl.find t.deltas (Relation.name prep.p_rel)) in
+  match delta with
+  | Some d ->
+    (* Delta sources have no version counter; key the cache on the
+       delta BDD handle itself (stable within an iteration because the
+       caller's delta only changes between iterations), guarded by the
+       GC stamp since a collection can free the old delta and reuse its
+       handle for a different function. *)
     let handle = (d : Bdd.t :> int) in
     let gcs = Bdd.gc_count man in
     let ch, cgc, cb = !(prep.p_cache_delta) in
@@ -408,8 +452,7 @@ let prepare t prep ~delta =
       prep.p_cache_delta := (handle, gcs, b);
       b
     end
-  end
-  else begin
+  | None ->
     let version = Relation.version prep.p_rel in
     let cached_version, cached = !(prep.p_cache_full) in
     if prep.p_hoist && cached_version = version then cached
@@ -418,7 +461,6 @@ let prepare t prep ~delta =
       prep.p_cache_full := (version, b);
       b
     end
-  end
 
 let eval_plan t plan ~delta_at =
   let man = Space.man t.sp in
@@ -426,11 +468,31 @@ let eval_plan t plan ~delta_at =
   let started = ref false in
   let i = ref 0 in
   let n = Array.length plan.steps in
+  (* Incremental runs only: the delta carried into an application is
+     typically tiny, so pre-constrain the pipeline with the prepared
+     delta operand from the very first step — the joins in front of the
+     delta position then stay delta-sized instead of full-sized.  This
+     is sound: the conjunct's variables are those of the atom at [pos],
+     whose last use is at or after [pos], so no earlier step's
+     [project_after] cube can quantify them away prematurely.  Cold
+     semi-naive rounds keep the planner's order untouched: their early
+     rounds carry near-full deltas, where this seed would hurt. *)
+  (match delta_at with
+  | Some (pos, d) when t.track_fresh && pos > 0 -> (
+    match plan.steps.(pos).kind with
+    | SJoin prep ->
+      current := prepare t prep ~delta:(Some d);
+      started := true
+    | SConstrain _ | SSubtract _ -> ())
+  | _ -> ());
   while !i < n && (not !started || !current <> Bdd.bdd_false) do
     let stp = plan.steps.(!i) in
     (match stp.kind with
     | SJoin prep ->
-      let g = prepare t prep ~delta:(delta_at = Some !i) in
+      let g =
+        prepare t prep
+          ~delta:(match delta_at with Some (pos, d) when pos = !i -> Some d | _ -> None)
+      in
       if !started then current := Bdd.relprod man ~cube:stp.project_after !current g
       else begin
         current := Bdd.exist man ~cube:stp.project_after g;
@@ -441,7 +503,7 @@ let eval_plan t plan ~delta_at =
       current := Bdd.exist man ~cube:stp.project_after !current;
       started := true
     | SSubtract prep ->
-      let g = prepare t prep ~delta:false in
+      let g = prepare t prep ~delta:None in
       current := Bdd.mk_diff man !current g;
       current := Bdd.exist man ~cube:stp.project_after !current;
       started := true);
@@ -491,6 +553,11 @@ let commit t plan result ~track_delta =
       let p = Hashtbl.find t.pendings (Relation.name head) in
       p := Bdd.mk_or man !p fresh
     end;
+    if t.track_fresh then begin
+      let name = Relation.name head in
+      let cur = Option.value (Hashtbl.find_opt t.incr_fresh name) ~default:Bdd.bdd_false in
+      Hashtbl.replace t.incr_fresh name (Bdd.mk_or man cur fresh)
+    end;
     true
   end
 
@@ -522,10 +589,76 @@ let collect_rule_stats t =
         (once @ loop))
     t.plans
 
+(* The delta BDD standard semi-naive evaluation feeds a recursive join
+   position: the position's own accumulator. *)
+let delta_source t plan pos =
+  match plan.steps.(pos).kind with
+  | SJoin prep -> !(Hashtbl.find t.deltas (Relation.name prep.p_rel))
+  | SConstrain _ | SSubtract _ -> fail "delta position %d is not a join" pos
+
+(* One fixpoint round over a stratum's loop rules; shared by [run] and
+   [run_incremental].  Returns whether anything committed. *)
+let loop_round t loop =
+  let changed = ref false in
+  List.iter
+    (fun plan ->
+      if plan.delta_positions <> [] then
+        List.iter
+          (fun pos ->
+            if apply t plan ~delta_at:(Some (pos, delta_source t plan pos)) ~track_delta:true then changed := true;
+            maybe_gc t)
+          plan.delta_positions
+      else begin
+        if apply t plan ~delta_at:None ~track_delta:true then changed := true;
+        maybe_gc t
+      end)
+    loop;
+  !changed
+
+(* Rotate each pending accumulator into its delta for the next round;
+   returns whether any delta is non-empty. *)
+let rotate_pendings t (st : Stratify.stratum) =
+  let any = ref false in
+  List.iter
+    (fun p ->
+      let d = Hashtbl.find t.deltas p and pe = Hashtbl.find t.pendings p in
+      d := !pe;
+      pe := Bdd.bdd_false;
+      if !d <> Bdd.bdd_false then any := true)
+    st.Stratify.preds;
+  !any
+
+let check_iteration_budget t iterations =
+  t.cur_iterations <- iterations;
+  match t.budget with
+  | None -> ()
+  | Some b -> (
+    match Budget.check_iterations b ~iterations with
+    | Some reason -> raise (Bdd.Limit_exceeded reason)
+    | None -> ())
+
+let make_stats t ~t0 ~iterations =
+  let man = Space.man t.sp in
+  let s =
+    {
+      rule_applications = t.rule_apps;
+      iterations;
+      strata = List.length t.strata;
+      peak_live_nodes = Bdd.peak_live_nodes man;
+      solve_seconds = Unix.gettimeofday () -. t0;
+      gcs = Bdd.gc_count man;
+      op_cache = Bdd.cache_stats_by_class man;
+      rule_stats = collect_rule_stats t;
+    }
+  in
+  t.stats <- Some s;
+  s
+
 let run t =
   let t0 = Unix.gettimeofday () in
-  let man = Space.man t.sp in
   t.cur_iterations <- 0;
+  t.track_fresh <- false;
+  Hashtbl.reset t.incr_fresh;
   (* A previous run may have been aborted mid-round, leaving tuples in
      the pending accumulators.  Relations themselves are monotone (every
      commit unions into the head), so clearing the pendings and
@@ -550,59 +683,111 @@ let run t =
         let continue = ref true in
         while !continue do
           incr iterations;
-          t.cur_iterations <- !iterations;
-          (match t.budget with
-          | None -> ()
-          | Some b -> (
-            match Budget.check_iterations b ~iterations:!iterations with
-            | Some reason -> raise (Bdd.Limit_exceeded reason)
-            | None -> ()));
-          let changed = ref false in
-          List.iter
-            (fun plan ->
-              if plan.delta_positions <> [] then
-                List.iter
-                  (fun pos ->
-                    if apply t plan ~delta_at:(Some pos) ~track_delta:true then changed := true;
-                    maybe_gc t)
-                  plan.delta_positions
-              else begin
-                if apply t plan ~delta_at:None ~track_delta:true then changed := true;
-                maybe_gc t
-              end)
-            loop;
-          if t.opts.semi_naive then begin
-            let any = ref false in
-            List.iter
-              (fun p ->
-                let d = Hashtbl.find t.deltas p and pe = Hashtbl.find t.pendings p in
-                d := !pe;
-                pe := Bdd.bdd_false;
-                if !d <> Bdd.bdd_false then any := true)
-              st.Stratify.preds;
-            continue := !any
-          end
-          else continue := !changed
+          check_iteration_budget t !iterations;
+          let changed = loop_round t loop in
+          if t.opts.semi_naive then continue := rotate_pendings t st else continue := changed
         done
       end)
     t.strata t.plans;
-  let s =
-    {
-      rule_applications = t.rule_apps;
-      iterations = !iterations;
-      strata = List.length t.strata;
-      peak_live_nodes = Bdd.peak_live_nodes man;
-      solve_seconds = Unix.gettimeofday () -. t0;
-      gcs = Bdd.gc_count man;
-      op_cache = Bdd.cache_stats_by_class man;
-      rule_stats = collect_rule_stats t;
-    }
-  in
-  t.stats <- Some s;
-  s
+  make_stats t ~t0 ~iterations:!iterations
 
-let solve t =
-  match run t with
+(* --- Incremental fixpoint --- *)
+
+(* The SJoin positions of [plan] whose source relation gained tuples
+   this run, paired with those fresh tuples.  [skip_delta] excludes the
+   recursive positions (they are fed by the delta accumulators, not a
+   one-shot pass). *)
+let fresh_positions t plan ~skip_delta =
+  let acc = ref [] in
+  Array.iteri
+    (fun i stp ->
+      match stp.kind with
+      | SJoin prep ->
+        if not (skip_delta && List.mem i plan.delta_positions) then (
+          match Hashtbl.find_opt t.incr_fresh (Relation.name prep.p_rel) with
+          | Some f when f <> Bdd.bdd_false -> acc := (i, f) :: !acc
+          | Some _ | None -> ())
+      | SConstrain _ | SSubtract _ -> ())
+    plan.steps;
+  List.rev !acc
+
+let run_incremental t ~changed =
+  if not t.opts.semi_naive then run t
+  else begin
+    let t0 = Unix.gettimeofday () in
+    t.cur_iterations <- 0;
+    Hashtbl.iter (fun _ pe -> pe := Bdd.bdd_false) t.pendings;
+    Hashtbl.reset t.incr_fresh;
+    t.track_fresh <- true;
+    List.iter (fun (name, added) -> if added <> Bdd.bdd_false then Hashtbl.replace t.incr_fresh name added) changed;
+    let iterations = ref 0 in
+    Fun.protect
+      ~finally:(fun () -> t.track_fresh <- false)
+      (fun () ->
+        List.iter2
+          (fun (st : Stratify.stratum) (once, loop) ->
+            (* Once rules: re-evaluate only at body positions whose
+               source gained tuples, against the fresh part alone.  A
+               rule with multiple changed positions runs once per
+               position — each pass holds the others at their full (new)
+               value, so together they cover every new combination.
+               Unchanged rules cost nothing. *)
+            List.iter
+              (fun plan ->
+                let track = Hashtbl.mem t.pendings (Relation.name plan.head.h_rel) in
+                List.iter
+                  (fun (i, f) ->
+                    ignore (apply t plan ~delta_at:(Some (i, f)) ~track_delta:track);
+                    maybe_gc t)
+                  (fresh_positions t plan ~skip_delta:false))
+              once;
+            if loop <> [] then begin
+              (* Pre-pass: changed non-recursive body atoms feed the
+                 loop rules once, at their fresh part only. *)
+              List.iter
+                (fun plan ->
+                  List.iter
+                    (fun (i, f) ->
+                      ignore (apply t plan ~delta_at:(Some (i, f)) ~track_delta:true);
+                      maybe_gc t)
+                    (fresh_positions t plan ~skip_delta:true))
+                loop;
+              (* Seed the recursive deltas with only the tuples that are
+                 new this run — external input deltas plus everything the
+                 once rules and pre-pass just committed — instead of the
+                 full relations.  This is the incremental saving: an
+                 unchanged SCC converges in one empty round. *)
+              let any = ref false in
+              List.iter
+                (fun p ->
+                  let d = Hashtbl.find t.deltas p and pe = Hashtbl.find t.pendings p in
+                  d := Option.value (Hashtbl.find_opt t.incr_fresh p) ~default:Bdd.bdd_false;
+                  pe := Bdd.bdd_false;
+                  if !d <> Bdd.bdd_false then any := true)
+                st.Stratify.preds;
+              (* Rounds run the recursive plans only.  A loop plan with
+                 no delta position has a body free of same-stratum atoms
+                 (positive atoms always compile to joins, and only
+                 same-stratum joins are marked as delta positions), so
+                 its inputs cannot change during the loop: the pre-pass
+                 above already produced everything it can contribute,
+                 and re-applying it full-size every round — as the cold
+                 solver must — is pure waste here. *)
+              let recursive = List.filter (fun plan -> plan.delta_positions <> []) loop in
+              let continue = ref !any in
+              while !continue do
+                incr iterations;
+                check_iteration_budget t !iterations;
+                ignore (loop_round t recursive);
+                continue := rotate_pendings t st
+              done
+            end)
+          t.strata t.plans);
+    make_stats t ~t0 ~iterations:!iterations
+  end
+
+let structured t f =
+  match f () with
   | s -> Ok s
   | exception Bdd.Limit_exceeded reason ->
     Error
@@ -613,6 +798,9 @@ let solve t =
            live_nodes = Bdd.live_nodes (Space.man t.sp);
          })
   | exception Engine_error msg -> Error (Solver_error.Internal msg)
+
+let solve t = structured t (fun () -> run t)
+let solve_incremental t ~changed = structured t (fun () -> run_incremental t ~changed)
 
 let last_stats t = t.stats
 

@@ -119,6 +119,22 @@ val exported_relations : t -> Relation.t list
     order, excluding internal working relations.  This is the set a
     persistent results store ({!Bddrel.Store}) saves after a solve. *)
 
+val declared_relations : t -> Relation.t list
+(** Every declared relation, internals included, in declaration order.
+    An update-capable store saves these: an incremental re-solve needs
+    the previous run's internal working relations (e.g. [assign]) as
+    its starting point, not just the interface. *)
+
+val input_relations : t -> Relation.t list
+(** The declared [Input] relations, in declaration order — the set an
+    incremental driver diffs against a previous run's stored values. *)
+
+val negated_relations : t -> string list
+(** Names of relations some optimized plan reads under negation
+    (subtracts).  Additions to these can {e retract} derived facts, so
+    {!run_incremental}'s additions-only re-seeding is unsound when any
+    of them changed: the driver must fall back to a cold solve. *)
+
 val ir_plans : t -> (Ralg.plan list * Ralg.plan list) list
 (** The optimized query plans this engine executes, per stratum as
     (once, loop) — the exact IR also accepted by
@@ -137,12 +153,39 @@ val run : t -> stats
     exact fixpoint.  Raises {!Bdd.Limit_exceeded} when the installed
     budget is violated. *)
 
+val run_incremental : t -> changed:(string * Bdd.t) list -> stats
+(** Incremental re-solve after additions to already-solved relations.
+
+    Precondition: every relation holds a {e sound under-approximation}
+    of the new fixpoint that is complete except for consequences of
+    [changed] — typically the previous run's fixpoint with the new
+    input tuples unioned in.  [changed] lists, per modified relation,
+    the BDD of tuples {e added} relative to that previous state
+    (removals are not supported here: with a removal the old fixpoint
+    is no longer an under-approximation, and the driver must cold-solve
+    — see {!negated_relations} for the other unsoundness gate).
+
+    Instead of evaluating every rule against full relations, each rule
+    re-runs only at body positions whose source actually gained tuples,
+    joining against the fresh tuples alone, and recursive strata seed
+    their semi-naive deltas with just the accumulated fresh set — so an
+    update that touches nothing converges in one empty pass per
+    stratum, and a small edit costs time proportional to what it
+    dirties.  Produces the exact fixpoint of the monotone program on
+    the new inputs (identical to a cold {!run}).  Falls back to a full
+    {!run} when [semi_naive] is off.  Raises {!Bdd.Limit_exceeded} on
+    budget violation, like {!run}. *)
+
 val solve : t -> (stats, Solver_error.t) result
 (** {!run} with structured errors instead of exceptions:
     [Error (Budget_exhausted _)] when the budget is violated (carrying
     the reason, fixpoint rounds completed, and live node count at
     abort), [Error (Internal _)] for {!Engine_error}.  Other exceptions
     propagate. *)
+
+val solve_incremental : t -> changed:(string * Bdd.t) list -> (stats, Solver_error.t) result
+(** {!run_incremental} with the same structured-error wrapping as
+    {!solve}. *)
 
 val set_budget : t -> Budget.t option -> unit
 (** Replace (or clear, with [None]) the budget installed at creation,

@@ -4,7 +4,7 @@ type t = {
   relations : (string * int list list) list;
 }
 
-let global_heap t = Ir.num_heaps t.program
+let global_heap t = Ir.global_heap t.program
 
 let dom_size t name =
   let rec go = function
@@ -48,7 +48,11 @@ let extract ?(local_opt = true) (p : Ir.t) =
       names := n :: !names;
       i
   in
-  Ir.iter_methods p (fun m -> ignore (intern_name m.Ir.m_name));
+  (* Names are interned in one pass over the methods in id order —
+     each method's own name, then the names its body dispatches on
+     (which may include built-ins like Thread.start that no method
+     declares).  First occurrence decides the index, so append-only
+     program edits can only append names, never shift existing ones. *)
   (* Relations accumulated as reversed lists. *)
   let vP0 = ref [] in
   let copy_assign = ref [] in
@@ -66,11 +70,14 @@ let extract ?(local_opt = true) (p : Ir.t) =
   let hrun = ref [] in
   let max_arity = ref 1 in
   let global = Ir.global_var p in
-  let global_h = Ir.num_heaps p in
+  let global_h = Ir.global_heap p in
   let vP0g = [ [ global; global_h ] ] in
-  (* One synthetic exception variable per method, appended after the
-     program's variables: the paper's V includes thrown exceptions. *)
-  let exc_var m = Ir.num_vars p + m in
+  (* The per-method exception variable (the paper's V includes thrown
+     exceptions) is a real program var ([m_exc]), so its id — like
+     every other element id here — is stable under append-only program
+     edits, which is what lets an incremental update diff as pure
+     additions. *)
+  let exc_var m = (Ir.meth p m).Ir.m_exc in
   let bind_actuals site receiver args =
     let zs =
       match receiver with
@@ -81,6 +88,7 @@ let extract ?(local_opt = true) (p : Ir.t) =
     max_arity := max !max_arity (List.length zs)
   in
   Ir.iter_methods p (fun m ->
+      ignore (intern_name m.Ir.m_name);
       List.iteri (fun z v -> formal := [ m.Ir.m_id; z; v ] :: !formal) m.Ir.m_formals;
       max_arity := max !max_arity (List.length m.Ir.m_formals);
       List.iter (fun v -> mv := [ m.Ir.m_id; v ] :: !mv) (m.Ir.m_formals @ m.Ir.m_locals);
@@ -127,13 +135,13 @@ let extract ?(local_opt = true) (p : Ir.t) =
   let vt = ref [] in
   Ir.iter_vars p (fun v -> vt := [ v.Ir.v_id; v.Ir.v_type ] :: !vt);
   let mthr = ref [] in
+  (* [iter_vars] above already typed every exc var (they are real
+     vars); here they only need their method bindings. *)
   Ir.iter_methods p (fun m ->
-      vt := [ exc_var m.Ir.m_id; Ir.object_class p ] :: !vt;
-      mv := [ m.Ir.m_id; exc_var m.Ir.m_id ] :: !mv;
-      mthr := [ m.Ir.m_id; exc_var m.Ir.m_id ] :: !mthr);
+      mv := [ m.Ir.m_id; m.Ir.m_exc ] :: !mv;
+      mthr := [ m.Ir.m_id; m.Ir.m_exc ] :: !mthr);
   let ht = ref [] in
   Ir.iter_heaps p (fun h -> ht := [ h.Ir.h_id; h.Ir.h_cls ] :: !ht);
-  ht := [ global_h; Ir.object_class p ] :: !ht;
   let at = List.map (fun (a, b) -> [ a; b ]) (Hier.aT_tuples p) in
   let cha = List.map (fun (c, n, m) -> [ c; intern_name n; m ]) (Hier.cha_tuples p) in
   let cha_thread = List.map (fun (c, n, m) -> [ c; intern_name n; m ]) (Hier.thread_dispatch_tuples p) in
@@ -141,23 +149,17 @@ let extract ?(local_opt = true) (p : Ir.t) =
   let mcls = ref [] in
   Ir.iter_methods p (fun m -> mcls := [ m.Ir.m_id; m.Ir.m_owner ] :: !mcls);
   (* Element name tables. *)
-  let n_all_vars = Ir.num_vars p + Ir.num_methods p in
+  let n_all_vars = Ir.num_vars p in
   let v_names =
     Array.init n_all_vars (fun i ->
-        if i < Ir.num_vars p then begin
-          let v = Ir.var p i in
-          match v.Ir.v_owner with
-          | Some m ->
-            let mm = Ir.meth p m in
-            Printf.sprintf "%s.%s.%s" (Ir.cls p mm.Ir.m_owner).Ir.cls_name mm.Ir.m_name v.Ir.v_name
-          | None -> v.Ir.v_name
-        end
-        else begin
-          let mm = Ir.meth p (i - Ir.num_vars p) in
-          Printf.sprintf "%s.%s.<exc>" (Ir.cls p mm.Ir.m_owner).Ir.cls_name mm.Ir.m_name
-        end)
+        let v = Ir.var p i in
+        match v.Ir.v_owner with
+        | Some m ->
+          let mm = Ir.meth p m in
+          Printf.sprintf "%s.%s.%s" (Ir.cls p mm.Ir.m_owner).Ir.cls_name mm.Ir.m_name v.Ir.v_name
+        | None -> v.Ir.v_name)
   in
-  let h_names = Array.init (Ir.num_heaps p + 1) (fun i -> if i = global_h then "<global>" else (Ir.heap p i).Ir.h_label) in
+  let h_names = Array.init (Ir.num_heaps p) (fun i -> (Ir.heap p i).Ir.h_label) in
   let f_names =
     Array.init (max 1 (Ir.num_fields p)) (fun i ->
         if i < Ir.num_fields p then begin
@@ -178,7 +180,7 @@ let extract ?(local_opt = true) (p : Ir.t) =
   let domains =
     [
       ("V", n_all_vars, v_names);
-      ("H", Ir.num_heaps p + 1, h_names);
+      ("H", Ir.num_heaps p, h_names);
       ("F", max 1 (Ir.num_fields p), f_names);
       ("T", Ir.num_classes p, t_names);
       ("I", max 1 (Ir.num_invokes p), i_names);

@@ -51,6 +51,7 @@ type jmethod = {
   m_static : bool;
   m_formals : var_id list;
   m_ret : class_id option;
+  m_exc : var_id;
   mutable m_locals : var_id list;
   mutable m_body : stmt list;
 }
@@ -131,12 +132,21 @@ let add_var t ~name ~ty ~owner =
 
 let add_method t ~name ~owner ~static ~formals ~ret =
   let id = t.methods.len in
-  let m = { m_id = id; m_name = name; m_owner = owner; m_static = static; m_formals = []; m_ret = ret; m_locals = []; m_body = [] } in
+  let m =
+    { m_id = id; m_name = name; m_owner = owner; m_static = static; m_formals = []; m_ret = ret; m_exc = -1; m_locals = []; m_body = [] }
+  in
   ignore (table_add t.methods m);
   let formals = if static then formals else ("this", owner) :: formals in
   let formal_ids = List.map (fun (n, ty) -> add_var t ~name:n ~ty ~owner:(Some id)) formals in
+  (* The method's exception variable (the paper's V includes thrown
+     exceptions) is a real var allocated here, at method-creation time:
+     its id is interleaved with the program's ids in construction
+     order, so append-only program edits never renumber it.  It is not
+     a local — the printer omits it and re-parsing re-creates it at
+     the same position. *)
+  let exc = add_var t ~name:"<exc>" ~ty:t.object_cls ~owner:(Some id) in
   let m = table_get t.methods id in
-  let m = { m with m_formals = formal_ids } in
+  let m = { m with m_formals = formal_ids; m_exc = exc } in
   t.methods.items.(id) <- m;
   let c = table_get t.classes owner in
   c.cls_methods <- c.cls_methods @ [ id ];
@@ -232,6 +242,11 @@ let create () =
   ignore (add_method t ~name:"<init>" ~owner:obj ~static:false ~formals:[] ~ret:None);
   (* The special global variable for static field access (§2.2). *)
   t.global <- add_var t ~name:"<global>" ~ty:obj ~owner:None;
+  (* The abstract heap node the global variable points at: heap 0,
+     allocated before any program heap so its id never moves as the
+     program grows (incremental re-analysis relies on append-only edits
+     keeping existing element ids stable). *)
+  ignore (table_add t.heaps { h_id = 0; h_cls = obj; h_method = 0; h_label = "<global>" });
   let thread = add_class t ~name:"Thread" ~super:obj in
   t.thread_cls <- thread;
   ignore (add_method t ~name:"run" ~owner:thread ~static:false ~formals:[] ~ret:None);
@@ -245,6 +260,7 @@ let object_class t = t.object_cls
 let thread_class t = t.thread_cls
 let string_class t = t.string_cls
 let global_var t = t.global
+let global_heap (_ : t) : heap_id = 0
 let array_field t = t.array_fld
 
 let add_local t m ~name ~ty =

@@ -82,6 +82,11 @@ type jmethod = {
   m_static : bool;
   m_formals : var_id list;  (** receiver first for instance methods *)
   m_ret : class_id option;
+  m_exc : var_id;
+      (** the method's exception variable (thrown/caught values flow
+          through it); a real var allocated at method-creation time so
+          its id stays stable under append-only program edits.  Not a
+          member of [m_locals]; the printer omits it. *)
   mutable m_locals : var_id list;
   mutable m_body : stmt list;
 }
@@ -94,8 +99,9 @@ type t
 
 val create : unit -> t
 (** A fresh program containing the built-in classes [Object] (id 0),
-    [Thread], and [String], each with an implicit empty [<init>], and
-    the special global variable (id 0) used for static field access. *)
+    [Thread], and [String], each with an implicit empty [<init>], the
+    special global variable (id 0) used for static field access, and
+    the abstract global heap node (heap id 0) it points at. *)
 
 (** {2 Built-ins} *)
 
@@ -103,6 +109,9 @@ val object_class : t -> class_id
 val thread_class : t -> class_id
 val string_class : t -> class_id
 val global_var : t -> var_id
+
+val global_heap : t -> heap_id
+(** The abstract heap node for the global object; always heap 0. *)
 
 val array_field : t -> field_id
 (** The special field descriptor denoting an array element access

@@ -442,30 +442,60 @@ let elaborate (sp : s_program) =
           Ir.add_class p ~impls ~name ~super
         end)
   in
-  List.iter (fun sc -> ignore (ensure_class sc.sc_name ~line:sc.sc_line ~seen:[])) sp.s_classes;
   let class_of name line =
     match Ir.find_class p name with
     | Some c -> c
     | None -> fail line "unknown class %s" name
   in
-  (* Declare fields and method signatures. *)
+  (* Create each class and declare its fields and method signatures in
+     one declaration-order pass.  Interleaving matters: [Ir.add_class]
+     mints the implicit <init> (and its [this] variable), so a separate
+     create-all-classes pass would group every <init> id before every
+     declared method id — and then appending one class to a file would
+     shift the ids of all existing methods.  Keeping each class's
+     members contiguous makes element ids stable under append, which is
+     what lets `ptacli update` diff a re-parsed edited program against
+     stored facts.  Member types may name classes declared later in the
+     file; [ensure_class] pulls those (and supers) into existence on
+     demand, so creation order is still deterministic in the file
+     prefix. *)
   List.iter
     (fun sc ->
+      ignore (ensure_class sc.sc_name ~line:sc.sc_line ~seen:[]);
       let c = class_of sc.sc_name sc.sc_line in
-      List.iter (fun (n, ty, static) -> ignore (Ir.add_field p ~name:n ~owner:c ~ty:(class_of ty sc.sc_line) ~static)) sc.sc_fields;
+      let type_of name line = ensure_class name ~line ~seen:[] in
+      List.iter (fun (n, ty, static) -> ignore (Ir.add_field p ~name:n ~owner:c ~ty:(type_of ty sc.sc_line) ~static)) sc.sc_fields;
       List.iter
         (fun sm ->
-          let formals = List.map (fun (n, ty) -> (n, class_of ty sm.sm_line)) sm.sm_formals in
-          if sm.sm_name = "<init>" then begin
-            if sm.sm_static then fail sm.sm_line "<init> may not be static";
-            ignore (Ir.redeclare_init p c ~formals)
-          end
-          else begin
-            if Ir.find_method p c sm.sm_name <> None then
-              fail sm.sm_line "duplicate method %s in %s" sm.sm_name sc.sc_name;
-            let ret = if sm.sm_ret = "void" then None else Some (class_of sm.sm_ret sm.sm_line) in
-            ignore (Ir.add_method p ~name:sm.sm_name ~owner:c ~static:sm.sm_static ~formals ~ret)
-          end)
+          let formals = List.map (fun (n, ty) -> (n, type_of ty sm.sm_line)) sm.sm_formals in
+          let m =
+            if sm.sm_name = "<init>" then begin
+              if sm.sm_static then fail sm.sm_line "<init> may not be static";
+              Ir.redeclare_init p c ~formals
+            end
+            else begin
+              if Ir.find_method p c sm.sm_name <> None then
+                fail sm.sm_line "duplicate method %s in %s" sm.sm_name sc.sc_name;
+              let ret = if sm.sm_ret = "void" then None else Some (type_of sm.sm_ret sm.sm_line) in
+              Ir.add_method p ~name:sm.sm_name ~owner:c ~static:sm.sm_static ~formals ~ret
+            end
+          in
+          (* Mint the body's declared locals here too — the same
+             contiguity argument as for methods applies to variable
+             ids.  (A local is thereby in scope for the whole body,
+             not just after its `var` line; references ahead of the
+             declaration elaborate instead of failing.) *)
+          let names = Hashtbl.create 8 in
+          List.iter (fun v -> Hashtbl.replace names (Ir.var p v).Ir.v_name ()) (Ir.meth p m).Ir.m_formals;
+          List.iter
+            (fun (s, ln) ->
+              match s with
+              | S_var (name, ty) ->
+                if Hashtbl.mem names name then fail ln "duplicate variable %s" name;
+                Hashtbl.add names name ();
+                ignore (Ir.add_local p m ~name ~ty:(type_of ty ln))
+              | _ -> ())
+            sm.sm_body)
         sc.sc_methods)
     sp.s_classes;
   (* Elaborate bodies. *)
@@ -481,7 +511,7 @@ let elaborate (sp : s_program) =
           in
           let mm = Ir.meth p m in
           let env : (string, Ir.var_id) Hashtbl.t = Hashtbl.create 8 in
-          List.iter (fun v -> Hashtbl.replace env (Ir.var p v).Ir.v_name v) mm.Ir.m_formals;
+          List.iter (fun v -> Hashtbl.replace env (Ir.var p v).Ir.v_name v) (mm.Ir.m_formals @ mm.Ir.m_locals);
           let var_of name line =
             match Hashtbl.find_opt env name with
             | Some v -> v
@@ -510,9 +540,7 @@ let elaborate (sp : s_program) =
           List.iter
             (fun (s, ln) ->
               match s with
-              | S_var (name, ty) ->
-                if Hashtbl.mem env name then fail ln "duplicate variable %s" name;
-                Hashtbl.replace env name (Ir.add_local p m ~name ~ty:(class_of ty ln))
+              | S_var _ -> () (* minted in the declaration pass above *)
               | S_assign (dst, src) -> Ir.emit_assign p m ~dst:(var_of dst ln) ~src:(var_of src ln)
               | S_new { dst; cls; args; label } ->
                 ignore

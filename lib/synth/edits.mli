@@ -1,0 +1,36 @@
+(** Scripted program edits, for exercising incremental re-analysis.
+
+    Each edit mutates a {!Jir.Ir.t} in place the way a developer commit
+    would, in one of three deliberately different shapes:
+
+    - [add-method]: appends a self-contained class + entry method
+      (allocation, copy, virtual call).  All new entity ids land past
+      the existing ones, so the extracted relations diff as {e pure
+      additions} — the shape [ptacli update] re-solves incrementally.
+    - [add-alloc]: appends an allocation + copy into an existing
+      method body.  Still additive at the IR level, but local-copy
+      factoring may re-shape that method's extracted tuples, so the
+      update may legitimately fall back to a cold solve.
+    - [remove-alloc]: deletes one allocation — a guaranteed retraction
+      (the heap site's seed tuple is unique and survives local copy
+      factoring), forcing the "any removal ⇒ cold" policy rung.
+
+    Specs are spelled [<name>] or [<name>:<seed>] (e.g.
+    [add-method:7]); the seed drives the deterministic choice of which
+    class/method/statement to touch, so an edit script is reproducible
+    bit-for-bit. *)
+
+type kind = Add_method | Add_alloc | Remove_alloc
+
+type spec = { kind : kind; seed : int }
+
+val names : string list
+(** The accepted edit names, for CLI help. *)
+
+val parse : string -> (spec, string) result
+(** Parse [<name>] or [<name>:<seed>] (seed defaults to 0). *)
+
+val apply : Jir.Ir.t -> spec -> string
+(** Apply the edit in place; returns a one-line description of what
+    was changed (or that nothing applied, on a program without a
+    suitable edit site).  Deterministic in (program, spec). *)

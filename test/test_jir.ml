@@ -61,7 +61,8 @@ let test_parse_counts () =
   let p = parse () in
   (* Object, Thread, String + A, B, Main. *)
   Alcotest.(check int) "classes" 6 (Ir.num_classes p);
-  Alcotest.(check int) "heaps" 5 (Ir.num_heaps p);
+  (* The 5 program allocations, plus the built-in global heap (id 0). *)
+  Alcotest.(check int) "heaps" 6 (Ir.num_heaps p);
   Alcotest.(check bool) "A exists" true (Ir.find_class p "A" <> None);
   Alcotest.(check int) "entries" 1 (List.length (Ir.entries p));
   (* 5 allocs = 5 init sites, plus 4 calls (set x2, get x2). *)
@@ -220,14 +221,16 @@ let test_factgen_tuples () =
 let test_factgen_domains () =
   let p = parse () in
   let fg = Factgen.extract ~local_opt:false p in
-  (* V includes one synthetic exception variable per method. *)
-  Alcotest.(check int) "V size" (Ir.num_vars p + Ir.num_methods p) (Factgen.dom_size fg "V");
-  Alcotest.(check int) "H size" (Ir.num_heaps p + 1) (Factgen.dom_size fg "H");
+  (* V already includes one exception variable per method (real vars
+     allocated at method creation), H the built-in global heap. *)
+  Alcotest.(check int) "V size" (Ir.num_vars p) (Factgen.dom_size fg "V");
+  Alcotest.(check bool) "V has an exc var per method" true (Ir.num_vars p > Ir.num_methods p);
+  Alcotest.(check int) "H size" (Ir.num_heaps p) (Factgen.dom_size fg "H");
   Alcotest.(check int) "T size" (Ir.num_classes p) (Factgen.dom_size fg "T");
   (* Element names resolve. *)
   let h_names = Option.get (Factgen.element_names fg "H") in
   Alcotest.(check bool) "A1 label present" true (Array.exists (fun n -> n = "A1") h_names);
-  Alcotest.(check string) "global is last" "<global>" h_names.(Array.length h_names - 1)
+  Alcotest.(check string) "global heap is element 0" "<global>" h_names.(0)
 
 let test_redeclare_init () =
   let src =
