@@ -66,10 +66,35 @@ let budget_term =
   in
   Term.(const make $ max_nodes $ max_allocs $ timeout $ max_iters)
 
-let options_of_budget budget =
-  match budget with
-  | None -> Datalog.Engine.default_options
-  | Some _ -> { Datalog.Engine.default_options with Datalog.Engine.budget }
+let options_of_budget ?(mem = (None, None)) budget =
+  let page_bits, mem_cap_mib = mem in
+  {
+    Datalog.Engine.default_options with
+    Datalog.Engine.budget;
+    page_bits;
+    mem_cap_bytes = Option.map (fun mib -> mib * 1024 * 1024) mem_cap_mib;
+  }
+
+(* --- node-arena paging knobs --- *)
+
+let mem_term =
+  let page_bits =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "page-bits" ] ~docv:"B"
+          ~doc:"Node-arena page size: $(docv) node slots per page as a power of two (default 12 = 4096 slots).")
+  in
+  let mem_cap =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "mem-cap" ] ~docv:"MIB"
+          ~doc:
+            "Cap resident BDD node pages at $(docv) MiB.  Past the cap, cold pages spill to a scratch file and \
+             fault back in on demand; answers are bit-identical to an uncapped run.")
+  in
+  Term.(const (fun p c -> (p, c)) $ page_bits $ mem_cap)
 
 (* Turn a structured solver error into the process exit protocol (the
    top-level handler prints it and maps it to an exit code). *)
@@ -163,7 +188,8 @@ let print_stats (s : Datalog.Engine.stats) =
   Printf.printf "strata            %d\n" s.Datalog.Engine.strata;
   Printf.printf "peak BDD nodes    %d\n" s.Datalog.Engine.peak_live_nodes
 
-(* --stats: the per-op-class BDD cache counters and GC totals. *)
+(* --stats: the per-op-class BDD cache counters, GC totals, and the
+   node arena's pager counters. *)
 let print_extended_stats (s : Datalog.Engine.stats) =
   Printf.printf "GC runs           %d\n" s.Datalog.Engine.gcs;
   Printf.printf "op cache hit rate %.1f%%\n" (100.0 *. Datalog.Engine.cache_hit_rate s);
@@ -172,7 +198,17 @@ let print_extended_stats (s : Datalog.Engine.stats) =
     (fun (name, h, m) ->
       if h + m > 0 then
         Printf.printf "  %-15s %10d %12d %7.1f%%\n" name h m (100.0 *. float_of_int h /. float_of_int (h + m)))
-    s.Datalog.Engine.op_cache
+    s.Datalog.Engine.op_cache;
+  let a = s.Datalog.Engine.arena in
+  Printf.printf "node table bytes  %d\n" a.Bdd.table_bytes;
+  Printf.printf "arena pages       %d total, %d resident (peak %d), %d pinned (page bits %d)\n" a.Bdd.pages_total
+    a.Bdd.pages_resident a.Bdd.peak_pages_resident a.Bdd.pages_pinned a.Bdd.page_bits;
+  if a.Bdd.evictions > 0 || a.Bdd.fault_ins > 0 then
+    Printf.printf "arena paging      %d evictions, %d fault-ins, %d spill writes, %d spill reads\n" a.Bdd.evictions
+      a.Bdd.fault_ins a.Bdd.spill_writes a.Bdd.spill_reads;
+  match Meminfo.peak_rss_kb () with
+  | Some kb -> Printf.printf "peak RSS          %d KiB\n" kb
+  | None -> ()
 
 let stats_flag =
   Arg.(value & flag & info [ "stats" ] ~doc:"Also print GC count and per-operation BDD cache hit rates.")
@@ -216,10 +252,10 @@ let algo_tag = function
   | Steens -> "steensgaard"
 
 let analyze_cmd =
-  let run path algo dump stats budget fallback save_store_dir =
+  let run path algo dump stats budget mem fallback save_store_dir =
     let p = or_die (read_program path) in
     let fg = Factgen.extract p in
-    let options = options_of_budget budget in
+    let options = options_of_budget ~mem budget in
     (match (save_store_dir, algo) with
     | Some _, (Handcoded | Steens) ->
       prerr_endline "ptacli: --save-store needs an engine-backed algorithm (not handcoded/steensgaard)";
@@ -337,7 +373,7 @@ let analyze_cmd =
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Run one of the paper's analyses.")
-    Term.(const run $ program_arg $ algo $ dump $ stats_flag $ budget_term $ fallback $ save_store_dir)
+    Term.(const run $ program_arg $ algo $ dump $ stats_flag $ budget_term $ mem_term $ fallback $ save_store_dir)
 
 (* --- query --- *)
 
@@ -570,8 +606,8 @@ let basic_of_tag = function
   | _ -> None
 
 let update_cmd =
-  let run path dir budget stats watch poll_interval compact_every =
-    let options = options_of_budget budget in
+  let run path dir budget mem stats watch poll_interval compact_every =
+    let options = options_of_budget ~mem budget in
     (* One update cycle: compare the program against the chain tip,
        re-solve by the cheapest sound route (Pta.Incr), and commit the
        result as a delta layer (incremental/unchanged) or a fresh base
@@ -710,7 +746,7 @@ let update_cmd =
           or negation fall back to a cold solve and a fresh base (sound by construction, never wrong).  \
           $(b,--watch) turns this into a long-running writer for an evolving codebase.")
     Term.(
-      const run $ program_arg $ store_dir $ budget_term $ stats_flag $ watch $ poll_interval $ compact_every)
+      const run $ program_arg $ store_dir $ budget_term $ mem_term $ stats_flag $ watch $ poll_interval $ compact_every)
 
 (* --- serve ---
 

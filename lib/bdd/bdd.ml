@@ -1,12 +1,18 @@
 (* Hash-consed OBDD manager.
 
-   Nodes are packed stride-4 records [var; low; high; next] in a single
-   int array indexed by handle * 4; slots 0 and 1 are the terminals.
-   The packing keeps a node's fields on one cache line — the kernels
-   are memory-latency bound on large working sets.  The unique table is
-   a chained hash whose bucket array always has one entry per node slot
-   (load factor <= 1).  Freed slots are threaded through [next] as a
-   free list and marked with [var = -1].
+   Nodes are packed stride-4 records [var; low; high; next]; slot 0 and
+   1 are the terminals.  The packing keeps a node's fields on one cache
+   line — the kernels are memory-latency bound on large working sets.
+   Storage is a {!Node_arena}: fixed-size pages of packed records
+   behind a pinning buffer pool.  Slot [n] lives on page
+   [n lsr page_bits] at record [n land page_mask]; an uncapped arena
+   keeps every page resident forever, so the accessor is one extra
+   indirection over the old flat array, while a byte-capped arena
+   spills cold pages to a CRC'd scratch file and faults them back in
+   on access.  The unique table is a chained hash whose bucket array
+   tracks the arena capacity (load factor <= 1); chains are threaded
+   through [next].  Freed slots are threaded through [next] as a free
+   list and marked with [var = -1].
 
    The operation cache is a single direct-mapped array with stride-5
    entries [op; a; b; c; result]; all memoized operations share it,
@@ -17,17 +23,44 @@
 
    GC is mark-sweep from registered roots and is only ever invoked
    explicitly, so in-flight intermediate results cannot be collected.
-   The op cache survives collection: entries are swept individually and
-   only those whose operands or result died are invalidated (a freed
-   handle may be reused by a later [mk], so such entries would be
-   unsound to keep).  Marking uses a persistent byte buffer and an
-   explicit stack, both reused across collections, so GC does no
-   per-call allocation and cannot overflow the OCaml stack on deep
-   BDDs.  [support] and [node_count] likewise use an explicit stack
-   with a reusable visited-stamp array instead of per-call hash
-   tables. *)
+   Two collection modes exist per manager:
+
+   - [Sweep] (the default for {!create}) frees dead slots in place and
+     never renumbers, so raw handles held anywhere stay valid — the
+     historical behavior every existing client was written against.
+
+   - [Compact] (chosen by the solver layers) renumbers the survivors,
+     clustering them by variable level so that the recursive kernels —
+     which walk level by level — touch consecutive slots and therefore
+     consecutive pages.  Renumbering requires every retained handle to
+     be reachable through the remap protocol: [add_root] refs and
+     [add_root_list] lists are rewritten in place, and [on_remap]
+     hooks let layers with private handle storage rewrite themselves.
+     [add_root_fn] functions are marked but NOT remapped; under
+     [Compact] their handles must also be covered by a ref, list or
+     hook.  The op cache is rebuilt through the relocation map, so
+     warm entries survive compaction.
+
+   In both modes surviving cache entries are only those whose operands
+   and result are all live (a freed handle may be reused by a later
+   [mk], so other entries would be unsound to keep).  Marking uses a
+   persistent byte buffer and an explicit stack, both reused across
+   collections, so GC does no per-call allocation and cannot overflow
+   the OCaml stack on deep BDDs.  [support] and [node_count] likewise
+   use an explicit stack with a reusable visited-stamp array instead
+   of per-call hash tables.
+
+   Reads of node fields may hold a page array across recursive calls:
+   eviction detaches a page from the pool without mutating the array,
+   and a live node's [var]/[low]/[high] are immutable outside GC, so a
+   detached snapshot is always coherent for those fields.  Writers
+   never hold a page across a call that can fault. *)
+
+module A = Node_arena
 
 type t = int
+
+type gc_mode = Sweep | Compact
 
 type varmap = {
   map_id : int;
@@ -51,9 +84,10 @@ let n_classes = 9
 let class_names = [| "and"; "or"; "diff"; "apply-other"; "not"; "ite"; "exist"; "relprod"; "replace" |]
 
 type man = {
-  mutable nodes : int array;
-      (* packed stride-4 records [var; low; high; next]: one cache line
-         per node visit instead of one per parallel array *)
+  arena : A.t; (* paged node storage; slot n = page (n lsr pbits), record (n land pmask) *)
+  pbits : int; (* copies of the arena geometry, saving a load on the hot path *)
+  pmask : int;
+  mode : gc_mode;
   mutable buckets : int array; (* heads, -1 = empty *)
   mutable free_head : int;
   mutable num_slots : int; (* slots ever allocated, including freed *)
@@ -66,7 +100,9 @@ type man = {
   cache_m : int array; (* per-class misses *)
   mutable map_counter : int;
   mutable roots : t ref list;
+  mutable root_lists : t list ref list;
   mutable root_fns : (unit -> t list) list;
+  mutable remap_hooks : ((t -> t) -> unit) list;
   mutable gcs : int;
   mutable marks : Bytes.t; (* persistent GC mark buffer *)
   mutable stack : int array; (* persistent traversal stack (GC / support / node_count) *)
@@ -75,6 +111,14 @@ type man = {
   mutable stamp : int;
   mutable allocs : int; (* total fresh-node allocations, ever *)
   mutable budget : Budget.t option;
+  (* Compaction scratch, retained across collections like [marks]: the
+     previous cache array (swapped back in remapped), and the
+     relocation / destination-order tables.  Without these a compacting
+     GC allocates and frees ~10 MB per collection on a gantt-sized
+     table — major-heap churn the free-list sweep never pays. *)
+  mutable cache_scratch : int array;
+  mutable reloc_scratch : int array;
+  mutable order_scratch : int array;
 }
 
 exception Limit_exceeded of Budget.reason
@@ -91,6 +135,7 @@ let budget_check_interval = 4096
 let set_budget m b = m.budget <- b
 let budget m = m.budget
 let allocations m = m.allocs
+let gc_mode m = m.mode
 
 let bdd_false = 0
 let bdd_true = 1
@@ -100,20 +145,62 @@ let is_const n = n < 2
 let is_true n = n = 1
 let is_false n = n = 0
 
+(* --- Paged node access ---
+
+   The fast path is: two loads (spine, page), a physical-equality test
+   against the empty-page atom, and the indexed read.  [fault_page] is
+   the out-of-line slow path; on an uncapped arena it is unreachable
+   (every page stays resident).  The reference bit feeding clock
+   replacement is only maintained on capped arenas, keeping the common
+   uncapped manager free of the extra store. *)
+
+let[@inline never] fault_page m p = A.fault_in m.arena p
+
+let[@inline] node_page m n =
+  let a = m.arena in
+  let p = n lsr m.pbits in
+  let pg = a.A.pages.(p) in
+  if pg != A.empty_page then begin
+    if a.A.capped then Bytes.unsafe_set a.A.refbit p '\001';
+    pg
+  end
+  else fault_page m p
+
+(* Page fetch for writers: additionally marks the page dirty so the
+   eviction write barrier re-spills it.  Callers must finish their
+   writes before the next call that can fault. *)
+let[@inline] wr_page m n =
+  let a = m.arena in
+  let p = n lsr m.pbits in
+  let pg = a.A.pages.(p) in
+  let pg = if pg != A.empty_page then pg else fault_page m p in
+  if a.A.capped then begin
+    Bytes.unsafe_set a.A.refbit p '\001';
+    Bytes.unsafe_set a.A.dirty p '\001'
+  end;
+  pg
+
+let[@inline] nvar m n = (node_page m n).((n land m.pmask) * 4)
+let[@inline] nlow m n = (node_page m n).(((n land m.pmask) * 4) + 1)
+let[@inline] nhigh m n = (node_page m n).(((n land m.pmask) * 4) + 2)
+let[@inline] nnext m n = (node_page m n).(((n land m.pmask) * 4) + 3)
+
 let var m n =
   if is_const n then invalid_arg "Bdd.var: terminal";
-  m.nodes.(n * 4)
+  nvar m n
 
 let low m n =
   if is_const n then invalid_arg "Bdd.low: terminal";
-  m.nodes.((n * 4) + 1)
+  nlow m n
 
 let high m n =
   if is_const n then invalid_arg "Bdd.high: terminal";
-  m.nodes.((n * 4) + 2)
+  nhigh m n
 
-(* Level of a node with terminals at the bottom of the order. *)
-let level m n = if is_const n then terminal_var else m.nodes.(n * 4)
+(* Level of a node with terminals at the bottom of the order.  The
+   terminal slots hold [terminal_var], so the plain read is already
+   the level. *)
+let level m n = nvar m n
 
 let live_nodes m = m.num_slots - 2 - m.num_free
 let peak_live_nodes m = m.peak_live
@@ -139,15 +226,22 @@ let extend_vars m n = if n > m.nvars then m.nvars <- n
 
 let hash3 a b c = (a * 12582917) lxor (b * 4256249) lxor (c * 741457)
 
-let create ?(node_hint = 1 lsl 16) ?(cache_bits = 16) ~nvars () =
-  let cap =
-    let rec up c = if c >= node_hint then c else up (c * 2) in
+let create ?(node_hint = 1 lsl 16) ?(cache_bits = 16) ?page_bits ?max_bytes ?spill_path ?(gc_mode = Sweep) ~nvars () =
+  let arena = A.create ?page_bits ?max_bytes ?spill_path () in
+  let bcap =
+    (* Bucket count tracks the arena capacity (load factor <= 1), so
+       start at the larger of the hint and one page. *)
+    let want = max 1024 (max node_hint arena.A.slots_per_page) in
+    let rec up c = if c >= want then c else up (c * 2) in
     up 1024
   in
   let m =
     {
-      nodes = Array.make (cap * 4) (-1);
-      buckets = Array.make cap (-1);
+      arena;
+      pbits = arena.A.page_bits;
+      pmask = arena.A.page_mask;
+      mode = gc_mode;
+      buckets = Array.make bcap (-1);
       free_head = -1;
       num_slots = 2;
       num_free = 0;
@@ -159,7 +253,9 @@ let create ?(node_hint = 1 lsl 16) ?(cache_bits = 16) ~nvars () =
       cache_m = Array.make n_classes 0;
       map_counter = 0;
       roots = [];
+      root_lists = [];
       root_fns = [];
+      remap_hooks = [];
       gcs = 0;
       marks = Bytes.create 0;
       stack = Array.make 1024 0;
@@ -168,25 +264,91 @@ let create ?(node_hint = 1 lsl 16) ?(cache_bits = 16) ~nvars () =
       stamp = 0;
       allocs = 0;
       budget = None;
+      cache_scratch = [||];
+      reloc_scratch = [||];
+      order_scratch = [||];
     }
   in
+  let p0 = A.add_page arena in
+  A.set_tail arena p0;
+  (* The terminal page carries a permanent extra pin on top of any
+     tail pin, so the terminals can never be victims. *)
+  arena.A.pins.(0) <- arena.A.pins.(0) + 1;
   (* Terminals: self-looping pseudo-nodes never reached by recursion. *)
-  m.nodes.(0 * 4) <- terminal_var;
-  m.nodes.(1 * 4) <- terminal_var;
-  m.nodes.((0 * 4) + 1) <- 0;
-  m.nodes.((0 * 4) + 2) <- 0;
-  m.nodes.((1 * 4) + 1) <- 1;
-  m.nodes.((1 * 4) + 2) <- 1;
+  let pg = arena.A.pages.(0) in
+  pg.(0) <- terminal_var;
+  pg.(1) <- 0;
+  pg.(2) <- 0;
+  pg.(4) <- terminal_var;
+  pg.(5) <- 1;
+  pg.(6) <- 1;
   m
 
+let dispose m = A.dispose m.arena
+
+(* Total bytes of node-table storage: every arena page (resident or
+   spilled — spilled pages still count against a [Budget] byte limit,
+   which bounds the problem size, not the cache size) plus the bucket
+   array.  The op cache is excluded: it is bounded by
+   [max_cache_entries] regardless of problem size. *)
+let table_bytes m = A.total_bytes m.arena + (8 * Array.length m.buckets)
+
+type arena_stats = {
+  page_bits : int;
+  pages_total : int;
+  pages_resident : int;
+  pages_pinned : int;
+  peak_pages_resident : int;
+  evictions : int;
+  fault_ins : int;
+  spill_reads : int;
+  spill_writes : int;
+  table_bytes : int;
+  resident_bytes : int;
+}
+
+let arena_stats m =
+  let a = m.arena in
+  {
+    page_bits = a.A.page_bits;
+    pages_total = a.A.num_pages;
+    pages_resident = a.A.resident;
+    pages_pinned = A.pinned_pages a;
+    peak_pages_resident = a.A.peak_resident;
+    evictions = a.A.evictions;
+    fault_ins = a.A.fault_ins;
+    spill_reads = a.A.spill_reads;
+    spill_writes = a.A.spill_writes;
+    table_bytes = table_bytes m;
+    resident_bytes = A.resident_bytes a;
+  }
+
+(* Rebuild every bucket chain.  Page-wise so each page is faulted at
+   most once; the chains are threaded through [next], so the whole
+   arena is rewritten and every touched page goes dirty. *)
 let rehash m =
   Array.fill m.buckets 0 (Array.length m.buckets) (-1);
   let mask = Array.length m.buckets - 1 in
-  for n = 2 to m.num_slots - 1 do
-    if m.nodes.(n * 4) >= 0 then begin
-      let b = hash3 m.nodes.(n * 4) m.nodes.((n * 4) + 1) m.nodes.((n * 4) + 2) land mask in
-      m.nodes.((n * 4) + 3) <- m.buckets.(b);
-      m.buckets.(b) <- n
+  let a = m.arena in
+  let spp = a.A.slots_per_page in
+  for p = 0 to a.A.num_pages - 1 do
+    let base = p * spp in
+    let lo = if p = 0 then 2 else 0 in
+    let hi = min spp (m.num_slots - base) in
+    if hi > lo then begin
+      let pg = A.fault_in a p in
+      if a.A.capped then begin
+        Bytes.set a.A.refbit p '\001';
+        Bytes.set a.A.dirty p '\001'
+      end;
+      for s = lo to hi - 1 do
+        let i = s * 4 in
+        if pg.(i) >= 0 then begin
+          let b = hash3 pg.(i) pg.(i + 1) pg.(i + 2) land mask in
+          pg.(i + 3) <- m.buckets.(b);
+          m.buckets.(b) <- base + s
+        end
+      done
     end
   done
 
@@ -217,19 +379,28 @@ let grow_cache m =
     end
   done
 
+(* Growing is appending one page; the bucket array (and with it the op
+   cache) only doubles when the capacity outruns it, so existing chains
+   are left untouched on the common page-append path. *)
 let grow m =
-  let cap = Array.length m.nodes / 4 in
-  let cap' = cap * 2 in
-  m.nodes <- Array.append m.nodes (Array.make (cap * 4) (-1));
-  m.buckets <- Array.make cap' (-1);
-  rehash m;
-  if m.cache_mask + 1 < cap' && m.cache_mask + 1 < max_cache_entries then grow_cache m
+  let p = A.add_page m.arena in
+  A.set_tail m.arena p;
+  let cap = A.capacity m.arena in
+  if cap > Array.length m.buckets then begin
+    let nb = ref (Array.length m.buckets) in
+    while !nb < cap do
+      nb := !nb * 2
+    done;
+    m.buckets <- Array.make !nb (-1);
+    rehash m;
+    if m.cache_mask + 1 < !nb && m.cache_mask + 1 < max_cache_entries then grow_cache m
+  end
 
 let budget_check m =
   match m.budget with
   | None -> ()
   | Some b -> (
-    match Budget.check_nodes b ~live:(live_nodes m) ~allocs:m.allocs with
+    match Budget.check_nodes b ~bytes:(table_bytes m) ~live:(live_nodes m) ~allocs:m.allocs () with
     | Some reason -> raise (Limit_exceeded reason)
     | None -> ())
 
@@ -238,7 +409,14 @@ let mk m v l h =
   else begin
     let mask = Array.length m.buckets - 1 in
     let b = hash3 v l h land mask in
-    let rec find n = if n = -1 then -1 else if m.nodes.(n * 4) = v && m.nodes.((n * 4) + 1) = l && m.nodes.((n * 4) + 2) = h then n else find m.nodes.((n * 4) + 3) in
+    let rec find n =
+      if n = -1 then -1
+      else begin
+        let pg = node_page m n in
+        let i = (n land m.pmask) * 4 in
+        if pg.(i) = v && pg.(i + 1) = l && pg.(i + 2) = h then n else find pg.(i + 3)
+      end
+    in
     let found = find m.buckets.(b) in
     if found >= 0 then found
     else begin
@@ -247,22 +425,27 @@ let mk m v l h =
       let slot =
         if m.free_head >= 0 then begin
           let s = m.free_head in
-          m.free_head <- m.nodes.((s * 4) + 3);
+          m.free_head <- nnext m s;
           m.num_free <- m.num_free - 1;
           s
-        end else begin
-          if m.num_slots * 4 = Array.length m.nodes then grow m;
+        end
+        else begin
+          if m.num_slots >= A.capacity m.arena then grow m;
           let s = m.num_slots in
           m.num_slots <- m.num_slots + 1;
           s
         end
       in
-      m.nodes.(slot * 4) <- v;
-      m.nodes.((slot * 4) + 1) <- l;
-      m.nodes.((slot * 4) + 2) <- h;
+      (* All writes happen against one fresh page fetch with nothing
+         that can fault in between (the bucket array is flat). *)
+      let pg = wr_page m slot in
+      let i = (slot land m.pmask) * 4 in
+      pg.(i) <- v;
+      pg.(i + 1) <- l;
+      pg.(i + 2) <- h;
       (* Recompute the bucket: [grow] may have changed the mask. *)
       let b = hash3 v l h land (Array.length m.buckets - 1) in
-      m.nodes.((slot * 4) + 3) <- m.buckets.(b);
+      pg.(i + 3) <- m.buckets.(b);
       m.buckets.(b) <- slot;
       let live = live_nodes m in
       if live > m.peak_live then m.peak_live <- live;
@@ -298,7 +481,8 @@ let cache_lookup m cls op a b c =
   if cache.(i) = op && cache.(i + 1) = a && cache.(i + 2) = b && cache.(i + 3) = c then begin
     m.cache_h.(cls) <- m.cache_h.(cls) + 1;
     cache.(i + 4)
-  end else begin
+  end
+  else begin
     m.cache_m.(cls) <- m.cache_m.(cls) + 1;
     -1
   end
@@ -320,7 +504,9 @@ let rec mk_not m f =
     let cached = cache_lookup m cl_not op_not f 0 0 in
     if cached >= 0 then cached
     else begin
-      let r = mk m m.nodes.(f * 4) (mk_not m m.nodes.((f * 4) + 1)) (mk_not m m.nodes.((f * 4) + 2)) in
+      let pf = node_page m f in
+      let fi = (f land m.pmask) * 4 in
+      let r = mk m pf.(fi) (mk_not m pf.(fi + 1)) (mk_not m pf.(fi + 2)) in
       cache_store m op_not f 0 0 r;
       r
     end
@@ -328,8 +514,11 @@ let rec mk_not m f =
 
 (* Specialized kernels for the hot connectives: terminal rules inlined,
    no per-node op dispatch.  Once both operands are non-terminal the
-   var array can be read directly (terminal slots hold [terminal_var],
-   so the comparisons still order levels correctly). *)
+   var field can be read directly (terminal slots hold [terminal_var],
+   so the comparisons still order levels correctly).  Each node's page
+   is fetched once; the fetched array stays coherent across the
+   recursive calls because live node fields are immutable and eviction
+   never mutates a detached page. *)
 let rec and_rec m f g =
   if f = g || g = bdd_true then f
   else if f = bdd_true then g
@@ -340,11 +529,13 @@ let rec and_rec m f g =
     let cached = cache_lookup m cl_and op_and f g 0 in
     if cached >= 0 then cached
     else begin
-      let vf = m.nodes.(f * 4) and vg = m.nodes.(g * 4) in
+      let pf = node_page m f and pg = node_page m g in
+      let fi = (f land m.pmask) * 4 and gi = (g land m.pmask) * 4 in
+      let vf = pf.(fi) and vg = pg.(gi) in
       let r =
-        if vf = vg then mk m vf (and_rec m m.nodes.((f * 4) + 1) m.nodes.((g * 4) + 1)) (and_rec m m.nodes.((f * 4) + 2) m.nodes.((g * 4) + 2))
-        else if vf < vg then mk m vf (and_rec m m.nodes.((f * 4) + 1) g) (and_rec m m.nodes.((f * 4) + 2) g)
-        else mk m vg (and_rec m f m.nodes.((g * 4) + 1)) (and_rec m f m.nodes.((g * 4) + 2))
+        if vf = vg then mk m vf (and_rec m pf.(fi + 1) pg.(gi + 1)) (and_rec m pf.(fi + 2) pg.(gi + 2))
+        else if vf < vg then mk m vf (and_rec m pf.(fi + 1) g) (and_rec m pf.(fi + 2) g)
+        else mk m vg (and_rec m f pg.(gi + 1)) (and_rec m f pg.(gi + 2))
       in
       cache_store m op_and f g 0 r;
       r
@@ -360,11 +551,13 @@ and or_rec m f g =
     let cached = cache_lookup m cl_or op_or f g 0 in
     if cached >= 0 then cached
     else begin
-      let vf = m.nodes.(f * 4) and vg = m.nodes.(g * 4) in
+      let pf = node_page m f and pg = node_page m g in
+      let fi = (f land m.pmask) * 4 and gi = (g land m.pmask) * 4 in
+      let vf = pf.(fi) and vg = pg.(gi) in
       let r =
-        if vf = vg then mk m vf (or_rec m m.nodes.((f * 4) + 1) m.nodes.((g * 4) + 1)) (or_rec m m.nodes.((f * 4) + 2) m.nodes.((g * 4) + 2))
-        else if vf < vg then mk m vf (or_rec m m.nodes.((f * 4) + 1) g) (or_rec m m.nodes.((f * 4) + 2) g)
-        else mk m vg (or_rec m f m.nodes.((g * 4) + 1)) (or_rec m f m.nodes.((g * 4) + 2))
+        if vf = vg then mk m vf (or_rec m pf.(fi + 1) pg.(gi + 1)) (or_rec m pf.(fi + 2) pg.(gi + 2))
+        else if vf < vg then mk m vf (or_rec m pf.(fi + 1) g) (or_rec m pf.(fi + 2) g)
+        else mk m vg (or_rec m f pg.(gi + 1)) (or_rec m f pg.(gi + 2))
       in
       cache_store m op_or f g 0 r;
       r
@@ -380,11 +573,13 @@ and diff_rec m f g =
     let cached = cache_lookup m cl_diff op_diff f g 0 in
     if cached >= 0 then cached
     else begin
-      let vf = m.nodes.(f * 4) and vg = m.nodes.(g * 4) in
+      let pf = node_page m f and pg = node_page m g in
+      let fi = (f land m.pmask) * 4 and gi = (g land m.pmask) * 4 in
+      let vf = pf.(fi) and vg = pg.(gi) in
       let r =
-        if vf = vg then mk m vf (diff_rec m m.nodes.((f * 4) + 1) m.nodes.((g * 4) + 1)) (diff_rec m m.nodes.((f * 4) + 2) m.nodes.((g * 4) + 2))
-        else if vf < vg then mk m vf (diff_rec m m.nodes.((f * 4) + 1) g) (diff_rec m m.nodes.((f * 4) + 2) g)
-        else mk m vg (diff_rec m f m.nodes.((g * 4) + 1)) (diff_rec m f m.nodes.((g * 4) + 2))
+        if vf = vg then mk m vf (diff_rec m pf.(fi + 1) pg.(gi + 1)) (diff_rec m pf.(fi + 2) pg.(gi + 2))
+        else if vf < vg then mk m vf (diff_rec m pf.(fi + 1) g) (diff_rec m pf.(fi + 2) g)
+        else mk m vg (diff_rec m f pg.(gi + 1)) (diff_rec m f pg.(gi + 2))
       in
       cache_store m op_diff f g 0 r;
       r
@@ -428,8 +623,8 @@ let rec apply m op f g =
     else begin
       let vf = level m f and vg = level m g in
       let v = if vf < vg then vf else vg in
-      let f0, f1 = if vf = v then (m.nodes.((f * 4) + 1), m.nodes.((f * 4) + 2)) else (f, f) in
-      let g0, g1 = if vg = v then (m.nodes.((g * 4) + 1), m.nodes.((g * 4) + 2)) else (g, g) in
+      let f0, f1 = if vf = v then (nlow m f, nhigh m f) else (f, f) in
+      let g0, g1 = if vg = v then (nlow m g, nhigh m g) else (g, g) in
       let r = mk m v (apply m op f0 g0) (apply m op f1 g1) in
       cache_store m op f g 0 r;
       r
@@ -455,9 +650,9 @@ let rec mk_ite m f g h =
     else begin
       let vf = level m f and vg = level m g and vh = level m h in
       let v = min vf (min vg vh) in
-      let f0, f1 = if vf = v then (m.nodes.((f * 4) + 1), m.nodes.((f * 4) + 2)) else (f, f) in
-      let g0, g1 = if vg = v then (m.nodes.((g * 4) + 1), m.nodes.((g * 4) + 2)) else (g, g) in
-      let h0, h1 = if vh = v then (m.nodes.((h * 4) + 1), m.nodes.((h * 4) + 2)) else (h, h) in
+      let f0, f1 = if vf = v then (nlow m f, nhigh m f) else (f, f) in
+      let g0, g1 = if vg = v then (nlow m g, nhigh m g) else (g, g) in
+      let h0, h1 = if vh = v then (nlow m h, nhigh m h) else (h, h) in
       let r = mk m v (mk_ite m f0 g0 h0) (mk_ite m f1 g1 h1) in
       cache_store m op_ite f g h r;
       r
@@ -472,27 +667,33 @@ let cube_of_vars m vs =
    they cannot occur in the function being quantified below [v]. *)
 let rec skip_cube m cube v =
   if is_const cube then cube
-  else if m.nodes.(cube * 4) < v then skip_cube m m.nodes.((cube * 4) + 2) v
-  else cube
+  else begin
+    let pc = node_page m cube in
+    let ci = (cube land m.pmask) * 4 in
+    if pc.(ci) < v then skip_cube m pc.(ci + 2) v else cube
+  end
 
 let rec exist_rec m cube f =
   if is_const f then f
   else begin
-    let cube = skip_cube m cube m.nodes.(f * 4) in
+    let cube = skip_cube m cube (nvar m f) in
     if cube = bdd_true then f
     else begin
       let cached = cache_lookup m cl_exist op_exist f cube 0 in
       if cached >= 0 then cached
       else begin
-        let v = m.nodes.(f * 4) in
+        let pf = node_page m f in
+        let fi = (f land m.pmask) * 4 in
+        let v = pf.(fi) in
         let r =
-          if m.nodes.(cube * 4) = v then begin
+          if nvar m cube = v then begin
             (* Once one branch saturates, the disjunction is decided:
                skip the other branch entirely. *)
-            let r0 = exist_rec m m.nodes.((cube * 4) + 2) m.nodes.((f * 4) + 1) in
-            if r0 = bdd_true then bdd_true else or_rec m r0 (exist_rec m m.nodes.((cube * 4) + 2) m.nodes.((f * 4) + 2))
+            let cube' = nhigh m cube in
+            let r0 = exist_rec m cube' pf.(fi + 1) in
+            if r0 = bdd_true then bdd_true else or_rec m r0 (exist_rec m cube' pf.(fi + 2))
           end
-          else mk m v (exist_rec m cube m.nodes.((f * 4) + 1)) (exist_rec m cube m.nodes.((f * 4) + 2))
+          else mk m v (exist_rec m cube pf.(fi + 1)) (exist_rec m cube pf.(fi + 2))
         in
         cache_store m op_exist f cube 0 r;
         r
@@ -509,7 +710,7 @@ let rec relprod_rec m cube f g =
   else if f = bdd_true then exist_rec m cube g
   else begin
     (* Both operands are internal nodes from here on. *)
-    let vf = m.nodes.(f * 4) and vg = m.nodes.(g * 4) in
+    let vf = nvar m f and vg = nvar m g in
     let v = if vf < vg then vf else vg in
     let cube = skip_cube m cube v in
     if cube = bdd_true then and_rec m f g
@@ -518,12 +719,15 @@ let rec relprod_rec m cube f g =
       let cached = cache_lookup m cl_relprod op_relprod f g cube in
       if cached >= 0 then cached
       else begin
-        let f0, f1 = if vf = v then (m.nodes.((f * 4) + 1), m.nodes.((f * 4) + 2)) else (f, f) in
-        let g0, g1 = if vg = v then (m.nodes.((g * 4) + 1), m.nodes.((g * 4) + 2)) else (g, g) in
+        let pf = node_page m f and pg = node_page m g in
+        let fi = (f land m.pmask) * 4 and gi = (g land m.pmask) * 4 in
+        let f0, f1 = if vf = v then (pf.(fi + 1), pf.(fi + 2)) else (f, f) in
+        let g0, g1 = if vg = v then (pg.(gi + 1), pg.(gi + 2)) else (g, g) in
         let r =
-          if m.nodes.(cube * 4) = v then begin
-            let r0 = relprod_rec m m.nodes.((cube * 4) + 2) f0 g0 in
-            if r0 = bdd_true then bdd_true else or_rec m r0 (relprod_rec m m.nodes.((cube * 4) + 2) f1 g1)
+          if nvar m cube = v then begin
+            let cube' = nhigh m cube in
+            let r0 = relprod_rec m cube' f0 g0 in
+            if r0 = bdd_true then bdd_true else or_rec m r0 (relprod_rec m cube' f1 g1)
           end
           else mk m v (relprod_rec m cube f0 g0) (relprod_rec m cube f1 g1)
         in
@@ -568,10 +772,12 @@ let rec replace_mono m vm f =
     let cached = cache_lookup m cl_replace op_replace f vm.map_id 0 in
     if cached >= 0 then cached
     else begin
-      let v = m.nodes.(f * 4) in
+      let pf = node_page m f in
+      let fi = (f land m.pmask) * 4 in
+      let v = pf.(fi) in
       let v' = if v < Array.length vm.map then vm.map.(v) else v in
-      let l = replace_mono m vm m.nodes.((f * 4) + 1) in
-      let h = replace_mono m vm m.nodes.((f * 4) + 2) in
+      let l = replace_mono m vm pf.(fi + 1) in
+      let h = replace_mono m vm pf.(fi + 2) in
       let r = mk m v' l h in
       cache_store m op_replace f vm.map_id 0 r;
       r
@@ -584,10 +790,12 @@ let rec replace_gen m vm f =
     let cached = cache_lookup m cl_replace op_replace f vm.map_id 0 in
     if cached >= 0 then cached
     else begin
-      let v = m.nodes.(f * 4) in
+      let pf = node_page m f in
+      let fi = (f land m.pmask) * 4 in
+      let v = pf.(fi) in
       let v' = if v < Array.length vm.map then vm.map.(v) else v in
-      let l = replace_gen m vm m.nodes.((f * 4) + 1) in
-      let h = replace_gen m vm m.nodes.((f * 4) + 2) in
+      let l = replace_gen m vm pf.(fi + 1) in
+      let h = replace_gen m vm pf.(fi + 2) in
       (* [mk_ite] rather than [mk]: correct even when the renaming does
          not preserve the variable order. *)
       let r = mk_ite m (ithvar m v') h l in
@@ -608,7 +816,7 @@ let stack_push m top n =
 let fresh_stamp m =
   (* (Re)size the stamp arrays; a fresh array is all zeros, which no
      stamp ever equals because stamps start at 1. *)
-  if Array.length m.visited < m.num_slots then m.visited <- Array.make (Array.length m.nodes / 4) 0;
+  if Array.length m.visited < m.num_slots then m.visited <- Array.make (A.capacity m.arena) 0;
   if Array.length m.var_seen < m.nvars then m.var_seen <- Array.make (max m.nvars 16) 0;
   m.stamp <- m.stamp + 1;
   m.stamp
@@ -629,13 +837,15 @@ let support m f =
     while !top > 0 do
       decr top;
       let n = m.stack.(!top) in
-      let v = m.nodes.(n * 4) in
+      let pg = node_page m n in
+      let i = (n land m.pmask) * 4 in
+      let v = pg.(i) in
       if m.var_seen.(v) <> stamp then begin
         m.var_seen.(v) <- stamp;
         vars := v :: !vars
       end;
-      visit m.nodes.((n * 4) + 1);
-      visit m.nodes.((n * 4) + 2)
+      visit pg.(i + 1);
+      visit pg.(i + 2)
     done;
     List.sort compare !vars
   end
@@ -657,8 +867,10 @@ let node_count m f =
     while !top > 0 do
       decr top;
       let n = m.stack.(!top) in
-      visit m.nodes.((n * 4) + 1);
-      visit m.nodes.((n * 4) + 2)
+      let pg = node_page m n in
+      let i = (n land m.pmask) * 4 in
+      visit pg.(i + 1);
+      visit pg.(i + 2)
     done;
     !count
   end
@@ -676,7 +888,7 @@ let satcount_gen m ~vars f ~zero ~two_pow ~add ~scale =
     else if n = bdd_true then two_pow (len - i)
     else begin
       let j =
-        match Hashtbl.find_opt pos m.nodes.(n * 4) with
+        match Hashtbl.find_opt pos (nvar m n) with
         | Some j -> j
         | None -> invalid_arg "Bdd.satcount: support not included in vars"
       in
@@ -684,7 +896,7 @@ let satcount_gen m ~vars f ~zero ~two_pow ~add ~scale =
         match Hashtbl.find_opt memo n with
         | Some c -> c
         | None ->
-          let c = add (count m.nodes.((n * 4) + 1) (j + 1)) (count m.nodes.((n * 4) + 2) (j + 1)) in
+          let c = add (count (nlow m n) (j + 1)) (count (nhigh m n) (j + 1)) in
           Hashtbl.add memo n c;
           c
       in
@@ -713,9 +925,9 @@ let iter_sat m ~vars yield f =
         let vn = level m n in
         if vn = vars.(i) then begin
           assignment.(i) <- false;
-          go (i + 1) m.nodes.((n * 4) + 1);
+          go (i + 1) (nlow m n);
           assignment.(i) <- true;
-          go (i + 1) m.nodes.((n * 4) + 2)
+          go (i + 1) (nhigh m n)
         end
         else if vn > vars.(i) then begin
           (* n does not depend on vars.(i): both values satisfy. *)
@@ -797,11 +1009,11 @@ let to_dot ?(var_name = fun i -> Printf.sprintf "x%d" i) m f =
   let rec go n =
     if not (is_const n) && not (Hashtbl.mem seen n) then begin
       Hashtbl.add seen n ();
-      Buffer.add_string buf (Printf.sprintf "  node%d [label=%S];\n" n (var_name m.nodes.(n * 4)));
-      Buffer.add_string buf (Printf.sprintf "  node%d -> node%d [style=dashed];\n" n m.nodes.((n * 4) + 1));
-      Buffer.add_string buf (Printf.sprintf "  node%d -> node%d;\n" n m.nodes.((n * 4) + 2));
-      go m.nodes.((n * 4) + 1);
-      go m.nodes.((n * 4) + 2)
+      Buffer.add_string buf (Printf.sprintf "  node%d [label=%S];\n" n (var_name (nvar m n)));
+      Buffer.add_string buf (Printf.sprintf "  node%d -> node%d [style=dashed];\n" n (nlow m n));
+      Buffer.add_string buf (Printf.sprintf "  node%d -> node%d;\n" n (nhigh m n));
+      go (nlow m n);
+      go (nhigh m n)
     end
   in
   go f;
@@ -825,6 +1037,12 @@ let to_dot ?(var_name = fun i -> Printf.sprintf "x%d" i) m f =
                   and lo/hi must reference ids < j+2
      then R       root ids
      last 4       CRC-32 of every preceding byte (checksummed framing)
+
+   The dump ids are assigned by a deterministic children-first walk of
+   the roots, so two managers holding the same functions — regardless
+   of their handle numbering, GC mode or arena geometry — serialize to
+   the same bytes: dumps double as canonical fingerprints for
+   bit-identity checks across capped/uncapped runs.
 
    Loading verifies the trailing checksum FIRST, so any bit rot or
    truncation is reported as a checksum/size mismatch up front instead
@@ -851,9 +1069,9 @@ let serialize m roots =
   let emit n =
     Hashtbl.add ids n !next;
     incr next;
-    Buffer.add_int32_le tri (Int32.of_int m.nodes.(n * 4));
-    Buffer.add_int32_le tri (Int32.of_int (Hashtbl.find ids m.nodes.((n * 4) + 1)));
-    Buffer.add_int32_le tri (Int32.of_int (Hashtbl.find ids m.nodes.((n * 4) + 2)))
+    Buffer.add_int32_le tri (Int32.of_int (nvar m n));
+    Buffer.add_int32_le tri (Int32.of_int (Hashtbl.find ids (nlow m n)));
+    Buffer.add_int32_le tri (Int32.of_int (Hashtbl.find ids (nhigh m n)))
   in
   let visit root =
     if not (Hashtbl.mem ids root) then begin
@@ -864,7 +1082,7 @@ let serialize m roots =
         | n :: rest ->
           if Hashtbl.mem ids n then stack := rest
           else begin
-            let l = m.nodes.((n * 4) + 1) and h = m.nodes.((n * 4) + 2) in
+            let l = nlow m n and h = nhigh m n in
             let lk = Hashtbl.mem ids l and hk = Hashtbl.mem ids h in
             if lk && hk then begin
               stack := rest;
@@ -901,8 +1119,8 @@ let copy src dst roots =
     match Hashtbl.find_opt memo n with
     | Some r -> r
     | None ->
-      let l = go src.nodes.((n * 4) + 1) and h = go src.nodes.((n * 4) + 2) in
-      let r = mk dst src.nodes.(n * 4) l h in
+      let l = go (nlow src n) and h = go (nhigh src n) in
+      let r = mk dst (nvar src n) l h in
       Hashtbl.add memo n r;
       r
   in
@@ -944,7 +1162,7 @@ let deserialize ?(source = "<bdd>") m data =
     if l = h then fail off "node %d is not reduced (low = high = %d)" (j + 2) l;
     (* Children are strictly below their parent in the variable order in
        any well-formed dump; [mk] does not re-check, so verify here. *)
-    let lvl x = if x < 2 then terminal_var else m.nodes.(handles.(x) * 4) in
+    let lvl x = if x < 2 then terminal_var else nvar m handles.(x) in
     if lvl l <= v || lvl h <= v then fail off "node %d breaks the variable order" (j + 2);
     handles.(j + 2) <- mk m v handles.(l) handles.(h)
   done;
@@ -958,7 +1176,37 @@ let deserialize ?(source = "<bdd>") m data =
 
 let add_root m r = m.roots <- r :: m.roots
 let remove_root m r = m.roots <- List.filter (fun r' -> r' != r) m.roots
+let add_root_list m l = m.root_lists <- l :: m.root_lists
+let remove_root_list m l = m.root_lists <- List.filter (fun l' -> l' != l) m.root_lists
 let add_root_fn m f = m.root_fns <- f :: m.root_fns
+let on_remap m h = m.remap_hooks <- h :: m.remap_hooks
+
+(* Mark every node reachable from the registered roots into [m.marks].
+   Shared by both GC modes. *)
+let mark_roots m =
+  if Bytes.length m.marks < m.num_slots then m.marks <- Bytes.make (A.capacity m.arena) '\000'
+  else Bytes.fill m.marks 0 m.num_slots '\000';
+  let top = ref 0 in
+  let push n =
+    if n >= 2 && Bytes.get m.marks n = '\000' then begin
+      Bytes.set m.marks n '\001';
+      top := stack_push m !top n
+    end
+  in
+  let mark n =
+    push n;
+    while !top > 0 do
+      decr top;
+      let x = m.stack.(!top) in
+      let pg = node_page m x in
+      let i = (x land m.pmask) * 4 in
+      push pg.(i + 1);
+      push pg.(i + 2)
+    done
+  in
+  List.iter (fun r -> mark !r) m.roots;
+  List.iter (fun l -> List.iter mark !l) m.root_lists;
+  List.iter (fun f -> List.iter mark (f ())) m.root_fns
 
 (* Invalidate cache entries whose operands or result died this
    collection: their handles may be reused by a later [mk], after which
@@ -984,49 +1232,234 @@ let sweep_cache m =
     end
   done
 
-let gc m =
-  if Bytes.length m.marks < m.num_slots then m.marks <- Bytes.make (Array.length m.nodes / 4) '\000'
-  else Bytes.fill m.marks 0 m.num_slots '\000';
-  let top = ref 0 in
-  let push n =
-    if n >= 2 && Bytes.get m.marks n = '\000' then begin
-      Bytes.set m.marks n '\001';
-      top := stack_push m !top n
-    end
-  in
-  let mark n =
-    push n;
-    while !top > 0 do
-      decr top;
-      let x = m.stack.(!top) in
-      push m.nodes.((x * 4) + 1);
-      push m.nodes.((x * 4) + 2)
-    done
-  in
-  List.iter (fun r -> mark !r) m.roots;
-  List.iter (fun f -> List.iter mark (f ())) m.root_fns;
+(* Non-moving collection: dead slots go on the free list, every
+   surviving handle keeps its number.  This is the only mode safe for
+   clients that squirrel raw handles away without registering a
+   remapping path. *)
+let gc_sweep m =
+  mark_roots m;
   sweep_cache m;
-  (* Sweep: free unmarked live slots. *)
-  for n = 2 to m.num_slots - 1 do
-    if m.nodes.(n * 4) >= 0 && Bytes.get m.marks n = '\000' then begin
-      m.nodes.(n * 4) <- -1;
-      m.nodes.((n * 4) + 3) <- m.free_head;
-      m.free_head <- n;
-      m.num_free <- m.num_free + 1
+  let a = m.arena in
+  let spp = a.A.slots_per_page in
+  (* Sweep: free unmarked live slots (page-wise: one fault per page). *)
+  for p = 0 to a.A.num_pages - 1 do
+    let base = p * spp in
+    let lo = if p = 0 then 2 else 0 in
+    let hi = min spp (m.num_slots - base) in
+    if hi > lo then begin
+      let pg = A.fault_in a p in
+      if a.A.capped then begin
+        Bytes.set a.A.refbit p '\001';
+        Bytes.set a.A.dirty p '\001'
+      end;
+      for s = lo to hi - 1 do
+        if pg.(s * 4) >= 0 && Bytes.get m.marks (base + s) = '\000' then pg.(s * 4) <- -1
+      done
     end
   done;
   rehash m;
-  (* Rebuilding the buckets clobbered the free list threading: restore it. *)
+  (* Rehashing only threads live nodes; thread the free slots now, high
+     pages first so the list pops low slots first. *)
   m.free_head <- -1;
   m.num_free <- 0;
-  for n = m.num_slots - 1 downto 2 do
-    if m.nodes.(n * 4) = -1 then begin
-      m.nodes.((n * 4) + 3) <- m.free_head;
-      m.free_head <- n;
-      m.num_free <- m.num_free + 1
+  for p = a.A.num_pages - 1 downto 0 do
+    let base = p * spp in
+    let lo = if p = 0 then 2 else 0 in
+    let hi = min spp (m.num_slots - base) in
+    if hi > lo then begin
+      let pg = A.fault_in a p in
+      if a.A.capped then begin
+        Bytes.set a.A.refbit p '\001';
+        Bytes.set a.A.dirty p '\001'
+      end;
+      for s = hi - 1 downto lo do
+        if pg.(s * 4) = -1 then begin
+          pg.((s * 4) + 3) <- m.free_head;
+          m.free_head <- base + s;
+          m.num_free <- m.num_free + 1
+        end
+      done
     end
   done;
   m.gcs <- m.gcs + 1
+
+(* Rebuild the op cache through the relocation map so warm entries
+   survive compaction: an entry is kept when its result and operands
+   are all live, with handles rewritten to their new numbers and the
+   entry re-inserted at the slot the rewritten key hashes to
+   (collisions are last-write-wins, same as normal stores).
+   [op_replace]'s b slot is a map id, never a handle: it is neither
+   liveness-checked nor rewritten. *)
+let rebuild_cache_remapped m reloc =
+  let live x = x < 2 || Bytes.get m.marks x = '\001' in
+  let remap x = if x < 2 then x else reloc.(x) in
+  let cache = m.cache in
+  let fresh =
+    if Array.length m.cache_scratch = Array.length cache then begin
+      Array.fill m.cache_scratch 0 (Array.length cache) (-1);
+      m.cache_scratch
+    end
+    else Array.make (Array.length cache) (-1)
+  in
+  let n = Array.length cache / 5 in
+  for slot = 0 to n - 1 do
+    let i = slot * 5 in
+    let op = cache.(i) in
+    if op >= 0 then begin
+      let a = cache.(i + 1) and b = cache.(i + 2) and c = cache.(i + 3) and r = cache.(i + 4) in
+      if live r && live a && (op = op_replace || (live b && live c)) then begin
+        let a' = remap a and r' = remap r in
+        let b' = if op = op_replace then b else remap b in
+        let c' = if op = op_replace then c else remap c in
+        let j = (hash3 (op + (a' * 31)) b' c' land m.cache_mask) * 5 in
+        fresh.(j) <- op;
+        fresh.(j + 1) <- a';
+        fresh.(j + 2) <- b';
+        fresh.(j + 3) <- c';
+        fresh.(j + 4) <- r'
+      end
+    end
+  done;
+  m.cache_scratch <- cache;
+  m.cache <- fresh
+
+(* Compacting collection: renumber the survivors so that nodes of the
+   same variable level sit in consecutive slots — and therefore in the
+   same (or adjacent) pages.  The recursive kernels proceed level by
+   level, so clustering turns their page access pattern from uniform
+   scatter over the whole table into a sweep of a few pages per level:
+   that is what makes a byte-capped buffer pool workable, and it is a
+   plain locality win uncapped.
+
+   Within a level survivors keep their relative (ascending) old order,
+   so repeated compactions of an unchanged working set are stable.
+
+   New numbering: terminals keep 0/1; level 0's survivors follow, then
+   level 1's, etc.  [reloc.(old) = new] for every marked slot.  After
+   the copy, every registered root ref/list is rewritten in place and
+   the [on_remap] hooks run with the relocation function; the free
+   list is gone (allocation resumes as pure bump at [num_slots]). *)
+let gc_compact m =
+  mark_roots m;
+  let a = m.arena in
+  let spp = a.A.slots_per_page in
+  (* Per-level survivor counts. *)
+  let counts = Array.make (max m.nvars 1) 0 in
+  let nlive = ref 0 in
+  for p = 0 to a.A.num_pages - 1 do
+    let base = p * spp in
+    let lo = if p = 0 then 2 else 0 in
+    let hi = min spp (m.num_slots - base) in
+    if hi > lo then begin
+      let pg = A.fault_in a p in
+      for s = lo to hi - 1 do
+        if Bytes.get m.marks (base + s) = '\001' then begin
+          counts.(pg.(s * 4)) <- counts.(pg.(s * 4)) + 1;
+          incr nlive
+        end
+      done
+    end
+  done;
+  let nlive = !nlive in
+  (* Prefix sums: counts.(v) becomes the next destination id for level
+     v, destinations starting at 2. *)
+  let cursor = ref 2 in
+  for v = 0 to Array.length counts - 1 do
+    let c = counts.(v) in
+    counts.(v) <- !cursor;
+    cursor := !cursor + c
+  done;
+  (* Assign destinations (old-ascending within each level) and record
+     the inverse: order.(new - 2) = old. *)
+  (* Stale scratch entries are harmless: [reloc] is only ever read at
+     marked slots (all freshly written below), [order] only below
+     [nlive]. *)
+  let reloc =
+    if Array.length m.reloc_scratch >= m.num_slots then m.reloc_scratch
+    else begin
+      let a = Array.make (max 1024 (2 * m.num_slots)) 0 in
+      m.reloc_scratch <- a;
+      a
+    end
+  in
+  reloc.(1) <- 1;
+  let order =
+    if Array.length m.order_scratch >= nlive then m.order_scratch
+    else begin
+      let a = Array.make (max 1024 (2 * nlive)) 0 in
+      m.order_scratch <- a;
+      a
+    end
+  in
+  for p = 0 to a.A.num_pages - 1 do
+    let base = p * spp in
+    let lo = if p = 0 then 2 else 0 in
+    let hi = min spp (m.num_slots - base) in
+    if hi > lo then begin
+      let pg = A.fault_in a p in
+      for s = lo to hi - 1 do
+        if Bytes.get m.marks (base + s) = '\001' then begin
+          let v = pg.(s * 4) in
+          let d = counts.(v) in
+          counts.(v) <- d + 1;
+          reloc.(base + s) <- d;
+          order.(d - 2) <- base + s
+        end
+      done
+    end
+  done;
+  (* Remap the op cache while the old numbering is still readable. *)
+  rebuild_cache_remapped m reloc;
+  (* Emit the survivors into fresh pages in destination order.  The
+     fresh pages live outside the pool until [swap] installs them, so
+     a capped arena transiently holds both copies; [swap] evicts back
+     under the cap immediately after. *)
+  let new_slots = nlive + 2 in
+  let npages = (new_slots + spp - 1) / spp in
+  let fresh = Array.init npages (fun _ -> Array.make a.A.ints_per_page (-1)) in
+  fresh.(0).(0) <- terminal_var;
+  fresh.(0).(1) <- 0;
+  fresh.(0).(2) <- 0;
+  fresh.(0).(4) <- terminal_var;
+  fresh.(0).(5) <- 1;
+  fresh.(0).(6) <- 1;
+  for d = 0 to nlive - 1 do
+    let old = order.(d) in
+    let po = node_page m old in
+    let oi = (old land m.pmask) * 4 in
+    let l = po.(oi + 1) and h = po.(oi + 2) in
+    let dst = d + 2 in
+    let pd = fresh.(dst lsr m.pbits) in
+    let di = (dst land m.pmask) * 4 in
+    pd.(di) <- po.(oi);
+    pd.(di + 1) <- (if l < 2 then l else reloc.(l));
+    pd.(di + 2) <- (if h < 2 then h else reloc.(h))
+  done;
+  A.swap a fresh npages;
+  A.set_tail a (npages - 1);
+  m.num_slots <- new_slots;
+  m.free_head <- -1;
+  m.num_free <- 0;
+  (* Shrink (or grow) the bucket array to the compacted capacity, then
+     rebuild the chains over the new numbering. *)
+  let cap = A.capacity a in
+  let nb =
+    let rec up c = if c >= cap || c >= max 1024 cap then c else up (c * 2) in
+    up 1024
+  in
+  if Array.length m.buckets <> nb then m.buckets <- Array.make nb (-1);
+  rehash m;
+  (* Rewrite every registered retention point to the new numbering. *)
+  let mapf x = if x < 2 then x else reloc.(x) in
+  List.iter (fun r -> r := mapf !r) m.roots;
+  List.iter (fun l -> l := List.map mapf !l) m.root_lists;
+  List.iter (fun h -> h mapf) m.remap_hooks;
+  m.gcs <- m.gcs + 1
+
+let gc m =
+  match m.mode with
+  | Sweep -> gc_sweep m
+  | Compact -> gc_compact m
 
 (* --- Frozen spaces and per-domain evaluation contexts ---------------
 
@@ -1035,28 +1468,38 @@ let gc m =
    concurrently, and [eval_ctx] gives each domain a private arena for
    the fresh nodes a query allocates.
 
-   The key design decision is that freezing does NOT renumber: the
-   snapshot is the post-GC node array verbatim, so every live handle
-   (relation roots in particular) denotes exactly the same function in
-   the frozen space — answers computed against a frozen space are
+   The snapshot is the post-GC page set, copied page by page out of
+   the buffer pool into plain immutable arrays (spilled pages are
+   faulted in to be copied, so a frozen space is always fully
+   resident).  Under [Sweep] GC the surviving handles keep their slots,
+   so every live handle denotes exactly the same function in the
+   frozen space.  Under [Compact] the collection renumbers — but it
+   also rewrites every registered root through the remap protocol, so
+   handles read back from their rooted homes after [freeze] returns
+   are equally valid in the snapshot, and the frozen pages come out
+   level-clustered for the same locality win the live manager gets.
+   Either way, answers computed against a frozen space are
    bit-identical to the live evaluator's.
 
    A ctx's fresh nodes occupy the handle range [fz_base, ...): a handle
-   below the base reads the frozen arrays, at or above it the ctx's own
-   arena.  Frozen nodes never point at ctx nodes (they existed first),
-   so the ctx constructor consults the frozen unique table only when
-   both children are frozen.  The ctx op cache is stride-6 with a
-   generation stamp: [ctx_reset] disposes every query-local node in
-   O(live ctx nodes) by clearing the local unique table and bumping the
-   generation, while cache entries whose operands AND result are all
-   frozen stay valid across resets (warm repeated queries stay warm).
+   below the base reads the frozen pages, at or above it the ctx's own
+   (flat, private, never-spilled) arena.  Frozen nodes never point at
+   ctx nodes (they existed first), so the ctx constructor consults the
+   frozen unique table only when both children are frozen.  The ctx op
+   cache is stride-6 with a generation stamp: [ctx_reset] disposes
+   every query-local node in O(live ctx nodes) by clearing the local
+   unique table and bumping the generation, while cache entries whose
+   operands AND result are all frozen stay valid across resets (warm
+   repeated queries stay warm).
 
-   No operation on a ctx ever writes to the frozen arrays, takes a
+   No operation on a ctx ever writes to the frozen pages, takes a
    lock, or touches the originating manager — the whole query path is
    wait-free with respect to other domains. *)
 
 type frozen = {
-  fz_nodes : int array; (* packed stride-4, indices [0, fz_base) *)
+  fz_pages : int array array; (* packed stride-4 pages, handles [0, fz_base) *)
+  fz_page_bits : int;
+  fz_page_mask : int;
   fz_buckets : int array;
   fz_mask : int;
   fz_base : int; (* ctx handles start here *)
@@ -1065,11 +1508,19 @@ type frozen = {
 }
 
 let freeze m =
-  (* Collect first so the snapshot holds only reachable nodes; the
-     surviving handles keep their slots (mark-sweep never renumbers). *)
+  (* Collect first so the snapshot holds only reachable nodes (and,
+     under [Compact], is level-clustered and densely numbered). *)
   gc m;
+  let a = m.arena in
+  let spp = a.A.slots_per_page in
+  let npages = (m.num_slots + spp - 1) / spp in
+  (* [fault_in] may evict an earlier page to make room, but the copy of
+     that page is already taken and eviction never mutates the array. *)
+  let pages = Array.init npages (fun p -> Array.copy (A.fault_in a p)) in
   {
-    fz_nodes = Array.sub m.nodes 0 (m.num_slots * 4);
+    fz_pages = pages;
+    fz_page_bits = a.A.page_bits;
+    fz_page_mask = a.A.page_mask;
     fz_buckets = Array.copy m.buckets;
     fz_mask = Array.length m.buckets - 1;
     fz_base = m.num_slots;
@@ -1079,6 +1530,16 @@ let freeze m =
 
 let frozen_nvars fz = fz.fz_nvars
 let frozen_live_nodes fz = fz.fz_live
+
+let frozen_bytes fz =
+  let pages =
+    Array.fold_left (fun acc p -> acc + Array.length p) 0 fz.fz_pages
+  in
+  (pages + Array.length fz.fz_buckets) * 8
+
+(* Frozen-page field read; the terminals live in page 0 with
+   [terminal_var] in the var slot, exactly as in the live arena. *)
+let[@inline] fzf fz n k = fz.fz_pages.(n lsr fz.fz_page_bits).(((n land fz.fz_page_mask) * 4) + k)
 
 type ctx = {
   c_fz : frozen;
@@ -1146,21 +1607,17 @@ let ctx_dispose c =
   c.c_budget <- None
 
 (* Field reads dispatch on the handle range; terminals live in the
-   frozen arrays (slots 0/1, var = terminal_var), so [cvar] orders
+   frozen pages (slots 0/1, var = terminal_var), so [cvar] orders
    levels correctly without a terminal test. *)
-let[@inline] cvar c n = if n < c.c_fz.fz_base then c.c_fz.fz_nodes.(n * 4) else c.c_nodes.((n - c.c_fz.fz_base) * 4)
-
-let[@inline] clow c n =
-  if n < c.c_fz.fz_base then c.c_fz.fz_nodes.((n * 4) + 1) else c.c_nodes.(((n - c.c_fz.fz_base) * 4) + 1)
-
-let[@inline] chigh c n =
-  if n < c.c_fz.fz_base then c.c_fz.fz_nodes.((n * 4) + 2) else c.c_nodes.(((n - c.c_fz.fz_base) * 4) + 2)
+let[@inline] cvar c n = if n < c.c_fz.fz_base then fzf c.c_fz n 0 else c.c_nodes.((n - c.c_fz.fz_base) * 4)
+let[@inline] clow c n = if n < c.c_fz.fz_base then fzf c.c_fz n 1 else c.c_nodes.(((n - c.c_fz.fz_base) * 4) + 1)
+let[@inline] chigh c n = if n < c.c_fz.fz_base then fzf c.c_fz n 2 else c.c_nodes.(((n - c.c_fz.fz_base) * 4) + 2)
 
 let ctx_budget_check c =
   match c.c_budget with
   | None -> ()
   | Some b -> (
-    match Budget.check_nodes b ~live:c.c_num ~allocs:c.c_allocs with
+    match Budget.check_nodes b ~bytes:(8 * Array.length c.c_nodes) ~live:c.c_num ~allocs:c.c_allocs () with
     | Some reason -> raise (Limit_exceeded reason)
     | None -> ())
 
@@ -1218,8 +1675,8 @@ let cmk c v l h =
       let b = hash3 v l h land fz.fz_mask in
       let rec find n =
         if n = -1 then -1
-        else if fz.fz_nodes.(n * 4) = v && fz.fz_nodes.((n * 4) + 1) = l && fz.fz_nodes.((n * 4) + 2) = h then n
-        else find fz.fz_nodes.((n * 4) + 3)
+        else if fzf fz n 0 = v && fzf fz n 1 = l && fzf fz n 2 = h then n
+        else find (fzf fz n 3)
       in
       let found = find fz.fz_buckets.(b) in
       if found >= 0 then found else cmk_local c v l h

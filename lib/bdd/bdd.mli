@@ -27,6 +27,24 @@ type t = private int
 type varmap
 (** A variable renaming, created with {!make_map}. *)
 
+type gc_mode =
+  | Sweep
+      (** Non-moving collection: dead slots go on a free list and every
+          surviving handle keeps its number.  The only mode safe for
+          clients that hold raw handles without registering a remapping
+          path.  Default for {!create}. *)
+  | Compact
+      (** Moving collection: survivors are renumbered, clustered by
+          variable level so the level-by-level recursive kernels touch
+          consecutive arena pages (the locality that makes a byte-capped
+          buffer pool workable).  Every handle retained across {!gc}
+          must then be reachable through {!add_root}, {!add_root_list}
+          or an {!on_remap} hook — those are rewritten in place;
+          {!add_root_fn} results are marked live but NOT rewritten.
+          The op cache is rebuilt through the relocation map, so warm
+          entries survive.  Chosen by the solver layers
+          ([Bddrel.Space]). *)
+
 exception Limit_exceeded of Budget.reason
 (** Raised from inside an operation when the installed {!Budget.t} is
     violated.  The node table, unique table and operation cache are
@@ -34,11 +52,39 @@ exception Limit_exceeded of Budget.reason
     intermediates become garbage for the next {!gc}, and the manager
     remains fully usable (lift or replace the budget and retry). *)
 
-val create : ?node_hint:int -> ?cache_bits:int -> nvars:int -> unit -> man
+val create :
+  ?node_hint:int ->
+  ?cache_bits:int ->
+  ?page_bits:int ->
+  ?max_bytes:int ->
+  ?spill_path:string ->
+  ?gc_mode:gc_mode ->
+  nvars:int ->
+  unit ->
+  man
 (** [create ~nvars ()] makes a manager with variables [0 .. nvars-1].
-    [node_hint] is the initial node-table capacity (default 64K);
-    the table grows by doubling.  [cache_bits] sizes the operation
-    cache at [2^cache_bits] entries (default 16). *)
+    [node_hint] sizes the initial unique-table bucket array (default
+    64K); node storage itself grows page by page.  [cache_bits] sizes
+    the operation cache at [2^cache_bits] entries (default 16).
+
+    [page_bits] sets the arena page size at [2^page_bits] node slots
+    (default 12, i.e. 128 KiB of packed records per page; valid range
+    4–22).  [max_bytes], if given, caps the bytes of node pages held
+    in memory: cold pages spill to a CRC-32-checked scratch file
+    ([spill_path], default a fresh temp file created lazily) and fault
+    back in on access through clock replacement.  Without [max_bytes]
+    every page stays resident and the manager never touches the file
+    system.  Spill IO failures and checksum mismatches raise
+    [Solver_error.Error (Internal _)] with the arena left consistent.
+
+    [gc_mode] selects the collection strategy (default {!Sweep}; see
+    {!gc_mode}). *)
+
+val dispose : man -> unit
+(** Close and delete the spill scratch file, if one was created.  The
+    resident node table remains readable, but a capped manager must
+    not allocate past its cap afterwards.  A no-op for uncapped
+    managers. *)
 
 val nvars : man -> int
 
@@ -188,16 +234,37 @@ val add_root : man -> t ref -> unit
 
 val remove_root : man -> t ref -> unit
 
+val add_root_list : man -> t list ref -> unit
+(** Register a list of handles that must survive {!gc}.  Under
+    {!Compact} the list is rewritten in place with the relocated
+    handles, so reading through the ref always yields valid handles. *)
+
+val remove_root_list : man -> t list ref -> unit
+
 val add_root_fn : man -> (unit -> t list) -> unit
 (** Register a function producing additional roots at collection time;
-    useful for rooting caches whose contents change. *)
+    useful for rooting caches whose contents change.  The produced
+    handles are marked live but — under {!Compact} — NOT rewritten;
+    storage that must stay valid across a compacting collection needs
+    a ref, a list ref, or an {!on_remap} hook as well. *)
+
+val on_remap : man -> ((t -> t) -> unit) -> unit
+(** Register a hook run at the end of every {!Compact} collection (and
+    never under {!Sweep}).  The hook receives the relocation function
+    — total on handles that were live at mark time, identity on
+    terminals — and must rewrite any raw handles its layer stores
+    privately (caches, prepared plans, ...).  Applying it to a handle
+    that was not reachable from any root is undefined. *)
 
 val gc : man -> unit
-(** Mark-sweep collection from the registered roots.  Never called
-    implicitly during an operation; callers (e.g. the Datalog engine)
-    invoke it between rule applications.  The operation cache survives
-    collection: only entries whose operands or result were freed are
-    invalidated. *)
+(** Collection from the registered roots, in the manager's {!gc_mode}.
+    Never called implicitly during an operation; callers (e.g. the
+    Datalog engine) invoke it between rule applications.  The operation
+    cache survives collection: only entries whose operands or result
+    died are invalidated (and under {!Compact} the survivors are
+    rewritten to the new numbering). *)
+
+val gc_mode : man -> gc_mode
 
 (** {2 Resource governance} *)
 
@@ -240,6 +307,36 @@ val cache_stats_by_class : man -> (string * int * int) list
 val cache_hit_rate : man -> float
 (** Overall hit fraction in [0, 1]; 0 if no lookups happened. *)
 
+(** {2 Arena observability}
+
+    Counters for the paged node arena behind the manager: how big the
+    table is, how much of it is resident, and how hard the buffer pool
+    is working.  On an uncapped manager every page is resident and the
+    eviction/spill counters stay 0 forever. *)
+
+type arena_stats = {
+  page_bits : int;  (** log2 of node slots per page *)
+  pages_total : int;  (** pages ever allocated, resident or spilled *)
+  pages_resident : int;
+  pages_pinned : int;  (** terminal page, allocation tail, active pins *)
+  peak_pages_resident : int;
+  evictions : int;
+  fault_ins : int;  (** spilled pages brought back on access *)
+  spill_reads : int;
+  spill_writes : int;
+  table_bytes : int;  (** {!table_bytes} at sample time *)
+  resident_bytes : int;  (** bytes of node pages currently in memory *)
+}
+
+val arena_stats : man -> arena_stats
+
+val table_bytes : man -> int
+(** Total node-table bytes: all arena pages (resident and spilled)
+    plus the unique-table bucket array.  This is the quantity
+    [Budget.max_table_bytes] is checked against — spilled pages count,
+    so the byte budget bounds the problem size, while [max_bytes]
+    bounds the memory footprint. *)
+
 val to_dot : ?var_name:(int -> string) -> man -> t -> string
 (** Graphviz rendering of the DAG: solid edges for high (1) branches,
     dashed for low (0); terminals as boxes.  [var_name] labels the
@@ -250,10 +347,16 @@ val to_dot : ?var_name:(int -> string) -> man -> t -> string
     Multicore warm-query serving: {!freeze} snapshots the manager into
     an immutable value that any number of domains may read in parallel,
     and {!eval_ctx} gives one domain a private arena for the fresh
-    nodes its queries allocate.  Freezing never renumbers, so every
-    live handle (a relation root, a cube) denotes exactly the same
-    function in the frozen space — frozen evaluation is bit-identical
-    to the live evaluator.
+    nodes its queries allocate.  Under {!Sweep} freezing never
+    renumbers, so every live handle (a relation root, a cube) denotes
+    exactly the same function in the frozen space; under {!Compact}
+    the pre-freeze collection renumbers but rewrites every registered
+    root, so handles read back from their rooted homes after [freeze]
+    are equally valid against the snapshot.  Either way frozen
+    evaluation is bit-identical to the live evaluator.  The snapshot
+    is always fully resident (spilled pages are faulted in to be
+    copied), so ctx reads never touch the buffer pool or the file
+    system.
 
     Ownership rules: a [frozen] is immutable and freely shareable; a
     [ctx] belongs to exactly one domain at a time and must not be used
@@ -287,6 +390,10 @@ val frozen_nvars : frozen -> int
 
 val frozen_live_nodes : frozen -> int
 (** Live nodes captured by the snapshot (terminals excluded). *)
+
+val frozen_bytes : frozen -> int
+(** Heap footprint of the snapshot itself (node pages + hash buckets),
+    in bytes — always fully resident; frozen spaces never page. *)
 
 type ctx
 (** A per-domain evaluation context over one frozen space: its own

@@ -104,9 +104,12 @@ val compose : t -> t -> string list -> t
 type frozen
 
 val freeze : t -> frozen
-(** Capture the relation's current contents.  Must be taken before the
-    owning space is frozen (the root handle must be live at
-    {!Space.freeze} time for the snapshot to contain it). *)
+(** Capture the relation's current contents.  Take the capture {e
+    after} {!Space.freeze}: the freeze-time collection may renumber
+    handles (under {!Bdd.Compact}), and the relation's registered root
+    is rewritten in place by that collection — a capture taken
+    afterwards reads the renumbered handle, valid against the frozen
+    space; one taken before would go stale. *)
 
 val frozen_name : frozen -> string
 val frozen_attrs : frozen -> attr list

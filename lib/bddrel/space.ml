@@ -6,8 +6,16 @@ type t = {
   mutable next_var : int;
 }
 
-let create ?node_hint ?cache_bits () =
-  { man = Bdd.create ?node_hint ?cache_bits ~nvars:0 (); by_domain = Hashtbl.create 16; next_var = 0 }
+(* Solver spaces default to [Compact] GC: every handle the relational
+   layer retains lives behind a [Relation] ref (a registered root) or a
+   registered remap path, so renumbering is safe, and the
+   level-clustered layout is what makes a byte-capped arena usable. *)
+let create ?node_hint ?cache_bits ?page_bits ?mem_cap_bytes ?spill_path ?(gc_mode = Bdd.Compact) () =
+  {
+    man = Bdd.create ?node_hint ?cache_bits ?page_bits ?max_bytes:mem_cap_bytes ?spill_path ~gc_mode ~nvars:0 ();
+    by_domain = Hashtbl.create 16;
+    next_var = 0;
+  }
 
 let man s = s.man
 let num_vars s = s.next_var
@@ -150,6 +158,7 @@ let freeze s =
   }
 
 let frozen_bdd f = f.f_bdd
+let frozen_bytes f = Bdd.frozen_bytes f.f_bdd
 let frozen_num_vars f = f.f_nvars
 
 let frozen_instances f d =

@@ -26,7 +26,24 @@ type block = {
   bits : int array; (** BDD variable ids, least-significant first *)
 }
 
-val create : ?node_hint:int -> ?cache_bits:int -> unit -> t
+val create :
+  ?node_hint:int ->
+  ?cache_bits:int ->
+  ?page_bits:int ->
+  ?mem_cap_bytes:int ->
+  ?spill_path:string ->
+  ?gc_mode:Bdd.gc_mode ->
+  unit ->
+  t
+(** [node_hint]/[cache_bits] size the manager as in {!Bdd.create}.
+    [page_bits] sets the arena page size; [mem_cap_bytes] caps resident
+    node-page bytes, spilling cold pages to [spill_path] (default a
+    temp file) — see {!Bdd.create}'s [max_bytes].  [gc_mode] defaults
+    to {!Bdd.Compact}: solver spaces retain every handle behind
+    registered roots or remap hooks, so collections renumber and
+    cluster survivors by variable level (the locality that makes the
+    byte cap workable and speeds up uncapped solves). *)
+
 val man : t -> Bdd.man
 
 val alloc : t -> Domain.t -> block
@@ -100,6 +117,10 @@ val freeze : t -> frozen
     keep their meaning (see {!Bdd.freeze}). *)
 
 val frozen_bdd : frozen -> Bdd.frozen
+
+val frozen_bytes : frozen -> int
+(** Resident heap footprint of the snapshot (see {!Bdd.frozen_bytes}). *)
+
 val frozen_num_vars : frozen -> int
 val frozen_instances : frozen -> Domain.t -> block list
 val frozen_domains : frozen -> Domain.t list

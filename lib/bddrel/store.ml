@@ -669,7 +669,7 @@ let lines_of_string s =
   | "" :: rest -> List.rev rest (* drop the final newline's empty split *)
   | _ -> String.split_on_char '\n' s
 
-let load ~dir =
+let load_with ?page_bits ?mem_cap_bytes ~dir () =
   let mpath = manifest_path dir in
   if not (Sys.file_exists mpath) then bad ~path:mpath ~line:0 "no store at %s" dir;
   let m = parse_manifest mpath in
@@ -709,7 +709,10 @@ let load ~dir =
     in
     from_layers (List.rev layers)
   in
-  let space = Space.create () in
+  (* A capped load spills under the store's own directory (the scratch
+     file is lazily created, not in the manifest, and ignored by
+     [verify]/[load] — debris at worst, removed on [dispose]). *)
+  let space = Space.create ?page_bits ?mem_cap_bytes ~spill_path:(Filename.concat (subdir dir) "arena.spill") () in
   let domains =
     List.map
       (fun (name, size, mapped) ->
@@ -799,6 +802,8 @@ let load ~dir =
   }
 
 (* --- Delta layers: append and squash --- *)
+
+let load ~dir = load_with ~dir ()
 
 (* Append one delta layer to the chain at [dir].  The layer is
    committed exactly like a base save: serial first (so the snapshot

@@ -138,6 +138,13 @@ val load : dir:string -> t
     [Solver_error.Error (Bad_input _)] on a missing or malformed
     store. *)
 
+val load_with : ?page_bits:int -> ?mem_cap_bytes:int -> dir:string -> unit -> t
+(** {!load} with node-arena knobs: [page_bits]/[mem_cap_bytes]
+    configure the rebuilt space's arena (see {!Space.create}); a
+    capped load spills cold pages to a scratch file under [dir]'s
+    store directory (not manifested — invisible to {!verify}, debris
+    at worst). *)
+
 (** {2 Verification and repair} *)
 
 type check = {

@@ -36,6 +36,11 @@ type reason =
           can overshoot the limit by at most that interval) *)
   | Allocations of { limit : int; actual : int }
       (** total fresh-node allocations exceeded [max_allocations] *)
+  | Table_bytes of { limit : int; actual : int }
+      (** total BDD node-table bytes (resident plus spilled arena
+          pages) exceeded [max_table_bytes] — the paged-arena analogue
+          of [max_live_nodes], checked on the same amortized
+          schedule *)
   | Timeout of { limit_s : float }  (** wall-clock deadline passed *)
   | Iterations of { limit : int }  (** fixpoint round limit reached *)
   | Cancelled  (** {!cancel} was called *)
@@ -45,6 +50,7 @@ type t
 val make :
   ?max_live_nodes:int ->
   ?max_allocations:int ->
+  ?max_table_bytes:int ->
   ?max_iterations:int ->
   ?timeout_s:float ->
   unit ->
@@ -60,6 +66,7 @@ val is_unlimited : t -> bool
 
 val max_live_nodes : t -> int option
 val max_allocations : t -> int option
+val max_table_bytes : t -> int option
 val max_iterations : t -> int option
 val deadline : t -> float option
 (** Absolute [Unix.gettimeofday] deadline, if a timeout was set. *)
@@ -81,9 +88,11 @@ val check_interrupt : t -> reason option
 (** Cancellation and deadline only — the per-rule-application check in
     the Datalog engine. *)
 
-val check_nodes : t -> live:int -> allocs:int -> reason option
-(** Interrupts plus the node-count and allocation limits — the
-    amortized check inside [Bdd.mk]. *)
+val check_nodes : t -> ?bytes:int -> live:int -> allocs:int -> unit -> reason option
+(** Interrupts plus the node-count, allocation and node-table-byte
+    limits — the amortized check inside [Bdd.mk].  [bytes] is the
+    total arena size (resident plus spilled pages); it defaults to 0,
+    which never trips the byte limit. *)
 
 val check_iterations : t -> iterations:int -> reason option
 (** Interrupts plus the fixpoint-round limit — checked by the engine

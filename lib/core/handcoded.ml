@@ -116,11 +116,12 @@ let run fg =
   let v0_to_v1 = Space.renaming sp [ (v0, v1) ] in
   let v0h0_to_v1h1 = Space.renaming sp [ (v0, v1); (h0, h1) ] in
   let v1h1_to_v0h0 = Space.renaming sp [ (v1, v0); (h1, h0) ] in
-  let cube_v0 = Space.cube sp v0 in
-  let cube_v1 = Space.cube sp v1 in
-  let cube_h0f0 = Space.cube_of_blocks sp [ h0; f0 ] in
-  (* The cubes must survive the in-loop collections too. *)
-  Bdd.add_root_fn man (fun () -> [ cube_v0; cube_v1; cube_h0f0 ]);
+  (* The cubes must survive the in-loop collections too — as registered
+     refs, so a compacting collection rewrites them in place. *)
+  let cube_v0 = ref (Space.cube sp v0) in
+  let cube_v1 = ref (Space.cube sp v1) in
+  let cube_h0f0 = ref (Space.cube_of_blocks sp [ h0; f0 ]) in
+  List.iter (Bdd.add_root man) [ cube_v0; cube_v1; cube_h0f0 ];
   let iterations = ref 0 in
   let changed = ref true in
   while !changed do
@@ -131,7 +132,7 @@ let run fg =
     let d = ref !vp in
     while !d <> Bdd.bdd_false do
       let t1 = Bdd.replace man v0_to_v1 !d in
-      let t2 = Bdd.relprod man ~cube:cube_v1 !assign t1 in
+      let t2 = Bdd.relprod man ~cube:!cube_v1 !assign t1 in
       let t2 = Bdd.mk_and man t2 !vpfilter in
       let fresh = Bdd.mk_diff man t2 !vp in
       vp := Bdd.mk_or man !vp fresh;
@@ -139,17 +140,17 @@ let run fg =
       d := fresh
     done;
     (* Rule (8): hP(h1,f,h2) from stores. *)
-    let s1 = Bdd.relprod man ~cube:cube_v0 !store_b !vp in
+    let s1 = Bdd.relprod man ~cube:!cube_v0 !store_b !vp in
     let vp_v1h1 = Bdd.replace man v0h0_to_v1h1 !vp in
-    let hp_new = Bdd.relprod man ~cube:cube_v1 s1 vp_v1h1 in
+    let hp_new = Bdd.relprod man ~cube:!cube_v1 s1 vp_v1h1 in
     let hp' = Bdd.mk_or man !hp hp_new in
     if hp' <> !hp then begin
       hp := hp';
       changed := true
     end;
     (* Rule (9): loads. *)
-    let l1 = Bdd.relprod man ~cube:cube_v0 !load_b !vp in
-    let l2 = Bdd.relprod man ~cube:cube_h0f0 l1 !hp in
+    let l1 = Bdd.relprod man ~cube:!cube_v0 !load_b !vp in
+    let l2 = Bdd.relprod man ~cube:!cube_h0f0 l1 !hp in
     let l3 = Bdd.mk_and man (Bdd.replace man v1h1_to_v0h0 l2) !vpfilter in
     let fresh = Bdd.mk_diff man l3 !vp in
     if fresh <> Bdd.bdd_false then begin

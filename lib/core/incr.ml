@@ -136,22 +136,27 @@ let update ?options ?query ~algo ~store fg =
               if not (is_input name) then Relation.set_bdd r (old_of name))
             (Engine.declared_relations engine);
           (* The old values are read again after the solve (to compute
-             the store deltas) — keep them alive across its GCs. *)
+             the store deltas) — keep them alive across its GCs as a
+             registered root list, which compacting collections rewrite
+             in place (so the handles stay valid after renumbering;
+             [old]'s own handles are stale once the solve has GC'd). *)
+          let names = List.map fst old in
           let rooted = ref (List.map snd old) in
-          Bdd.add_root_fn man (fun () -> !rooted);
+          Bdd.add_root_list man rooted;
           let changed = List.filter_map (fun (n, add, _) -> if add <> Bdd.bdd_false then Some (n, add) else None) input_diffs in
           match Engine.solve_incremental engine ~changed with
           | Error e ->
-            rooted := [];
+            Bdd.remove_root_list man rooted;
             Error e
           | Ok stats ->
+            let old_now name = List.assoc name (List.combine names !rooted) in
             let deltas =
               List.filter_map
                 (fun name ->
-                  let prev = old_of name and now = Relation.bdd (Engine.relation engine name) in
+                  let prev = old_now name and now = Relation.bdd (Engine.relation engine name) in
                   let add = Bdd.mk_diff man now prev and rem = Bdd.mk_diff man prev now in
                   if add = Bdd.bdd_false && rem = Bdd.bdd_false then None else Some (name, add, rem))
                 declared
             in
-            rooted := [];
+            Bdd.remove_root_list man rooted;
             finish Incremental (Some stats) deltas additions))

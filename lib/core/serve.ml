@@ -52,12 +52,14 @@ let make store =
         Solver_error.raise_bad_input ~file:"<store>" ~line:0
           "store has neither vPC nor vP: not a solved points-to store")
   in
-  (* Relation roots must be captured before the space freeze so the GC
-     inside [Space.freeze] keeps them; after the freeze the live
-     manager is never touched again. *)
+  (* Freeze the space first: the compacting GC inside [Space.freeze]
+     renumbers every surviving node and rewrites the relations'
+     registered roots in place, so capturing [Relation.freeze] handles
+     only afterwards yields handles valid against the snapshot.  After
+     the freeze the live manager is never touched again. *)
+  let fspace = Space.freeze (Store.space store) in
   let fpt = Relation.freeze pt_live in
   let frels = List.map (fun r -> (Relation.name r, Relation.freeze r)) (Store.relations store) in
-  let fspace = Space.freeze (Store.space store) in
   { store; fspace; fpt; frels; vdom = attr_domain fpt "variable"; hdom = attr_domain fpt "heap" }
 
 let new_ctx t = Space.eval_ctx t.fspace
@@ -272,6 +274,19 @@ let stats_lines stats =
   Mutex.unlock stats.s_lat_mutex;
   totals @ per_command
 
+(* Memory observability: frozen snapshots never page, so the whole
+   serving footprint is the snapshot itself plus the process peak. *)
+let mem_lines t =
+  let rss =
+    match Meminfo.peak_rss_kb () with
+    | Some kb -> [ Printf.sprintf "peak-rss-kib %d" kb ]
+    | None -> []
+  in
+  Printf.sprintf "snapshot-bytes %d" (Space.frozen_bytes t.fspace)
+  :: Printf.sprintf "snapshot-nodes %d"
+       (Bdd.frozen_live_nodes (Space.frozen_bdd t.fspace))
+  :: rss
+
 type served = { outcome : outcome; latency_us : float; close : bool }
 
 let serve_line ?(limits = no_limits) ~stats t ctx line =
@@ -280,7 +295,7 @@ let serve_line ?(limits = no_limits) ~stats t ctx line =
   let outcome, close =
     match split_ws stripped with
     | [ "health" ] -> (health t stats, false)
-    | [ "stats" ] -> (ok "stats" (stats_lines stats), false)
+    | [ "stats" ] -> (ok "stats" (stats_lines stats @ mem_lines t), false)
     | first_tokens -> (
       let budget =
         if limits = no_limits then None

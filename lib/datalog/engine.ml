@@ -8,6 +8,10 @@ type options = {
   node_hint : int;
   cache_bits : int;
   budget : Budget.t option;
+  page_bits : int option; (* arena page size override, log2 slots *)
+  mem_cap_bytes : int option; (* resident node-page byte cap; spill past it *)
+  spill_path : string option; (* arena spill file (default: temp file) *)
+  gc_mode : Bdd.gc_mode option; (* default: Space.create's Compact *)
 }
 
 let default_options =
@@ -21,6 +25,10 @@ let default_options =
     node_hint = 1 lsl 16;
     cache_bits = 18;
     budget = None;
+    page_bits = None;
+    mem_cap_bytes = None;
+    spill_path = None;
+    gc_mode = None;
   }
 
 let toggles_of_options o =
@@ -48,6 +56,7 @@ type stats = {
   gcs : int;
   op_cache : (string * int * int) list;
   rule_stats : rule_stat list;
+  arena : Bdd.arena_stats; (* pager counters at solve end *)
 }
 
 let cache_hit_rate s =
@@ -65,9 +74,9 @@ let fail fmt = Format.kasprintf (fun s -> raise (Engine_error s)) fmt
    version is unchanged (the paper's loop-invariant detection). *)
 type prepared = {
   p_rel : Relation.t;
-  p_selects : Bdd.t; (* conjunction of constant minterms, true if none *)
-  p_dup_eqs : Bdd.t list;
-  p_away : Bdd.t; (* cube *)
+  mutable p_selects : Bdd.t; (* conjunction of constant minterms, true if none *)
+  mutable p_dup_eqs : Bdd.t list;
+  mutable p_away : Bdd.t; (* cube *)
   p_map : Bdd.varmap option;
   p_hoist : bool;
   p_cache_full : (int * Bdd.t) ref; (* version marker -1 = invalid *)
@@ -79,9 +88,14 @@ type prepared = {
 }
 
 type step_kind = SJoin of prepared | SConstrain of Bdd.t | SSubtract of prepared
-type step = { kind : step_kind; project_after : Bdd.t (* cube *) }
+type step = { mutable kind : step_kind; mutable project_after : Bdd.t (* cube *) }
 
-type head_spec = { h_rel : Relation.t; h_map : Bdd.varmap option; h_eqs : Bdd.t list; h_consts : Bdd.t }
+type head_spec = {
+  h_rel : Relation.t;
+  h_map : Bdd.varmap option;
+  mutable h_eqs : Bdd.t list;
+  mutable h_consts : Bdd.t;
+}
 
 (* A compiled plan: the symbolic {!Ralg.plan} plus its BDD realisation
    and cumulative per-rule evaluation counters. *)
@@ -109,6 +123,13 @@ type t = {
   mutable rule_apps : int;
   mutable stats : stats option;
   mutable budget : Budget.t option;
+  mutable gc_threshold : int;
+      (* capped runs only (0 = off): collect whenever the node table
+         outgrows this many bytes.  Starts at the memory cap — while
+         live data fits, collections keep the table resident and the
+         pager idle; once live data itself exceeds the cap, the
+         threshold backs off to twice the post-collection size so the
+         solver pages rather than collecting after every rule. *)
   mutable cur_iterations : int; (* rounds completed by the current/last [run] *)
   incr_fresh : (string, Bdd.t) Hashtbl.t;
       (* per-relation union of tuples that are new this run — seeded
@@ -314,7 +335,10 @@ let create ?(options = default_options) ?element_names ?domain_order (program : 
       | Some p -> fail "%a: %s" Ast.pp_pos p message
       | None -> fail "%s" message)
   in
-  let sp = Space.create ~node_hint:options.node_hint ~cache_bits:options.cache_bits () in
+  let sp =
+    Space.create ~node_hint:options.node_hint ~cache_bits:options.cache_bits ?page_bits:options.page_bits
+      ?mem_cap_bytes:options.mem_cap_bytes ?spill_path:options.spill_path ?gc_mode:options.gc_mode ()
+  in
   let t =
     {
       res;
@@ -330,6 +354,7 @@ let create ?(options = default_options) ?element_names ?domain_order (program : 
       rule_apps = 0;
       stats = None;
       budget = options.budget;
+      gc_threshold = Option.value options.mem_cap_bytes ~default:0;
       cur_iterations = 0;
       incr_fresh = Hashtbl.create 8;
       track_fresh = false;
@@ -417,6 +442,38 @@ let create ?(options = default_options) ?element_names ?domain_order (program : 
             let _, _, b = !r in
             b)
           !delta_refs);
+  (* Compacting collections renumber every surviving node.  The root
+     function above only marks; this hook rewrites every handle the
+     engine stores outside registered refs.  The delta cache keys on a
+     pre-GC handle, so it is invalidated rather than remapped (its
+     gc-stamp guard would reject it anyway). *)
+  Bdd.on_remap (Space.man sp) (fun mapf ->
+      t.plan_consts <- List.map mapf t.plan_consts;
+      let fresh' = Hashtbl.fold (fun k b acc -> (k, mapf b) :: acc) t.incr_fresh [] in
+      List.iter (fun (k, b) -> Hashtbl.replace t.incr_fresh k b) fresh';
+      let remap_prepared p =
+        p.p_selects <- mapf p.p_selects;
+        p.p_dup_eqs <- List.map mapf p.p_dup_eqs;
+        p.p_away <- mapf p.p_away;
+        (let ver, b = !(p.p_cache_full) in
+         if ver >= 0 then p.p_cache_full := (ver, mapf b));
+        p.p_cache_delta := (-1, -1, Bdd.bdd_false)
+      in
+      List.iter
+        (fun (once, loop) ->
+          List.iter
+            (fun plan ->
+              Array.iter
+                (fun stp ->
+                  stp.project_after <- mapf stp.project_after;
+                  match stp.kind with
+                  | SJoin p | SSubtract p -> remap_prepared p
+                  | SConstrain c -> stp.kind <- SConstrain (mapf c))
+                plan.steps;
+              plan.head.h_eqs <- List.map mapf plan.head.h_eqs;
+              plan.head.h_consts <- mapf plan.head.h_consts)
+            (once @ loop))
+        t.plans);
   t
 
 let parse_and_create ?options ?element_names ?domain_order ?file src =
@@ -539,7 +596,18 @@ let check_budget t =
 let maybe_gc t =
   t.rule_apps <- t.rule_apps + 1;
   check_budget t;
-  if t.opts.gc_interval > 0 && t.rule_apps mod t.opts.gc_interval = 0 then Bdd.gc (Space.man t.sp)
+  let man = Space.man t.sp in
+  if t.opts.gc_interval > 0 && t.rule_apps mod t.opts.gc_interval = 0 then Bdd.gc man
+  else if t.gc_threshold > 0 && Bdd.table_bytes man > t.gc_threshold then begin
+    (* Capped run outgrew its threshold: compact now — dead nodes are
+       the bulk of an uncollected table, and the level-clustered
+       survivors keep the pager's working set tight.  If live data
+       itself no longer fits the cap, back the threshold off so
+       collections stay amortized against real growth. *)
+    Bdd.gc man;
+    let cap = Option.value t.opts.mem_cap_bytes ~default:0 in
+    t.gc_threshold <- max cap (2 * Bdd.table_bytes man)
+  end
 
 (* Union the result into the head; returns whether new tuples arrived. *)
 let commit t plan result ~track_delta =
@@ -649,6 +717,7 @@ let make_stats t ~t0 ~iterations =
       gcs = Bdd.gc_count man;
       op_cache = Bdd.cache_stats_by_class man;
       rule_stats = collect_rule_stats t;
+      arena = Bdd.arena_stats man;
     }
   in
   t.stats <- Some s;
@@ -694,9 +763,13 @@ let run t =
 (* --- Incremental fixpoint --- *)
 
 (* The SJoin positions of [plan] whose source relation gained tuples
-   this run, paired with those fresh tuples.  [skip_delta] excludes the
+   this run, paired with the source's name.  [skip_delta] excludes the
    recursive positions (they are fed by the delta accumulators, not a
-   one-shot pass). *)
+   one-shot pass).  The fresh BDD itself is re-read from [incr_fresh]
+   at each application ([fresh_of]): a compacting collection between
+   applications renumbers handles, and commits may grow the fresh set —
+   both make a captured handle stale (re-reading a grown superset is
+   sound: the pass covers at least the combinations it did before). *)
 let fresh_positions t plan ~skip_delta =
   let acc = ref [] in
   Array.iteri
@@ -705,11 +778,13 @@ let fresh_positions t plan ~skip_delta =
       | SJoin prep ->
         if not (skip_delta && List.mem i plan.delta_positions) then (
           match Hashtbl.find_opt t.incr_fresh (Relation.name prep.p_rel) with
-          | Some f when f <> Bdd.bdd_false -> acc := (i, f) :: !acc
+          | Some f when f <> Bdd.bdd_false -> acc := (i, Relation.name prep.p_rel) :: !acc
           | Some _ | None -> ())
       | SConstrain _ | SSubtract _ -> ())
     plan.steps;
   List.rev !acc
+
+let fresh_of t name = Option.value (Hashtbl.find_opt t.incr_fresh name) ~default:Bdd.bdd_false
 
 let run_incremental t ~changed =
   if not t.opts.semi_naive then run t
@@ -736,8 +811,9 @@ let run_incremental t ~changed =
               (fun plan ->
                 let track = Hashtbl.mem t.pendings (Relation.name plan.head.h_rel) in
                 List.iter
-                  (fun (i, f) ->
-                    ignore (apply t plan ~delta_at:(Some (i, f)) ~track_delta:track);
+                  (fun (i, src) ->
+                    let f = fresh_of t src in
+                    if f <> Bdd.bdd_false then ignore (apply t plan ~delta_at:(Some (i, f)) ~track_delta:track);
                     maybe_gc t)
                   (fresh_positions t plan ~skip_delta:false))
               once;
@@ -747,8 +823,9 @@ let run_incremental t ~changed =
               List.iter
                 (fun plan ->
                   List.iter
-                    (fun (i, f) ->
-                      ignore (apply t plan ~delta_at:(Some (i, f)) ~track_delta:true);
+                    (fun (i, src) ->
+                      let f = fresh_of t src in
+                      if f <> Bdd.bdd_false then ignore (apply t plan ~delta_at:(Some (i, f)) ~track_delta:true);
                       maybe_gc t)
                     (fresh_positions t plan ~skip_delta:true))
                 loop;
@@ -798,6 +875,7 @@ let structured t f =
            live_nodes = Bdd.live_nodes (Space.man t.sp);
          })
   | exception Engine_error msg -> Error (Solver_error.Internal msg)
+  | exception Solver_error.Error e -> Error e (* pager IO/corruption faults *)
 
 let solve t = structured t (fun () -> run t)
 let solve_incremental t ~changed = structured t (fun () -> run_incremental t ~changed)

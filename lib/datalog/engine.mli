@@ -42,6 +42,19 @@ type options = {
           and allocation limits enforced inside [Bdd.mk]) and polled by
           the engine between rule applications (deadline, cancellation)
           and fixpoint rounds (iteration limit) *)
+  page_bits : int option;
+      (** node-arena page size (log2 slots per page) — see
+          {!Bdd.create}; [None] = the arena default *)
+  mem_cap_bytes : int option;
+      (** cap on resident node-page bytes: past it, cold pages spill to
+          [spill_path] and fault back in on demand; [None] = uncapped
+          (everything resident, no pager overhead) *)
+  spill_path : string option;
+      (** spill file for evicted pages (a driver points this into its
+          store's scratch area); [None] = a fresh temp file *)
+  gc_mode : Bdd.gc_mode option;
+      (** [None] defers to {!Space.create}'s default ({!Bdd.Compact}:
+          collections renumber survivors clustered by variable level) *)
 }
 
 val default_options : options
@@ -74,6 +87,9 @@ type stats = {
   rule_stats : rule_stat list;
       (** per-rule attribution, in stratum order (once rules before
           loop rules); cumulative across runs of this engine *)
+  arena : Bdd.arena_stats;
+      (** node-arena pager counters (pages resident/pinned, evictions,
+          spill traffic, table bytes) at solve end *)
 }
 
 val cache_hit_rate : stats -> float
