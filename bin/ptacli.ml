@@ -606,8 +606,12 @@ let basic_of_tag = function
   | _ -> None
 
 let update_cmd =
-  let run path dir budget mem stats watch poll_interval compact_every =
+  let run path dir budget mem stats watch poll_interval compact_every certify no_certify =
     let options = options_of_budget ~mem budget in
+    (* Certification default: on for --watch (a long-running writer
+       feeding --require-certified followers must never commit an
+       unvouched layer), off for a one-shot update unless asked. *)
+    let do_certify = (not no_certify) && (certify || watch) in
     (* One update cycle: compare the program against the chain tip,
        re-solve by the cheapest sound route (Pta.Incr), and commit the
        result as a delta layer (incremental/unchanged) or a fresh base
@@ -642,6 +646,42 @@ let update_cmd =
           let o = solved (Pta.Incr.update ~options ~algo ~store:st fg) in
           let eng = o.Pta.Incr.engine in
           let config = [ ("program", Filename.basename path); ("algo", tag) ] in
+          let cert_verdict e =
+            Pta.Certify.certify_engine ~algo:tag ~fresh_inputs:(Pta.Programs.input_relations fg) e
+          in
+          (* Certify the candidate *before* commit: a result that is
+             not a closed model of this program's rules never reaches
+             the chain, so followers demanding certified snapshots
+             cannot be fed a wrong answer by the incremental path. *)
+          let incr_certified =
+            (not do_certify)
+            ||
+            let v = cert_verdict eng in
+            List.iter print_endline (Pta.Certify.verdict_lines v);
+            Pta.Certify.passed v
+          in
+          if not incr_certified then begin
+            Printf.eprintf
+              "update: incremental result failed certification; quarantining delta chain and re-solving cold\n%!";
+            (match Store.quarantine_layers ~dir ~from_layer:1 with
+            | Some dest -> Printf.eprintf "update: quarantined delta layers to %s\n%!" dest
+            | None -> ());
+            let cold = solved (Analyses.solve_basic ~options ~algo fg) in
+            let ceng = cold.Analyses.engine in
+            let cv = cert_verdict ceng in
+            List.iter print_endline (Pta.Certify.verdict_lines cv);
+            if not (Pta.Certify.passed cv) then
+              raise
+                (Solver_error.Error
+                   (Solver_error.Internal "cold re-solve also failed certification; refusing to commit"));
+            Store.save ~dir ~key ~config ~space:(Datalog.Engine.space ceng)
+              ~relations:(Datalog.Engine.declared_relations ceng);
+            let mk, ms = Store.mark_certified ~dir in
+            Printf.printf "update: cold re-solve committed and certified in %.3fs (key %s, snapshot %d)\n%!"
+              (Unix.gettimeofday () -. t0)
+              (String.sub mk 0 12) ms
+          end
+          else begin
           (match o.Pta.Incr.verdict with
           | Pta.Incr.Cold _ ->
             Store.save ~dir ~key ~config ~space:(Datalog.Engine.space eng)
@@ -650,6 +690,7 @@ let update_cmd =
             ignore
               (Store.save_delta ~dir ~key ~config ~space:(Datalog.Engine.space eng)
                  ~deltas:o.Pta.Incr.deltas));
+          if do_certify then ignore (Store.mark_certified ~dir);
           let layers = Option.value (Store.read_layers ~dir) ~default:0 in
           let snapshot = match Store.read_ident ~dir with Some (_, s) -> s | None -> 0 in
           Printf.printf "update: %s in %.3fs (%d relations changed; snapshot %d, %d layer%s)\n%!"
@@ -664,12 +705,17 @@ let update_cmd =
              | n ->
                Printf.printf "update: compacted %d layer%s into a new base (snapshot %d)\n%!" n
                  (if n = 1 then "" else "s")
-                 (Option.value (Store.read_snapshot ~dir) ~default:0));
-          match (stats, o.Pta.Incr.stats) with
+                 (Option.value (Store.read_snapshot ~dir) ~default:0);
+               (* compact drops the certified line (new base = new
+                  identity); the fold of a just-certified tip is
+                  content-identical, so re-mark it. *)
+               if do_certify then ignore (Store.mark_certified ~dir));
+          (match (stats, o.Pta.Incr.stats) with
           | true, Some s ->
             print_stats s;
             print_extended_stats s
-          | _ -> ()
+          | _ -> ())
+          end
         end
     in
     if not watch then update_once ()
@@ -737,6 +783,23 @@ let update_cmd =
             "Compact the delta chain back to a single base once it reaches $(docv) layers (LSM-style), \
              bounding load-time fold work for followers.  0 never compacts.")
   in
+  let certify =
+    Arg.(
+      value & flag
+      & info [ "certify" ]
+          ~doc:
+            "Semantically certify each result before committing it (independent one-application fixpoint \
+             check, see $(b,ptacli certify)): a pass records a $(b,certified) mark for \
+             $(b,serve --follow --require-certified) followers; a failure quarantines the delta chain and \
+             forces a cold re-solve instead of committing a wrong answer.  Default on under $(b,--watch), \
+             off otherwise.")
+  in
+  let no_certify =
+    Arg.(
+      value & flag
+      & info [ "no-certify" ]
+          ~doc:"Skip certification even under $(b,--watch) (overrides $(b,--certify)).")
+  in
   Cmd.v
     (Cmd.info "update"
        ~doc:
@@ -744,9 +807,67 @@ let update_cmd =
           relations against the stored ones (BDD diffs), re-solve from only the added tuples, and append \
           the result as a delta layer — bit-identical to a cold solve at a fraction of the cost.  Removals \
           or negation fall back to a cold solve and a fresh base (sound by construction, never wrong).  \
-          $(b,--watch) turns this into a long-running writer for an evolving codebase.")
+          $(b,--watch) turns this into a long-running writer for an evolving codebase, certifying every \
+          commit by default (see $(b,--certify)).")
     Term.(
-      const run $ program_arg $ store_dir $ budget_term $ mem_term $ stats_flag $ watch $ poll_interval $ compact_every)
+      const run $ program_arg $ store_dir $ budget_term $ mem_term $ stats_flag $ watch $ poll_interval
+      $ compact_every $ certify $ no_certify)
+
+(* --- certify: independent semantic check of a stored result --- *)
+
+(* Shared by the top-level `certify` verb and `store certify`: load
+   the folded chain tip, re-extract the program's input relations, run
+   the independent fixpoint check (Pta.Certify — shares the rule plans
+   with the solver but not its fixpoint driver), and on a pass record
+   the `certified <key> <snapshot>` mark that `serve --follow
+   --require-certified` demands.  Exit 1 with the violating rule and
+   bounded witness tuples on a failure. *)
+let run_certification path dir budget mem max_witness =
+  let options = options_of_budget ~mem budget in
+  if not (Store.exists ~dir) then begin
+    prerr_endline
+      (Printf.sprintf "ptacli: no store at %s/store (run 'analyze --save-store %s' first)" dir dir);
+    exit 1
+  end;
+  let st = Store.load ~dir in
+  let p = or_die (read_program path) in
+  let fg = Factgen.extract p in
+  let v = Pta.Certify.certify_store ~options ~query:Pta.Programs.no_query ~max_witness fg st in
+  List.iter print_endline (Pta.Certify.verdict_lines v);
+  if Pta.Certify.passed v then begin
+    let key, snapshot = Store.mark_certified ~dir in
+    Printf.printf "certify: marked key %s snapshot %d as certified\n" (String.sub key 0 12) snapshot
+  end
+  else exit 1
+
+let max_witness_term =
+  Arg.(
+    value
+    & opt int 5
+    & info [ "max-witness" ] ~docv:"N"
+        ~doc:"Tuples printed per violation witness (the full fresh-tuple count is always reported).")
+
+let certify_store_dir_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "store" ] ~docv:"DIR"
+        ~doc:"Store directory written by $(b,analyze --save-store) or $(b,update) (certified in place).")
+
+let certify_cmd =
+  Cmd.v
+    (Cmd.info "certify"
+       ~doc:
+         "Independently check that a stored result is a genuine fixpoint of the program it claims to \
+          solve: every extracted input relation must be contained in the solution, and one full \
+          application of every resolved rule must add nothing (BDD containment per rule).  The checker \
+          reuses the solver's optimized rule plans but not its fixpoint driver, so a solver bug, a \
+          CRC-clean on-disk corruption, or a wrong incremental shortcut is caught here even when \
+          $(b,store verify) reports every checksum healthy.  A pass records a $(b,certified) mark in the \
+          store manifest — what $(b,serve --follow --require-certified) demands before hot-swapping — \
+          naming the exact chain-tip identity, so any later save invalidates it.  On failure, prints the \
+          first violating rule with bounded witness tuples and exits 1.")
+    Term.(const run_certification $ program_arg $ certify_store_dir_arg $ budget_term $ mem_term $ max_witness_term)
 
 (* --- serve ---
 
@@ -800,12 +921,27 @@ let prepare_socket_path path =
   end
 
 let serve_cmd =
-  let run dir socket max_clients workers req_timeout req_max_allocs req_max_nodes follow poll_interval =
+  let run dir socket max_clients workers req_timeout req_max_allocs req_max_nodes follow poll_interval
+      require_certified =
     (* The initial load happens before any socket work on purpose: a
        follower pointed at a missing or broken store must exit with a
        structured error (code 1) without ever binding — leaving no
        socket file behind for a router to trip over. *)
     let st = Store.load ~dir in
+    (* --require-certified also gates the *initial* snapshot: refusing
+       to start beats serving an unvouched-for answer until the first
+       swap.  (The same comparison gates every later candidate in
+       Serve.Follow.poll.) *)
+    if require_certified then begin
+      let ident = Store.read_ident ~dir in
+      if ident = None || Store.read_certified ~dir <> ident then begin
+        Printf.eprintf
+          "serve: store at %s is not certified (run 'ptacli certify PROGRAM.jir --store %s' first, or drop \
+           --require-certified)\n%!"
+          dir dir;
+        exit 1
+      end
+    end;
     let srv = Pta.Serve.make st in
     let stats = Pta.Serve.make_stats () in
     let limits =
@@ -835,7 +971,7 @@ let serve_cmd =
     let watcher_thread =
       if not follow then None
       else begin
-        let fstate = Pta.Serve.Follow.make ~dir source in
+        let fstate = Pta.Serve.Follow.make ~require_certified ~dir source in
         let watcher () =
           while not !shutdown do
             Thread.delay poll_interval;
@@ -1087,6 +1223,16 @@ let serve_cmd =
       & info [ "poll-interval" ] ~docv:"SECONDS"
           ~doc:"How often $(b,--follow) checks the store manifest for a new save (one stat when unchanged).")
   in
+  let require_certified =
+    Arg.(
+      value & flag
+      & info [ "require-certified" ]
+          ~doc:
+            "Serve (and with $(b,--follow), hot-swap to) only snapshots carrying a semantic certification \
+             mark matching the chain-tip identity (see $(b,ptacli certify)).  An uncertified candidate is \
+             rejected with a structured log line while the old certified snapshot keeps serving — zero \
+             downtime, zero exposure to byte-perfect but semantically wrong saves.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -1099,7 +1245,7 @@ let serve_cmd =
           zero downtime.  'help' lists the protocol.")
     Term.(
       const run $ dir $ socket $ max_clients $ workers $ req_timeout $ req_max_allocs $ req_max_nodes
-      $ follow $ poll_interval)
+      $ follow $ poll_interval $ require_certified)
 
 (* --- route: fault-tolerant router over serve backends --------------
 
@@ -1372,12 +1518,44 @@ let store_group_cmd =
             never a mix.")
       Term.(const run $ dir_arg)
   in
+  let certify =
+    Cmd.v
+      (Cmd.info "certify"
+         ~doc:
+           "Semantic twin of $(b,verify): alias for the top-level $(b,ptacli certify) verb.  $(b,verify) \
+            proves the bytes on disk are the bytes that were written; $(b,certify) proves the relations \
+            they encode are a genuine fixpoint of $(i,PROGRAM.jir)'s rules.  Both can disagree — a \
+            CRC-clean tuple flip passes $(b,verify) and fails here.")
+      Term.(const run_certification $ program_arg $ dir_arg $ budget_term $ mem_term $ max_witness_term)
+  in
+  let corrupt =
+    let relation_arg =
+      Arg.(
+        required
+        & opt (some string) None
+        & info [ "relation" ] ~docv:"NAME" ~doc:"Stored relation to corrupt.")
+    in
+    let run dir relation =
+      Store.corrupt_tuple_for_tests ~dir ~relation;
+      Printf.printf "store: semantically corrupted relation %s (checksums freshly consistent; 'store \
+                     verify' will pass, 'certify' will not)\n"
+        relation
+    in
+    Cmd.v
+      (Cmd.info "corrupt" ~docs:Cmdliner.Manpage.s_none
+         ~doc:
+           "Test hook: flip one tuple of a stored relation and re-save with fresh checksums — byte-level \
+            $(b,verify) stays green, semantic $(b,certify) fails.  Exists so the robustness suite and CI \
+            can exercise the certification path; never use on a store you care about.")
+      Term.(const run $ dir_arg $ relation_arg)
+  in
   Cmd.group
     (Cmd.info "store"
        ~doc:
-         "Persistent store maintenance: $(b,verify) integrity across the delta chain, $(b,repair) by \
-          quarantine, $(b,compact) the chain into a fresh base.")
-    [ verify; repair; compact ]
+         "Persistent store maintenance: $(b,verify) integrity across the delta chain, $(b,certify) the \
+          semantics against a program, $(b,repair) by quarantine, $(b,compact) the chain into a fresh \
+          base.")
+    [ verify; certify; repair; compact; corrupt ]
 
 (* --- order-search --- *)
 
@@ -1619,6 +1797,7 @@ let () =
         analyze_cmd;
         query_cmd;
         update_cmd;
+        certify_cmd;
         serve_cmd;
         route_cmd;
         store_group_cmd;

@@ -226,7 +226,16 @@ let extend_vars m n = if n > m.nvars then m.nvars <- n
 
 let hash3 a b c = (a * 12582917) lxor (b * 4256249) lxor (c * 741457)
 
+let sweep_stale_spills = A.sweep_stale_spills
+
 let create ?(node_hint = 1 lsl 16) ?(cache_bits = 16) ?page_bits ?max_bytes ?spill_path ?(gc_mode = Sweep) ~nvars () =
+  (* A capped manager bound for the temp directory sweeps its
+     predecessors' orphaned scratch files first — a SIGKILLed capped
+     solve never reaches [dispose].  Drivers that point [spill_path]
+     somewhere of their own sweep that directory themselves. *)
+  (match (max_bytes, spill_path) with
+  | Some _, None -> ignore (A.sweep_stale_spills ~dir:(Filename.get_temp_dir_name ()) ())
+  | _ -> ());
   let arena = A.create ?page_bits ?max_bytes ?spill_path () in
   let bcap =
     (* Bucket count tracks the arena capacity (load factor <= 1), so

@@ -86,6 +86,17 @@ val dispose : man -> unit
     not allocate past its cap afterwards.  A no-op for uncapped
     managers. *)
 
+val sweep_stale_spills : ?max_age_s:float -> dir:string -> unit -> int
+(** Remove orphaned spill scratch files under [dir]: files whose name
+    embeds a creator pid ([arena.<pid>.spill],
+    [whalelam-arena.<pid>.<rand>.spill]) where that pid is dead and the
+    file has not been touched for [max_age_s] seconds (default 60) —
+    the debris a SIGKILLed capped solve leaves behind, which {!dispose}
+    never got to delete.  Run automatically for the temp directory when
+    a capped manager is created without an explicit [spill_path], and
+    by [Bddrel.Store] for a store's own scratch area on load.  Returns
+    the number of files removed. *)
+
 val nvars : man -> int
 
 val extend_vars : man -> int -> unit

@@ -121,6 +121,58 @@ let pinned_pages a =
 
 (* --- Spill file --- *)
 
+(* Scratch names embed the creator's pid ([arena.<pid>.spill] when a
+   driver points [spill_path] into its store, or
+   [whalelam-arena.<pid>.<rand>.spill] in the temp directory) so
+   {!sweep_stale_spills} can tell abandoned debris from a live solve's
+   working file. *)
+let temp_spill_prefix () = Printf.sprintf "whalelam-arena.%d." (Unix.getpid ())
+
+let spill_owner_pid name =
+  match String.split_on_char '.' name with
+  | base :: pid :: rest when base = "arena" || base = "whalelam-arena" -> (
+    match List.rev rest with
+    | "spill" :: _ -> int_of_string_opt pid
+    | _ -> None)
+  | _ -> None
+
+(* Remove orphaned spill scratch files under [dir] — debris a SIGKILLed
+   capped solve had no chance to [dispose].  Triple guard before
+   deleting: the name's embedded pid is not ours, that pid is no longer
+   alive (ESRCH; EPERM means alive-but-foreign, keep it), and the file
+   has not been touched for [max_age_s] — so a live solve's scratch is
+   never touched, even across pid reuse.  Returns the removal count. *)
+let sweep_stale_spills ?(max_age_s = 60.0) ~dir () =
+  let self = Unix.getpid () in
+  let now = Unix.gettimeofday () in
+  let removed = ref 0 in
+  (match Sys.readdir dir with
+  | exception Sys_error _ -> ()
+  | entries ->
+    Array.iter
+      (fun name ->
+        match spill_owner_pid name with
+        | Some pid when pid <> self ->
+          let alive =
+            match Unix.kill pid 0 with
+            | () -> true
+            | exception Unix.Unix_error (Unix.ESRCH, _, _) -> false
+            | exception Unix.Unix_error _ -> true
+          in
+          if not alive then begin
+            let path = Filename.concat dir name in
+            match Unix.stat path with
+            | st when now -. st.Unix.st_mtime >= max_age_s ->
+              Faults.fs_op ("remove " ^ path);
+              (try Sys.remove path with Sys_error _ -> ());
+              incr removed
+            | _ -> ()
+            | exception Unix.Unix_error _ -> ()
+          end
+        | Some _ | None -> ())
+      entries);
+  !removed
+
 let ensure_fd a =
   match a.spill_fd with
   | Some fd -> fd
@@ -129,7 +181,7 @@ let ensure_fd a =
     let path =
       match a.spill_path with
       | Some p -> p
-      | None -> Filename.temp_file "whalelam-arena" ".spill"
+      | None -> Filename.temp_file (temp_spill_prefix ()) ".spill"
     in
     (match Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC; Unix.O_CLOEXEC ] 0o600 with
     | fd ->
@@ -159,6 +211,20 @@ let read_all fd buf =
     off := !off + n
   done
 
+(* Close and delete the scratch file; [dispose]'s body, shared with the
+   spill-write failure path. *)
+let close_spill a =
+  (match a.spill_fd with
+  | Some fd ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    a.spill_fd <- None
+  | None -> ());
+  match a.spill_real_path with
+  | Some p ->
+    (try Sys.remove p with Sys_error _ -> ());
+    a.spill_real_path <- None
+  | None -> ()
+
 let spill_write a p pg =
   let fd = ensure_fd a in
   let buf = a.spill_buf in
@@ -168,11 +234,18 @@ let spill_write a p pg =
   done;
   let crc = Crc32.update 0 (Bytes.unsafe_to_string buf) ~pos:0 ~len:data_bytes in
   Bytes.set_int64_le buf data_bytes (Int64.of_int crc);
-  Faults.fs_op "arena-spill-write";
   (try
+     Faults.fs_op "arena-spill-write";
      seek_slot fd a p;
      write_all fd buf
-   with Unix.Unix_error (e, _, _) -> internal "arena: spill write failed for page %d: %s" p (Unix.error_message e));
+   with Unix.Unix_error (e, _, _) ->
+     (* A failed spill (disk full, I/O error) aborts the solve with a
+        structured error before any pool state mutates; release the
+        scratch eagerly — the manager is dead to further spilling, and
+        holding the fd until [dispose] would pin disk space exactly
+        when the disk just ran out. *)
+     close_spill a;
+     internal "arena: spill write failed for page %d: %s" p (Unix.error_message e));
   a.spill_writes <- a.spill_writes + 1
 
 let spill_read a p pg =
@@ -349,14 +422,4 @@ let swap a fresh n =
   if n > 0 then a.pins.(0) <- 1;
   if a.capped then while a.resident > a.max_resident && evict_one a do () done
 
-let dispose a =
-  (match a.spill_fd with
-  | Some fd ->
-    (try Unix.close fd with Unix.Unix_error _ -> ());
-    a.spill_fd <- None
-  | None -> ());
-  (match a.spill_real_path with
-  | Some p ->
-    (try Sys.remove p with Sys_error _ -> ());
-    a.spill_real_path <- None
-  | None -> ())
+let dispose a = close_spill a

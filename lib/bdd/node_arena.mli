@@ -100,3 +100,10 @@ val swap : t -> int array array -> int -> unit
 val dispose : t -> unit
 (** Close and delete the spill file, if one was created.  The arena's
     resident pages remain readable. *)
+
+val sweep_stale_spills : ?max_age_s:float -> dir:string -> unit -> int
+(** Remove orphaned spill scratch files under [dir]: pid-named debris
+    ([arena.<pid>.spill], [whalelam-arena.<pid>.<rand>.spill]) whose
+    creator is dead and whose mtime is at least [max_age_s] seconds
+    old (default 60).  Returns the number of files removed.  See
+    {!Bdd.sweep_stale_spills}. *)

@@ -344,6 +344,7 @@ type manifest = {
   m_blocks : (string * int * int array) list; (* dom, instance, bits *)
   m_relations : (string * (string * string * int) list) list; (* rel, attrs (name, dom, instance) *)
   m_checksums : (string * int * int) list; (* file, size, crc32 *)
+  m_certified : (string * int) option; (* chain-tip (key, snapshot) a semantic certification vouched for *)
 }
 
 let split_ws s = String.split_on_char ' ' s |> List.filter (fun f -> f <> "")
@@ -396,7 +397,8 @@ let parse_manifest path =
   and domains = ref []
   and blocks = ref []
   and relations = ref []
-  and checksums = ref [] in
+  and checksums = ref []
+  and certified = ref None in
   List.iteri
     (fun i line ->
       let line_no = i + 1 in
@@ -432,6 +434,7 @@ let parse_manifest path =
           match Crc32.of_hex crc with
           | Some c -> checksums := (file, int_field ~line:line_no "checksum size" size, c) :: !checksums
           | None -> bad ~path ~line:line_no "malformed checksum value %s" crc)
+        | [ "certified"; k; s ] -> certified := Some (k, int_field ~line:line_no "certified snapshot" s)
         | [ "selfsum"; _ ] -> () (* verified up front by [verify_selfsum] *)
         | _ -> bad ~path ~line:line_no "unrecognized manifest line: %s" line)
     lines;
@@ -448,6 +451,7 @@ let parse_manifest path =
     m_blocks = List.rev !blocks;
     m_relations = List.rev !relations;
     m_checksums = List.rev !checksums;
+    m_certified = !certified;
   }
 
 let exists ~dir = Sys.file_exists (manifest_path dir)
@@ -711,8 +715,13 @@ let load_with ?page_bits ?mem_cap_bytes ~dir () =
   in
   (* A capped load spills under the store's own directory (the scratch
      file is lazily created, not in the manifest, and ignored by
-     [verify]/[load] — debris at worst, removed on [dispose]). *)
-  let space = Space.create ?page_bits ?mem_cap_bytes ~spill_path:(Filename.concat (subdir dir) "arena.spill") () in
+     [verify]/[load] — debris at worst, removed on [dispose]).  The
+     name embeds our pid so the sweep below — run on every load — can
+     reclaim scratch files that earlier, since-killed processes never
+     disposed, without ever touching a live concurrent loader's. *)
+  ignore (Bdd.sweep_stale_spills ~dir:(subdir dir) ());
+  let spill = Filename.concat (subdir dir) (Printf.sprintf "arena.%d.spill" (Unix.getpid ())) in
+  let space = Space.create ?page_bits ?mem_cap_bytes ~spill_path:spill () in
   let domains =
     List.map
       (fun (name, size, mapped) ->
@@ -943,6 +952,86 @@ let compact ~dir =
     save ~dir ~key:st.st_key ~config:st.st_config ~space:st.st_space ~relations:(List.map snd st.st_rels);
     st.st_layers
   end
+
+(* --- Semantic certification marks --- *)
+
+(* Record that an independent fixpoint check ({!Pta.Certify}) vouched
+   for the current chain tip: a [certified <key> <snapshot>] line in
+   the base manifest, rewritten through the same atomic barrier as
+   every other manifest write.  The mark names the tip {e identity},
+   so it self-invalidates: a later [save_delta] moves the tip snapshot
+   past the recorded one, and [save]/[compact] rewrite the manifest
+   without the line.  Returns the recorded pair. *)
+let mark_certified ~dir =
+  let mpath = manifest_path dir in
+  if not (Sys.file_exists mpath) then bad ~path:mpath ~line:0 "no store at %s" dir;
+  let m = parse_manifest mpath in
+  let layers =
+    match read_chain dir m with
+    | layers, None -> layers
+    | _, Some (n, msg) ->
+      bad ~path:(layer_manifest_path dir n) ~line:0 "cannot certify a broken delta chain: %s" msg
+  in
+  let tip_key, tip_snapshot, _ = tip_of_chain m layers in
+  let body =
+    List.filter
+      (fun l ->
+        match split_ws l with
+        | "certified" :: _ | "selfsum" :: _ | [ "end" ] -> false
+        | _ -> true)
+      (read_lines mpath)
+  in
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun l ->
+      Buffer.add_string b l;
+      Buffer.add_char b '\n')
+    body;
+  Printf.bprintf b "certified %s %d\n" tip_key tip_snapshot;
+  Printf.bprintf b "selfsum %s\n" (Crc32.to_hex (Crc32.string (Buffer.contents b)));
+  Buffer.add_string b "end\n";
+  write_atomic mpath (Buffer.contents b);
+  (tip_key, tip_snapshot)
+
+let read_certified ~dir =
+  if not (exists ~dir) then None
+  else
+    match parse_manifest (manifest_path dir) with
+    | m -> m.m_certified
+    | exception Solver_error.Error _ -> None
+
+(* Test-only semantic corruption: delete the first tuple of [relation]
+   (or insert an all-zeros tuple when it is empty) and re-save the
+   folded state under the same key and config — through the ordinary
+   write barrier, so every CRC and the manifest selfsum are freshly
+   consistent and byte-level [verify] stays green.  Deletion is the
+   interesting direction: a deleted derived tuple is re-derived by its
+   own rule in one application, and a deleted input tuple fails input
+   containment, so semantic certification must catch what nothing
+   byte-level can.  The re-save bumps the snapshot (a new identity
+   followers will consider) and carries no [certified] line. *)
+let corrupt_tuple_for_tests ~dir ~relation =
+  let st = load ~dir in
+  match List.assoc_opt relation st.st_rels with
+  | None -> invalid_arg (Printf.sprintf "Store.corrupt_tuple_for_tests: no relation %s" relation)
+  | Some r ->
+    let man = Space.man st.st_space in
+    let first = ref None in
+    (try
+       Relation.iter_tuples r (fun tu ->
+           first := Some (Array.copy tu);
+           raise Exit)
+     with Exit -> ());
+    let tmp = Relation.make st.st_space ~name:(relation ^ "#corrupt") (Relation.attrs r) in
+    (match !first with
+    | Some tu ->
+      Relation.set_tuples tmp [ tu ];
+      Relation.set_bdd r (Bdd.mk_diff man (Relation.bdd r) (Relation.bdd tmp))
+    | None ->
+      Relation.set_tuples tmp [ Array.make (Relation.arity r) 0 ];
+      Relation.set_bdd r (Bdd.mk_or man (Relation.bdd r) (Relation.bdd tmp)));
+    Relation.dispose tmp;
+    save ~dir ~key:st.st_key ~config:st.st_config ~space:st.st_space ~relations:(List.map snd st.st_rels)
 
 (* --- Verification and repair --- *)
 

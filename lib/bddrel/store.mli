@@ -141,9 +141,45 @@ val load : dir:string -> t
 val load_with : ?page_bits:int -> ?mem_cap_bytes:int -> dir:string -> unit -> t
 (** {!load} with node-arena knobs: [page_bits]/[mem_cap_bytes]
     configure the rebuilt space's arena (see {!Space.create}); a
-    capped load spills cold pages to a scratch file under [dir]'s
-    store directory (not manifested — invisible to {!verify}, debris
-    at worst). *)
+    capped load spills cold pages to a pid-named scratch file under
+    [dir]'s store directory (not manifested — invisible to {!verify},
+    debris at worst).  Every load first sweeps scratch files abandoned
+    by dead processes ({!Bdd.sweep_stale_spills}), so a SIGKILLed
+    capped load cannot leak disk space forever. *)
+
+(** {2 Semantic certification marks}
+
+    Byte-level integrity (checksums, write barriers) cannot tell a
+    well-formed store holding a wrong answer from a right one.  An
+    independent fixpoint check ([Pta.Certify]) can; these record its
+    verdict in the manifest so followers can {e demand} certified
+    snapshots. *)
+
+val mark_certified : dir:string -> string * int
+(** Record that a semantic certification vouched for the current chain
+    tip: rewrites the base manifest — through the ordinary atomic
+    write barrier — with a [certified <key> <snapshot>] line naming
+    the tip identity, and returns that pair.  The mark self-
+    invalidates: {!save_delta} moves the tip identity past the
+    recorded pair, and {!save}/{!compact} drop the line entirely, so a
+    stale mark can never vouch for state it did not see.  Raises
+    [Solver_error.Error (Bad_input _)] when there is no store or the
+    chain is broken. *)
+
+val read_certified : dir:string -> (string * int) option
+(** The recorded certification mark, or [None] when there is none (or
+    no well-formed store).  The tip is certified iff this equals
+    {!read_ident} — callers must compare, not merely test presence. *)
+
+val corrupt_tuple_for_tests : dir:string -> relation:string -> unit
+(** {b Test only.}  Inject semantic corruption that byte-level
+    {!verify} cannot see: delete the first tuple of [relation] (or
+    insert an all-zeros tuple when it is empty) and re-save the folded
+    state under the same key and config.  The re-save runs the
+    ordinary write barrier, so every CRC and selfsum is freshly
+    consistent; the snapshot bumps (followers see a new candidate) and
+    the [certified] mark, if any, is dropped.  Raises
+    [Invalid_argument] for an unknown relation. *)
 
 (** {2 Verification and repair} *)
 

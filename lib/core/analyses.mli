@@ -51,6 +51,21 @@ val prepare_cs :
 (** {!prepare_basic}'s analog for Algorithm 5: engine built, inputs and
     computed [IEC]/[mC] installed, not yet run. *)
 
+val prepare_cs_claimed :
+  ?options:Datalog.Engine.options ->
+  ?query:Programs.query_suffix ->
+  ?otf:bool ->
+  Jir.Factgen.t ->
+  csize:int ->
+  Datalog.Engine.t * string
+(** The Algorithm 5 program (the [IECd] on-the-fly variant when [otf])
+    over an externally claimed context structure: the engine is built
+    with the extracted inputs loaded but [IEC]/[mC] left {e empty} —
+    the caller installs whatever a candidate solution claims they were.
+    This is {!Certify}'s checker for context-sensitive stores, where
+    the context numbering is part of the answer being checked, not
+    something to recompute. *)
+
 val run_cs :
   ?options:Datalog.Engine.options -> ?query:Programs.query_suffix -> Jir.Factgen.t -> Context.t -> result
 (** Algorithm 5: context-sensitive points-to. *)
@@ -135,6 +150,7 @@ val solve_with_fallback :
   ?options:Datalog.Engine.options ->
   ?budget:Budget.t ->
   ?query:Programs.query_suffix ->
+  ?certify_rungs:bool ->
   Jir.Factgen.t ->
   (fallback, Solver_error.t) Stdlib.result
 (** Try [Rung_cs] under [budget]; on budget exhaustion retry [Rung_ci],
@@ -142,7 +158,15 @@ val solve_with_fallback :
     (its deadline is absolute; node/allocation limits reset per rung
     because each rung builds a fresh manager).  Only resource
     exhaustion degrades: cancellation, bad input and internal errors
-    are returned as [Error] immediately. *)
+    are returned as [Error] immediately.
+
+    With [certify_rungs] (default off), each BDD-backed rung's answer
+    is certified before being accepted — one non-committing application
+    of every rule ({!Datalog.Engine.check_fixpoint}); a violation is
+    recorded in [failures] as an [Internal] error naming the unclosed
+    rule, and the ladder degrades to the next rung exactly as if the
+    rung had exhausted its budget.  [Rung_steens] has no Datalog engine
+    and is accepted unchecked. *)
 
 (** {2 Result access} *)
 

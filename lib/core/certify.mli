@@ -1,0 +1,109 @@
+(** Semantic self-certification: independent checking that a claimed
+    solution really is the stratified fixpoint of its program.
+
+    Every durability layer below this one (store CRCs and write
+    barriers, swap-time verification, spill checksums) defends against
+    {e byte} corruption; none of it can tell a well-formed store
+    holding a wrong answer from a right one.  This module closes that
+    gap with the classic result-certification move: a candidate
+    solution is correct iff
+
+    + every input relation is contained in it,
+    + one application of every rule adds zero tuples (per-rule BDD
+      containment — {!Datalog.Engine.check_fixpoint}), and
+    + the stratification/negation side conditions hold — guaranteed
+      here by construction, because the checker re-resolves and
+      re-stratifies the program text itself
+      ({!Datalog.Stratify.Not_stratified} would fire at engine build).
+
+    That is a single non-semi-naive evaluation round: far cheaper than
+    solving, and valid against whichever engine path produced the
+    candidate (cold, incremental delta fold, capped/spilling arena,
+    a follower's loaded snapshot).
+
+    {b What a pass means.}  Certification proves the candidate is a
+    {e model} of the rules containing the inputs — i.e. a sound
+    {e over}-approximation of the least fixpoint.  A closed strict
+    superset would also pass; minimality is not checked.  What the
+    check does catch is precisely the failure mode of the risky
+    machinery: any {e missing} derived tuple whose derivation's other
+    premises survive is re-derived by its own rule in one step, and a
+    missing {e input} tuple is caught by the containment check (which
+    is why {!certify_engine} takes the freshly extracted inputs rather
+    than trusting the candidate's own copy). *)
+
+type witness = {
+  w_relation : string;
+  w_attrs : string list;  (** attribute names, in relation order *)
+  w_tuples : string list list;  (** bounded sample, element names in attribute order *)
+  w_total : float;  (** exact count of the full violating set *)
+}
+(** A bounded, human-readable sample of the tuples that violate a
+    check, plus the exact size of the full violating set. *)
+
+type failure =
+  | Unsupported of string
+      (** the store was produced by a path this checker cannot rebuild
+          a rule set for (e.g. the hand-coded solver, Steensgaard) *)
+  | Shape_mismatch of string
+      (** the candidate cannot even be interpreted against the checker
+          engine: variable layout differs, or a declared relation is
+          missing from the store *)
+  | Input_not_contained of { relation : string; witness : witness }
+      (** freshly extracted input tuples absent from the candidate *)
+  | Rule_not_closed of { rule : string; rule_pos : string option; stratum : int; witness : witness }
+      (** one application of [rule] (rendered in concrete syntax, with
+          its [file:line] when known) derives tuples the candidate
+          lacks *)
+
+type report = {
+  c_algo : string;  (** algorithm tag the check ran against *)
+  c_relations : int;  (** declared relations checked *)
+  c_rules : int;  (** rules applied once *)
+  c_strata : int;
+  c_seconds : float;  (** wall time of the whole check *)
+}
+
+type verdict = { v_report : report; v_failure : failure option }
+(** [v_failure = None] means certified.  Checks run in order
+    (shape, inputs, rules) and stop at the first failure. *)
+
+val passed : verdict -> bool
+val failure_to_string : failure -> string
+
+val verdict_lines : verdict -> string list
+(** The verdict rendered for logs and the CLI: a [certify: ok …] or
+    [certify: FAILED …] headline followed by indented witness tuples. *)
+
+val certify_engine :
+  ?algo:string ->
+  ?max_witness:int ->
+  ?fresh_inputs:(string * int list list) list ->
+  Datalog.Engine.t ->
+  verdict
+(** Certify whatever the engine's relations currently hold, against its
+    own compiled plans.  [fresh_inputs] (typically
+    {!Programs.input_relations} of a fresh extraction) enables the
+    input-containment check — without it only rule closure is checked,
+    and a candidate missing input tuples could pass.  Witness samples
+    are capped at [max_witness] (default 5) tuples.  [algo] is recorded
+    in the report (default ["<live>"]).  Commits nothing: relations are
+    left exactly as found. *)
+
+val certify_store :
+  ?options:Datalog.Engine.options ->
+  ?query:Programs.query_suffix ->
+  ?max_witness:int ->
+  Jir.Factgen.t ->
+  Store.t ->
+  verdict
+(** Certify a loaded store against a fresh extraction of the same
+    program: rebuild the checker engine for the store's recorded
+    [algo] config tag (Algorithms 1-3 directly; Algorithm 5 / 1-CFA /
+    on-the-fly variants via {!Analyses.prepare_cs_claimed} with the
+    store's [C] domain size, treating the stored [IEC]/[mC] as the
+    claimed context structure), refuse on layout or relation-set
+    mismatch ({!failure.Shape_mismatch}), copy every stored relation
+    into the checker, and run {!certify_engine} with the extraction's
+    input tuples.  Stores from unrecognized tags (hand-coded,
+    Steensgaard, Algorithms 6-7) yield {!failure.Unsupported}. *)

@@ -75,3 +75,11 @@ val update :
 
 val verdict_to_string : verdict -> string
 val cold_reason_to_string : cold_reason -> string
+
+val layout_mismatch : stored:Space.t -> current:Space.t -> string option
+(** [None] when the two spaces give the same meaning to the same BDD:
+    equal variable counts and every (domain, instance) block at the
+    same variable ids.  Otherwise a human-readable description of the
+    first mismatch.  This is {!update}'s layout gate, exported so
+    {!Certify} can refuse to interpret a store's BDDs against a
+    checker engine with a different physical layout. *)

@@ -580,6 +580,7 @@ module Follow = struct
   type state = {
     f_dir : string;
     f_source : Source.source;
+    f_require_certified : bool;
     mutable f_seen : string * int;  (* identity currently served *)
     mutable f_stat : (int * float * int) list;
         (* (ino, mtime, size) of the base manifest and every committed
@@ -589,11 +590,12 @@ module Follow = struct
 
   let manifest_stat dir = Store.tip_stat ~dir
 
-  let make ~dir source =
+  let make ?(require_certified = false) ~dir source =
     let srv = Source.current source in
     {
       f_dir = dir;
       f_source = source;
+      f_require_certified = require_certified;
       f_seen = (Store.key srv.store, Store.snapshot srv.store);
       f_stat = manifest_stat dir;
     }
@@ -617,6 +619,15 @@ module Follow = struct
            nothing to do. *)
         st.f_stat <- stat;
         Unchanged
+      | Some (key, snapshot) when st.f_require_certified && Store.read_certified ~dir:st.f_dir <> Some (key, snapshot)
+        ->
+        (* The candidate's identity carries no matching certification
+           mark: the snapshot may be byte-perfect yet semantically
+           wrong (a bad delta fold, a missed remap), which is exactly
+           what this gate exists to keep off the wire.  The old
+           snapshot keeps serving. *)
+        reject st stat
+          (Printf.sprintf "snapshot %d is not certified (require-certified; run `ptacli certify` and retry)" snapshot)
       | Some (key, snapshot) -> (
         let t0 = Unix.gettimeofday () in
         let checks = Store.verify ~structural:false ~dir:st.f_dir () in

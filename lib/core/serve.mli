@@ -224,10 +224,15 @@ module Follow : sig
 
   type state
 
-  val make : dir:string -> Source.source -> state
+  val make : ?require_certified:bool -> dir:string -> Source.source -> state
   (** Start following [dir]; the source's current server is assumed to
       be the store currently on disk there (the driver loads it before
-      calling this). *)
+      calling this).  With [require_certified] (default off), a
+      candidate whose identity does not match the store's recorded
+      certification mark ({!Bddrel.Store.read_certified}) is
+      [Rejected] before any verify/load cost is paid, and the old
+      snapshot keeps serving — byte-perfect but semantically
+      unvouched-for saves never reach the wire. *)
 
   val served_ident : state -> string * int
   (** The [(key, snapshot)] identity last swapped in (or initial). *)

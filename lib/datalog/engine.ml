@@ -657,6 +657,61 @@ let collect_rule_stats t =
         (once @ loop))
     t.plans
 
+(* --- Fixpoint certification: one non-committing application round ---
+
+   The primitive behind [Pta.Certify]: evaluate every compiled plan in
+   full (no deltas) against the relations' current values and diff the
+   result against its head, committing nothing.  A true fixpoint of
+   the loaded inputs yields no violations; any rule whose single
+   application would add tuples is reported with the missing-tuple set
+   as a BDD.  Because this shares the compiled plans but not the
+   fixpoint driver, it certifies an answer independently of whichever
+   evaluation path produced it (cold, incremental, capped, or an
+   entirely different solver). *)
+
+type violation = {
+  vio_stratum : int;
+  vio_rule : Ast.rule;
+  vio_head : Relation.t;
+  vio_fresh : Bdd.t;
+      (* tuples this rule derives in one step that the head lacks;
+         rooted only during the check — read it before the next GC *)
+}
+
+let check_fixpoint ?(max_violations = max_int) t =
+  let man = Space.man t.sp in
+  (* Root the accumulating diffs for the duration of the scan: later
+     plan evaluations may trigger a collection, and under [Compact]
+     the rooted list is rewritten in place with relocated handles —
+     so the handles are re-read from [keep] at the end, never from
+     stale captures. *)
+  let keep = ref [] in
+  let metas = ref [] in
+  Bdd.add_root_list man keep;
+  Fun.protect
+    ~finally:(fun () -> Bdd.remove_root_list man keep)
+    (fun () ->
+      List.iteri
+        (fun si (once, loop) ->
+          List.iter
+            (fun plan ->
+              if List.length !metas < max_violations then begin
+                check_budget t;
+                let result = eval_plan t plan ~delta_at:None in
+                let fresh = Bdd.mk_diff man result (Relation.bdd plan.head.h_rel) in
+                if fresh <> Bdd.bdd_false then begin
+                  keep := fresh :: !keep;
+                  metas := (si, plan) :: !metas
+                end
+              end)
+            (once @ loop))
+        t.plans;
+      List.rev
+        (List.map2
+           (fun (si, plan) fresh ->
+             { vio_stratum = si; vio_rule = plan.p_ir.Ralg.rule; vio_head = plan.head.h_rel; vio_fresh = fresh })
+           !metas !keep))
+
 (* The delta BDD standard semi-naive evaluation feeds a recursive join
    position: the position's own accumulator. *)
 let delta_source t plan pos =

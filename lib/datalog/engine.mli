@@ -203,6 +203,34 @@ val solve_incremental : t -> changed:(string * Bdd.t) list -> (stats, Solver_err
 (** {!run_incremental} with the same structured-error wrapping as
     {!solve}. *)
 
+(** {2 Fixpoint certification}
+
+    Result checking, independent of the fixpoint driver: one full
+    (non-semi-naive, non-committing) application of every compiled
+    rule against the relations' current values.  If the relations hold
+    a fixpoint of the loaded inputs, no rule derives anything new and
+    the list is empty; otherwise each violation names the rule, its
+    stratum, and the tuples its single application would add.  This is
+    the apply-once half of the {!Pta.Certify} check — far cheaper than
+    a solve, and equally valid against a cold, incremental, capped, or
+    hand-coded result once its relations are installed. *)
+
+type violation = {
+  vio_stratum : int;  (** 0-based stratum index of the violated rule *)
+  vio_rule : Ast.rule;  (** the rule, carrying its source position *)
+  vio_head : Relation.t;  (** the head relation missing tuples *)
+  vio_fresh : Bdd.t;
+      (** the missing tuples, over the head's blocks.  Only rooted
+          while the check runs: enumerate witnesses before any further
+          BDD work that could trigger a collection. *)
+}
+
+val check_fixpoint : ?max_violations:int -> t -> violation list
+(** Scan every stratum's rules in order, stopping after
+    [max_violations] (default: unbounded).  Commits nothing and leaves
+    every relation untouched.  Raises {!Bdd.Limit_exceeded} when an
+    installed budget is violated mid-check. *)
+
 val set_budget : t -> Budget.t option -> unit
 (** Replace (or clear, with [None]) the budget installed at creation,
     both on the engine and the underlying BDD manager.  Use together

@@ -239,6 +239,100 @@ let test_spill_io_error_is_structured () =
   in
   Alcotest.(check string) "spill IO failure outcome" "structured arena error" outcome
 
+let count_fds () =
+  if Sys.file_exists "/proc/self/fd" then Array.length (Sys.readdir "/proc/self/fd") else -1
+
+(* A disk-full (or EIO) hit mid-spill must abort as a *structured*
+   [Solver_error.Internal] — not a raw [Unix_error] — with the page
+   pool unmutated, the spill fd closed and the scratch file released
+   (holding disk exactly when the disk ran out would be perverse).
+   The recovery path is the driver's: dispose and re-run the same
+   workload on a fresh manager, which lands bit-identical to the
+   never-faulted flat side. *)
+let test_enospc_mid_spill () =
+  with_tmp_spill @@ fun spill_path ->
+  let rs = Random.State.make [| seed + 5 |] in
+  (* Baseline before any capped arena exists: after the abort closes
+     the scratch fd, the process must be back to exactly this. *)
+  let fds_before = count_fds () in
+  let tuples = Array.init 3 (fun _ -> random_tuples rs initial_tuples) in
+  let flat = make_side tuples in
+  let ops = List.init 120 (fun _ -> random_op rs) in
+  List.iter (apply_op flat) ops;
+  Faults.set_fs_hook
+    (Some
+       (fun label ->
+         if label = "arena-spill-write" then raise (Unix.Unix_error (Unix.ENOSPC, "write", spill_path))));
+  let outcome =
+    Fun.protect
+      ~finally:(fun () -> Faults.set_fs_hook None)
+      (fun () ->
+        match
+          let capped = make_side ~page_bits:tiny_page_bits ~mem_cap_bytes:tiny_cap ~spill_path tuples in
+          List.iter (apply_op capped) ops
+        with
+        | () -> "completed without spilling"
+        | exception Solver_error.Error (Solver_error.Internal msg) ->
+            if String.length msg >= 6 && String.sub msg 0 6 = "arena:" then "structured arena error"
+            else "internal error without arena context: " ^ msg
+        | exception Unix.Unix_error (e, _, _) -> "raw Unix_error escaped: " ^ Unix.error_message e)
+  in
+  Alcotest.(check string) "ENOSPC outcome" "structured arena error" outcome;
+  (* The failing write closed the scratch fd and removed the file:
+     descriptor count is back to the pre-arena baseline. *)
+  Alcotest.(check int) "spill fd closed on abort" fds_before (count_fds ());
+  Alcotest.(check bool) "scratch file released" false (Sys.file_exists spill_path);
+  (* Retry on a fresh manager (fault cleared): bit-identical result. *)
+  let retry = make_side ~page_bits:tiny_page_bits ~mem_cap_bytes:tiny_cap ~spill_path tuples in
+  List.iter (apply_op retry) ops;
+  check_sides "after ENOSPC abort, fresh-manager retry" flat retry
+
+(* Orphan spill scratch files (a SIGKILLed capped process leaves one
+   behind) are swept at the next arena startup in the same directory —
+   but only when the creator pid is provably dead *and* the file is
+   old enough; live-process and fresh files are never touched. *)
+let test_sweep_stale_spills () =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) (Printf.sprintf "sweep-test-%d" (Unix.getpid ())) in
+  ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)));
+  Unix.mkdir dir 0o755;
+  (* A provably dead pid: fork a child that exits immediately and reap
+     it.  (Reuse before the test ends is astronomically unlikely.) *)
+  let dead_pid =
+    match Unix.fork () with
+    | 0 -> Stdlib.exit 0
+    | pid ->
+        ignore (Unix.waitpid [] pid);
+        pid
+  in
+  let touch ?(age = 0.0) name =
+    let path = Filename.concat dir name in
+    let oc = open_out path in
+    output_string oc "junk";
+    close_out oc;
+    if age > 0.0 then begin
+      let t = Unix.gettimeofday () -. age in
+      Unix.utimes path t t
+    end;
+    path
+  in
+  let dead_old = touch ~age:3600.0 (Printf.sprintf "arena.%d.spill" dead_pid) in
+  let dead_old2 = touch ~age:3600.0 (Printf.sprintf "whalelam-arena.%d.abc123.spill" dead_pid) in
+  let dead_fresh = touch (Printf.sprintf "whalelam-arena.%d.fresh1.spill" dead_pid) in
+  (* same name family, but fresh: age guard must protect it *)
+  let live = touch ~age:3600.0 (Printf.sprintf "arena.%d.spill" (Unix.getpid ())) in
+  let other = touch ~age:3600.0 "not-an-arena-file.spill" in
+  let removed = Bdd.sweep_stale_spills ~dir () in
+  Alcotest.(check int) "swept exactly the dead+old scratch files" 2 removed;
+  Alcotest.(check bool) "dead old arena.* gone" false (Sys.file_exists dead_old);
+  Alcotest.(check bool) "dead old whalelam-arena.* gone" false (Sys.file_exists dead_old2);
+  Alcotest.(check bool) "fresh file survives (age guard)" true (Sys.file_exists dead_fresh);
+  Alcotest.(check bool) "live-pid file survives" true (Sys.file_exists live);
+  Alcotest.(check bool) "unrelated file survives" true (Sys.file_exists other);
+  (* max_age_s:0 drops the age guard: the fresh dead-pid file goes too. *)
+  Alcotest.(check int) "age 0 sweeps the fresh dead-pid file" 1 (Bdd.sweep_stale_spills ~max_age_s:0.0 ~dir ());
+  Alcotest.(check bool) "fresh dead-pid file gone at age 0" false (Sys.file_exists dead_fresh);
+  ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)))
+
 let () =
   Alcotest.run "arena"
     [
@@ -256,5 +350,10 @@ let () =
             test_spill_fault_injection;
           Alcotest.test_case "spill IO error is a structured solver error" `Quick
             test_spill_io_error_is_structured;
+          Alcotest.test_case "ENOSPC mid-spill: structured abort, fd closed, retry identical" `Quick
+            test_enospc_mid_spill;
         ] );
+      ( "sweep",
+        [ Alcotest.test_case "stale spill scratch files swept, guarded by pid and age" `Quick
+            test_sweep_stale_spills ] );
     ]

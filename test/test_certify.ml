@@ -1,0 +1,266 @@
+(* Semantic self-certification ([Pta.Certify]) tests:
+
+   - a genuine fixpoint — cold, incremental, or loaded under a memory
+     cap — passes certification, and the pass can be recorded in the
+     store manifest ([mark_certified]) and read back;
+   - a single CRC-clean tuple flip that byte-level [Store.verify]
+     cannot see fails certification with the violating rule (or the
+     non-contained input) and bounded witness tuples;
+   - the certification mark names the exact chain-tip identity:
+     [save_delta] moves the tip past it, [save] drops it;
+   - a [Serve.Follow ~require_certified] follower rejects an
+     uncertified candidate while the old snapshot keeps serving, and
+     swaps the moment the mark appears. *)
+
+module Analyses = Pta.Analyses
+module Certify = Pta.Certify
+module Incr = Pta.Incr
+module Serve = Pta.Serve
+module Engine = Datalog.Engine
+
+let tmp_dir name =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) (Printf.sprintf "whalelam-%s-%d" name (Unix.getpid ())) in
+  ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)));
+  dir
+
+let gen_gantt () =
+  let profile = Option.get (Synth.Profiles.find "gantt") in
+  Synth.Generator.generate (Synth.Profiles.params ~scale:0.04 profile)
+
+let gantt_fg = lazy (Jir.Factgen.extract (gen_gantt ()))
+
+(* One shared base: a cold Algorithm 2 solve of gantt, persisted with
+   the algo tag [certify_store] keys its checker construction on.
+   Tests copy the directory rather than mutating it. *)
+let base =
+  lazy
+    (let fg = Lazy.force gantt_fg in
+     let r = Analyses.run_basic ~algo:Analyses.Algo2 fg in
+     let dir = tmp_dir "certify-base" in
+     Store.save ~dir ~key:"certify-base-key" ~config:[ ("algo", "algo2") ] ~space:(Engine.space r.Analyses.engine)
+       ~relations:(Engine.declared_relations r.Analyses.engine);
+     dir)
+
+let copy_base name =
+  let src = Lazy.force base in
+  let dir = tmp_dir name in
+  ignore (Sys.command (Printf.sprintf "cp -r %s %s" (Filename.quote src) (Filename.quote dir)));
+  dir
+
+let store_healthy dir =
+  let checks = Store.verify ~dir () in
+  checks <> [] && List.for_all (fun (c : Store.check) -> c.Store.chk_ok) checks
+
+let certify ?(dir_load = fun dir -> Store.load ~dir) dir =
+  let st = dir_load dir in
+  Certify.certify_store (Lazy.force gantt_fg) st
+
+(* --- a genuine fixpoint certifies, and the mark round-trips --- *)
+
+let test_cold_pass_and_mark () =
+  let dir = copy_base "certify-pass" in
+  let v = certify dir in
+  (match v.Certify.v_failure with
+  | None -> ()
+  | Some f -> Alcotest.failf "clean store failed certification: %s" (Certify.failure_to_string f));
+  Alcotest.(check bool) "passed" true (Certify.passed v);
+  Alcotest.(check bool) "report counts rules" true (v.Certify.v_report.Certify.c_rules > 0);
+  Alcotest.(check bool) "report counts strata" true (v.Certify.v_report.Certify.c_strata >= 1);
+  Alcotest.(check bool) "report counts relations" true (v.Certify.v_report.Certify.c_relations > 0);
+  (* verdict_lines lead with the structured ok line *)
+  (match Certify.verdict_lines v with
+  | first :: _ -> Alcotest.(check bool) "ok line" true (String.length first >= 11 && String.sub first 0 11 = "certify: ok")
+  | [] -> Alcotest.fail "no verdict lines");
+  (* The mark names the chain tip and reads back equal to read_ident. *)
+  Alcotest.(check bool) "unmarked before" true (Store.read_certified ~dir = None);
+  let ident = Store.mark_certified ~dir in
+  Alcotest.(check bool) "mark returns the tip identity" true (Store.read_ident ~dir = Some ident);
+  Alcotest.(check bool) "mark reads back" true (Store.read_certified ~dir = Some ident);
+  (* The rewritten manifest is still byte-healthy (fresh selfsum). *)
+  Alcotest.(check bool) "marked store verifies" true (store_healthy dir)
+
+(* --- CRC-clean corruption: verify green, certify red --- *)
+
+let check_catches ~what dir relation =
+  Store.corrupt_tuple_for_tests ~dir ~relation;
+  Alcotest.(check bool) (what ^ ": store verify still green") true (store_healthy dir);
+  let v = certify dir in
+  Alcotest.(check bool) (what ^ ": certification fails") false (Certify.passed v);
+  (match v.Certify.v_failure with
+  | Some (Certify.Rule_not_closed { rule; witness; _ }) ->
+    Alcotest.(check bool) (what ^ ": rule text present") true (String.length rule > 0);
+    Alcotest.(check bool) (what ^ ": witness tuples present") true (witness.Certify.w_tuples <> []);
+    Alcotest.(check bool) (what ^ ": witness total >= 1") true (witness.Certify.w_total >= 1.0)
+  | Some (Certify.Input_not_contained { relation = r; witness }) ->
+    Alcotest.(check bool) (what ^ ": input named") true (String.length r > 0);
+    Alcotest.(check bool) (what ^ ": witness tuples present") true (witness.Certify.w_tuples <> [])
+  | Some f -> Alcotest.failf "%s: unexpected failure kind: %s" what (Certify.failure_to_string f)
+  | None -> Alcotest.failf "%s: no failure recorded" what);
+  v
+
+let test_derived_corruption_caught () =
+  let dir = copy_base "certify-corrupt-derived" in
+  let v = check_catches ~what:"derived vP flip" dir "vP" in
+  (* Deleting a derived tuple re-derives in one application: this must
+     surface as a rule-closure violation, with the rule's source
+     position attached. *)
+  match v.Certify.v_failure with
+  | Some (Certify.Rule_not_closed { rule_pos; _ }) ->
+    Alcotest.(check bool) "rule position attached" true (rule_pos <> None)
+  | _ -> Alcotest.fail "expected Rule_not_closed for a derived-tuple deletion"
+
+let test_input_corruption_caught () =
+  let dir = copy_base "certify-corrupt-input" in
+  (* Pick a genuinely non-empty extracted input relation that the
+     store holds under the same name: deleting its first tuple must
+     fail the containment check (inputs are checked before rules). *)
+  let st = Store.load ~dir in
+  let input_name =
+    let inputs = Pta.Programs.input_relations (Lazy.force gantt_fg) in
+    match
+      List.find_opt
+        (fun (name, tuples) -> tuples <> [] && Store.find st name <> None)
+        inputs
+    with
+    | Some (name, _) -> name
+    | None -> Alcotest.fail "no non-empty input relation stored"
+  in
+  let v = check_catches ~what:("input " ^ input_name ^ " flip") dir input_name in
+  match v.Certify.v_failure with
+  | Some (Certify.Input_not_contained { relation; _ }) ->
+    Alcotest.(check string) "the corrupted input is named" input_name relation
+  | Some (Certify.Rule_not_closed _) ->
+    (* Legal when the deleted tuple is *also* re-derivable and the
+       input check passed because extraction order differs — but with
+       containment checked first this should not happen. *)
+    Alcotest.fail "input deletion reported as rule violation (containment must be checked first)"
+  | _ -> Alcotest.fail "expected Input_not_contained"
+
+(* --- mark invalidation across the chain --- *)
+
+let test_mark_invalidation () =
+  let dir = copy_base "certify-mark-inval" in
+  let marked = Store.mark_certified ~dir in
+  Alcotest.(check bool) "marked" true (Store.read_certified ~dir = Some marked);
+  (* save_delta moves the tip: the stale mark must no longer equal the
+     tip identity (the caller-side comparison Follow does). *)
+  let st = Store.load ~dir in
+  ignore (Store.save_delta ~dir ~key:"certify-rekeyed" ~config:(Store.config st) ~space:(Store.space st) ~deltas:[]);
+  let stale = Store.read_certified ~dir in
+  Alcotest.(check bool) "mark survives textually" true (stale = Some marked);
+  Alcotest.(check bool) "but no longer names the tip" true (Store.read_ident ~dir <> stale);
+  (* A fresh full save drops the line entirely. *)
+  let st2 = Store.load ~dir in
+  Store.save ~dir ~key:"certify-resaved" ~config:(Store.config st2) ~space:(Store.space st2)
+    ~relations:(Store.relations st2);
+  Alcotest.(check bool) "full save drops the mark" true (Store.read_certified ~dir = None);
+  (* Re-marking after the save vouches for the new tip. *)
+  let remarked = Store.mark_certified ~dir in
+  Alcotest.(check bool) "re-mark names the new tip" true (Store.read_ident ~dir = Some remarked)
+
+(* --- incremental and mem-capped results certify bit-identically --- *)
+
+let test_incremental_and_memcap_pass () =
+  let dir = copy_base "certify-incr" in
+  (* The unchanged-program incremental path: an empty delta re-key.
+     The folded chain still certifies against the same program. *)
+  let st = Store.load ~dir in
+  let fg = Lazy.force gantt_fg in
+  let o =
+    match Incr.update ~algo:Analyses.Algo2 ~store:st fg with
+    | Ok o -> o
+    | Error e -> Alcotest.failf "incremental update failed: %s" (Solver_error.to_string e)
+  in
+  let eng = o.Incr.engine in
+  ignore
+    (Store.save_delta ~dir ~key:"certify-incr-tip" ~config:[ ("algo", "algo2") ] ~space:(Engine.space eng)
+       ~deltas:o.Incr.deltas);
+  let v_incr = certify dir in
+  (match v_incr.Certify.v_failure with
+  | None -> ()
+  | Some f -> Alcotest.failf "incremental chain failed certification: %s" (Certify.failure_to_string f));
+  (* The same chain loaded under a paging memory cap certifies too:
+     certification is a property of the relations, not of how the
+     pages were resident. *)
+  let v_capped = certify ~dir_load:(fun dir -> Store.load_with ~mem_cap_bytes:(2 * 1024 * 1024) ~dir ()) dir in
+  match v_capped.Certify.v_failure with
+  | None -> ()
+  | Some f -> Alcotest.failf "mem-capped load failed certification: %s" (Certify.failure_to_string f)
+
+(* --- follower gate: require-certified --- *)
+
+(* Hand-built tiny store a [Serve.t] accepts (a vP relation), so the
+   Follow plumbing runs without a full analysis. *)
+let save_tiny ~dir =
+  let sp = Space.create () in
+  let vdom = Domain.make ~name:"V" ~size:4 ~element_names:(Array.init 4 (Printf.sprintf "v%d")) () in
+  let hdom = Domain.make ~name:"H" ~size:16 ~element_names:(Array.init 16 (Printf.sprintf "h%d")) () in
+  let vb = Space.alloc sp vdom and hb = Space.alloc sp hdom in
+  let vp =
+    Relation.of_tuples sp ~name:"vP"
+      [ { Relation.attr_name = "variable"; block = vb }; { Relation.attr_name = "heap"; block = hb } ]
+      [ [| 0; 1 |]; [| 1; 2 |]; [| 2; 3 |]; [| 3; 5 |] ]
+  in
+  Store.save ~dir ~key:"tiny-certify-key" ~config:[] ~space:sp ~relations:[ vp ]
+
+let test_follow_require_certified () =
+  let dir = tmp_dir "certify-follow" in
+  save_tiny ~dir;
+  let source = Serve.Source.create (Serve.make (Store.load ~dir)) in
+  let follower = Serve.Follow.make ~require_certified:true ~dir source in
+  (match Serve.Follow.poll follower with
+  | Serve.Follow.Unchanged -> ()
+  | _ -> Alcotest.fail "initial poll should be Unchanged");
+  let gen0 = Serve.Source.generation source in
+  (* A CRC-clean semantic corruption commits a *new, uncertified*
+     snapshot: the gate must reject it before any load cost, and the
+     old snapshot keeps serving (generation unchanged). *)
+  Store.corrupt_tuple_for_tests ~dir ~relation:"vP";
+  (match Serve.Follow.poll follower with
+  | Serve.Follow.Rejected { reason } ->
+    let mentions_cert =
+      let rec find i =
+        i + 9 <= String.length reason && (String.sub reason i 9 = "certified" || find (i + 1))
+      in
+      String.length reason >= 9 && find 0
+    in
+    Alcotest.(check bool) ("reject reason names certification: " ^ reason) true mentions_cert
+  | Serve.Follow.Swapped _ -> Alcotest.fail "uncertified candidate was swapped in"
+  | Serve.Follow.Unchanged -> Alcotest.fail "new snapshot went unnoticed");
+  Alcotest.(check int) "old snapshot keeps serving" gen0 (Serve.Source.generation source);
+  (* Marking the tip certified unblocks the very next poll. *)
+  ignore (Store.mark_certified ~dir);
+  (match Serve.Follow.poll follower with
+  | Serve.Follow.Swapped _ -> ()
+  | Serve.Follow.Rejected { reason } -> Alcotest.failf "certified candidate rejected: %s" reason
+  | Serve.Follow.Unchanged -> Alcotest.fail "certified candidate went unnoticed");
+  Alcotest.(check int) "swap bumped the generation" (gen0 + 1) (Serve.Source.generation source);
+  (* A plain follower (no gate) takes uncertified saves as before. *)
+  let plain = Serve.Follow.make ~dir source in
+  Store.corrupt_tuple_for_tests ~dir ~relation:"vP";
+  match Serve.Follow.poll plain with
+  | Serve.Follow.Swapped _ -> ()
+  | Serve.Follow.Rejected { reason } -> Alcotest.failf "ungated follower rejected a committed save: %s" reason
+  | Serve.Follow.Unchanged -> Alcotest.fail "ungated follower missed the save"
+
+let () =
+  Alcotest.run "certify"
+    [
+      ( "certify",
+        [
+          Alcotest.test_case "cold fixpoint passes; mark round-trips" `Quick test_cold_pass_and_mark;
+          Alcotest.test_case "CRC-clean derived-tuple flip: verify green, certify red" `Quick
+            test_derived_corruption_caught;
+          Alcotest.test_case "CRC-clean input-tuple flip: input containment fails" `Quick
+            test_input_corruption_caught;
+          Alcotest.test_case "incremental chain and mem-capped load both certify" `Quick
+            test_incremental_and_memcap_pass;
+        ] );
+      ( "mark",
+        [ Alcotest.test_case "save_delta outdates the mark; save drops it" `Quick test_mark_invalidation ] );
+      ( "follow",
+        [
+          Alcotest.test_case "require-certified rejects, then swaps once marked" `Quick
+            test_follow_require_certified;
+        ] );
+    ]

@@ -388,10 +388,213 @@ let test_pool () =
   Alcotest.(check string) "post-shutdown requests bounce" "shutdown" s.Serve.outcome.Serve.command;
   Alcotest.(check bool) "post-shutdown bounce closes" true s.Serve.close
 
+(* --- Protocol fuzz --------------------------------------------------
+   1k+ seeded hostile lines — binary garbage, control characters,
+   oversized payloads, token floods, almost-valid prefixes — first
+   straight into [serve_line], then through the [Pta.Router] relay
+   over a real unix socket.  Invariants: no exception ever escapes,
+   every non-blank input yields a structured reply ([err ...] for the
+   garbage), the descriptor count is flat, and the stats counters add
+   up. *)
+
+(* A tiny dedicated store: fuzz replies must stay small so the run is
+   fast, and the soak store's 60k-row fan-outs would swamp it. *)
+let fuzz_store_dir =
+  lazy
+    (let dir = tmp_dir "serve-fuzz" in
+     let sp = Space.create () in
+     let vdom = Domain.make ~name:"V" ~size:8 ~element_names:(Array.init 8 (Printf.sprintf "v%d")) () in
+     let hdom = Domain.make ~name:"H" ~size:64 ~element_names:(Array.init 64 (Printf.sprintf "h%d")) () in
+     let vb = Space.alloc sp vdom and hb = Space.alloc sp hdom in
+     let vp =
+       Relation.of_tuples sp ~name:"vP"
+         [ { Relation.attr_name = "variable"; block = vb }; { Relation.attr_name = "heap"; block = hb } ]
+         (List.init 8 (fun v -> [| v; v * 3 mod 64 |]))
+     in
+     Store.save ~dir ~key:"fuzz-key" ~config:[] ~space:sp ~relations:[ vp ];
+     dir)
+
+let fuzz_lines ?(strip_newlines = false) n =
+  let rng = Random.State.make [| 0xF0225; n |] in
+  let rand_bytes len =
+    String.init len (fun _ ->
+        let c = Char.chr (Random.State.int rng 256) in
+        if strip_newlines && (c = '\n' || c = '\r') then 'x' else c)
+  in
+  let words = [| "points-to"; "alias"; "leak"; "count"; "modref"; "relations"; "help"; "vuln"; "refine" |] in
+  List.init n (fun i ->
+      match i mod 8 with
+      | 0 -> rand_bytes (Random.State.int rng 200)
+      | 1 -> String.make (4096 + Random.State.int rng 100_000) 'a'
+      | 2 -> words.(Random.State.int rng (Array.length words)) ^ " " ^ rand_bytes (1 + Random.State.int rng 40)
+      | 3 -> String.concat " " (List.init (1 + Random.State.int rng 500) (fun _ -> "v0"))
+      | 4 -> Printf.sprintf "points-to v%d extra junk \x01\x02\x7f" (Random.State.int rng 16)
+      | 5 -> "\t \x00ok points-to 3 12us"
+      | 6 -> "err " ^ rand_bytes (Random.State.int rng 60)
+      | _ ->
+        String.init (Random.State.int rng 30) (fun _ ->
+            let c = Char.chr (1 + Random.State.int rng 31) in
+            if strip_newlines && (c = '\n' || c = '\r') then 'x' else c))
+
+let test_serve_line_fuzz () =
+  let st = Store.load ~dir:(Lazy.force fuzz_store_dir) in
+  let srv = Serve.make st in
+  let stats = Serve.make_stats () in
+  let ctx = Serve.new_ctx srv in
+  let fd0 = count_fds () in
+  let lines = fuzz_lines 1200 in
+  let served = ref 0 in
+  List.iter
+    (fun line ->
+      match Serve.serve_line ~limits:roomy ~stats srv ctx line with
+      | s ->
+        let o = s.Serve.outcome in
+        if not (o.Serve.command = "" && o.Serve.lines = []) then begin
+          incr served;
+          (* Framing invariant: an error reply is exactly one message
+             line; a success reply's row count matches its body. *)
+          if o.Serve.ok then Alcotest.(check int) "ok rows = body lines" (List.length o.Serve.lines) o.Serve.count
+          else Alcotest.(check bool) ("error reply has a message: " ^ String.escaped line) true (o.Serve.lines <> [])
+        end
+      | exception e -> Alcotest.failf "serve_line raised on %S: %s" line (Printexc.to_string e))
+    lines;
+  Alcotest.(check bool) "fuzz actually served replies" true (!served >= 1000);
+  Alcotest.(check int) "queries counted" !served (Atomic.get stats.Serve.s_queries);
+  Alcotest.(check int) "ok + err = queries" (Atomic.get stats.Serve.s_queries)
+    (Atomic.get stats.Serve.s_ok + Atomic.get stats.Serve.s_err);
+  match (fd0, count_fds ()) with
+  | Some before, Some after -> Alcotest.(check int) "fd count stable" before after
+  | _ -> ()
+
+(* In-process backend daemon speaking the wire protocol over a unix
+   socket, exactly as the ptacli serve driver frames it; the router
+   relays fuzz through it. *)
+let start_fuzz_backend ~sock =
+  let st = Store.load ~dir:(Lazy.force fuzz_store_dir) in
+  let srv = Serve.make st in
+  let stats = Serve.make_stats () in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX sock);
+  Unix.listen fd 8;
+  let stop = ref false in
+  let thread =
+    Thread.create
+      (fun () ->
+        while not !stop do
+          match Unix.select [ fd ] [] [] 0.1 with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+          | [], _, _ -> ()
+          | _ -> (
+            match Unix.accept fd with
+            | exception Unix.Unix_error _ -> ()
+            | cfd, _ ->
+              let ic = Unix.in_channel_of_descr cfd and oc = Unix.out_channel_of_descr cfd in
+              let ctx = Serve.new_ctx srv in
+              (try
+                 let continue = ref true in
+                 while !continue do
+                   let line = input_line ic in
+                   if String.trim line = "quit" then continue := false
+                   else begin
+                     let s = Serve.serve_line ~limits:roomy ~stats srv ctx line in
+                     let o = s.Serve.outcome in
+                     if not (o.Serve.command = "" && o.Serve.lines = []) then begin
+                       Printf.fprintf oc "%s %s %d %.0fus\n"
+                         (if o.Serve.ok then "ok" else "err")
+                         o.Serve.command o.Serve.count s.Serve.latency_us;
+                       List.iter (fun l -> output_string oc (l ^ "\n")) o.Serve.lines
+                     end;
+                     flush oc;
+                     if s.Serve.close then continue := false
+                   end
+                 done
+               with End_of_file | Sys_error _ -> ());
+              try Unix.close cfd with Unix.Unix_error _ -> ())
+        done;
+        try Unix.close fd with Unix.Unix_error _ -> ())
+      ()
+  in
+  (thread, stop)
+
+let test_router_relay_fuzz () =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let sock = Filename.concat (Filename.get_temp_dir_name ()) (Printf.sprintf "fuzz-backend-%d.sock" (Unix.getpid ())) in
+  (try Sys.remove sock with Sys_error _ -> ());
+  let thread, stop = start_fuzz_backend ~sock in
+  (* Snappy retry policy: hostile lines that legitimately drop the
+     backend connection ("quit", protocol desync) burn a full
+     timeout+backoff ladder each; the defaults would stretch 1k lines
+     into minutes. *)
+  let policy =
+    {
+      Pta.Router.default_policy with
+      Pta.Router.request_timeout_s = 5.0;
+      backoff_base_s = 0.005;
+      backoff_max_s = 0.05;
+      breaker_cooldown_s = 0.05;
+    }
+  in
+  let router = Pta.Router.create ~policy [ sock ] in
+  let session = Pta.Router.session ~seed:1 in
+  Fun.protect
+    ~finally:(fun () ->
+      (* Session first: dropping the sticky connection unblocks the
+         backend thread's [input_line] so the join can't hang when an
+         assertion fires mid-loop. *)
+      Pta.Router.close_session session;
+      stop := true;
+      (try Thread.join thread with _ -> ());
+      try Sys.remove sock with Sys_error _ -> ())
+    (fun () ->
+      Pta.Router.probe_all router;
+      let fd0 = count_fds () in
+      (* The wire protocol is line-framed, so a client can never hand
+         the relay an embedded newline: strip them (a raw \n would
+         legitimately desync any line protocol). *)
+      let lines = fuzz_lines ~strip_newlines:true 1000 in
+      let replies = ref 0 in
+      List.iter
+        (fun line ->
+          match Pta.Router.handle router session line with
+          | None -> () (* blank/comment: no reply owed *)
+          | Some r ->
+            incr replies;
+            let h = r.Pta.Router.rp_header in
+            let ok_hdr =
+              (String.length h >= 3 && String.sub h 0 3 = "ok ")
+              || (String.length h >= 4 && String.sub h 0 4 = "err ")
+            in
+            if not ok_hdr then
+              Alcotest.failf "relay of %S produced unframed header %S" (String.escaped line)
+                r.Pta.Router.rp_header
+          | exception e -> Alcotest.failf "router raised on %S: %s" (String.escaped line) (Printexc.to_string e))
+        lines;
+      Alcotest.(check bool) "relay produced replies" true (!replies >= 800);
+      (* Sane fleet afterwards: a valid query still answers through
+         the relay. *)
+      (match Pta.Router.handle router session "count vP" with
+      | Some r ->
+        Alcotest.(check bool) "post-fuzz count vP is ok" true
+          (String.length r.Pta.Router.rp_header >= 3 && String.sub r.Pta.Router.rp_header 0 3 = "ok ");
+        Alcotest.(check (list string)) "post-fuzz count vP body" [ "vP 8" ] r.Pta.Router.rp_body
+      | None -> Alcotest.fail "post-fuzz count vP owed a reply");
+      Pta.Router.close_session session;
+      match (fd0, count_fds ()) with
+      | Some before, Some after ->
+        (* The sticky backend connection is closed; only pre-existing
+           fds remain. *)
+        Alcotest.(check int) "fd count stable" before after
+      | _ -> ())
+
 let () =
   Alcotest.run "serve"
     [
       ("soak", [ Alcotest.test_case "1k mixed queries: correct, isolated, fd-stable" `Quick test_soak ]);
+      ( "fuzz",
+        [
+          Alcotest.test_case "1.2k hostile lines straight into serve_line" `Quick test_serve_line_fuzz;
+          Alcotest.test_case "1k hostile lines through the route relay" `Quick test_router_relay_fuzz;
+        ] );
       ( "parallel",
         [
           Alcotest.test_case "8 domains, bit-identical transcripts, exact stats" `Quick test_parallel_soak;
